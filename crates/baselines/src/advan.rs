@@ -1,0 +1,107 @@
+//! ADVAN: the authors' earlier test-session-oriented heuristic (ITC 1998).
+//!
+//! ADVAN never adds registers. System registers are allocated with the
+//! classic left-edge algorithm (which is area-optimal in register count but
+//! oblivious to multiplexer cost — exactly the weakness the concurrent ILP
+//! removes), and the test registers of each sub-test session are then chosen
+//! greedily so that reconfiguration cost stays low: reuse existing TPGs/SRs
+//! in the same role, avoid turning a register into a BILBO or CBILBO unless
+//! no alternative exists.
+
+use bist_datapath::CostModel;
+use bist_datapath::Datapath;
+use bist_dfg::allocate::left_edge;
+use bist_dfg::lifetime::LifetimeTable;
+use bist_dfg::SynthesisInput;
+
+use crate::common::{assign_bist_roles, partition_modules, HeuristicDesign, SharingStrategy};
+use crate::error::BaselineError;
+
+/// Synthesises a BIST data path with the ADVAN heuristic for a k-test
+/// session.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::InvalidSessionCount`] for `k` outside `1..=N`,
+/// or [`BaselineError::NoFeasiblePlan`] if the greedy role assignment fails.
+pub fn synthesize_advan(
+    input: &SynthesisInput,
+    k: usize,
+    cost: &CostModel,
+) -> Result<HeuristicDesign, BaselineError> {
+    let num_modules = input.binding().num_modules();
+    if k == 0 || k > num_modules {
+        return Err(BaselineError::InvalidSessionCount {
+            requested: k,
+            modules: num_modules,
+        });
+    }
+    let lifetimes = LifetimeTable::new(input)?;
+    let assignment = left_edge(&lifetimes);
+    let datapath = Datapath::from_register_assignment(input, &assignment, cost.width())?;
+    let partition = partition_modules(num_modules, k);
+    assign_bist_roles(
+        datapath,
+        input,
+        &lifetimes,
+        partition,
+        SharingStrategy::MinimizeReconfiguration,
+        cost,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_datapath::validate::validate_design;
+    use bist_dfg::benchmarks;
+
+    #[test]
+    fn advan_produces_valid_designs_for_all_benchmarks_at_max_k() {
+        let cost = CostModel::eight_bit();
+        for (name, input) in benchmarks::all() {
+            let k = input.binding().num_modules();
+            let design = synthesize_advan(&input, k, &cost)
+                .unwrap_or_else(|e| panic!("advan failed on {name}: {e}"));
+            let lifetimes = LifetimeTable::new(&input).unwrap();
+            validate_design(&design.datapath, &design.plan, &input, &lifetimes)
+                .unwrap_or_else(|e| panic!("invalid advan design on {name}: {e}"));
+            assert_eq!(design.sessions, k, "{name}");
+            assert!(design.area.total() > 0, "{name}");
+        }
+    }
+
+    #[test]
+    fn advan_never_adds_registers() {
+        let cost = CostModel::eight_bit();
+        for (name, input) in benchmarks::all() {
+            let lifetimes = LifetimeTable::new(&input).unwrap();
+            let k = input.binding().num_modules();
+            let design = synthesize_advan(&input, k, &cost).unwrap();
+            assert_eq!(
+                design.datapath.num_registers(),
+                lifetimes.min_registers(),
+                "{name}"
+            );
+        }
+    }
+
+    #[test]
+    fn advan_rejects_bad_session_counts() {
+        let cost = CostModel::eight_bit();
+        let input = benchmarks::figure1();
+        assert!(synthesize_advan(&input, 0, &cost).is_err());
+        assert!(synthesize_advan(&input, 10, &cost).is_err());
+    }
+
+    #[test]
+    fn fewer_sessions_never_reduce_test_hardware() {
+        // With k = 1 everything is tested at once, which needs at least as
+        // many simultaneously active test registers as k = N.
+        let cost = CostModel::eight_bit();
+        let input = benchmarks::figure1();
+        let k1 = synthesize_advan(&input, 1, &cost).unwrap();
+        let kmax = synthesize_advan(&input, 2, &cost).unwrap();
+        assert!(k1.area.total() >= kmax.area.total() - 1);
+    }
+}

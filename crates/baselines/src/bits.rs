@@ -1,0 +1,98 @@
+//! BITS: Parulkar, Gupta and Breuer's sharing-driven allocation (DAC 1995).
+//!
+//! BITS reduces BIST area by *maximising the sharing of test registers*: the
+//! same register serves as TPG or signature register for as many modules as
+//! possible across sub-test sessions, so fewer registers need test circuitry
+//! at all — at the price of occasionally upgrading a shared register to a
+//! BILBO (or, rarely, a CBILBO) when its roles collide. Register allocation
+//! itself is the standard left-edge packing.
+
+use bist_datapath::CostModel;
+use bist_datapath::Datapath;
+use bist_dfg::allocate::left_edge;
+use bist_dfg::lifetime::LifetimeTable;
+use bist_dfg::SynthesisInput;
+
+use crate::common::{assign_bist_roles, partition_modules, HeuristicDesign, SharingStrategy};
+use crate::error::BaselineError;
+
+/// Synthesises a BIST data path with the BITS heuristic for a k-test session.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::InvalidSessionCount`] for `k` outside `1..=N`,
+/// or [`BaselineError::NoFeasiblePlan`] if the greedy role assignment fails.
+pub fn synthesize_bits(
+    input: &SynthesisInput,
+    k: usize,
+    cost: &CostModel,
+) -> Result<HeuristicDesign, BaselineError> {
+    let num_modules = input.binding().num_modules();
+    if k == 0 || k > num_modules {
+        return Err(BaselineError::InvalidSessionCount {
+            requested: k,
+            modules: num_modules,
+        });
+    }
+    let lifetimes = LifetimeTable::new(input)?;
+    let assignment = left_edge(&lifetimes);
+    let datapath = Datapath::from_register_assignment(input, &assignment, cost.width())?;
+    let partition = partition_modules(num_modules, k);
+    assign_bist_roles(
+        datapath,
+        input,
+        &lifetimes,
+        partition,
+        SharingStrategy::MaximizeSharing,
+        cost,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_datapath::validate::validate_design;
+    use bist_datapath::TestRegisterKind;
+    use bist_dfg::benchmarks;
+
+    #[test]
+    fn bits_produces_valid_designs_for_all_benchmarks_at_max_k() {
+        let cost = CostModel::eight_bit();
+        for (name, input) in benchmarks::all() {
+            let k = input.binding().num_modules();
+            let design = synthesize_bits(&input, k, &cost)
+                .unwrap_or_else(|e| panic!("bits failed on {name}: {e}"));
+            let lifetimes = LifetimeTable::new(&input).unwrap();
+            validate_design(&design.datapath, &design.plan, &input, &lifetimes)
+                .unwrap_or_else(|e| panic!("invalid bits design on {name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn bits_uses_no_more_distinct_test_registers_than_advan() {
+        // The whole point of BITS: fewer registers carry test circuitry.
+        let cost = CostModel::eight_bit();
+        for (name, input) in benchmarks::all() {
+            let k = input.binding().num_modules();
+            let bits = synthesize_bits(&input, k, &cost).unwrap();
+            let advan = crate::advan::synthesize_advan(&input, k, &cost).unwrap();
+            let count_test_regs = |d: &HeuristicDesign| {
+                (0..d.datapath.num_registers())
+                    .filter(|&r| d.datapath.register_kind(r) != TestRegisterKind::Plain)
+                    .count()
+            };
+            assert!(
+                count_test_regs(&bits) <= count_test_regs(&advan),
+                "{name}: BITS should share test registers at least as aggressively as ADVAN"
+            );
+        }
+    }
+
+    #[test]
+    fn bits_rejects_bad_session_counts() {
+        let cost = CostModel::eight_bit();
+        let input = benchmarks::figure1();
+        assert!(synthesize_bits(&input, 0, &cost).is_err());
+        assert!(synthesize_bits(&input, 3, &cost).is_err());
+    }
+}

@@ -1,0 +1,330 @@
+//! Shared machinery of the heuristic baselines: greedy BIST-role assignment
+//! over an existing data path, and the result container.
+
+use bist_datapath::cost::{AreaBreakdown, CostModel};
+use bist_datapath::interconnect::ModulePort;
+use bist_datapath::test_plan::{TestPlan, TpgSource};
+use bist_datapath::validate::validate_design;
+use bist_datapath::Datapath;
+use bist_dfg::lifetime::LifetimeTable;
+use bist_dfg::SynthesisInput;
+
+use crate::error::BaselineError;
+
+/// How a heuristic chooses test registers when several candidates exist.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SharingStrategy {
+    /// Minimise reconfiguration cost: reuse a register *in the same role*
+    /// when possible and avoid mixing TPG and SR roles on one register
+    /// (which would force a BILBO). This is the ADVAN-style policy.
+    MinimizeReconfiguration,
+    /// Maximise test-register sharing: prefer any register that is already a
+    /// test register, even if that mixes roles and upgrades it to a BILBO.
+    /// This is the BITS-style policy.
+    MaximizeSharing,
+}
+
+/// The output of a heuristic baseline, mirroring `bist_core::BistDesign`.
+#[derive(Debug, Clone)]
+pub struct HeuristicDesign {
+    /// The data path with register kinds applied.
+    pub datapath: Datapath,
+    /// The k-test-session plan.
+    pub plan: TestPlan,
+    /// Area breakdown under the supplied cost model.
+    pub area: AreaBreakdown,
+    /// Number of sub-test sessions.
+    pub sessions: usize,
+}
+
+impl HeuristicDesign {
+    /// Area overhead in percent against a reference area.
+    pub fn overhead_percent(&self, reference_area: u64) -> f64 {
+        self.area.overhead_percent(reference_area)
+    }
+
+    /// Packages the design as a Table-3-style report row.
+    pub fn report(
+        &self,
+        method: &str,
+        circuit: &str,
+        reference_area: u64,
+    ) -> bist_datapath::report::DesignReport {
+        bist_datapath::report::DesignReport {
+            method: method.to_string(),
+            circuit: circuit.to_string(),
+            test_sessions: self.sessions,
+            breakdown: self.area.clone(),
+            reference_area,
+        }
+    }
+}
+
+/// Splits the modules into `k` sub-test sessions (round-robin), the simple
+/// partition the heuristic baselines use.
+pub(crate) fn partition_modules(num_modules: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut sessions = vec![Vec::new(); k];
+    for m in 0..num_modules {
+        sessions[m % k].push(m);
+    }
+    sessions
+}
+
+/// Greedily assigns signature registers and TPGs for every module of a data
+/// path, then applies the induced register kinds and validates the design.
+///
+/// `session_partition` lists the modules of each sub-test session.
+///
+/// # Errors
+///
+/// Returns [`BaselineError::NoFeasiblePlan`] when a sub-test session cannot
+/// get distinct signature registers, or a validation error if the produced
+/// plan is inconsistent (a bug).
+pub(crate) fn assign_bist_roles(
+    mut datapath: Datapath,
+    input: &SynthesisInput,
+    lifetimes: &LifetimeTable,
+    session_partition: Vec<Vec<usize>>,
+    strategy: SharingStrategy,
+    cost: &CostModel,
+) -> Result<HeuristicDesign, BaselineError> {
+    let k = session_partition.len();
+    let mut plan = TestPlan::with_sessions(k);
+
+    // Roles accumulated so far, for the sharing preferences.
+    let mut is_tpg = vec![false; datapath.num_registers()];
+    let mut is_sr = vec![false; datapath.num_registers()];
+
+    for (p, modules) in session_partition.iter().enumerate() {
+        let mut srs_this_session: Vec<usize> = Vec::new();
+        for &m in modules {
+            // ---------------- signature register ----------------
+            let candidates: Vec<usize> = datapath
+                .interconnect()
+                .registers_driven_by_module(m)
+                .into_iter()
+                .filter(|r| !srs_this_session.contains(r))
+                .collect();
+            let sr = choose_sr(&candidates, &is_tpg, &is_sr, strategy).ok_or_else(|| {
+                BaselineError::NoFeasiblePlan {
+                    reason: format!(
+                        "module {m} has no free signature register in sub-session {p}"
+                    ),
+                }
+            })?;
+            srs_this_session.push(sr);
+            is_sr[sr] = true;
+            plan.sessions[p].modules.push(m);
+            plan.sessions[p].sr.insert(m, sr);
+
+            // ---------------- test pattern generators ----------------
+            let num_inputs = datapath.modules()[m].num_inputs;
+            let mut used_for_this_module: Vec<usize> = Vec::new();
+            for port in 0..num_inputs {
+                let drivers = datapath
+                    .interconnect()
+                    .registers_driving_port(ModulePort { module: m, port });
+                if drivers.is_empty() {
+                    // Constant-only port: dedicated generator (Section 3.3.4).
+                    plan.sessions[p]
+                        .tpg
+                        .insert((m, port), TpgSource::ConstantGenerator);
+                    continue;
+                }
+                let candidates: Vec<usize> = drivers
+                    .into_iter()
+                    .filter(|r| !used_for_this_module.contains(r))
+                    .collect();
+                match choose_tpg(&candidates, sr, &is_tpg, &is_sr, strategy) {
+                    Some(tpg) => {
+                        used_for_this_module.push(tpg);
+                        is_tpg[tpg] = true;
+                        plan.sessions[p]
+                            .tpg
+                            .insert((m, port), TpgSource::Register(tpg));
+                    }
+                    None => {
+                        // Every driver is already taken by the other port of
+                        // this module: fall back to a dedicated generator.
+                        plan.sessions[p]
+                            .tpg
+                            .insert((m, port), TpgSource::ConstantGenerator);
+                    }
+                }
+            }
+        }
+    }
+
+    plan.apply_register_kinds(&mut datapath);
+    validate_design(&datapath, &plan, input, lifetimes)?;
+    let area = datapath.area(cost);
+    Ok(HeuristicDesign {
+        datapath,
+        plan,
+        area,
+        sessions: k,
+    })
+}
+
+fn choose_sr(
+    candidates: &[usize],
+    is_tpg: &[bool],
+    is_sr: &[bool],
+    strategy: SharingStrategy,
+) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let score = |r: usize| -> (i32, usize) {
+        match strategy {
+            SharingStrategy::MinimizeReconfiguration => {
+                // Best: already an SR (free). Then: a fresh register that is
+                // not a TPG (plain -> SR). Worst: a TPG (creates a BILBO).
+                let class = if is_sr[r] {
+                    0
+                } else if !is_tpg[r] {
+                    1
+                } else {
+                    2
+                };
+                (class, r)
+            }
+            SharingStrategy::MaximizeSharing => {
+                // Best: any existing test register; new test registers last.
+                let class = if is_sr[r] {
+                    0
+                } else if is_tpg[r] {
+                    1
+                } else {
+                    2
+                };
+                (class, r)
+            }
+        }
+    };
+    candidates.iter().copied().min_by_key(|&r| score(r))
+}
+
+fn choose_tpg(
+    candidates: &[usize],
+    module_sr: usize,
+    is_tpg: &[bool],
+    is_sr: &[bool],
+    strategy: SharingStrategy,
+) -> Option<usize> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let score = |r: usize| -> (i32, usize) {
+        match strategy {
+            SharingStrategy::MinimizeReconfiguration => {
+                // Avoid the module's own SR at all cost (would need a
+                // CBILBO), avoid SRs of other modules (BILBO), prefer
+                // existing TPGs, then plain registers.
+                let class = if r == module_sr {
+                    4
+                } else if is_sr[r] {
+                    3
+                } else if is_tpg[r] {
+                    0
+                } else {
+                    1
+                };
+                (class, r)
+            }
+            SharingStrategy::MaximizeSharing => {
+                // Prefer existing test registers; still avoid the module's
+                // own SR unless nothing else exists (CBILBO is expensive even
+                // for a sharing-focused method).
+                let class = if r == module_sr {
+                    4
+                } else if is_tpg[r] {
+                    0
+                } else if is_sr[r] {
+                    1
+                } else {
+                    2
+                };
+                (class, r)
+            }
+        }
+    };
+    candidates.iter().copied().min_by_key(|&r| score(r))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_is_balanced_and_covers_all_modules() {
+        let parts = partition_modules(5, 2);
+        assert_eq!(parts.len(), 2);
+        let mut all: Vec<usize> = parts.concat();
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2, 3, 4]);
+        assert_eq!(parts[0].len(), 3);
+        assert_eq!(parts[1].len(), 2);
+        // Maximal k: one module per session.
+        let parts = partition_modules(3, 3);
+        assert!(parts.iter().all(|p| p.len() == 1));
+    }
+
+    #[test]
+    fn sr_choice_respects_strategy() {
+        // Register 1 is already a TPG, register 2 already an SR.
+        let is_tpg = vec![false, true, false];
+        let is_sr = vec![false, false, true];
+        let candidates = vec![0, 1, 2];
+        assert_eq!(
+            choose_sr(&candidates, &is_tpg, &is_sr, SharingStrategy::MinimizeReconfiguration),
+            Some(2)
+        );
+        assert_eq!(
+            choose_sr(&candidates, &is_tpg, &is_sr, SharingStrategy::MaximizeSharing),
+            Some(2)
+        );
+        // Without an existing SR, the minimiser avoids the TPG; the sharer
+        // picks it.
+        let candidates = vec![0, 1];
+        assert_eq!(
+            choose_sr(&candidates, &is_tpg, &is_sr, SharingStrategy::MinimizeReconfiguration),
+            Some(0)
+        );
+        assert_eq!(
+            choose_sr(&candidates, &is_tpg, &is_sr, SharingStrategy::MaximizeSharing),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn tpg_choice_avoids_the_module_sr() {
+        let is_tpg = vec![false, false, false];
+        let is_sr = vec![false, false, false];
+        let candidates = vec![0, 1];
+        // Register 0 is the module's SR: both strategies pick register 1.
+        for strategy in [
+            SharingStrategy::MinimizeReconfiguration,
+            SharingStrategy::MaximizeSharing,
+        ] {
+            assert_eq!(choose_tpg(&candidates, 0, &is_tpg, &is_sr, strategy), Some(1));
+        }
+        // If the SR is the only candidate it is still returned (CBILBO).
+        assert_eq!(
+            choose_tpg(&[0], 0, &is_tpg, &is_sr, SharingStrategy::MinimizeReconfiguration),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn empty_candidate_lists_return_none() {
+        assert_eq!(
+            choose_sr(&[], &[], &[], SharingStrategy::MaximizeSharing),
+            None
+        );
+        assert_eq!(
+            choose_tpg(&[], 0, &[], &[], SharingStrategy::MaximizeSharing),
+            None
+        );
+    }
+}

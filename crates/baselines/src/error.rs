@@ -1,0 +1,73 @@
+//! Error type for the heuristic baseline methods.
+
+use std::fmt;
+
+use bist_datapath::DatapathError;
+use bist_dfg::DfgError;
+
+/// Errors raised by the heuristic synthesis baselines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The scheduled DFG input is inconsistent.
+    Dfg(DfgError),
+    /// The produced design failed validation (indicates a heuristic bug).
+    Datapath(DatapathError),
+    /// The requested number of sub-test sessions is outside `1..=N`.
+    InvalidSessionCount {
+        /// Requested k.
+        requested: usize,
+        /// Number of modules N.
+        modules: usize,
+    },
+    /// The heuristic could not build a feasible test plan (for example, a
+    /// sub-test session needs more distinct signature registers than exist).
+    NoFeasiblePlan {
+        /// Explanation of what could not be satisfied.
+        reason: String,
+    },
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::Dfg(e) => write!(f, "invalid synthesis input: {e}"),
+            BaselineError::Datapath(e) => write!(f, "baseline produced an invalid design: {e}"),
+            BaselineError::InvalidSessionCount { requested, modules } => write!(
+                f,
+                "requested {requested} sub-test sessions but the design has {modules} modules"
+            ),
+            BaselineError::NoFeasiblePlan { reason } => {
+                write!(f, "heuristic found no feasible test plan: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<DfgError> for BaselineError {
+    fn from(e: DfgError) -> Self {
+        BaselineError::Dfg(e)
+    }
+}
+
+impl From<DatapathError> for BaselineError {
+    fn from(e: DatapathError) -> Self {
+        BaselineError::Datapath(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: BaselineError = DfgError::Cyclic.into();
+        assert!(e.to_string().contains("cycle"));
+        let e = BaselineError::NoFeasiblePlan {
+            reason: "not enough signature registers".into(),
+        };
+        assert!(e.to_string().contains("signature"));
+    }
+}

@@ -1,0 +1,37 @@
+//! Criterion bench for the ablation study: solver / formulation variants on
+//! the small circuits.
+
+use std::time::Duration;
+
+use bist_core::synthesis;
+use bist_dfg::benchmarks;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ablation(c: &mut Criterion) {
+    let limit = Duration::from_millis(200);
+    let mut group = c.benchmark_group("ablation_solver");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for (name, input) in benchmarks::small() {
+        let k = input.binding().num_modules().min(2);
+        for (label, config) in bist_bench::ablation::variants(limit) {
+            let short = label.split(' ').next().unwrap_or("variant").to_string();
+            group.bench_with_input(
+                BenchmarkId::new(short, name),
+                &input,
+                |b, input| {
+                    b.iter(|| {
+                        // The cold-start variant may time out without a
+                        // solution under the tiny bench budget; that is fine.
+                        let _ = synthesis::synthesize_bist(black_box(input), k, &config);
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for the Table 1 cost model (sanity-level micro bench).
+
+use bist_datapath::{CostModel, TestRegisterKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let cost = CostModel::eight_bit();
+    c.bench_function("table1/register_costs", |b| {
+        b.iter(|| {
+            TestRegisterKind::all()
+                .iter()
+                .map(|&k| cost.register_cost(black_box(k)))
+                .sum::<u64>()
+        })
+    });
+    c.bench_function("table1/mux_costs", |b| {
+        b.iter(|| (2..=7).map(|n| cost.mux_cost(black_box(n))).sum::<u64>())
+    });
+    c.bench_function("table1/render", |b| {
+        b.iter(|| bist_bench::table1::render(black_box(&cost)))
+    });
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench regenerating Table 2: one measurement per (circuit, k).
+//!
+//! The solver budget per instance is deliberately small (the bench measures
+//! the harness, not CPLEX-6.0-scale optimality proofs); run the
+//! `repro_table2` binary with a larger `BIST_TIME_LIMIT_SECS` for the actual
+//! table.
+
+use std::time::Duration;
+
+use bist_core::synthesis;
+use bist_dfg::benchmarks;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table2(c: &mut Criterion) {
+    let config = bist_bench::quick_config(Duration::from_millis(200));
+    let mut group = c.benchmark_group("table2_advbist");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for (name, input) in benchmarks::all() {
+        for k in 1..=input.binding().num_modules() {
+            group.bench_with_input(
+                BenchmarkId::new(name, k),
+                &(input.clone(), k),
+                |b, (input, k)| {
+                    b.iter(|| synthesis::synthesize_bist(black_box(input), *k, &config).unwrap())
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion bench regenerating Table 3: every synthesis method on every
+//! circuit at the maximal test-session count.
+
+use std::time::Duration;
+
+use bist_baselines::{synthesize_advan, synthesize_bits, synthesize_ralloc};
+use bist_core::synthesis;
+use bist_datapath::CostModel;
+use bist_dfg::benchmarks;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_table3(c: &mut Criterion) {
+    let cost = CostModel::eight_bit();
+    let config = bist_bench::quick_config(Duration::from_millis(200));
+    let mut group = c.benchmark_group("table3_methods");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(3));
+    for (name, input) in benchmarks::all() {
+        let k = input.binding().num_modules();
+        group.bench_with_input(
+            BenchmarkId::new("ADVBIST", name),
+            &input,
+            |b, input| b.iter(|| synthesis::synthesize_bist(black_box(input), k, &config).unwrap()),
+        );
+        group.bench_with_input(BenchmarkId::new("ADVAN", name), &input, |b, input| {
+            b.iter(|| synthesize_advan(black_box(input), k, &cost).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("RALLOC", name), &input, |b, input| {
+            b.iter(|| synthesize_ralloc(black_box(input), k, &cost).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("BITS", name), &input, |b, input| {
+            b.iter(|| synthesize_bits(black_box(input), k, &cost).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

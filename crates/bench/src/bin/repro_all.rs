@@ -1,0 +1,61 @@
+//! Runs the whole evaluation (Tables 1-3, Figures 1-3) and prints a JSON
+//! summary at the end, suitable for pasting into EXPERIMENTS.md.
+
+use bist_bench::report::ExperimentReport;
+use bist_datapath::CostModel;
+
+fn main() {
+    let limit = bist_bench::time_limit_from_env();
+    let config = bist_bench::quick_config(limit);
+    eprintln!("# per-instance ILP budget: {:.1}s (set BIST_TIME_LIMIT_SECS to change)", limit.as_secs_f64());
+
+    println!("{}", bist_bench::table1::render(&CostModel::eight_bit()));
+
+    match bist_bench::figures::render_figure1(&config) {
+        Ok(text) => println!("{text}"),
+        Err(e) => eprintln!("figure 1 failed: {e}"),
+    }
+    match bist_bench::figures::render_fig2_fig3(&config) {
+        Ok(text) => println!("{text}"),
+        Err(e) => eprintln!("figures 2/3 failed: {e}"),
+    }
+
+    let table2 = match bist_bench::table2::run_all(limit) {
+        Ok(rows) => {
+            println!("{}", bist_bench::table2::render(&rows));
+            rows
+        }
+        Err(e) => {
+            eprintln!("table 2 failed: {e}");
+            Vec::new()
+        }
+    };
+    let table3 = match bist_bench::table3::run_all(limit) {
+        Ok(rows) => {
+            println!("{}", bist_bench::table3::render(&rows));
+            let violations = bist_bench::table3::advbist_wins(&rows);
+            if violations.is_empty() {
+                println!("ADVBIST is never worse than any baseline under this budget.");
+            } else {
+                for v in &violations {
+                    println!("claim violation: {v}");
+                }
+            }
+            rows
+        }
+        Err(e) => {
+            eprintln!("table 3 failed: {e}");
+            Vec::new()
+        }
+    };
+
+    let report = ExperimentReport {
+        time_limit_seconds: limit.as_secs_f64(),
+        table2,
+        table3,
+    };
+    match report.to_json() {
+        Ok(json) => println!("\n--- machine readable summary ---\n{json}"),
+        Err(e) => eprintln!("could not serialise the summary: {e}"),
+    }
+}

@@ -1,0 +1,13 @@
+//! Regenerates Figure 1 of the paper: the example DFG and its data path.
+
+fn main() {
+    let limit = bist_bench::time_limit_from_env();
+    let config = bist_bench::quick_config(limit);
+    match bist_bench::figures::render_figure1(&config) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("figure 1 reproduction failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

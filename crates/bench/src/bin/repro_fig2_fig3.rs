@@ -1,0 +1,14 @@
+//! Regenerates Figures 2 and 3 of the paper: signature-register and TPG
+//! assignment on the example data path.
+
+fn main() {
+    let limit = bist_bench::time_limit_from_env();
+    let config = bist_bench::quick_config(limit);
+    match bist_bench::figures::render_fig2_fig3(&config) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("figures 2/3 reproduction failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

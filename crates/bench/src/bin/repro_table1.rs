@@ -1,0 +1,7 @@
+//! Regenerates Table 1 of the paper (the transistor cost model).
+
+use bist_datapath::CostModel;
+
+fn main() {
+    print!("{}", bist_bench::table1::render(&CostModel::eight_bit()));
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table 2 of the paper: ADVBIST area overhead and solve time for
+//! every k-test session of every circuit.
+//!
+//! The per-instance ILP budget comes from `BIST_TIME_LIMIT_SECS` (default 5s).
+
+fn main() {
+    let limit = bist_bench::time_limit_from_env();
+    eprintln!("# per-instance ILP budget: {:.1}s (set BIST_TIME_LIMIT_SECS to change)", limit.as_secs_f64());
+    match bist_bench::table2::run_all(limit) {
+        Ok(rows) => print!("{}", bist_bench::table2::render(&rows)),
+        Err(e) => {
+            eprintln!("table 2 reproduction failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # bist-bench — experiment harness for the DAC'99 ADVBIST reproduction
+//!
+//! Every table and figure of the paper's evaluation has a regeneration path
+//! here:
+//!
+//! | Paper item | Module | Binary | Criterion bench |
+//! |------------|--------|--------|-----------------|
+//! | Table 1 (cost model) | [`table1`] | `repro_table1` | `cost_model` |
+//! | Table 2 (ADVBIST per k-test session) | [`table2`] | `repro_table2` | `table2_advbist` |
+//! | Table 3 (method comparison) | [`table3`] | `repro_table3` | `table3_methods` |
+//! | Figure 1 (example DFG / data path) | [`figures`] | `repro_fig1` | `figure1` |
+//! | Figures 2–3 (SR / TPG assignment) | [`figures`] | `repro_fig2_fig3` | — |
+//! | Ablations (ours) | [`ablation`] | — | `ablation_solver`, `ilp_solver` |
+//!
+//! The ILP solve budget is controlled by the `BIST_TIME_LIMIT_SECS`
+//! environment variable (default: 5 seconds per instance); the paper used a
+//! 24-CPU-hour cap on CPLEX 6.0, so absolute runtimes are not comparable —
+//! see EXPERIMENTS.md.
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod figures;
+pub mod report;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod workload;
+
+pub use report::{ExperimentReport, MethodRow, SessionRow};
+pub use workload::{circuits, quick_config, small_circuits, time_limit_from_env};

@@ -1,0 +1,465 @@
+//! Serialisable result records for the experiment harness.
+
+use serde::{Deserialize, Serialize};
+
+/// One row of the Table 2 reproduction: ADVBIST for one circuit and one
+/// k-test session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Number of sub-test sessions `k`.
+    pub sessions: usize,
+    /// Area overhead over the reference circuit, in percent.
+    pub overhead_percent: f64,
+    /// Wall-clock solve time in seconds.
+    pub time_seconds: f64,
+    /// Whether the solver proved optimality within its budget (rows the paper
+    /// marks with `*` are the non-proven ones).
+    pub optimal: bool,
+    /// Total area (registers + multiplexers) in transistors.
+    pub area: u64,
+    /// Reference area in transistors.
+    pub reference_area: u64,
+}
+
+/// One row of the Table 3 reproduction: one method on one circuit at the
+/// maximal test-session count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MethodRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Method name (`Ref.`, `ADVBIST`, `ADVAN`, `RALLOC`, `BITS`).
+    pub method: String,
+    /// Number of sub-test sessions.
+    pub sessions: usize,
+    /// Total registers (column R).
+    pub registers: usize,
+    /// TPG-only registers (column T).
+    pub tpgs: usize,
+    /// SR-only registers (column S).
+    pub srs: usize,
+    /// BILBOs (column B).
+    pub bilbos: usize,
+    /// CBILBOs (column C).
+    pub cbilbos: usize,
+    /// Total multiplexer inputs (column M).
+    pub mux_inputs: usize,
+    /// Total area in transistors (column Area).
+    pub area: u64,
+    /// Area overhead in percent (column OH).
+    pub overhead_percent: f64,
+}
+
+/// A complete harness run, serialisable to JSON for EXPERIMENTS.md.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentReport {
+    /// Per-instance ILP budget in seconds.
+    pub time_limit_seconds: f64,
+    /// Table 2 rows.
+    pub table2: Vec<SessionRow>,
+    /// Table 3 rows.
+    pub table3: Vec<MethodRow>,
+}
+
+impl ExperimentReport {
+    /// Serialises the report as pretty JSON.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serde serialisation failures (not expected for these
+    /// plain-data types).
+    pub fn to_json(&self) -> Result<String, serde_json_error::Error> {
+        serde_json_error::to_string_pretty(self)
+    }
+}
+
+/// Minimal JSON writer so the harness does not need `serde_json` (which is
+/// not on the approved dependency list). Only the subset needed by
+/// [`ExperimentReport`] is supported.
+pub mod serde_json_error {
+    //! Tiny JSON serialisation shim (see the module-level note).
+    use serde::ser::{self, Serialize};
+    use std::fmt;
+
+    /// Serialisation error.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "json serialisation error: {}", self.0)
+        }
+    }
+    impl std::error::Error for Error {}
+    impl ser::Error for Error {
+        fn custom<T: fmt::Display>(msg: T) -> Self {
+            Error(msg.to_string())
+        }
+    }
+
+    /// Serialises a value to a pretty-printed JSON string.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for value shapes the shim does not support (maps with
+    /// non-string keys, bytes, etc.), none of which occur in the harness
+    /// reports.
+    pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+        let mut out = String::new();
+        value.serialize(JsonSer { out: &mut out, indent: 0 })?;
+        Ok(out)
+    }
+
+    struct JsonSer<'a> {
+        out: &'a mut String,
+        indent: usize,
+    }
+
+    impl JsonSer<'_> {
+        fn pad(&mut self) {
+            for _ in 0..self.indent {
+                self.out.push_str("  ");
+            }
+        }
+    }
+
+    fn escape(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => vec!['\\', '"'],
+                '\\' => vec!['\\', '\\'],
+                '\n' => vec!['\\', 'n'],
+                c => vec![c],
+            })
+            .collect()
+    }
+
+    macro_rules! forward_num {
+        ($method:ident, $ty:ty) => {
+            fn $method(self, v: $ty) -> Result<(), Error> {
+                self.out.push_str(&v.to_string());
+                Ok(())
+            }
+        };
+    }
+
+    impl<'a> ser::Serializer for JsonSer<'a> {
+        type Ok = ();
+        type Error = Error;
+        type SerializeSeq = SeqSer<'a>;
+        type SerializeTuple = SeqSer<'a>;
+        type SerializeTupleStruct = SeqSer<'a>;
+        type SerializeTupleVariant = SeqSer<'a>;
+        type SerializeMap = StructSer<'a>;
+        type SerializeStruct = StructSer<'a>;
+        type SerializeStructVariant = StructSer<'a>;
+
+        forward_num!(serialize_i8, i8);
+        forward_num!(serialize_i16, i16);
+        forward_num!(serialize_i32, i32);
+        forward_num!(serialize_i64, i64);
+        forward_num!(serialize_u8, u8);
+        forward_num!(serialize_u16, u16);
+        forward_num!(serialize_u32, u32);
+        forward_num!(serialize_u64, u64);
+
+        fn serialize_bool(self, v: bool) -> Result<(), Error> {
+            self.out.push_str(if v { "true" } else { "false" });
+            Ok(())
+        }
+        fn serialize_f32(self, v: f32) -> Result<(), Error> {
+            self.serialize_f64(f64::from(v))
+        }
+        fn serialize_f64(self, v: f64) -> Result<(), Error> {
+            if v.is_finite() {
+                self.out.push_str(&format!("{v:.4}"));
+            } else {
+                self.out.push_str("null");
+            }
+            Ok(())
+        }
+        fn serialize_char(self, v: char) -> Result<(), Error> {
+            self.serialize_str(&v.to_string())
+        }
+        fn serialize_str(self, v: &str) -> Result<(), Error> {
+            self.out.push('"');
+            self.out.push_str(&escape(v));
+            self.out.push('"');
+            Ok(())
+        }
+        fn serialize_bytes(self, _v: &[u8]) -> Result<(), Error> {
+            Err(ser::Error::custom("bytes not supported"))
+        }
+        fn serialize_none(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
+            value.serialize(self)
+        }
+        fn serialize_unit(self) -> Result<(), Error> {
+            self.out.push_str("null");
+            Ok(())
+        }
+        fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
+            self.serialize_unit()
+        }
+        fn serialize_unit_variant(
+            self,
+            _name: &'static str,
+            _index: u32,
+            variant: &'static str,
+        ) -> Result<(), Error> {
+            self.serialize_str(variant)
+        }
+        fn serialize_newtype_struct<T: Serialize + ?Sized>(
+            self,
+            _name: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(self)
+        }
+        fn serialize_newtype_variant<T: Serialize + ?Sized>(
+            self,
+            _name: &'static str,
+            _index: u32,
+            _variant: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            value.serialize(self)
+        }
+        fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, Error> {
+            self.out.push('[');
+            Ok(SeqSer {
+                out: self.out,
+                indent: self.indent,
+                first: true,
+            })
+        }
+        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_tuple_struct(
+            self,
+            _name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleStruct, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_tuple_variant(
+            self,
+            _name: &'static str,
+            _index: u32,
+            _variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleVariant, Error> {
+            self.serialize_seq(Some(len))
+        }
+        fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, Error> {
+            self.out.push('{');
+            Ok(StructSer {
+                out: self.out,
+                indent: self.indent + 1,
+                first: true,
+            })
+        }
+        fn serialize_struct(
+            self,
+            _name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Error> {
+            self.serialize_map(Some(len))
+        }
+        fn serialize_struct_variant(
+            self,
+            _name: &'static str,
+            _index: u32,
+            _variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStructVariant, Error> {
+            self.serialize_map(Some(len))
+        }
+    }
+
+    /// Sequence serialiser.
+    pub struct SeqSer<'a> {
+        out: &'a mut String,
+        indent: usize,
+        first: bool,
+    }
+
+    impl SeqSer<'_> {
+        fn element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+            if !self.first {
+                self.out.push_str(", ");
+            }
+            self.first = false;
+            value.serialize(JsonSer {
+                out: self.out,
+                indent: self.indent,
+            })
+        }
+    }
+
+    macro_rules! impl_seq {
+        ($trait:path, $method:ident) => {
+            impl $trait for SeqSer<'_> {
+                type Ok = ();
+                type Error = Error;
+                fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
+                    self.element(value)
+                }
+                fn end(self) -> Result<(), Error> {
+                    self.out.push(']');
+                    Ok(())
+                }
+            }
+        };
+    }
+    impl_seq!(ser::SerializeSeq, serialize_element);
+    impl_seq!(ser::SerializeTuple, serialize_element);
+    impl_seq!(ser::SerializeTupleStruct, serialize_field);
+    impl_seq!(ser::SerializeTupleVariant, serialize_field);
+
+    /// Struct / map serialiser.
+    pub struct StructSer<'a> {
+        out: &'a mut String,
+        indent: usize,
+        first: bool,
+    }
+
+    impl StructSer<'_> {
+        fn entry<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) -> Result<(), Error> {
+            if !self.first {
+                self.out.push(',');
+            }
+            self.first = false;
+            self.out.push('\n');
+            let mut ser = JsonSer {
+                out: self.out,
+                indent: self.indent,
+            };
+            ser.pad();
+            self.out.push('"');
+            self.out.push_str(&escape(key));
+            self.out.push_str("\": ");
+            value.serialize(JsonSer {
+                out: self.out,
+                indent: self.indent,
+            })
+        }
+        fn finish(self) -> Result<(), Error> {
+            self.out.push('\n');
+            let mut ser = JsonSer {
+                out: self.out,
+                indent: self.indent.saturating_sub(1),
+            };
+            ser.pad();
+            self.out.push('}');
+            Ok(())
+        }
+    }
+
+    impl ser::SerializeStruct for StructSer<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            self.entry(key, value)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.finish()
+        }
+    }
+    impl ser::SerializeStructVariant for StructSer<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_field<T: Serialize + ?Sized>(
+            &mut self,
+            key: &'static str,
+            value: &T,
+        ) -> Result<(), Error> {
+            self.entry(key, value)
+        }
+        fn end(self) -> Result<(), Error> {
+            self.finish()
+        }
+    }
+    impl ser::SerializeMap for StructSer<'_> {
+        type Ok = ();
+        type Error = Error;
+        fn serialize_key<T: Serialize + ?Sized>(&mut self, _key: &T) -> Result<(), Error> {
+            Err(ser::Error::custom("maps with dynamic keys not supported"))
+        }
+        fn serialize_value<T: Serialize + ?Sized>(&mut self, _value: &T) -> Result<(), Error> {
+            Err(ser::Error::custom("maps with dynamic keys not supported"))
+        }
+        fn end(self) -> Result<(), Error> {
+            self.finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_serialises_to_json() {
+        let report = ExperimentReport {
+            time_limit_seconds: 5.0,
+            table2: vec![SessionRow {
+                circuit: "tseng".into(),
+                sessions: 3,
+                overhead_percent: 25.7,
+                time_seconds: 1.5,
+                optimal: true,
+                area: 2152,
+                reference_area: 1600,
+            }],
+            table3: vec![MethodRow {
+                circuit: "tseng".into(),
+                method: "ADVBIST".into(),
+                sessions: 3,
+                registers: 5,
+                tpgs: 2,
+                srs: 1,
+                bilbos: 2,
+                cbilbos: 0,
+                mux_inputs: 14,
+                area: 2152,
+                overhead_percent: 25.7,
+            }],
+        };
+        let json = report.to_json().unwrap();
+        assert!(json.contains("\"tseng\""));
+        assert!(json.contains("\"overhead_percent\": 25.7"));
+        assert!(json.contains("\"optimal\": true"));
+        assert!(json.starts_with('{'));
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn special_floats_become_null() {
+        let row = SessionRow {
+            circuit: "x".into(),
+            sessions: 1,
+            overhead_percent: f64::NAN,
+            time_seconds: 0.0,
+            optimal: false,
+            area: 0,
+            reference_area: 0,
+        };
+        let report = ExperimentReport {
+            time_limit_seconds: 1.0,
+            table2: vec![row],
+            table3: vec![],
+        };
+        let json = report.to_json().unwrap();
+        assert!(json.contains("null"));
+    }
+}

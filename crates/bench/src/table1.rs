@@ -1,0 +1,73 @@
+//! Reproduction of Table 1: transistor counts of 8-bit test registers and
+//! n-input multiplexers.
+
+use bist_datapath::{CostModel, TestRegisterKind};
+
+/// The rows of Table 1(a): `(label, transistors)` for each register kind.
+pub fn register_rows(cost: &CostModel) -> Vec<(&'static str, u64)> {
+    vec![
+        ("Reg.", cost.register_cost(TestRegisterKind::Plain)),
+        ("TPG", cost.register_cost(TestRegisterKind::Tpg)),
+        ("SR", cost.register_cost(TestRegisterKind::Sr)),
+        ("BILBO", cost.register_cost(TestRegisterKind::Bilbo)),
+        ("CBILBO", cost.register_cost(TestRegisterKind::Cbilbo)),
+    ]
+}
+
+/// The rows of Table 1(b): `(mux inputs, transistors)` for n = 2..=7.
+pub fn mux_rows(cost: &CostModel) -> Vec<(usize, u64)> {
+    (2..=7).map(|n| (n, cost.mux_cost(n))).collect()
+}
+
+/// Renders both halves of Table 1 as plain text.
+pub fn render(cost: &CostModel) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "Table 1. Number of transistors of {}-bit test registers and multiplexers\n",
+        cost.width()
+    ));
+    out.push_str("a) Test registers\n");
+    out.push_str("  Type  ");
+    for (label, _) in register_rows(cost) {
+        out.push_str(&format!("{label:>8}"));
+    }
+    out.push_str("\n  #Trs  ");
+    for (_, transistors) in register_rows(cost) {
+        out.push_str(&format!("{transistors:>8}"));
+    }
+    out.push_str("\nb) Multiplexers\n  #MuxIn");
+    for (n, _) in mux_rows(cost) {
+        out.push_str(&format!("{n:>8}"));
+    }
+    out.push_str("\n  #Trs  ");
+    for (_, transistors) in mux_rows(cost) {
+        out.push_str(&format!("{transistors:>8}"));
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_bit_table_matches_the_paper() {
+        let cost = CostModel::eight_bit();
+        assert_eq!(
+            register_rows(&cost)
+                .iter()
+                .map(|(_, t)| *t)
+                .collect::<Vec<_>>(),
+            vec![208, 256, 304, 388, 596]
+        );
+        assert_eq!(
+            mux_rows(&cost).iter().map(|(_, t)| *t).collect::<Vec<_>>(),
+            vec![80, 176, 208, 300, 320, 350]
+        );
+        let text = render(&cost);
+        assert!(text.contains("CBILBO"));
+        assert!(text.contains("596"));
+        assert!(text.contains("350"));
+    }
+}

@@ -1,0 +1,176 @@
+//! Reproduction of Table 3: ADVBIST vs ADVAN vs RALLOC vs BITS at the
+//! maximal test-session count of each circuit.
+
+use std::time::Duration;
+
+use bist_baselines::{synthesize_advan, synthesize_bits, synthesize_ralloc};
+use bist_core::{reference, synthesis, SynthesisConfig};
+use bist_datapath::report::DesignReport;
+use bist_datapath::AreaBreakdown;
+use bist_dfg::SynthesisInput;
+
+use crate::report::MethodRow;
+use crate::workload;
+
+fn method_row(circuit: &str, method: &str, sessions: usize, area: &AreaBreakdown, reference: u64) -> MethodRow {
+    use bist_datapath::TestRegisterKind as K;
+    MethodRow {
+        circuit: circuit.to_string(),
+        method: method.to_string(),
+        sessions,
+        registers: area.total_registers(),
+        tpgs: area.count(K::Tpg),
+        srs: area.count(K::Sr),
+        bilbos: area.count(K::Bilbo),
+        cbilbos: area.count(K::Cbilbo),
+        mux_inputs: area.mux_inputs,
+        area: area.total(),
+        overhead_percent: area.overhead_percent(reference),
+    }
+}
+
+/// Runs all four methods (plus the reference) on one circuit at its maximal
+/// test-session count and returns one row per method.
+///
+/// # Errors
+///
+/// Propagates synthesis errors from any of the methods.
+pub fn run_circuit(
+    name: &str,
+    input: &SynthesisInput,
+    config: &SynthesisConfig,
+) -> Result<Vec<MethodRow>, Box<dyn std::error::Error>> {
+    let k = input.binding().num_modules();
+    let reference_design = reference::synthesize_reference(input, config)?;
+    let reference_area = reference_design.area.total();
+
+    let mut rows = vec![method_row(
+        name,
+        "Ref.",
+        k,
+        &reference_design.area,
+        reference_area,
+    )];
+
+    let advbist = synthesis::synthesize_bist(input, k, config)?;
+    rows.push(method_row(name, "ADVBIST", k, &advbist.area, reference_area));
+
+    let advan = synthesize_advan(input, k, &config.cost)?;
+    rows.push(method_row(name, "ADVAN", k, &advan.area, reference_area));
+
+    let ralloc = synthesize_ralloc(input, k, &config.cost)?;
+    rows.push(method_row(name, "RALLOC", k, &ralloc.area, reference_area));
+
+    let bits = synthesize_bits(input, k, &config.cost)?;
+    rows.push(method_row(name, "BITS", k, &bits.area, reference_area));
+
+    Ok(rows)
+}
+
+/// Runs the full Table 3 comparison over all six circuits.
+///
+/// # Errors
+///
+/// Propagates the first synthesis error.
+pub fn run_all(limit: Duration) -> Result<Vec<MethodRow>, Box<dyn std::error::Error>> {
+    let config = workload::quick_config(limit);
+    let mut rows = Vec::new();
+    for (name, input) in workload::circuits() {
+        rows.extend(run_circuit(name, &input, &config)?);
+    }
+    Ok(rows)
+}
+
+/// Renders rows in the layout of the paper's Table 3.
+pub fn render(rows: &[MethodRow]) -> String {
+    let mut out = String::new();
+    out.push_str("Table 3: Performance of various high level BIST synthesis systems\n");
+    out.push_str(&DesignReport::table3_header());
+    out.push('\n');
+    let mut last_circuit = "";
+    for row in rows {
+        if row.circuit != last_circuit && !last_circuit.is_empty() {
+            out.push('\n');
+        }
+        last_circuit = &row.circuit;
+        out.push_str(&format!(
+            "{:<10} {:<9} {:>2} {:>2} {:>2} {:>2} {:>2} {:>3} {:>6} {:>7.1}\n",
+            row.circuit,
+            row.method,
+            row.registers,
+            row.tpgs,
+            row.srs,
+            row.bilbos,
+            row.cbilbos,
+            row.mux_inputs,
+            row.area,
+            row.overhead_percent
+        ));
+    }
+    out
+}
+
+/// Checks the paper's headline qualitative claim on a set of rows: for every
+/// circuit, the ADVBIST area is no larger than the area of any heuristic
+/// baseline. Returns the list of violations (empty when the claim holds).
+pub fn advbist_wins(rows: &[MethodRow]) -> Vec<String> {
+    let mut violations = Vec::new();
+    let circuits: Vec<&str> = {
+        let mut seen = Vec::new();
+        for row in rows {
+            if !seen.contains(&row.circuit.as_str()) {
+                seen.push(row.circuit.as_str());
+            }
+        }
+        seen
+    };
+    for circuit in circuits {
+        let area_of = |method: &str| {
+            rows.iter()
+                .find(|r| r.circuit == circuit && r.method == method)
+                .map(|r| r.area)
+        };
+        let Some(advbist) = area_of("ADVBIST") else {
+            continue;
+        };
+        for baseline in ["ADVAN", "RALLOC", "BITS"] {
+            if let Some(area) = area_of(baseline) {
+                if advbist > area {
+                    violations.push(format!(
+                        "{circuit}: ADVBIST area {advbist} exceeds {baseline} area {area}"
+                    ));
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_dfg::benchmarks;
+
+    #[test]
+    fn figure1_comparison_produces_five_rows() {
+        let input = benchmarks::figure1();
+        let config = workload::quick_config(Duration::from_millis(300));
+        let rows = run_circuit("figure1", &input, &config).unwrap();
+        assert_eq!(rows.len(), 5);
+        assert_eq!(rows[0].method, "Ref.");
+        assert_eq!(rows[1].method, "ADVBIST");
+        let text = render(&rows);
+        assert!(text.contains("ADVBIST"));
+        assert!(text.contains("RALLOC"));
+    }
+
+    #[test]
+    fn advbist_beats_or_ties_baselines_on_tseng() {
+        let input = benchmarks::tseng();
+        // Enough budget for the small tseng model to reach a good solution.
+        let config = workload::quick_config(Duration::from_secs(2));
+        let rows = run_circuit("tseng", &input, &config).unwrap();
+        let violations = advbist_wins(&rows);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Workloads and solver budgets shared by the harness binaries and benches.
+
+use std::time::Duration;
+
+use bist_core::SynthesisConfig;
+use bist_dfg::{benchmarks, SynthesisInput};
+
+/// The six evaluation circuits of the paper, in table order.
+pub fn circuits() -> Vec<(&'static str, SynthesisInput)> {
+    benchmarks::all()
+}
+
+/// The circuits small enough for exact solving in seconds (used by quick
+/// benches and smoke tests).
+pub fn small_circuits() -> Vec<(&'static str, SynthesisInput)> {
+    benchmarks::small()
+}
+
+/// Reads the per-instance ILP budget from `BIST_TIME_LIMIT_SECS`
+/// (default 5 seconds, minimum 1 millisecond).
+pub fn time_limit_from_env() -> Duration {
+    std::env::var("BIST_TIME_LIMIT_SECS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(|secs| Duration::from_secs_f64(secs.max(0.001)))
+        .unwrap_or(Duration::from_secs(5))
+}
+
+/// The synthesis configuration used by the harness: the paper's 8-bit cost
+/// model with the given time budget per ILP solve.
+pub fn quick_config(limit: Duration) -> SynthesisConfig {
+    SynthesisConfig::time_boxed(limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn six_circuits_in_table_order() {
+        let names: Vec<&str> = circuits().iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec!["tseng", "paulin", "fir6", "iir3", "dct4", "wavelet6"]
+        );
+        assert_eq!(small_circuits().len(), 3);
+    }
+
+    #[test]
+    fn env_budget_parsing() {
+        // Do not mutate the environment (tests run in parallel); just check
+        // the default path and the config construction.
+        let limit = time_limit_from_env();
+        assert!(limit >= Duration::from_millis(1));
+        let config = quick_config(Duration::from_millis(250));
+        assert_eq!(
+            config.solver.time_limit,
+            Some(Duration::from_millis(250))
+        );
+    }
+}

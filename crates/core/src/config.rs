@@ -1,0 +1,145 @@
+//! Configuration of the ADVBIST synthesis runs.
+
+use std::time::Duration;
+
+use bist_datapath::CostModel;
+use bist_dfg::InputTiming;
+use bist_ilp::{BoundMode, SolverConfig};
+
+/// How the operation→module binding enters the formulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ModuleBindingMode {
+    /// Use the binding carried by the [`bist_dfg::SynthesisInput`] as fixed
+    /// constants (the paper's setting: "scheduling and module assignment have
+    /// been completed", Section 2).
+    #[default]
+    Fixed,
+}
+
+/// Configuration shared by the reference and the BIST synthesis ILPs.
+#[derive(Debug, Clone)]
+pub struct SynthesisConfig {
+    /// Transistor cost model (defaults to the paper's 8-bit Table 1).
+    pub cost: CostModel,
+    /// Number of data path registers; `None` uses the minimum (the maximal
+    /// horizontal crossing), which is what the paper's experiments do.
+    pub num_registers: Option<usize>,
+    /// When primary inputs are loaded into registers.
+    pub input_timing: InputTiming,
+    /// Apply the Section 3.5 search-space reduction (pre-assign a maximum
+    /// clique of mutually incompatible variables to distinct registers).
+    pub search_space_reduction: bool,
+    /// Model pseudo-input-port swapping for commutative operations
+    /// (Eq. (3)); operations with a constant operand are never swapped.
+    pub commutative_swapping: bool,
+    /// How module binding is handled.
+    pub binding_mode: ModuleBindingMode,
+    /// Solve the register-assignment-only ILP first and use its solution to
+    /// warm-start the full concurrent model. Guarantees a feasible design
+    /// even when the time limit is too small to explore the joint space.
+    pub warm_start: bool,
+    /// Branch-and-bound configuration for the underlying solver.
+    pub solver: SolverConfig,
+}
+
+impl Default for SynthesisConfig {
+    fn default() -> Self {
+        Self {
+            cost: CostModel::eight_bit(),
+            num_registers: None,
+            input_timing: InputTiming::JustInTime,
+            search_space_reduction: true,
+            commutative_swapping: false,
+            binding_mode: ModuleBindingMode::Fixed,
+            warm_start: true,
+            solver: SolverConfig {
+                time_limit: Some(Duration::from_secs(30)),
+                bound_mode: BoundMode::Hybrid { lp_depth: 2 },
+                ..SolverConfig::default()
+            },
+        }
+    }
+}
+
+impl SynthesisConfig {
+    /// A configuration that solves small models exactly (no time limit, LP
+    /// bounds everywhere). Use only for circuits of the size of the paper's
+    /// Figure 1 example or in tests.
+    pub fn exact() -> Self {
+        Self {
+            solver: SolverConfig::exact(),
+            ..Self::default()
+        }
+    }
+
+    /// A configuration with the given wall-clock budget per ILP solve; this
+    /// mirrors the paper's 24-CPU-hour cap, scaled to interactive runs.
+    pub fn time_boxed(limit: Duration) -> Self {
+        Self {
+            solver: SolverConfig {
+                time_limit: Some(limit),
+                bound_mode: BoundMode::Hybrid { lp_depth: 1 },
+                ..SolverConfig::default()
+            },
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style setter for the register count.
+    pub fn with_registers(mut self, registers: usize) -> Self {
+        self.num_registers = Some(registers);
+        self
+    }
+
+    /// Builder-style setter for the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// Builder-style toggle for the search-space reduction.
+    pub fn with_search_space_reduction(mut self, enabled: bool) -> Self {
+        self.search_space_reduction = enabled;
+        self
+    }
+
+    /// Builder-style toggle for commutative-port swapping.
+    pub fn with_commutative_swapping(mut self, enabled: bool) -> Self {
+        self.commutative_swapping = enabled;
+        self
+    }
+
+    /// Builder-style setter for the solver configuration.
+    pub fn with_solver(mut self, solver: SolverConfig) -> Self {
+        self.solver = solver;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_setup() {
+        let config = SynthesisConfig::default();
+        assert_eq!(config.cost.width(), 8);
+        assert!(config.num_registers.is_none());
+        assert!(config.search_space_reduction);
+        assert_eq!(config.binding_mode, ModuleBindingMode::Fixed);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let config = SynthesisConfig::exact()
+            .with_registers(6)
+            .with_search_space_reduction(false)
+            .with_commutative_swapping(true);
+        assert_eq!(config.num_registers, Some(6));
+        assert!(!config.search_space_reduction);
+        assert!(config.commutative_swapping);
+        assert!(config.solver.time_limit.is_none());
+        let boxed = SynthesisConfig::time_boxed(Duration::from_secs(5));
+        assert_eq!(boxed.solver.time_limit, Some(Duration::from_secs(5)));
+    }
+}

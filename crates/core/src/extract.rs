@@ -1,0 +1,154 @@
+//! Extraction of data paths and test plans from ILP solutions.
+
+use bist_datapath::test_plan::{TestPlan, TpgSource};
+use bist_datapath::Datapath;
+use bist_dfg::allocate::RegisterAssignment;
+use bist_ilp::Solution;
+
+use crate::error::CoreError;
+use crate::formulation::BistFormulation;
+
+/// Reads the register assignment (`x_{vr}` variables) out of a solution.
+pub fn register_assignment(
+    formulation: &BistFormulation<'_>,
+    solution: &Solution,
+) -> RegisterAssignment {
+    let dfg = formulation.input.dfg();
+    let mut register_of = vec![None; dfg.num_vars()];
+    for v in dfg.register_variables() {
+        for r in 0..formulation.num_registers() {
+            if let Some(x) = formulation.x_var(v.index(), r) {
+                if solution.is_one(x) {
+                    register_of[v.index()] = Some(r);
+                    break;
+                }
+            }
+        }
+    }
+    RegisterAssignment::from_parts(register_of, formulation.num_registers())
+}
+
+/// Builds the data path implied by a solution's register assignment.
+///
+/// The interconnect is derived from the DFG edges under that assignment; the
+/// no-adverse-path constraints of the formulation guarantee the solution's
+/// `z` variables describe exactly the same wire set.
+///
+/// # Errors
+///
+/// Returns an error if a register variable ended up unassigned, which would
+/// indicate a violated assignment constraint (i.e. a solver bug).
+pub fn datapath(
+    formulation: &BistFormulation<'_>,
+    solution: &Solution,
+) -> Result<Datapath, CoreError> {
+    let assignment = register_assignment(formulation, solution);
+    let width = formulation.config.cost.width();
+    Ok(Datapath::from_register_assignment(
+        formulation.input,
+        &assignment,
+        width,
+    )?)
+}
+
+/// Reads the BIST register assignment (`s_{mrp}`, `t_{rmlp}`) out of a
+/// solution and assembles the k-test-session test plan, including dedicated
+/// generators for constant-only ports (Section 3.3.4).
+pub fn test_plan(formulation: &BistFormulation<'_>, solution: &Solution) -> TestPlan {
+    let k = formulation.num_sessions();
+    let num_modules = formulation.input.binding().num_modules();
+    let mut plan = TestPlan::with_sessions(k);
+
+    // Signature registers decide which sub-session tests each module.
+    let mut session_of_module = vec![0usize; num_modules];
+    for m in 0..num_modules {
+        'search: for p in 0..k {
+            for r in 0..formulation.num_registers() {
+                if let Some(s) = formulation.s_var(m, r, p) {
+                    if solution.is_one(s) {
+                        plan.sessions[p].modules.push(m);
+                        plan.sessions[p].sr.insert(m, r);
+                        session_of_module[m] = p;
+                        break 'search;
+                    }
+                }
+            }
+        }
+    }
+
+    // TPGs for register-fed ports.
+    for &(m, l) in formulation.register_fed_ports.iter() {
+        for p in 0..k {
+            for r in 0..formulation.num_registers() {
+                if let Some(t) = formulation.t_var(r, m, l, p) {
+                    if solution.is_one(t) {
+                        plan.sessions[p].tpg.insert((m, l), TpgSource::Register(r));
+                    }
+                }
+            }
+        }
+    }
+
+    // Constant-only ports get a dedicated generator in the module's session.
+    for &(m, l) in formulation.constant_only_ports() {
+        let p = session_of_module[m];
+        plan.sessions[p]
+            .tpg
+            .insert((m, l), TpgSource::ConstantGenerator);
+    }
+
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthesisConfig;
+    use bist_dfg::benchmarks;
+    use bist_ilp::SolverConfig;
+
+    #[test]
+    fn reference_solution_round_trips_into_a_datapath() {
+        let input = benchmarks::figure1();
+        let config = SynthesisConfig::default();
+        let mut f = BistFormulation::new(&input, &config).unwrap();
+        f.add_interconnect();
+        f.add_mux_sizing();
+        f.set_reference_objective();
+        let solution = f.model.solve(&SolverConfig::exact()).unwrap();
+        assert!(solution.is_optimal());
+        let assignment = register_assignment(&f, &solution);
+        assert!(assignment.is_valid(f.lifetimes()));
+        assert_eq!(assignment.num_registers(), 3);
+        let dp = datapath(&f, &solution).unwrap();
+        assert_eq!(dp.num_registers(), 3);
+        assert_eq!(dp.num_modules(), 2);
+    }
+
+    #[test]
+    fn bist_solution_round_trips_into_a_plan() {
+        let input = benchmarks::figure1();
+        let config = SynthesisConfig::default();
+        let mut f = BistFormulation::new(&input, &config).unwrap();
+        f.add_interconnect();
+        f.add_mux_sizing();
+        f.add_bist(2).unwrap();
+        f.set_bist_objective();
+        let solution = f.model.solve(&SolverConfig::exact()).unwrap();
+        assert!(solution.is_feasible());
+        let plan = test_plan(&f, &solution);
+        assert_eq!(plan.num_sessions(), 2);
+        // Both modules are tested exactly once.
+        let mut tested = plan.modules_tested();
+        tested.sort_unstable();
+        assert_eq!(tested, vec![0, 1]);
+        // Every register-fed port of a tested module has a TPG somewhere.
+        for &(m, l) in f.register_fed_ports.iter() {
+            let found = plan
+                .sessions
+                .iter()
+                .any(|s| s.tpg.contains_key(&(m, l)));
+            assert!(found, "port ({m},{l}) has no TPG");
+        }
+    }
+}

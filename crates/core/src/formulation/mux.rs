@@ -1,0 +1,156 @@
+//! Multiplexer assignment: Section 3.2 of the paper, Eqs. (4)–(5).
+//!
+//! The fan-in of a register input is the number of module outputs wired to it
+//! (Eq. (4)); the fan-in of a module input port is the number of registers
+//! wired to it plus its hard-wired constants (Eq. (5)). Because the Table
+//! 1(b) multiplexer cost is not linear in the fan-in, each fan-in is linked
+//! to a one-hot *size selector*: exactly one selector bit is on, the selected
+//! size equals the fan-in, and the objective charges the tabulated cost of
+//! that size. Fan-ins of 0 or 1 need no multiplexer and cost nothing.
+
+use bist_ilp::{LinExpr, VarId};
+
+use super::BistFormulation;
+
+/// Where a multiplexer size selector sits.
+#[derive(Debug, Clone, Copy)]
+enum MuxSite {
+    /// The input of a register.
+    Register(usize),
+    /// An input port of a module.
+    Port(usize, usize),
+}
+
+impl BistFormulation<'_> {
+    /// Adds the multiplexer size selectors for every register input and every
+    /// register-fed module port, and records their cost terms for the
+    /// objective.
+    pub fn add_mux_sizing(&mut self) {
+        let num_modules = self.input.binding().num_modules();
+
+        // Register inputs: fan-in = sum over modules of z_{mr}.
+        for r in 0..self.num_registers {
+            let fanin: LinExpr = (0..num_modules)
+                .map(|m| (self.z_out[&(m, r)], 1.0))
+                .collect();
+            let max_fanin = num_modules;
+            self.add_size_selector(MuxSite::Register(r), fanin, max_fanin, 0);
+        }
+
+        // Module input ports: fan-in = sum over registers of z_{rml} plus the
+        // number of distinct hard-wired constants on the port.
+        for &(m, l) in &self.register_fed_ports.clone() {
+            let fanin: LinExpr = (0..self.num_registers)
+                .map(|r| (self.z_in[&(r, m, l)], 1.0))
+                .collect();
+            let constants = self.constants_on_port.get(&(m, l)).copied().unwrap_or(0);
+            self.add_size_selector(
+                MuxSite::Port(m, l),
+                fanin,
+                self.num_registers + constants,
+                constants,
+            );
+        }
+    }
+
+    /// Adds a one-hot selector `sel_0 .. sel_max` with
+    /// `Σ sel_j = 1` and `Σ j·sel_j = fanin + offset`, and records
+    /// `cost(j)·sel_j` objective terms.
+    fn add_size_selector(
+        &mut self,
+        site: MuxSite,
+        fanin: LinExpr,
+        max_fanin: usize,
+        offset: usize,
+    ) {
+        let name = match site {
+            MuxSite::Register(r) => format!("regmux[R{r}]"),
+            MuxSite::Port(m, l) => format!("portmux[M{m},p{l}]"),
+        };
+        let mut one_hot = LinExpr::new();
+        let mut weighted = LinExpr::new();
+        let mut selectors: Vec<(usize, VarId)> = Vec::new();
+        for j in 0..=max_fanin {
+            let sel = self.model.add_binary(format!("{name}_is{j}"));
+            one_hot.add_term(sel, 1.0);
+            weighted.add_term(sel, j as f64);
+            selectors.push((j, sel));
+            match site {
+                MuxSite::Register(r) => {
+                    self.reg_mux_sel.insert((r, j), sel);
+                }
+                MuxSite::Port(m, l) => {
+                    self.port_mux_sel.insert((m, l, j), sel);
+                }
+            }
+        }
+        self.model.add_eq(one_hot, 1.0, format!("{name}_onehot"));
+        let mut link = weighted;
+        link -= fanin;
+        self.model
+            .add_eq(link, offset as f64, format!("{name}_size"));
+        for (j, sel) in selectors {
+            let cost = self.config.cost.mux_cost(j) as f64;
+            if cost > 0.0 {
+                self.mux_cost_terms.push((sel, cost));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthesisConfig;
+    use bist_dfg::benchmarks;
+
+    #[test]
+    fn selectors_cover_every_mux_site() {
+        let input = benchmarks::figure1();
+        let config = SynthesisConfig::default();
+        let mut f = BistFormulation::new(&input, &config).unwrap();
+        f.add_interconnect();
+        let before = f.model.num_vars();
+        f.add_mux_sizing();
+        // 3 register inputs with fan-in range 0..=2 (3 selectors each) and
+        // 4 register-fed ports with fan-in range 0..=3 (4 selectors each).
+        assert_eq!(f.model.num_vars() - before, 3 * 3 + 4 * 4);
+        assert!(!f.mux_cost_terms.is_empty());
+        // Cost terms only exist for fan-in >= 2.
+        for (_, cost) in &f.mux_cost_terms {
+            assert!(*cost >= 80.0);
+        }
+    }
+
+    #[test]
+    fn constant_offsets_enter_port_fanin() {
+        // One adder executes two operations; its right port sees a hard-wired
+        // constant from the first operation and a register from the second,
+        // so the port is register-fed *and* carries a constant offset of one.
+        use bist_dfg::{Binding, DfgBuilder, ModuleClass, OpKind, Schedule, SynthesisInput};
+        let mut b = DfgBuilder::new("mixed_port");
+        let a = b.input("a");
+        let c = b.input("c");
+        let d = b.input("d");
+        let k = b.constant("k5", 5);
+        let t1 = b.op(OpKind::Add, "t1", a, k);
+        let t2 = b.op(OpKind::Add, "t2", c, d);
+        let t3 = b.op(OpKind::Add, "t3", t1, t2);
+        b.output(t3);
+        let dfg = b.finish();
+        let schedule = Schedule::from_steps(vec![0, 1, 2]);
+        let binding = Binding::minimal(&dfg, &schedule, ModuleClass::of);
+        let input = SynthesisInput::new(dfg, schedule, binding).unwrap();
+
+        let config = SynthesisConfig::default();
+        let mut f = BistFormulation::new(&input, &config).unwrap();
+        f.add_interconnect();
+        f.add_mux_sizing();
+        let has_offset_row = f
+            .model
+            .constraints()
+            .iter()
+            .any(|c| c.name.contains("portmux") && c.name.ends_with("_size") && c.rhs > 0.0);
+        assert!(has_offset_row);
+    }
+}

@@ -1,0 +1,127 @@
+//! The objective function of Section 3.4: hardware area in transistors.
+//!
+//! The cost of each register is expressed incrementally on top of the plain
+//! system-register cost, which reproduces the Table 1(a) category costs
+//! exactly:
+//!
+//! ```text
+//! cost(r) = w_reg
+//!         + (w_tpg    − w_reg)                 · t_r
+//!         + (w_sr     − w_reg)                 · s_r
+//!         + (w_bilbo  − w_tpg − w_sr + w_reg)  · b_r
+//!         + (w_cbilbo − w_bilbo)               · c_r
+//! ```
+//!
+//! (plain 208, TPG-only 256, SR-only 304, BILBO 388, CBILBO 596 at 8 bits).
+//! Multiplexer costs come from the one-hot size selectors of Section 3.2, and
+//! each constant-only port contributes the large `w_tc` weight of Section
+//! 3.3.4 as a constant (the module binding is fixed, so it cannot be
+//! optimised away — the weight simply shows up in the objective value as the
+//! paper intends).
+
+use bist_datapath::TestRegisterKind;
+use bist_ilp::{LinExpr, Sense};
+
+use super::BistFormulation;
+
+impl BistFormulation<'_> {
+    /// Sets the objective of the reference (non-BIST) data path ILP: plain
+    /// register area (a constant, since the register count is fixed) plus
+    /// multiplexer area.
+    pub fn set_reference_objective(&mut self) {
+        let cost = &self.config.cost;
+        let mut objective = LinExpr::constant(
+            cost.register_cost(TestRegisterKind::Plain) as f64 * self.num_registers as f64,
+        );
+        for &(var, c) in &self.mux_cost_terms {
+            objective.add_term(var, c);
+        }
+        self.model.set_objective(objective, Sense::Minimize);
+    }
+
+    /// Sets the full ADVBIST objective (Section 3.4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if called before [`BistFormulation::add_bist`].
+    pub fn set_bist_objective(&mut self) {
+        assert!(
+            self.num_sessions > 0,
+            "add_bist must run before set_bist_objective"
+        );
+        let cost = &self.config.cost;
+        let w_reg = cost.register_cost(TestRegisterKind::Plain) as f64;
+        let w_tpg = cost.register_cost(TestRegisterKind::Tpg) as f64;
+        let w_sr = cost.register_cost(TestRegisterKind::Sr) as f64;
+        let w_bilbo = cost.register_cost(TestRegisterKind::Bilbo) as f64;
+        let w_cbilbo = cost.register_cost(TestRegisterKind::Cbilbo) as f64;
+
+        let mut objective = LinExpr::constant(
+            w_reg * self.num_registers as f64
+                + cost.constant_tpg_cost() as f64 * self.constant_only_ports.len() as f64,
+        );
+        for r in 0..self.num_registers {
+            objective.add_term(self.t_reg[r], w_tpg - w_reg);
+            objective.add_term(self.s_reg[r], w_sr - w_reg);
+            objective.add_term(self.b_reg[r], w_bilbo - w_tpg - w_sr + w_reg);
+            objective.add_term(self.c_reg[r], w_cbilbo - w_bilbo);
+        }
+        for &(var, c) in &self.mux_cost_terms {
+            objective.add_term(var, c);
+        }
+        self.model.set_objective(objective, Sense::Minimize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SynthesisConfig;
+    use bist_dfg::benchmarks;
+
+    #[test]
+    fn reference_objective_has_constant_register_area() {
+        let input = benchmarks::figure1();
+        let config = SynthesisConfig::default();
+        let mut f = BistFormulation::new(&input, &config).unwrap();
+        f.add_interconnect();
+        f.add_mux_sizing();
+        f.set_reference_objective();
+        assert_eq!(f.model.objective().offset(), 3.0 * 208.0);
+        assert!(!f.model.objective().is_empty());
+    }
+
+    #[test]
+    fn bist_objective_reproduces_table1_category_costs() {
+        let input = benchmarks::figure1();
+        let config = SynthesisConfig::default();
+        let mut f = BistFormulation::new(&input, &config).unwrap();
+        f.add_interconnect();
+        f.add_mux_sizing();
+        f.add_bist(2).unwrap();
+        f.set_bist_objective();
+        let obj = f.model.objective();
+        // Register 0 incremental weights.
+        assert_eq!(obj.coefficient(f.t_reg[0]), 48.0);
+        assert_eq!(obj.coefficient(f.s_reg[0]), 96.0);
+        assert_eq!(obj.coefficient(f.b_reg[0]), 388.0 - 256.0 - 304.0 + 208.0);
+        assert_eq!(obj.coefficient(f.c_reg[0]), 596.0 - 388.0);
+        // plain + TPG => 256, plain + SR => 304, BILBO => 388, CBILBO => 596.
+        let base = 208.0;
+        assert_eq!(base + 48.0, 256.0);
+        assert_eq!(base + 96.0, 304.0);
+        assert_eq!(base + 48.0 + 96.0 + 36.0, 388.0);
+        assert_eq!(base + 48.0 + 96.0 + 36.0 + 208.0, 596.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "add_bist must run")]
+    fn bist_objective_requires_bist_variables() {
+        let input = benchmarks::figure1();
+        let config = SynthesisConfig::default();
+        let mut f = BistFormulation::new(&input, &config).unwrap();
+        f.add_interconnect();
+        f.add_mux_sizing();
+        f.set_bist_objective();
+    }
+}

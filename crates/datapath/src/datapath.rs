@@ -1,0 +1,311 @@
+//! The synthesised data path: registers, modules and interconnect.
+
+use bist_dfg::allocate::RegisterAssignment;
+use bist_dfg::{ModuleClass, OpId, SynthesisInput, VarId};
+
+use crate::cost::{AreaBreakdown, CostModel};
+use crate::error::DatapathError;
+use crate::interconnect::{Interconnect, ModulePort};
+use crate::test_register::TestRegisterKind;
+
+/// A data path register and the DFG variables folded into it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatapathRegister {
+    /// Name, for reports (`R0`, `R1`, ...).
+    pub name: String,
+    /// Variables stored in this register over the schedule.
+    pub variables: Vec<VarId>,
+    /// BIST reconfiguration kind.
+    pub kind: TestRegisterKind,
+}
+
+/// A functional module instance of the data path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DatapathModule {
+    /// Name, for reports (`adder0`, `multiplier0`, ...).
+    pub name: String,
+    /// Class of the module.
+    pub class: ModuleClass,
+    /// Operations executed on this module.
+    pub ops: Vec<OpId>,
+    /// Number of input ports.
+    pub num_inputs: usize,
+}
+
+/// A complete register-transfer-level data path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Datapath {
+    name: String,
+    registers: Vec<DatapathRegister>,
+    modules: Vec<DatapathModule>,
+    interconnect: Interconnect,
+    register_of_var: Vec<Option<usize>>,
+    width: u32,
+}
+
+impl Datapath {
+    /// Builds a data path from a scheduled DFG and a register assignment.
+    ///
+    /// Modules come from the DFG's binding, registers from the assignment,
+    /// and the interconnect contains exactly the wires the DFG edges require:
+    /// a register→port wire for every input edge, a hard-wired constant for
+    /// every constant operand and a module→register wire for every output
+    /// edge. All registers start as [`TestRegisterKind::Plain`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatapathError::UnassignedVariable`] if a non-constant
+    /// variable has no register, or [`DatapathError::IndexOutOfRange`] if the
+    /// assignment references a register index beyond its own count.
+    pub fn from_register_assignment(
+        input: &SynthesisInput,
+        assignment: &RegisterAssignment,
+        width: u32,
+    ) -> Result<Self, DatapathError> {
+        let dfg = input.dfg();
+        let num_registers = assignment.num_registers();
+
+        let mut register_of_var = vec![None; dfg.num_vars()];
+        for v in dfg.register_variables() {
+            match assignment.register_of(v) {
+                Some(r) if r < num_registers => register_of_var[v.index()] = Some(r),
+                Some(r) => {
+                    return Err(DatapathError::IndexOutOfRange {
+                        what: "register",
+                        index: r,
+                    })
+                }
+                None => {
+                    return Err(DatapathError::UnassignedVariable {
+                        variable: dfg.var(v).name.clone(),
+                    })
+                }
+            }
+        }
+
+        let registers: Vec<DatapathRegister> = (0..num_registers)
+            .map(|r| DatapathRegister {
+                name: format!("R{r}"),
+                variables: assignment.vars_in_register(r),
+                kind: TestRegisterKind::Plain,
+            })
+            .collect();
+
+        let modules: Vec<DatapathModule> = input
+            .binding()
+            .module_ids()
+            .map(|m| {
+                let info = input.binding().module(m);
+                DatapathModule {
+                    name: info.name.clone(),
+                    class: info.class,
+                    ops: input.ops_on_module(m),
+                    num_inputs: info.num_inputs,
+                }
+            })
+            .collect();
+
+        let mut interconnect = Interconnect::new();
+        for (v, o, port) in dfg.input_edges() {
+            let register = register_of_var[v.index()].expect("register variable assigned");
+            let module = input.module_of(o).index();
+            interconnect.add_register_to_port(register, ModulePort { module, port });
+        }
+        for (v, o, port) in dfg.constant_edges() {
+            let module = input.module_of(o).index();
+            if let bist_dfg::VarSource::Constant(value) = dfg.var(v).source {
+                interconnect.add_constant_to_port(value, ModulePort { module, port });
+            }
+        }
+        for (o, v) in dfg.output_edges() {
+            let register = register_of_var[v.index()].expect("register variable assigned");
+            let module = input.module_of(o).index();
+            interconnect.add_module_to_register(module, register);
+        }
+
+        Ok(Self {
+            name: input.name().to_string(),
+            registers,
+            modules,
+            interconnect,
+            register_of_var,
+            width,
+        })
+    }
+
+    /// The circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Data path bit width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The registers.
+    pub fn registers(&self) -> &[DatapathRegister] {
+        &self.registers
+    }
+
+    /// The functional modules.
+    pub fn modules(&self) -> &[DatapathModule] {
+        &self.modules
+    }
+
+    /// The interconnect.
+    pub fn interconnect(&self) -> &Interconnect {
+        &self.interconnect
+    }
+
+    /// Mutable access to the interconnect (used by synthesis methods that add
+    /// wires beyond the strictly required ones, e.g. when sharing muxes).
+    pub fn interconnect_mut(&mut self) -> &mut Interconnect {
+        &mut self.interconnect
+    }
+
+    /// Number of registers.
+    pub fn num_registers(&self) -> usize {
+        self.registers.len()
+    }
+
+    /// Number of modules.
+    pub fn num_modules(&self) -> usize {
+        self.modules.len()
+    }
+
+    /// The register holding a variable (`None` for constants).
+    pub fn register_of_var(&self, var: VarId) -> Option<usize> {
+        self.register_of_var.get(var.index()).copied().flatten()
+    }
+
+    /// Sets the BIST reconfiguration kind of a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `register` is out of range.
+    pub fn set_register_kind(&mut self, register: usize, kind: TestRegisterKind) {
+        self.registers[register].kind = kind;
+    }
+
+    /// The BIST reconfiguration kind of a register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `register` is out of range.
+    pub fn register_kind(&self, register: usize) -> TestRegisterKind {
+        self.registers[register].kind
+    }
+
+    /// Number of input ports of each module, in module order.
+    pub fn module_port_counts(&self) -> Vec<usize> {
+        self.modules.iter().map(|m| m.num_inputs).collect()
+    }
+
+    /// Computes the area breakdown (registers + multiplexers) under a cost
+    /// model, the quantity minimised by the paper's objective function.
+    pub fn area(&self, cost: &CostModel) -> AreaBreakdown {
+        let mut breakdown = AreaBreakdown::default();
+        for reg in &self.registers {
+            let idx = match reg.kind {
+                TestRegisterKind::Plain => 0,
+                TestRegisterKind::Tpg => 1,
+                TestRegisterKind::Sr => 2,
+                TestRegisterKind::Bilbo => 3,
+                TestRegisterKind::Cbilbo => 4,
+            };
+            breakdown.register_counts[idx] += 1;
+            breakdown.register_area += cost.register_cost(reg.kind);
+        }
+        let fanins = self
+            .interconnect
+            .mux_fanins(self.num_registers(), &self.module_port_counts());
+        for &fanin in &fanins {
+            breakdown.mux_inputs += fanin;
+            breakdown.mux_area += cost.mux_cost(fanin);
+            if breakdown.mux_histogram.len() <= fanin {
+                breakdown.mux_histogram.resize(fanin + 1, 0);
+            }
+            breakdown.mux_histogram[fanin] += 1;
+        }
+        breakdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_dfg::allocate::left_edge;
+    use bist_dfg::benchmarks;
+    use bist_dfg::lifetime::LifetimeTable;
+
+    fn figure1_datapath() -> (bist_dfg::SynthesisInput, Datapath) {
+        let input = benchmarks::figure1();
+        let table = LifetimeTable::new(&input).unwrap();
+        let assignment = left_edge(&table);
+        let dp = Datapath::from_register_assignment(&input, &assignment, 8).unwrap();
+        (input, dp)
+    }
+
+    #[test]
+    fn figure1_structure() {
+        let (input, dp) = figure1_datapath();
+        assert_eq!(dp.num_registers(), 3);
+        assert_eq!(dp.num_modules(), 2);
+        assert_eq!(dp.name(), "figure1");
+        assert_eq!(dp.width(), 8);
+        // Every non-constant variable is mapped to a register.
+        for v in input.dfg().register_variables() {
+            assert!(dp.register_of_var(v).is_some());
+        }
+        // Every DFG edge has a corresponding wire.
+        for (v, o, port) in input.dfg().input_edges() {
+            let r = dp.register_of_var(v).unwrap();
+            let m = input.module_of(o).index();
+            assert!(dp
+                .interconnect()
+                .has_register_to_port(r, ModulePort { module: m, port }));
+        }
+        for (o, v) in input.dfg().output_edges() {
+            let r = dp.register_of_var(v).unwrap();
+            let m = input.module_of(o).index();
+            assert!(dp.interconnect().has_module_to_register(m, r));
+        }
+    }
+
+    #[test]
+    fn area_of_plain_datapath_counts_only_plain_registers() {
+        let (_, dp) = figure1_datapath();
+        let cost = CostModel::eight_bit();
+        let area = dp.area(&cost);
+        assert_eq!(area.total_registers(), 3);
+        assert_eq!(area.count(TestRegisterKind::Plain), 3);
+        assert_eq!(area.register_area, 3 * 208);
+        assert!(area.total() >= area.register_area);
+    }
+
+    #[test]
+    fn setting_register_kinds_changes_area() {
+        let (_, mut dp) = figure1_datapath();
+        let cost = CostModel::eight_bit();
+        let before = dp.area(&cost).total();
+        dp.set_register_kind(0, TestRegisterKind::Bilbo);
+        dp.set_register_kind(1, TestRegisterKind::Tpg);
+        assert_eq!(dp.register_kind(0), TestRegisterKind::Bilbo);
+        let after = dp.area(&cost).total();
+        assert_eq!(after, before + 180 + 48);
+    }
+
+    #[test]
+    fn all_benchmarks_produce_consistent_datapaths() {
+        for (name, input) in benchmarks::all() {
+            let table = LifetimeTable::new(&input).unwrap();
+            let assignment = left_edge(&table);
+            let dp = Datapath::from_register_assignment(&input, &assignment, 8).unwrap();
+            assert_eq!(dp.num_registers(), table.min_registers(), "{name}");
+            assert_eq!(dp.num_modules(), input.binding().num_modules(), "{name}");
+            let area = dp.area(&CostModel::eight_bit());
+            assert!(area.total() > 0, "{name}");
+        }
+    }
+}

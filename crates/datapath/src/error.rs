@@ -1,0 +1,138 @@
+//! Error type for data path construction and BIST validation.
+
+use std::fmt;
+
+/// Errors raised when a data path or test plan is structurally unsound.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatapathError {
+    /// A variable was not assigned to any register.
+    UnassignedVariable {
+        /// Variable name.
+        variable: String,
+    },
+    /// Two incompatible variables share a register.
+    RegisterConflict {
+        /// Register index.
+        register: usize,
+    },
+    /// A required register→module or module→register connection is missing.
+    MissingConnection {
+        /// Human readable description of the missing wire.
+        description: String,
+    },
+    /// A module is never tested, or is tested more than once.
+    ModuleTestCount {
+        /// Module index.
+        module: usize,
+        /// Number of times the plan tests it.
+        count: usize,
+    },
+    /// A test resource assignment uses a connection that does not exist in
+    /// the data path (the "no extra test paths" rule).
+    TestPathNotInDatapath {
+        /// Description of the offending assignment.
+        description: String,
+    },
+    /// A register's reconfiguration kind cannot support how the plan uses it.
+    WrongTestRegisterKind {
+        /// Register index.
+        register: usize,
+        /// What the plan needs.
+        needed: &'static str,
+    },
+    /// A signature register is shared by two modules in the same sub-session.
+    SharedSignatureRegister {
+        /// Register index.
+        register: usize,
+        /// Sub-test session index.
+        session: usize,
+    },
+    /// One register drives both input ports of a module under test.
+    SharedTpg {
+        /// Register index.
+        register: usize,
+        /// Module index.
+        module: usize,
+    },
+    /// The TPGs and signature register of a module are not all active in the
+    /// same sub-test session.
+    SessionMismatch {
+        /// Module index.
+        module: usize,
+    },
+    /// An index was out of range.
+    IndexOutOfRange {
+        /// What kind of entity the index referred to.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+    },
+}
+
+impl fmt::Display for DatapathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatapathError::UnassignedVariable { variable } => {
+                write!(f, "variable {variable} is not assigned to a register")
+            }
+            DatapathError::RegisterConflict { register } => {
+                write!(f, "register {register} holds two overlapping variables")
+            }
+            DatapathError::MissingConnection { description } => {
+                write!(f, "missing interconnection: {description}")
+            }
+            DatapathError::ModuleTestCount { module, count } => {
+                write!(f, "module {module} is tested {count} times (expected exactly once)")
+            }
+            DatapathError::TestPathNotInDatapath { description } => {
+                write!(f, "test assignment needs a path absent from the data path: {description}")
+            }
+            DatapathError::WrongTestRegisterKind { register, needed } => {
+                write!(f, "register {register} is not reconfigurable as {needed}")
+            }
+            DatapathError::SharedSignatureRegister { register, session } => write!(
+                f,
+                "register {register} is the signature register of two modules in sub-session {session}"
+            ),
+            DatapathError::SharedTpg { register, module } => write!(
+                f,
+                "register {register} feeds both input ports of module {module} under test"
+            ),
+            DatapathError::SessionMismatch { module } => write!(
+                f,
+                "test resources of module {module} are not active in a single sub-session"
+            ),
+            DatapathError::IndexOutOfRange { what, index } => {
+                write!(f, "{what} index {index} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DatapathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = DatapathError::SharedTpg {
+            register: 1,
+            module: 4,
+        };
+        assert!(e.to_string().contains("register 1"));
+        assert!(e.to_string().contains("module 4"));
+        let e = DatapathError::ModuleTestCount {
+            module: 2,
+            count: 0,
+        };
+        assert!(e.to_string().contains("0 times"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DatapathError>();
+    }
+}

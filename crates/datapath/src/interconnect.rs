@@ -1,0 +1,210 @@
+//! Register ↔ module interconnect and multiplexer accounting.
+
+use std::collections::BTreeSet;
+
+/// An input port of a functional module, identified by module index and port
+/// number (0 = leftmost, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModulePort {
+    /// Module index within the data path.
+    pub module: usize,
+    /// Input port number.
+    pub port: usize,
+}
+
+/// The wiring of a data path: which registers drive which module ports,
+/// which module outputs drive which registers, and which ports are fed by
+/// hard-wired constants.
+///
+/// Multiplexer sizes follow directly: the fan-in of a register input is the
+/// number of module outputs wired to it, the fan-in of a module port is the
+/// number of registers plus distinct constants wired to it, and a
+/// multiplexer is needed wherever the fan-in is at least two (Eqs. (4)–(5)
+/// of the paper).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Interconnect {
+    reg_to_port: BTreeSet<(usize, usize, usize)>,
+    module_to_reg: BTreeSet<(usize, usize)>,
+    constant_to_port: BTreeSet<(i64, usize, usize)>,
+}
+
+impl Interconnect {
+    /// Creates an empty interconnect.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a wire from register `register` to input `port`.
+    pub fn add_register_to_port(&mut self, register: usize, port: ModulePort) {
+        self.reg_to_port.insert((register, port.module, port.port));
+    }
+
+    /// Adds a wire from the output of `module` to the input of `register`.
+    pub fn add_module_to_register(&mut self, module: usize, register: usize) {
+        self.module_to_reg.insert((module, register));
+    }
+
+    /// Adds a hard-wired constant value feeding an input port.
+    pub fn add_constant_to_port(&mut self, value: i64, port: ModulePort) {
+        self.constant_to_port.insert((value, port.module, port.port));
+    }
+
+    /// Whether register `register` drives input `port`.
+    pub fn has_register_to_port(&self, register: usize, port: ModulePort) -> bool {
+        self.reg_to_port
+            .contains(&(register, port.module, port.port))
+    }
+
+    /// Whether the output of `module` drives `register`.
+    pub fn has_module_to_register(&self, module: usize, register: usize) -> bool {
+        self.module_to_reg.contains(&(module, register))
+    }
+
+    /// Registers wired to an input port.
+    pub fn registers_driving_port(&self, port: ModulePort) -> Vec<usize> {
+        self.reg_to_port
+            .iter()
+            .filter(|&&(_, m, p)| m == port.module && p == port.port)
+            .map(|&(r, _, _)| r)
+            .collect()
+    }
+
+    /// Distinct constant values wired to an input port.
+    pub fn constants_driving_port(&self, port: ModulePort) -> Vec<i64> {
+        self.constant_to_port
+            .iter()
+            .filter(|&&(_, m, p)| m == port.module && p == port.port)
+            .map(|&(v, _, _)| v)
+            .collect()
+    }
+
+    /// Modules whose output is wired to a register input.
+    pub fn modules_driving_register(&self, register: usize) -> Vec<usize> {
+        self.module_to_reg
+            .iter()
+            .filter(|&&(_, r)| r == register)
+            .map(|&(m, _)| m)
+            .collect()
+    }
+
+    /// Registers driven by a module output.
+    pub fn registers_driven_by_module(&self, module: usize) -> Vec<usize> {
+        self.module_to_reg
+            .iter()
+            .filter(|&&(m, _)| m == module)
+            .map(|&(_, r)| r)
+            .collect()
+    }
+
+    /// Ports driven by a register.
+    pub fn ports_driven_by_register(&self, register: usize) -> Vec<ModulePort> {
+        self.reg_to_port
+            .iter()
+            .filter(|&&(r, _, _)| r == register)
+            .map(|&(_, module, port)| ModulePort { module, port })
+            .collect()
+    }
+
+    /// Fan-in of a register input (the integer `m_r` of Eq. (4)).
+    pub fn register_fanin(&self, register: usize) -> usize {
+        self.modules_driving_register(register).len()
+    }
+
+    /// Fan-in of a module input port (the integer `m_{ml}` of Eq. (5)),
+    /// counting registers and distinct constants.
+    pub fn port_fanin(&self, port: ModulePort) -> usize {
+        self.registers_driving_port(port).len() + self.constants_driving_port(port).len()
+    }
+
+    /// Number of register→port wires.
+    pub fn num_register_port_wires(&self) -> usize {
+        self.reg_to_port.len()
+    }
+
+    /// Number of module→register wires.
+    pub fn num_module_register_wires(&self) -> usize {
+        self.module_to_reg.len()
+    }
+
+    /// All multiplexer fan-ins of the data path: one entry per register input
+    /// and module port whose fan-in is at least two.
+    pub fn mux_fanins(&self, num_registers: usize, module_ports: &[usize]) -> Vec<usize> {
+        let mut fanins = Vec::new();
+        for r in 0..num_registers {
+            let f = self.register_fanin(r);
+            if f >= 2 {
+                fanins.push(f);
+            }
+        }
+        for (module, &ports) in module_ports.iter().enumerate() {
+            for port in 0..ports {
+                let f = self.port_fanin(ModulePort { module, port });
+                if f >= 2 {
+                    fanins.push(f);
+                }
+            }
+        }
+        fanins
+    }
+
+    /// Total number of multiplexer inputs (the `M` column of Table 3).
+    pub fn total_mux_inputs(&self, num_registers: usize, module_ports: &[usize]) -> usize {
+        self.mux_fanins(num_registers, module_ports).iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Interconnect {
+        // Two registers, two modules with two ports each.
+        let mut ic = Interconnect::new();
+        ic.add_register_to_port(0, ModulePort { module: 0, port: 0 });
+        ic.add_register_to_port(1, ModulePort { module: 0, port: 1 });
+        ic.add_register_to_port(0, ModulePort { module: 1, port: 0 });
+        ic.add_register_to_port(1, ModulePort { module: 1, port: 0 });
+        ic.add_constant_to_port(5, ModulePort { module: 1, port: 1 });
+        ic.add_module_to_register(0, 0);
+        ic.add_module_to_register(1, 0);
+        ic.add_module_to_register(1, 1);
+        ic
+    }
+
+    #[test]
+    fn wire_queries() {
+        let ic = sample();
+        assert!(ic.has_register_to_port(0, ModulePort { module: 0, port: 0 }));
+        assert!(!ic.has_register_to_port(1, ModulePort { module: 0, port: 0 }));
+        assert!(ic.has_module_to_register(1, 1));
+        assert_eq!(ic.registers_driving_port(ModulePort { module: 1, port: 0 }), vec![0, 1]);
+        assert_eq!(ic.constants_driving_port(ModulePort { module: 1, port: 1 }), vec![5]);
+        assert_eq!(ic.modules_driving_register(0), vec![0, 1]);
+        assert_eq!(ic.registers_driven_by_module(1), vec![0, 1]);
+        assert_eq!(ic.ports_driven_by_register(1).len(), 2);
+        assert_eq!(ic.num_register_port_wires(), 4);
+        assert_eq!(ic.num_module_register_wires(), 3);
+    }
+
+    #[test]
+    fn fanin_and_mux_accounting() {
+        let ic = sample();
+        // Register 0 is driven by both modules, register 1 by one.
+        assert_eq!(ic.register_fanin(0), 2);
+        assert_eq!(ic.register_fanin(1), 1);
+        // Module 1 port 0 has two register sources; port 1 a single constant.
+        assert_eq!(ic.port_fanin(ModulePort { module: 1, port: 0 }), 2);
+        assert_eq!(ic.port_fanin(ModulePort { module: 1, port: 1 }), 1);
+        let fanins = ic.mux_fanins(2, &[2, 2]);
+        assert_eq!(fanins, vec![2, 2]);
+        assert_eq!(ic.total_mux_inputs(2, &[2, 2]), 4);
+    }
+
+    #[test]
+    fn duplicate_wires_are_idempotent() {
+        let mut ic = Interconnect::new();
+        ic.add_module_to_register(0, 0);
+        ic.add_module_to_register(0, 0);
+        assert_eq!(ic.register_fanin(0), 1);
+    }
+}

@@ -1,0 +1,46 @@
+//! # bist-datapath — RTL data path and BIST structure model
+//!
+//! This crate models the *output* side of high-level BIST synthesis for the
+//! DAC'99 ADVBIST reproduction: registers, functional modules, the
+//! register↔module interconnect with its multiplexers, the four kinds of
+//! reconfigurable test registers (TPG, signature register, BILBO, CBILBO),
+//! the transistor cost model of the paper's Table 1, the k-test-session test
+//! plan, and a structural validator that checks a (data path, test plan) pair
+//! against the BIST rules of Section 2.2 / 3.3 of the paper.
+//!
+//! The synthesis algorithms themselves live in `bist-core` (the ILP method)
+//! and `bist-baselines` (the heuristic comparison methods); both produce the
+//! [`Datapath`] + [`TestPlan`] structures defined here, so a single
+//! validator and a single area report serve every method — exactly what the
+//! paper's Table 3 comparison needs.
+//!
+//! ```
+//! use bist_datapath::cost::CostModel;
+//! use bist_datapath::test_register::TestRegisterKind;
+//!
+//! let cost = CostModel::eight_bit();
+//! // Table 1(a) of the paper.
+//! assert_eq!(cost.register_cost(TestRegisterKind::Plain), 208);
+//! assert_eq!(cost.register_cost(TestRegisterKind::Cbilbo), 596);
+//! // Table 1(b): a 4-input multiplexer costs 208 transistors.
+//! assert_eq!(cost.mux_cost(4), 208);
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod datapath;
+pub mod error;
+pub mod interconnect;
+pub mod report;
+pub mod test_plan;
+pub mod test_register;
+pub mod validate;
+
+pub use cost::{AreaBreakdown, CostModel};
+pub use datapath::{Datapath, DatapathModule, DatapathRegister};
+pub use error::DatapathError;
+pub use interconnect::{Interconnect, ModulePort};
+pub use report::DesignReport;
+pub use test_plan::{TestPlan, TestSession, TpgSource};
+pub use test_register::TestRegisterKind;

@@ -1,0 +1,122 @@
+//! Per-design reports in the format of the paper's Table 3.
+
+use std::fmt;
+
+use crate::cost::AreaBreakdown;
+use crate::test_register::TestRegisterKind;
+
+/// Everything Table 3 of the paper reports about one synthesised BIST design:
+/// register counts by kind, multiplexer inputs, total area and area overhead
+/// against the non-BIST reference circuit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignReport {
+    /// Synthesis method name (`Ref.`, `ADVBIST`, `ADVAN`, `RALLOC`, `BITS`).
+    pub method: String,
+    /// Circuit name (`tseng`, `paulin`, ...).
+    pub circuit: String,
+    /// Number of sub-test sessions of the design (`k`).
+    pub test_sessions: usize,
+    /// Area breakdown of the design.
+    pub breakdown: AreaBreakdown,
+    /// Area of the non-BIST reference circuit (transistors).
+    pub reference_area: u64,
+}
+
+impl DesignReport {
+    /// Area overhead in percent against the reference circuit (the `OH`
+    /// column of Table 3).
+    pub fn overhead_percent(&self) -> f64 {
+        self.breakdown.overhead_percent(self.reference_area)
+    }
+
+    /// Total number of registers (column `R`).
+    pub fn registers(&self) -> usize {
+        self.breakdown.total_registers()
+    }
+
+    /// Column values `(R, T, S, B, C, M, Area)` of Table 3.
+    pub fn table3_columns(&self) -> (usize, usize, usize, usize, usize, usize, u64) {
+        (
+            self.registers(),
+            self.breakdown.count(TestRegisterKind::Tpg),
+            self.breakdown.count(TestRegisterKind::Sr),
+            self.breakdown.count(TestRegisterKind::Bilbo),
+            self.breakdown.count(TestRegisterKind::Cbilbo),
+            self.breakdown.mux_inputs,
+            self.breakdown.total(),
+        )
+    }
+
+    /// A single formatted row in the layout of Table 3.
+    pub fn table3_row(&self) -> String {
+        let (r, t, s, b, c, m, area) = self.table3_columns();
+        format!(
+            "{:<10} {:<9} {:>2} {:>2} {:>2} {:>2} {:>2} {:>3} {:>6} {:>7.1}",
+            self.circuit,
+            self.method,
+            r,
+            t,
+            s,
+            b,
+            c,
+            m,
+            area,
+            self.overhead_percent()
+        )
+    }
+
+    /// The header matching [`DesignReport::table3_row`].
+    pub fn table3_header() -> String {
+        format!(
+            "{:<10} {:<9} {:>2} {:>2} {:>2} {:>2} {:>2} {:>3} {:>6} {:>7}",
+            "Ckt", "Method", "R", "T", "S", "B", "C", "M", "Area", "OH(%)"
+        )
+    }
+}
+
+impl fmt::Display for DesignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.table3_row())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> DesignReport {
+        DesignReport {
+            method: "ADVBIST".into(),
+            circuit: "tseng".into(),
+            test_sessions: 3,
+            breakdown: AreaBreakdown {
+                register_counts: [0, 2, 1, 2, 0],
+                register_area: 2 * 256 + 304 + 2 * 388,
+                mux_inputs: 14,
+                mux_area: 560,
+                mux_histogram: vec![0, 0, 7],
+            },
+            reference_area: 1600,
+        }
+    }
+
+    #[test]
+    fn columns_and_overhead() {
+        let report = sample();
+        let (r, t, s, b, c, m, area) = report.table3_columns();
+        assert_eq!((r, t, s, b, c, m), (5, 2, 1, 2, 0, 14));
+        assert_eq!(area, report.breakdown.total());
+        assert!(report.overhead_percent() > 0.0);
+    }
+
+    #[test]
+    fn row_and_header_align() {
+        let report = sample();
+        let header = DesignReport::table3_header();
+        let row = report.table3_row();
+        assert!(header.contains("Area"));
+        assert!(row.contains("tseng"));
+        assert!(row.contains("ADVBIST"));
+        assert_eq!(report.to_string(), row);
+    }
+}

@@ -1,0 +1,212 @@
+//! Test plans: which modules are tested in which sub-test session, and with
+//! which test resources.
+//!
+//! A *k-test session* (Section 3.3) partitions the modules into `k`
+//! sub-test sessions; within a sub-test session every module under test has a
+//! TPG on each input port and a signature register on its output, all active
+//! simultaneously.
+
+use std::collections::BTreeMap;
+
+use crate::test_register::TestRegisterKind;
+
+/// Where the random patterns for one module input port come from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum TpgSource {
+    /// An existing data path register reconfigured as a TPG.
+    Register(usize),
+    /// A dedicated pattern generator added for a constant-only port
+    /// (Section 3.3.4; heavily penalised by the objective).
+    ConstantGenerator,
+}
+
+/// One sub-test session: the modules tested concurrently and their resources.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TestSession {
+    /// Modules under test in this sub-session.
+    pub modules: Vec<usize>,
+    /// TPG source for every `(module, input port)` of the modules under test.
+    pub tpg: BTreeMap<(usize, usize), TpgSource>,
+    /// Signature register for every module under test.
+    pub sr: BTreeMap<usize, usize>,
+}
+
+impl TestSession {
+    /// Creates an empty sub-test session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers used as TPGs in this sub-session.
+    pub fn tpg_registers(&self) -> Vec<usize> {
+        self.tpg
+            .values()
+            .filter_map(|source| match source {
+                TpgSource::Register(r) => Some(*r),
+                TpgSource::ConstantGenerator => None,
+            })
+            .collect()
+    }
+
+    /// Registers used as signature registers in this sub-session.
+    pub fn sr_registers(&self) -> Vec<usize> {
+        self.sr.values().copied().collect()
+    }
+
+    /// Number of dedicated constant-port generators in this sub-session.
+    pub fn num_constant_generators(&self) -> usize {
+        self.tpg
+            .values()
+            .filter(|s| matches!(s, TpgSource::ConstantGenerator))
+            .count()
+    }
+}
+
+/// A complete k-test-session plan.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TestPlan {
+    /// The sub-test sessions, in execution order.
+    pub sessions: Vec<TestSession>,
+}
+
+impl TestPlan {
+    /// Creates a plan with `k` empty sub-test sessions.
+    pub fn with_sessions(k: usize) -> Self {
+        Self {
+            sessions: vec![TestSession::new(); k],
+        }
+    }
+
+    /// Number of sub-test sessions (the `k` of a k-test session).
+    pub fn num_sessions(&self) -> usize {
+        self.sessions.len()
+    }
+
+    /// All modules tested anywhere in the plan (with repetition, for the
+    /// validator to detect double-testing).
+    pub fn modules_tested(&self) -> Vec<usize> {
+        self.sessions
+            .iter()
+            .flat_map(|s| s.modules.iter().copied())
+            .collect()
+    }
+
+    /// The sub-session index in which a module is tested, if any.
+    pub fn session_of_module(&self, module: usize) -> Option<usize> {
+        self.sessions
+            .iter()
+            .position(|s| s.modules.contains(&module))
+    }
+
+    /// Sub-sessions in which a register acts as a TPG.
+    pub fn tpg_sessions(&self, register: usize) -> Vec<usize> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.tpg_registers().contains(&register))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Sub-sessions in which a register acts as a signature register.
+    pub fn sr_sessions(&self, register: usize) -> Vec<usize> {
+        self.sessions
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.sr_registers().contains(&register))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The minimal reconfiguration kind a register needs to play all the
+    /// roles this plan gives it (Section 3.3.3).
+    pub fn required_kind(&self, register: usize) -> TestRegisterKind {
+        let tpg = self.tpg_sessions(register);
+        let sr = self.sr_sessions(register);
+        let concurrent = tpg.iter().any(|p| sr.contains(p));
+        TestRegisterKind::required(!tpg.is_empty(), !sr.is_empty(), concurrent)
+    }
+
+    /// Total number of dedicated constant-port generators over all sessions.
+    pub fn num_constant_generators(&self) -> usize {
+        self.sessions
+            .iter()
+            .map(|s| s.num_constant_generators())
+            .sum()
+    }
+
+    /// Applies [`TestPlan::required_kind`] to every register of a data path.
+    pub fn apply_register_kinds(&self, datapath: &mut crate::datapath::Datapath) {
+        for r in 0..datapath.num_registers() {
+            datapath.set_register_kind(r, self.required_kind(r));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two modules, three registers: module 0 tested in session 0 with TPGs
+    /// R0/R1 and SR R2; module 1 tested in session 1 with TPGs R2/R0, SR R1.
+    fn sample_plan() -> TestPlan {
+        let mut plan = TestPlan::with_sessions(2);
+        plan.sessions[0].modules.push(0);
+        plan.sessions[0].tpg.insert((0, 0), TpgSource::Register(0));
+        plan.sessions[0].tpg.insert((0, 1), TpgSource::Register(1));
+        plan.sessions[0].sr.insert(0, 2);
+        plan.sessions[1].modules.push(1);
+        plan.sessions[1].tpg.insert((1, 0), TpgSource::Register(2));
+        plan.sessions[1].tpg.insert((1, 1), TpgSource::Register(0));
+        plan.sessions[1].sr.insert(1, 1);
+        plan
+    }
+
+    #[test]
+    fn role_queries() {
+        let plan = sample_plan();
+        assert_eq!(plan.num_sessions(), 2);
+        assert_eq!(plan.modules_tested(), vec![0, 1]);
+        assert_eq!(plan.session_of_module(1), Some(1));
+        assert_eq!(plan.session_of_module(7), None);
+        assert_eq!(plan.tpg_sessions(0), vec![0, 1]);
+        assert_eq!(plan.sr_sessions(2), vec![0]);
+        assert_eq!(plan.num_constant_generators(), 0);
+    }
+
+    #[test]
+    fn required_kinds() {
+        let plan = sample_plan();
+        // R0: TPG in both sessions, never SR => TPG.
+        assert_eq!(plan.required_kind(0), TestRegisterKind::Tpg);
+        // R1: TPG in session 0, SR in session 1 => BILBO.
+        assert_eq!(plan.required_kind(1), TestRegisterKind::Bilbo);
+        // R2: SR in session 0, TPG in session 1 => BILBO.
+        assert_eq!(plan.required_kind(2), TestRegisterKind::Bilbo);
+    }
+
+    #[test]
+    fn concurrent_use_requires_cbilbo() {
+        let mut plan = TestPlan::with_sessions(1);
+        plan.sessions[0].modules.push(0);
+        plan.sessions[0].tpg.insert((0, 0), TpgSource::Register(0));
+        plan.sessions[0].tpg.insert((0, 1), TpgSource::Register(1));
+        plan.sessions[0].sr.insert(0, 0); // register 0 is TPG and SR at once
+        assert_eq!(plan.required_kind(0), TestRegisterKind::Cbilbo);
+        assert_eq!(plan.required_kind(1), TestRegisterKind::Tpg);
+        assert_eq!(plan.required_kind(2), TestRegisterKind::Plain);
+    }
+
+    #[test]
+    fn constant_generators_are_counted() {
+        let mut plan = TestPlan::with_sessions(1);
+        plan.sessions[0].modules.push(0);
+        plan.sessions[0]
+            .tpg
+            .insert((0, 0), TpgSource::ConstantGenerator);
+        plan.sessions[0].tpg.insert((0, 1), TpgSource::Register(1));
+        plan.sessions[0].sr.insert(0, 2);
+        assert_eq!(plan.num_constant_generators(), 1);
+        assert_eq!(plan.sessions[0].tpg_registers(), vec![1]);
+    }
+}

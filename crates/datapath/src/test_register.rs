@@ -1,0 +1,151 @@
+//! The four reconfigurable test register kinds of parallel BIST.
+//!
+//! Section 2.2 of the paper: a system register may be reconfigured into a
+//! test pattern generator (TPG), a multiple-input signature register (SR), a
+//! built-in logic block observer (BILBO, usable as TPG *or* SR but not both
+//! at once) or a concurrent BILBO (CBILBO, usable as TPG *and* SR in the same
+//! sub-test session, at roughly twice the flip-flop cost).
+
+use std::fmt;
+
+/// Reconfiguration kind of a data path register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum TestRegisterKind {
+    /// Plain system register (no test function).
+    #[default]
+    Plain,
+    /// Test pattern generator only.
+    Tpg,
+    /// Signature register only.
+    Sr,
+    /// BILBO: TPG or SR, in different sub-test sessions.
+    Bilbo,
+    /// Concurrent BILBO: TPG and SR in the same sub-test session.
+    Cbilbo,
+}
+
+impl TestRegisterKind {
+    /// Whether the register can act as a test pattern generator.
+    pub fn can_generate(self) -> bool {
+        matches!(
+            self,
+            TestRegisterKind::Tpg | TestRegisterKind::Bilbo | TestRegisterKind::Cbilbo
+        )
+    }
+
+    /// Whether the register can act as a signature register.
+    pub fn can_compact(self) -> bool {
+        matches!(
+            self,
+            TestRegisterKind::Sr | TestRegisterKind::Bilbo | TestRegisterKind::Cbilbo
+        )
+    }
+
+    /// Whether the register can act as TPG and SR *simultaneously* (only the
+    /// CBILBO can, Section 2.2).
+    pub fn can_generate_and_compact_concurrently(self) -> bool {
+        matches!(self, TestRegisterKind::Cbilbo)
+    }
+
+    /// The minimal kind able to satisfy the given usage pattern.
+    ///
+    /// * `generates` — used as a TPG in at least one sub-test session,
+    /// * `compacts` — used as an SR in at least one sub-test session,
+    /// * `concurrent` — used as TPG and SR within the same sub-test session.
+    pub fn required(generates: bool, compacts: bool, concurrent: bool) -> Self {
+        match (generates, compacts, concurrent) {
+            (_, _, true) => TestRegisterKind::Cbilbo,
+            (true, true, false) => TestRegisterKind::Bilbo,
+            (true, false, false) => TestRegisterKind::Tpg,
+            (false, true, false) => TestRegisterKind::Sr,
+            (false, false, false) => TestRegisterKind::Plain,
+        }
+    }
+
+    /// Number of flip-flops for a register of the given bit width (the CBILBO
+    /// doubles the count, Section 2.2).
+    pub fn flip_flops(self, width: u32) -> u32 {
+        match self {
+            TestRegisterKind::Cbilbo => 2 * width,
+            _ => width,
+        }
+    }
+
+    /// Short column label as used in Table 3 of the paper.
+    pub fn column_label(self) -> &'static str {
+        match self {
+            TestRegisterKind::Plain => "R",
+            TestRegisterKind::Tpg => "T",
+            TestRegisterKind::Sr => "S",
+            TestRegisterKind::Bilbo => "B",
+            TestRegisterKind::Cbilbo => "C",
+        }
+    }
+
+    /// All kinds in ascending cost order.
+    pub fn all() -> [TestRegisterKind; 5] {
+        [
+            TestRegisterKind::Plain,
+            TestRegisterKind::Tpg,
+            TestRegisterKind::Sr,
+            TestRegisterKind::Bilbo,
+            TestRegisterKind::Cbilbo,
+        ]
+    }
+}
+
+impl fmt::Display for TestRegisterKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TestRegisterKind::Plain => "register",
+            TestRegisterKind::Tpg => "TPG",
+            TestRegisterKind::Sr => "SR",
+            TestRegisterKind::Bilbo => "BILBO",
+            TestRegisterKind::Cbilbo => "CBILBO",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix() {
+        assert!(!TestRegisterKind::Plain.can_generate());
+        assert!(!TestRegisterKind::Plain.can_compact());
+        assert!(TestRegisterKind::Tpg.can_generate());
+        assert!(!TestRegisterKind::Tpg.can_compact());
+        assert!(TestRegisterKind::Sr.can_compact());
+        assert!(!TestRegisterKind::Sr.can_generate());
+        assert!(TestRegisterKind::Bilbo.can_generate());
+        assert!(TestRegisterKind::Bilbo.can_compact());
+        assert!(!TestRegisterKind::Bilbo.can_generate_and_compact_concurrently());
+        assert!(TestRegisterKind::Cbilbo.can_generate_and_compact_concurrently());
+    }
+
+    #[test]
+    fn required_kind_selection() {
+        use TestRegisterKind as K;
+        assert_eq!(K::required(false, false, false), K::Plain);
+        assert_eq!(K::required(true, false, false), K::Tpg);
+        assert_eq!(K::required(false, true, false), K::Sr);
+        assert_eq!(K::required(true, true, false), K::Bilbo);
+        assert_eq!(K::required(true, true, true), K::Cbilbo);
+    }
+
+    #[test]
+    fn cbilbo_doubles_flip_flops() {
+        assert_eq!(TestRegisterKind::Plain.flip_flops(8), 8);
+        assert_eq!(TestRegisterKind::Bilbo.flip_flops(8), 8);
+        assert_eq!(TestRegisterKind::Cbilbo.flip_flops(8), 16);
+    }
+
+    #[test]
+    fn labels_and_display() {
+        assert_eq!(TestRegisterKind::Bilbo.column_label(), "B");
+        assert_eq!(TestRegisterKind::Cbilbo.to_string(), "CBILBO");
+        assert_eq!(TestRegisterKind::all().len(), 5);
+    }
+}

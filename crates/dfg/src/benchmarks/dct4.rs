@@ -1,0 +1,85 @@
+//! The *dct4* benchmark: a 4-point discrete cosine transform using the
+//! even/odd butterfly decomposition.
+//!
+//! ```text
+//! s0 = x0 + x3      d0 = x0 − x3
+//! s1 = x1 + x2      d1 = x1 − x2
+//! y0 = c4·(s0 + s1) y2 = c4·(s0 − s1)
+//! y1 = c1·d0 + c3·d1
+//! y3 = c3·d0 − c1·d1
+//! ```
+//!
+//! Six multiplications and eight additive operations bound onto two
+//! multipliers and two ALUs — four modules, matching the four test sessions
+//! reported for dct4 in the paper.
+
+use std::collections::BTreeMap;
+
+use crate::binding::{Binding, ModuleClass};
+use crate::builder::DfgBuilder;
+use crate::graph::{OpKind, SynthesisInput};
+use crate::schedule::Schedule;
+
+/// Builds the dct4 benchmark.
+pub fn dct4() -> SynthesisInput {
+    let mut b = DfgBuilder::new("dct4");
+    let x0 = b.input("x0");
+    let x1 = b.input("x1");
+    let x2 = b.input("x2");
+    let x3 = b.input("x3");
+    let c1 = b.constant("c1", 251);
+    let c3 = b.constant("c3", 142);
+    let c4 = b.constant("c4", 181);
+
+    let s0 = b.op(OpKind::Add, "s0", x0, x3);
+    let s1 = b.op(OpKind::Add, "s1", x1, x2);
+    let d0 = b.op(OpKind::Sub, "d0", x0, x3);
+    let d1 = b.op(OpKind::Sub, "d1", x1, x2);
+
+    let e0 = b.op(OpKind::Add, "e0", s0, s1);
+    let e1 = b.op(OpKind::Sub, "e1", s0, s1);
+    let y0 = b.op(OpKind::Mul, "y0", c4, e0);
+    let y2 = b.op(OpKind::Mul, "y2", c4, e1);
+
+    let p0 = b.op(OpKind::Mul, "p0", c1, d0);
+    let p1 = b.op(OpKind::Mul, "p1", c3, d1);
+    let p2 = b.op(OpKind::Mul, "p2", c3, d0);
+    let p3 = b.op(OpKind::Mul, "p3", c1, d1);
+    let y1 = b.op(OpKind::Add, "y1", p0, p1);
+    let y3 = b.op(OpKind::Sub, "y3", p2, p3);
+
+    b.output(y0);
+    b.output(y1);
+    b.output(y2);
+    b.output(y3);
+    let dfg = b.finish();
+
+    let limits = BTreeMap::from([(ModuleClass::Multiplier, 2), (ModuleClass::Alu, 2)]);
+    let schedule = Schedule::list(&dfg, &limits, ModuleClass::of_with_alu).expect("dct4 schedules");
+    let binding = Binding::minimal(&dfg, &schedule, ModuleClass::of_with_alu);
+    SynthesisInput::new(dfg, schedule, binding).expect("dct4 benchmark is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::LifetimeTable;
+
+    #[test]
+    fn dct4_resource_profile() {
+        let input = dct4();
+        assert_eq!(input.dfg().num_ops(), 14, "6 mul + 8 add/sub");
+        assert_eq!(input.binding().num_modules(), 4);
+        let table = LifetimeTable::new(&input).unwrap();
+        let regs = table.min_registers();
+        assert!((5..=8).contains(&regs), "dct4 registers = {regs} (paper: 6)");
+    }
+
+    #[test]
+    fn dct4_produces_four_outputs() {
+        let input = dct4();
+        assert_eq!(input.dfg().outputs().len(), 4);
+        assert_eq!(input.dfg().primary_inputs().len(), 4);
+        assert_eq!(input.dfg().constants().len(), 3);
+    }
+}

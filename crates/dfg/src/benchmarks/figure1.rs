@@ -1,0 +1,69 @@
+//! The running example of the paper (Figure 1): a four-operation DFG
+//! synthesised onto three registers, one adder and one multiplier.
+
+use crate::binding::{Binding, ModuleClass};
+use crate::builder::DfgBuilder;
+use crate::graph::{OpKind, SynthesisInput};
+use crate::schedule::Schedule;
+
+/// Builds the Figure 1 example.
+///
+/// Variables 0–3 are primary inputs, operations 8–11 of the paper are the
+/// add/mul/mul/add chain, and the schedule places one operation per control
+/// step (T = {0, 1, 2, 3}). The minimal binding produces exactly the two
+/// modules (one adder M3, one multiplier M4) of the paper's data path.
+pub fn figure1() -> SynthesisInput {
+    let mut b = DfgBuilder::new("figure1");
+    let v0 = b.input("v0");
+    let v1 = b.input("v1");
+    let v2 = b.input("v2");
+    let v3 = b.input("v3");
+    // op 8: v4 = v0 + v1
+    let v4 = b.op(OpKind::Add, "v4", v0, v1);
+    // op 9: v5 = v3 * v4
+    let v5 = b.op(OpKind::Mul, "v5", v3, v4);
+    // op 10: v6 = v4 * v2
+    let v6 = b.op(OpKind::Mul, "v6", v4, v2);
+    // op 11: v7 = v5 + v6
+    let v7 = b.op(OpKind::Add, "v7", v5, v6);
+    b.output(v7);
+    let dfg = b.finish();
+
+    let schedule = Schedule::from_steps(vec![0, 1, 2, 3]);
+    let binding = Binding::minimal(&dfg, &schedule, ModuleClass::of);
+    SynthesisInput::new(dfg, schedule, binding).expect("figure1 benchmark is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::LifetimeTable;
+
+    #[test]
+    fn matches_the_paper_description() {
+        let input = figure1();
+        let dfg = input.dfg();
+        assert_eq!(dfg.num_vars(), 8, "variables 0..7");
+        assert_eq!(dfg.num_ops(), 4, "operations 8..11");
+        assert_eq!(input.num_control_steps(), 4, "T = {{0,1,2,3}}");
+        assert_eq!(dfg.input_edges().len(), 8, "|Ei| = 8");
+        assert_eq!(dfg.output_edges().len(), 4, "|Eo| = 4");
+        assert!(dfg.constants().is_empty(), "C = empty set");
+        assert_eq!(input.binding().num_modules(), 2, "M = {{3, 4}}");
+        let table = LifetimeTable::new(&input).unwrap();
+        assert_eq!(table.min_registers(), 3, "R = {{0, 1, 2}}");
+    }
+
+    #[test]
+    fn modules_are_one_adder_and_one_multiplier() {
+        let input = figure1();
+        let classes: Vec<ModuleClass> = input
+            .binding()
+            .modules()
+            .iter()
+            .map(|m| m.class)
+            .collect();
+        assert!(classes.contains(&ModuleClass::Adder));
+        assert!(classes.contains(&ModuleClass::Multiplier));
+    }
+}

@@ -1,0 +1,66 @@
+//! The *fir6* benchmark: a 6-tap direct-form FIR filter,
+//! `y = Σ_{i=0..5} h_i · x_i`.
+//!
+//! The paper's version was produced by HYPER; this reconstruction uses the
+//! textbook direct form (six constant-coefficient multiplications feeding an
+//! addition chain) bound onto two multipliers and one adder — three modules,
+//! matching the three test sessions reported for fir6.
+
+use std::collections::BTreeMap;
+
+use crate::binding::{Binding, ModuleClass};
+use crate::builder::DfgBuilder;
+use crate::graph::{OpKind, SynthesisInput};
+use crate::schedule::Schedule;
+
+/// Builds the fir6 benchmark.
+pub fn fir6() -> SynthesisInput {
+    let mut b = DfgBuilder::new("fir6");
+    let taps = 6;
+    let xs: Vec<_> = (0..taps).map(|i| b.input(format!("x{i}"))).collect();
+    let hs: Vec<_> = (0..taps)
+        .map(|i| b.constant(format!("h{i}"), 3 + 2 * i as i64))
+        .collect();
+
+    let products: Vec<_> = (0..taps)
+        .map(|i| b.op(OpKind::Mul, format!("p{i}"), xs[i], hs[i]))
+        .collect();
+
+    // Balanced addition tree keeps the critical path short, as HYPER would.
+    let a0 = b.op(OpKind::Add, "a0", products[0], products[1]);
+    let a1 = b.op(OpKind::Add, "a1", products[2], products[3]);
+    let a2 = b.op(OpKind::Add, "a2", products[4], products[5]);
+    let a3 = b.op(OpKind::Add, "a3", a0, a1);
+    let y = b.op(OpKind::Add, "y", a3, a2);
+    b.output(y);
+    let dfg = b.finish();
+
+    let limits = BTreeMap::from([(ModuleClass::Multiplier, 2), (ModuleClass::Adder, 1)]);
+    let schedule = Schedule::list(&dfg, &limits, ModuleClass::of).expect("fir6 schedules");
+    let binding = Binding::minimal(&dfg, &schedule, ModuleClass::of);
+    SynthesisInput::new(dfg, schedule, binding).expect("fir6 benchmark is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::LifetimeTable;
+
+    #[test]
+    fn fir6_resource_profile() {
+        let input = fir6();
+        assert_eq!(input.dfg().num_ops(), 11, "6 mul + 5 add");
+        assert_eq!(input.binding().num_modules(), 3);
+        assert_eq!(input.dfg().constants().len(), 6);
+        let table = LifetimeTable::new(&input).unwrap();
+        let regs = table.min_registers();
+        assert!((5..=8).contains(&regs), "fir6 registers = {regs} (paper: 7)");
+    }
+
+    #[test]
+    fn one_output_and_six_inputs() {
+        let input = fir6();
+        assert_eq!(input.dfg().primary_inputs().len(), 6);
+        assert_eq!(input.dfg().outputs().len(), 1);
+    }
+}

@@ -1,0 +1,81 @@
+//! The *iir3* benchmark: a 3rd-order IIR filter in direct form II.
+//!
+//! ```text
+//! w  = x − a1·w1 − a2·w2 − a3·w3
+//! y  = b0·w + b1·w1 + b2·w2 + b3·w3
+//! ```
+//!
+//! Seven constant multiplications and six additive operations bound onto two
+//! multipliers and one ALU — three modules, matching the three test sessions
+//! reported for iir3 in the paper.
+
+use std::collections::BTreeMap;
+
+use crate::binding::{Binding, ModuleClass};
+use crate::builder::DfgBuilder;
+use crate::graph::{OpKind, SynthesisInput};
+use crate::schedule::Schedule;
+
+/// Builds the iir3 benchmark.
+pub fn iir3() -> SynthesisInput {
+    let mut b = DfgBuilder::new("iir3");
+    let x = b.input("x");
+    let w1 = b.input("w1");
+    let w2 = b.input("w2");
+    let w3 = b.input("w3");
+    let a1 = b.constant("a1", 3);
+    let a2 = b.constant("a2", 5);
+    let a3 = b.constant("a3", 7);
+    let b0 = b.constant("b0", 2);
+    let b1 = b.constant("b1", 4);
+    let b2 = b.constant("b2", 6);
+    let b3 = b.constant("b3", 8);
+
+    // Feedback path.
+    let f1 = b.op(OpKind::Mul, "f1", a1, w1);
+    let f2 = b.op(OpKind::Mul, "f2", a2, w2);
+    let f3 = b.op(OpKind::Mul, "f3", a3, w3);
+    let s1 = b.op(OpKind::Sub, "s1", x, f1);
+    let s2 = b.op(OpKind::Sub, "s2", s1, f2);
+    let w = b.op(OpKind::Sub, "w", s2, f3);
+
+    // Feed-forward path.
+    let g0 = b.op(OpKind::Mul, "g0", b0, w);
+    let g1 = b.op(OpKind::Mul, "g1", b1, w1);
+    let g2 = b.op(OpKind::Mul, "g2", b2, w2);
+    let g3 = b.op(OpKind::Mul, "g3", b3, w3);
+    let t1 = b.op(OpKind::Add, "t1", g0, g1);
+    let t2 = b.op(OpKind::Add, "t2", g2, g3);
+    let y = b.op(OpKind::Add, "y", t1, t2);
+    b.output(w);
+    b.output(y);
+    let dfg = b.finish();
+
+    let limits = BTreeMap::from([(ModuleClass::Multiplier, 2), (ModuleClass::Alu, 1)]);
+    let schedule = Schedule::list(&dfg, &limits, ModuleClass::of_with_alu).expect("iir3 schedules");
+    let binding = Binding::minimal(&dfg, &schedule, ModuleClass::of_with_alu);
+    SynthesisInput::new(dfg, schedule, binding).expect("iir3 benchmark is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::LifetimeTable;
+
+    #[test]
+    fn iir3_resource_profile() {
+        let input = iir3();
+        assert_eq!(input.dfg().num_ops(), 13, "7 mul + 3 sub + 3 add");
+        assert_eq!(input.binding().num_modules(), 3);
+        let table = LifetimeTable::new(&input).unwrap();
+        let regs = table.min_registers();
+        assert!((5..=8).contains(&regs), "iir3 registers = {regs} (paper: 6)");
+    }
+
+    #[test]
+    fn iir3_has_two_outputs() {
+        let input = iir3();
+        assert_eq!(input.dfg().outputs().len(), 2);
+        assert_eq!(input.dfg().constants().len(), 7);
+    }
+}

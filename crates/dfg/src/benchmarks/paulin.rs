@@ -1,0 +1,98 @@
+//! The *paulin* benchmark: the HAL differential-equation solver DFG used
+//! throughout the high-level synthesis literature (Paulin's force-directed
+//! scheduling paper and most BIST synthesis papers since).
+//!
+//! One Euler integration step of `y'' + 3xy' + 3y = 0`:
+//!
+//! ```text
+//! x1 = x + dx
+//! u1 = u - 3*x*u*dx - 3*y*dx
+//! y1 = y + u*dx
+//! c  = x1 < a
+//! ```
+//!
+//! Six multiplications, two subtractions, two additions and one comparison,
+//! bound onto two multipliers and two ALUs (four modules, matching the four
+//! test sessions reported for paulin in the paper).
+
+use std::collections::BTreeMap;
+
+use crate::binding::{Binding, ModuleClass};
+use crate::builder::DfgBuilder;
+use crate::graph::{OpKind, SynthesisInput};
+use crate::schedule::Schedule;
+
+/// Builds the paulin (HAL differential equation) benchmark.
+pub fn paulin() -> SynthesisInput {
+    let mut b = DfgBuilder::new("paulin");
+    let x = b.input("x");
+    let y = b.input("y");
+    let u = b.input("u");
+    let dx = b.input("dx");
+    let a = b.input("a");
+    let three = b.constant("c3", 3);
+
+    let m1 = b.op(OpKind::Mul, "m1", three, x); // 3*x
+    let m2 = b.op(OpKind::Mul, "m2", m1, u); // 3*x*u
+    let m3 = b.op(OpKind::Mul, "m3", m2, dx); // 3*x*u*dx
+    let m4 = b.op(OpKind::Mul, "m4", three, y); // 3*y
+    let m5 = b.op(OpKind::Mul, "m5", m4, dx); // 3*y*dx
+    let m6 = b.op(OpKind::Mul, "m6", u, dx); // u*dx
+    let s1 = b.op(OpKind::Sub, "s1", u, m3); // u - 3*x*u*dx
+    let u1 = b.op(OpKind::Sub, "u1", s1, m5); // u1
+    let x1 = b.op(OpKind::Add, "x1", x, dx); // x1
+    let y1 = b.op(OpKind::Add, "y1", y, m6); // y1
+    let c = b.op(OpKind::Less, "c", x1, a); // c
+    b.output(u1);
+    b.output(y1);
+    b.output(c);
+    let dfg = b.finish();
+
+    let limits = BTreeMap::from([(ModuleClass::Multiplier, 2), (ModuleClass::Alu, 2)]);
+    let schedule =
+        Schedule::list(&dfg, &limits, ModuleClass::of_with_alu).expect("paulin schedules");
+    let binding = Binding::minimal(&dfg, &schedule, ModuleClass::of_with_alu);
+    SynthesisInput::new(dfg, schedule, binding).expect("paulin benchmark is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::LifetimeTable;
+
+    #[test]
+    fn paulin_resource_profile() {
+        let input = paulin();
+        assert_eq!(input.dfg().num_ops(), 11, "6 mul + 2 sub + 2 add + 1 cmp");
+        assert_eq!(
+            input.binding().num_modules(),
+            4,
+            "paper reports 4 test sessions (= modules) for paulin"
+        );
+        let muls = input
+            .binding()
+            .modules()
+            .iter()
+            .filter(|m| m.class == ModuleClass::Multiplier)
+            .count();
+        assert_eq!(muls, 2);
+        let table = LifetimeTable::new(&input).unwrap();
+        // The paper reports 5 registers; our reconstruction must be close.
+        let regs = table.min_registers();
+        assert!((4..=7).contains(&regs), "paulin registers = {regs}");
+    }
+
+    #[test]
+    fn paulin_has_one_constant() {
+        let input = paulin();
+        assert_eq!(input.dfg().constants().len(), 1);
+    }
+
+    #[test]
+    fn critical_path_respected() {
+        let input = paulin();
+        // m1 -> m2 -> m3 -> s1 -> u1 is a five-operation chain, so at least
+        // five control steps are needed.
+        assert!(input.num_control_steps() >= 5);
+    }
+}

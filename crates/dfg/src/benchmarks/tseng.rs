@@ -1,0 +1,73 @@
+//! The *tseng* benchmark (Tseng/Siewiorek "Facet" style mixed-operation DFG).
+//!
+//! The exact DFG used by the DAC'99 authors is not published; this
+//! reconstruction keeps the characteristic property used in their evaluation:
+//! a small mixed-operation graph that binds onto **three** functional modules
+//! (an ALU, a multiplier and a logic unit) and needs **five** registers.
+
+use crate::binding::{Binding, ModuleClass};
+use crate::builder::DfgBuilder;
+use crate::graph::{OpKind, SynthesisInput};
+use crate::schedule::Schedule;
+
+/// Builds the tseng benchmark: eight operations over five inputs, five
+/// control steps, three modules, five registers.
+pub fn tseng() -> SynthesisInput {
+    let mut b = DfgBuilder::new("tseng");
+    let a = b.input("a");
+    let bb = b.input("b");
+    let c = b.input("c");
+    let d = b.input("d");
+    let e = b.input("e");
+
+    let t1 = b.op(OpKind::Add, "t1", a, bb); // step 0, ALU
+    let t2 = b.op(OpKind::Mul, "t2", c, d); // step 0, MUL
+    let t3 = b.op(OpKind::Sub, "t3", t1, e); // step 1, ALU
+    let t4 = b.op(OpKind::Mul, "t4", t1, c); // step 1, MUL
+    let t5 = b.op(OpKind::And, "t5", t3, t4); // step 2, LOGIC
+    let t6 = b.op(OpKind::Add, "t6", t3, t2); // step 2, ALU
+    let t7 = b.op(OpKind::Mul, "t7", t5, t6); // step 3, MUL
+    let t8 = b.op(OpKind::Or, "t8", t7, d); // step 4, LOGIC
+    b.output(t8);
+    let dfg = b.finish();
+
+    let schedule = Schedule::from_steps(vec![0, 0, 1, 1, 2, 2, 3, 4]);
+    let binding = Binding::minimal(&dfg, &schedule, ModuleClass::of_with_alu);
+    SynthesisInput::new(dfg, schedule, binding).expect("tseng benchmark is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::LifetimeTable;
+
+    #[test]
+    fn tseng_resource_profile() {
+        let input = tseng();
+        assert_eq!(input.dfg().num_ops(), 8);
+        assert_eq!(input.binding().num_modules(), 3);
+        assert_eq!(input.num_control_steps(), 5);
+        let table = LifetimeTable::new(&input).unwrap();
+        assert_eq!(table.min_registers(), 5, "paper reports R = 5 for tseng");
+    }
+
+    #[test]
+    fn tseng_module_classes() {
+        let input = tseng();
+        let mut classes: Vec<_> = input
+            .binding()
+            .modules()
+            .iter()
+            .map(|m| m.class)
+            .collect();
+        classes.sort();
+        assert_eq!(
+            classes,
+            vec![ModuleClass::Alu, ModuleClass::Multiplier, ModuleClass::Logic]
+                .into_iter()
+                .collect::<std::collections::BTreeSet<_>>()
+                .into_iter()
+                .collect::<Vec<_>>()
+        );
+    }
+}

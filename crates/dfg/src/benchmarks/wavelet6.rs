@@ -1,0 +1,89 @@
+//! The *wavelet6* benchmark: a 6-tap analysis wavelet filter bank
+//! (low-pass and high-pass halves sharing the same six input samples).
+//!
+//! ```text
+//! yl = Σ_{i=0..5} h_i · x_i        yh = Σ_{i=0..5} g_i · x_i
+//! ```
+//!
+//! Twelve multiplications and ten additions bound onto two multipliers and
+//! one adder — three modules, matching the three test sessions reported for
+//! wavelet6 in the paper.
+
+use std::collections::BTreeMap;
+
+use crate::binding::{Binding, ModuleClass};
+use crate::builder::DfgBuilder;
+use crate::graph::{OpKind, SynthesisInput};
+use crate::schedule::Schedule;
+
+/// Builds the wavelet6 benchmark.
+pub fn wavelet6() -> SynthesisInput {
+    let mut b = DfgBuilder::new("wavelet6");
+    let taps = 6;
+    let xs: Vec<_> = (0..taps).map(|i| b.input(format!("x{i}"))).collect();
+    let hs: Vec<_> = (0..taps)
+        .map(|i| b.constant(format!("h{i}"), 11 + i as i64))
+        .collect();
+    let gs: Vec<_> = (0..taps)
+        .map(|i| b.constant(format!("g{i}"), 23 - i as i64))
+        .collect();
+
+    // Low-pass half.
+    let lp: Vec<_> = (0..taps)
+        .map(|i| b.op(OpKind::Mul, format!("lp{i}"), xs[i], hs[i]))
+        .collect();
+    let l0 = b.op(OpKind::Add, "l0", lp[0], lp[1]);
+    let l1 = b.op(OpKind::Add, "l1", lp[2], lp[3]);
+    let l2 = b.op(OpKind::Add, "l2", lp[4], lp[5]);
+    let l3 = b.op(OpKind::Add, "l3", l0, l1);
+    let yl = b.op(OpKind::Add, "yl", l3, l2);
+
+    // High-pass half.
+    let hp: Vec<_> = (0..taps)
+        .map(|i| b.op(OpKind::Mul, format!("hp{i}"), xs[i], gs[i]))
+        .collect();
+    let h0 = b.op(OpKind::Add, "h0", hp[0], hp[1]);
+    let h1 = b.op(OpKind::Add, "h1", hp[2], hp[3]);
+    let h2 = b.op(OpKind::Add, "h2", hp[4], hp[5]);
+    let h3 = b.op(OpKind::Add, "h3", h0, h1);
+    let yh = b.op(OpKind::Add, "yh", h3, h2);
+
+    b.output(yl);
+    b.output(yh);
+    let dfg = b.finish();
+
+    let limits = BTreeMap::from([(ModuleClass::Multiplier, 2), (ModuleClass::Adder, 1)]);
+    let schedule = Schedule::list(&dfg, &limits, ModuleClass::of).expect("wavelet6 schedules");
+    let binding = Binding::minimal(&dfg, &schedule, ModuleClass::of);
+    SynthesisInput::new(dfg, schedule, binding).expect("wavelet6 benchmark is consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lifetime::LifetimeTable;
+
+    #[test]
+    fn wavelet6_resource_profile() {
+        let input = wavelet6();
+        assert_eq!(input.dfg().num_ops(), 22, "12 mul + 10 add");
+        assert_eq!(input.binding().num_modules(), 3);
+        let table = LifetimeTable::new(&input).unwrap();
+        let regs = table.min_registers();
+        assert!(
+            (6..=9).contains(&regs),
+            "wavelet6 registers = {regs} (paper: 7)"
+        );
+    }
+
+    #[test]
+    fn wavelet6_shares_inputs_between_filter_halves() {
+        let input = wavelet6();
+        assert_eq!(input.dfg().primary_inputs().len(), 6);
+        assert_eq!(input.dfg().outputs().len(), 2);
+        // Every input sample feeds both the low-pass and the high-pass half.
+        for x in input.dfg().primary_inputs() {
+            assert_eq!(input.dfg().consumers(x).len(), 2);
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Fluent construction of data-flow graphs.
+
+use crate::graph::{Dfg, OpId, OpKind, Operation, VarId, VarSource, Variable};
+
+/// Incremental builder for a [`Dfg`].
+///
+/// ```
+/// use bist_dfg::{DfgBuilder, OpKind};
+///
+/// let mut b = DfgBuilder::new("mac");
+/// let x = b.input("x");
+/// let c = b.constant("c3", 3);
+/// let acc = b.input("acc");
+/// let prod = b.op(OpKind::Mul, "prod", x, c);
+/// let sum = b.op(OpKind::Add, "sum", prod, acc);
+/// b.output(sum);
+/// let dfg = b.finish();
+/// assert_eq!(dfg.num_ops(), 2);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct DfgBuilder {
+    dfg: Dfg,
+}
+
+impl DfgBuilder {
+    /// Starts building a graph with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            dfg: Dfg {
+                name: name.into(),
+                vars: Vec::new(),
+                ops: Vec::new(),
+            },
+        }
+    }
+
+    /// Adds a primary input variable.
+    pub fn input(&mut self, name: impl Into<String>) -> VarId {
+        self.push_var(name.into(), VarSource::PrimaryInput)
+    }
+
+    /// Adds a constant variable (member of the paper's set `C`).
+    pub fn constant(&mut self, name: impl Into<String>, value: i64) -> VarId {
+        self.push_var(name.into(), VarSource::Constant(value))
+    }
+
+    /// Adds a two-operand operation producing a fresh variable, and returns
+    /// the output variable.
+    pub fn op(&mut self, kind: OpKind, result_name: impl Into<String>, a: VarId, b: VarId) -> VarId {
+        let op_id = OpId(self.dfg.ops.len());
+        let result_name = result_name.into();
+        let out = self.push_var(result_name.clone(), VarSource::OpOutput(op_id));
+        self.dfg.ops.push(Operation {
+            name: format!("{}_{}", kind.mnemonic(), result_name),
+            kind,
+            inputs: vec![a, b],
+            output: out,
+        });
+        out
+    }
+
+    /// Marks a variable as a primary output.
+    pub fn output(&mut self, var: VarId) -> &mut Self {
+        self.dfg.vars[var.index()].is_output = true;
+        self
+    }
+
+    /// Number of operations added so far.
+    pub fn num_ops(&self) -> usize {
+        self.dfg.num_ops()
+    }
+
+    /// Finishes and returns the graph.
+    ///
+    /// The graph is *not* validated here so that tests can construct
+    /// deliberately broken graphs; call [`Dfg::validate`] (or build a
+    /// [`crate::SynthesisInput`], which validates) before using it.
+    pub fn finish(self) -> Dfg {
+        self.dfg
+    }
+
+    fn push_var(&mut self, name: String, source: VarSource) -> VarId {
+        let id = VarId(self.dfg.vars.len());
+        self.dfg.vars.push(Variable {
+            name,
+            source,
+            is_output: false,
+        });
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_produces_valid_graph() {
+        let mut b = DfgBuilder::new("g");
+        let a = b.input("a");
+        let c = b.constant("k", 7);
+        let r = b.op(OpKind::Sub, "r", a, c);
+        b.output(r);
+        let g = b.finish();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.name(), "g");
+        assert_eq!(g.op(OpId(0)).kind, OpKind::Sub);
+        assert_eq!(g.var(r).source, VarSource::OpOutput(OpId(0)));
+        assert!(g.var(r).is_output);
+    }
+
+    #[test]
+    fn operation_names_carry_the_mnemonic() {
+        let mut b = DfgBuilder::new("g");
+        let a = b.input("a");
+        let x = b.op(OpKind::Mul, "x", a, a);
+        let g = b.finish();
+        assert!(g.op(g.producer(x).unwrap()).name.starts_with("mul_"));
+    }
+}

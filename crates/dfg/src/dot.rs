@@ -1,0 +1,102 @@
+//! Graphviz export of data-flow graphs and scheduled DFGs.
+
+use crate::graph::{Dfg, SynthesisInput};
+use std::fmt::Write as _;
+
+/// Renders a DFG in Graphviz DOT syntax (operations as boxes, variables as
+/// ellipses).
+pub fn to_dot(dfg: &Dfg) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", dfg.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    for (i, var) in dfg.vars().iter().enumerate() {
+        let shape = if var.is_constant() {
+            "diamond"
+        } else if var.is_primary_input() {
+            "invhouse"
+        } else if var.is_output {
+            "house"
+        } else {
+            "ellipse"
+        };
+        let _ = writeln!(out, "  v{i} [label=\"{}\", shape={shape}];", var.name);
+    }
+    for (i, op) in dfg.ops().iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "  o{i} [label=\"{} ({})\", shape=box];",
+            op.name,
+            op.kind.mnemonic()
+        );
+        for (port, v) in op.inputs.iter().enumerate() {
+            let _ = writeln!(out, "  v{} -> o{i} [label=\"p{port}\"];", v.index());
+        }
+        let _ = writeln!(out, "  o{i} -> v{};", op.output.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Renders a scheduled DFG with one cluster per control step, mirroring the
+/// "grey clock boundary" drawing style of Figure 1 of the paper.
+pub fn to_dot_scheduled(input: &SynthesisInput) -> String {
+    let dfg = input.dfg();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", dfg.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    for step in 0..input.num_control_steps() {
+        let _ = writeln!(out, "  subgraph cluster_step{step} {{");
+        let _ = writeln!(out, "    label=\"control step {step}\";");
+        for op in input.schedule().ops_in_step(step) {
+            let module = input.module_of(op);
+            let _ = writeln!(
+                out,
+                "    o{} [label=\"{} @ {}\", shape=box];",
+                op.index(),
+                dfg.op(op).name,
+                input.binding().module(module).name
+            );
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    for (i, var) in dfg.vars().iter().enumerate() {
+        let _ = writeln!(out, "  v{i} [label=\"{}\"];", var.name);
+    }
+    for (i, op) in dfg.ops().iter().enumerate() {
+        for v in &op.inputs {
+            let _ = writeln!(out, "  v{} -> o{i};", v.index());
+        }
+        let _ = writeln!(out, "  o{i} -> v{};", op.output.index());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    #[test]
+    fn dot_contains_every_node() {
+        let input = benchmarks::figure1();
+        let dot = to_dot(input.dfg());
+        assert!(dot.starts_with("digraph"));
+        for var in input.dfg().vars() {
+            assert!(dot.contains(&var.name));
+        }
+        for op in input.dfg().ops() {
+            assert!(dot.contains(&op.name));
+        }
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn scheduled_dot_has_one_cluster_per_step() {
+        let input = benchmarks::figure1();
+        let dot = to_dot_scheduled(&input);
+        for step in 0..input.num_control_steps() {
+            assert!(dot.contains(&format!("cluster_step{step}")));
+        }
+    }
+}

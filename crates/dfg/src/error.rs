@@ -1,0 +1,126 @@
+//! Error type for DFG construction, scheduling and analysis.
+
+use std::fmt;
+
+/// Errors produced while building or analysing a data-flow graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DfgError {
+    /// A variable id referenced a variable that does not exist.
+    UnknownVariable {
+        /// Offending index.
+        index: usize,
+    },
+    /// An operation id referenced an operation that does not exist.
+    UnknownOperation {
+        /// Offending index.
+        index: usize,
+    },
+    /// An operation was given the wrong number of input operands.
+    ArityMismatch {
+        /// Operation name.
+        operation: String,
+        /// Expected operand count.
+        expected: usize,
+        /// Provided operand count.
+        found: usize,
+    },
+    /// A variable is produced by more than one operation.
+    MultipleProducers {
+        /// Variable name.
+        variable: String,
+    },
+    /// The graph contains a combinational cycle.
+    Cyclic,
+    /// The schedule violates a data dependence (consumer before producer).
+    DependenceViolation {
+        /// Producing operation name.
+        producer: String,
+        /// Consuming operation name.
+        consumer: String,
+    },
+    /// The schedule or binding does not cover every operation.
+    IncompleteAssignment {
+        /// What is missing ("schedule" or "binding").
+        what: &'static str,
+    },
+    /// Two operations bound to the same module execute in the same step.
+    ModuleConflict {
+        /// Module index.
+        module: usize,
+        /// Control step of the clash.
+        step: u32,
+    },
+    /// An operation is bound to a module of an incompatible class.
+    ClassMismatch {
+        /// Operation name.
+        operation: String,
+        /// Module index.
+        module: usize,
+    },
+    /// Resource-constrained scheduling was given zero units of a class it needs.
+    MissingResource {
+        /// The class with no units.
+        class: String,
+    },
+}
+
+impl fmt::Display for DfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DfgError::UnknownVariable { index } => write!(f, "unknown variable index {index}"),
+            DfgError::UnknownOperation { index } => write!(f, "unknown operation index {index}"),
+            DfgError::ArityMismatch {
+                operation,
+                expected,
+                found,
+            } => write!(
+                f,
+                "operation {operation} expects {expected} operands, got {found}"
+            ),
+            DfgError::MultipleProducers { variable } => {
+                write!(f, "variable {variable} has more than one producer")
+            }
+            DfgError::Cyclic => write!(f, "data-flow graph contains a cycle"),
+            DfgError::DependenceViolation { producer, consumer } => write!(
+                f,
+                "schedule places consumer {consumer} no later than its producer {producer}"
+            ),
+            DfgError::IncompleteAssignment { what } => {
+                write!(f, "incomplete {what}: not every operation is covered")
+            }
+            DfgError::ModuleConflict { module, step } => write!(
+                f,
+                "module {module} executes two operations in control step {step}"
+            ),
+            DfgError::ClassMismatch { operation, module } => write!(
+                f,
+                "operation {operation} bound to module {module} of incompatible class"
+            ),
+            DfgError::MissingResource { class } => {
+                write!(f, "no functional units of class {class} available")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DfgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_the_subject() {
+        assert!(DfgError::UnknownVariable { index: 7 }.to_string().contains('7'));
+        assert!(DfgError::Cyclic.to_string().contains("cycle"));
+        assert!(DfgError::ModuleConflict { module: 2, step: 3 }
+            .to_string()
+            .contains("control step 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DfgError>();
+    }
+}

@@ -1,0 +1,87 @@
+//! Error type shared by every fallible operation of the crate.
+
+use std::fmt;
+
+/// Errors produced while building or solving an ILP model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IlpError {
+    /// A variable id referenced a variable that does not belong to the model.
+    UnknownVariable {
+        /// The offending variable index.
+        index: usize,
+        /// Number of variables currently in the model.
+        len: usize,
+    },
+    /// A constraint or objective coefficient was NaN or infinite.
+    InvalidCoefficient {
+        /// Human readable location (constraint name or "objective").
+        location: String,
+    },
+    /// Lower bound exceeds upper bound for a variable.
+    InvalidBounds {
+        /// Variable name.
+        name: String,
+        /// Declared lower bound.
+        lower: f64,
+        /// Declared upper bound.
+        upper: f64,
+    },
+    /// The model was proven infeasible before or during the solve.
+    Infeasible,
+    /// The LP relaxation (and therefore the MILP) is unbounded.
+    Unbounded,
+    /// The model has no objective and the caller required one.
+    MissingObjective,
+    /// An internal invariant of the simplex tableau was violated.
+    Numerical {
+        /// Description of the numerical failure.
+        message: String,
+    },
+}
+
+impl fmt::Display for IlpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IlpError::UnknownVariable { index, len } => {
+                write!(f, "unknown variable index {index} (model has {len} variables)")
+            }
+            IlpError::InvalidCoefficient { location } => {
+                write!(f, "non-finite coefficient in {location}")
+            }
+            IlpError::InvalidBounds { name, lower, upper } => {
+                write!(f, "invalid bounds for variable {name}: [{lower}, {upper}]")
+            }
+            IlpError::Infeasible => write!(f, "model is infeasible"),
+            IlpError::Unbounded => write!(f, "model is unbounded"),
+            IlpError::MissingObjective => write!(f, "model has no objective"),
+            IlpError::Numerical { message } => write!(f, "numerical failure: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for IlpError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let err = IlpError::UnknownVariable { index: 3, len: 2 };
+        assert!(err.to_string().contains("unknown variable"));
+        let err = IlpError::InvalidBounds {
+            name: "x".into(),
+            lower: 2.0,
+            upper: 1.0,
+        };
+        assert!(err.to_string().contains('x'));
+        assert!(IlpError::Infeasible.to_string().contains("infeasible"));
+        assert!(IlpError::Unbounded.to_string().contains("unbounded"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<IlpError>();
+    }
+}

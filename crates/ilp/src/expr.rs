@@ -1,0 +1,297 @@
+//! Linear expressions over model variables.
+//!
+//! A [`LinExpr`] is a sparse linear form `Σ cᵢ·xᵢ + constant`. Expressions are
+//! the currency used to state constraints and objectives; they can be built
+//! incrementally, combined with `+` / `-`, and scaled by `f64` factors.
+
+use crate::model::VarId;
+use std::collections::BTreeMap;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub, SubAssign};
+
+/// A sparse linear expression `Σ cᵢ·xᵢ + constant`.
+///
+/// Duplicate variable terms are merged on construction, so the internal
+/// representation always carries at most one coefficient per variable.
+///
+/// ```
+/// use bist_ilp::{LinExpr, Model};
+/// let mut m = Model::new("doc");
+/// let x = m.add_binary("x");
+/// let y = m.add_binary("y");
+/// let e = LinExpr::term(x, 2.0) + LinExpr::term(y, 3.0) + LinExpr::constant(1.0);
+/// assert_eq!(e.coefficient(x), 2.0);
+/// assert_eq!(e.offset(), 1.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LinExpr {
+    terms: BTreeMap<VarId, f64>,
+    constant: f64,
+}
+
+impl LinExpr {
+    /// Creates the empty expression (value 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an expression consisting of a single term `coeff · var`.
+    pub fn term(var: VarId, coeff: f64) -> Self {
+        let mut terms = BTreeMap::new();
+        if coeff != 0.0 {
+            terms.insert(var, coeff);
+        }
+        Self { terms, constant: 0.0 }
+    }
+
+    /// Creates a constant expression.
+    pub fn constant(value: f64) -> Self {
+        Self {
+            terms: BTreeMap::new(),
+            constant: value,
+        }
+    }
+
+    /// Builds an expression from an iterator of `(variable, coefficient)`
+    /// pairs; duplicate variables are summed.
+    pub fn sum<I>(terms: I) -> Self
+    where
+        I: IntoIterator<Item = (VarId, f64)>,
+    {
+        let mut expr = Self::new();
+        for (var, coeff) in terms {
+            expr.add_term(var, coeff);
+        }
+        expr
+    }
+
+    /// Adds `coeff · var` to the expression in place.
+    pub fn add_term(&mut self, var: VarId, coeff: f64) -> &mut Self {
+        let entry = self.terms.entry(var).or_insert(0.0);
+        *entry += coeff;
+        if entry.abs() < f64::EPSILON {
+            self.terms.remove(&var);
+        }
+        self
+    }
+
+    /// Adds a constant offset in place.
+    pub fn add_constant(&mut self, value: f64) -> &mut Self {
+        self.constant += value;
+        self
+    }
+
+    /// The coefficient of `var` (0 if the variable does not appear).
+    pub fn coefficient(&self, var: VarId) -> f64 {
+        self.terms.get(&var).copied().unwrap_or(0.0)
+    }
+
+    /// The constant offset of the expression.
+    pub fn offset(&self) -> f64 {
+        self.constant
+    }
+
+    /// Number of variables with a non-zero coefficient.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the expression has no variable terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterates over `(variable, coefficient)` pairs in variable order.
+    pub fn iter(&self) -> impl Iterator<Item = (VarId, f64)> + '_ {
+        self.terms.iter().map(|(v, c)| (*v, *c))
+    }
+
+    /// Evaluates the expression for a dense assignment of variable values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a referenced variable index is out of range of `values`.
+    pub fn evaluate(&self, values: &[f64]) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(v, c)| c * values[v.index()])
+                .sum::<f64>()
+    }
+
+    /// Returns true if every coefficient and the constant are finite.
+    pub fn is_finite(&self) -> bool {
+        self.constant.is_finite() && self.terms.values().all(|c| c.is_finite())
+    }
+
+    /// Largest variable index referenced, if any.
+    pub fn max_var_index(&self) -> Option<usize> {
+        self.terms.keys().next_back().map(|v| v.index())
+    }
+
+    /// Multiplies every coefficient and the constant by `factor` in place.
+    pub fn scale(&mut self, factor: f64) -> &mut Self {
+        for coeff in self.terms.values_mut() {
+            *coeff *= factor;
+        }
+        self.constant *= factor;
+        self.terms.retain(|_, c| c.abs() >= f64::EPSILON);
+        self
+    }
+}
+
+impl From<(VarId, f64)> for LinExpr {
+    fn from((var, coeff): (VarId, f64)) -> Self {
+        LinExpr::term(var, coeff)
+    }
+}
+
+impl From<VarId> for LinExpr {
+    fn from(var: VarId) -> Self {
+        LinExpr::term(var, 1.0)
+    }
+}
+
+impl<const N: usize> From<[(VarId, f64); N]> for LinExpr {
+    fn from(terms: [(VarId, f64); N]) -> Self {
+        LinExpr::sum(terms)
+    }
+}
+
+impl From<Vec<(VarId, f64)>> for LinExpr {
+    fn from(terms: Vec<(VarId, f64)>) -> Self {
+        LinExpr::sum(terms)
+    }
+}
+
+impl Add for LinExpr {
+    type Output = LinExpr;
+    fn add(mut self, rhs: LinExpr) -> LinExpr {
+        self += rhs;
+        self
+    }
+}
+
+impl AddAssign for LinExpr {
+    fn add_assign(&mut self, rhs: LinExpr) {
+        for (var, coeff) in rhs.terms {
+            self.add_term(var, coeff);
+        }
+        self.constant += rhs.constant;
+    }
+}
+
+impl Sub for LinExpr {
+    type Output = LinExpr;
+    fn sub(mut self, rhs: LinExpr) -> LinExpr {
+        self -= rhs;
+        self
+    }
+}
+
+impl SubAssign for LinExpr {
+    fn sub_assign(&mut self, rhs: LinExpr) {
+        for (var, coeff) in rhs.terms {
+            self.add_term(var, -coeff);
+        }
+        self.constant -= rhs.constant;
+    }
+}
+
+impl Neg for LinExpr {
+    type Output = LinExpr;
+    fn neg(mut self) -> LinExpr {
+        self.scale(-1.0);
+        self
+    }
+}
+
+impl Mul<f64> for LinExpr {
+    type Output = LinExpr;
+    fn mul(mut self, rhs: f64) -> LinExpr {
+        self.scale(rhs);
+        self
+    }
+}
+
+impl FromIterator<(VarId, f64)> for LinExpr {
+    fn from_iter<T: IntoIterator<Item = (VarId, f64)>>(iter: T) -> Self {
+        LinExpr::sum(iter)
+    }
+}
+
+impl Extend<(VarId, f64)> for LinExpr {
+    fn extend<T: IntoIterator<Item = (VarId, f64)>>(&mut self, iter: T) {
+        for (var, coeff) in iter {
+            self.add_term(var, coeff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn vars(n: usize) -> (Model, Vec<VarId>) {
+        let mut m = Model::new("t");
+        let vs = (0..n).map(|i| m.add_binary(format!("x{i}"))).collect();
+        (m, vs)
+    }
+
+    #[test]
+    fn merging_duplicate_terms() {
+        let (_m, v) = vars(2);
+        let e = LinExpr::sum([(v[0], 1.0), (v[0], 2.0), (v[1], -1.0)]);
+        assert_eq!(e.coefficient(v[0]), 3.0);
+        assert_eq!(e.coefficient(v[1]), -1.0);
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn zero_coefficients_are_dropped() {
+        let (_m, v) = vars(1);
+        let e = LinExpr::sum([(v[0], 1.0), (v[0], -1.0)]);
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn arithmetic_operators() {
+        let (_m, v) = vars(3);
+        let a = LinExpr::term(v[0], 1.0) + LinExpr::term(v[1], 2.0);
+        let b = LinExpr::term(v[1], 1.0) + LinExpr::term(v[2], 4.0);
+        let c = a.clone() - b.clone();
+        assert_eq!(c.coefficient(v[0]), 1.0);
+        assert_eq!(c.coefficient(v[1]), 1.0);
+        assert_eq!(c.coefficient(v[2]), -4.0);
+        let d = (a + b) * 2.0;
+        assert_eq!(d.coefficient(v[1]), 6.0);
+        let neg = -d;
+        assert_eq!(neg.coefficient(v[2]), -8.0);
+    }
+
+    #[test]
+    fn evaluation() {
+        let (_m, v) = vars(3);
+        let e = LinExpr::sum([(v[0], 2.0), (v[2], -3.0)]) + LinExpr::constant(5.0);
+        assert_eq!(e.evaluate(&[1.0, 99.0, 2.0]), 2.0 - 6.0 + 5.0);
+    }
+
+    #[test]
+    fn from_and_collect() {
+        let (_m, v) = vars(2);
+        let e: LinExpr = vec![(v[0], 1.0), (v[1], 1.0)].into_iter().collect();
+        assert_eq!(e.len(), 2);
+        let e2: LinExpr = v[0].into();
+        assert_eq!(e2.coefficient(v[0]), 1.0);
+    }
+
+    #[test]
+    fn finiteness_check() {
+        let (_m, v) = vars(1);
+        let e = LinExpr::term(v[0], f64::NAN);
+        assert!(!e.is_finite());
+        let e = LinExpr::term(v[0], 1.0);
+        assert!(e.is_finite());
+    }
+}

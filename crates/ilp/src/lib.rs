@@ -1,0 +1,66 @@
+//! # bist-ilp — a pure-Rust 0-1 / mixed integer linear programming solver
+//!
+//! This crate is the substitute for the commercial CPLEX 6.0 solver used in
+//! the DAC'99 paper *"On ILP Formulations for Built-In Self-Testable Data
+//! Path Synthesis"* (Kim, Ha, Takahashi). The BIST synthesis formulations in
+//! [`bist-core`](https://example.invalid/advbist) only need a reliable exact
+//! solver for small-to-medium 0-1 programs plus a time-limited best-effort
+//! mode for the larger benchmark circuits, and that is exactly what this
+//! crate provides:
+//!
+//! * a [`Model`] builder with binary, general integer and continuous
+//!   variables, linear constraints and a linear objective,
+//! * a dense two-phase bounded-variable primal [`simplex`] solver for the LP
+//!   relaxation,
+//! * an interval [`propagate`] engine (bound tightening over linear
+//!   constraints) used both for presolve and for node pruning,
+//! * a branch-and-bound [`solver`] with configurable bounding
+//!   (LP relaxation, propagation-only, or hybrid), branching and search
+//!   strategies, a greedy diving primal heuristic and wall-clock limits,
+//! * a CPLEX-style `.lp` file writer ([`lpfile`]) for debugging and for
+//!   feeding the very same model to an external solver if one is available.
+//!
+//! # Quick example
+//!
+//! ```
+//! use bist_ilp::{Model, Sense, SolverConfig};
+//!
+//! # fn main() -> Result<(), bist_ilp::IlpError> {
+//! // maximize x + 2y  s.t.  x + y <= 1,  x,y binary
+//! let mut model = Model::new("tiny");
+//! let x = model.add_binary("x");
+//! let y = model.add_binary("y");
+//! model.add_leq([(x, 1.0), (y, 1.0)], 1.0, "cap");
+//! model.set_objective([(x, 1.0), (y, 2.0)], Sense::Maximize);
+//! let solution = model.solve(&SolverConfig::default())?;
+//! assert!(solution.is_optimal());
+//! assert_eq!(solution.value(y).round() as i64, 1);
+//! # Ok(())
+//! # }
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod expr;
+pub mod heuristics;
+pub mod lpfile;
+pub mod model;
+pub mod presolve;
+pub mod propagate;
+pub mod simplex;
+pub mod solution;
+pub mod solver;
+
+pub use error::IlpError;
+pub use expr::LinExpr;
+pub use model::{CmpOp, Constraint, Model, Sense, VarId, VarKind};
+pub use solution::{SolveStats, Solution, Status};
+pub use solver::{BoundMode, Branching, SearchOrder, SolverConfig};
+
+/// Numerical tolerance used throughout the crate when comparing floating
+/// point activities, bounds and objective values.
+pub const EPS: f64 = 1e-6;
+
+/// Tolerance used when deciding whether a relaxation value is integral.
+pub const INT_EPS: f64 = 1e-5;

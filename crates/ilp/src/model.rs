@@ -1,0 +1,476 @@
+//! Model builder: variables, linear constraints and the objective.
+
+use crate::error::IlpError;
+use crate::expr::LinExpr;
+use crate::solution::Solution;
+use crate::solver::{BranchAndBound, SolverConfig};
+
+/// Opaque handle to a model variable.
+///
+/// `VarId`s are created by the `add_*` methods of [`Model`] and are only
+/// meaningful for the model that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub(crate) usize);
+
+impl VarId {
+    /// The dense index of the variable inside its model.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The domain of a model variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarKind {
+    /// A 0/1 variable.
+    Binary,
+    /// A general integer variable with inclusive bounds.
+    Integer {
+        /// Inclusive lower bound.
+        lower: i64,
+        /// Inclusive upper bound.
+        upper: i64,
+    },
+    /// A continuous variable with inclusive bounds.
+    Continuous {
+        /// Inclusive lower bound.
+        lower: f64,
+        /// Inclusive upper bound.
+        upper: f64,
+    },
+}
+
+impl VarKind {
+    /// Whether the variable is required to take an integral value.
+    pub fn is_integral(&self) -> bool {
+        !matches!(self, VarKind::Continuous { .. })
+    }
+
+    /// Lower bound as a float.
+    pub fn lower(&self) -> f64 {
+        match *self {
+            VarKind::Binary => 0.0,
+            VarKind::Integer { lower, .. } => lower as f64,
+            VarKind::Continuous { lower, .. } => lower,
+        }
+    }
+
+    /// Upper bound as a float.
+    pub fn upper(&self) -> f64 {
+        match *self {
+            VarKind::Binary => 1.0,
+            VarKind::Integer { upper, .. } => upper as f64,
+            VarKind::Continuous { upper, .. } => upper,
+        }
+    }
+}
+
+/// Definition of one model variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDef {
+    /// Human readable name, used in `.lp` output and diagnostics.
+    pub name: String,
+    /// Domain of the variable.
+    pub kind: VarKind,
+    /// Objective coefficient (filled in by [`Model::set_objective`]).
+    pub objective: f64,
+}
+
+/// Comparison operator of a linear constraint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `expr <= rhs`
+    Le,
+    /// `expr >= rhs`
+    Ge,
+    /// `expr == rhs`
+    Eq,
+}
+
+impl CmpOp {
+    /// ASCII rendering used by the `.lp` writer.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            CmpOp::Le => "<=",
+            CmpOp::Ge => ">=",
+            CmpOp::Eq => "=",
+        }
+    }
+}
+
+/// A linear constraint `expr (<=,>=,=) rhs`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Name for diagnostics.
+    pub name: String,
+    /// Left-hand-side linear expression (its constant is folded into `rhs`).
+    pub expr: LinExpr,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand-side constant.
+    pub rhs: f64,
+}
+
+impl Constraint {
+    /// Whether a dense assignment satisfies the constraint within `tol`.
+    pub fn is_satisfied(&self, values: &[f64], tol: f64) -> bool {
+        let lhs = self.expr.evaluate(values);
+        match self.op {
+            CmpOp::Le => lhs <= self.rhs + tol,
+            CmpOp::Ge => lhs >= self.rhs - tol,
+            CmpOp::Eq => (lhs - self.rhs).abs() <= tol,
+        }
+    }
+
+    /// Signed violation of the constraint (0 when satisfied).
+    pub fn violation(&self, values: &[f64]) -> f64 {
+        let lhs = self.expr.evaluate(values);
+        match self.op {
+            CmpOp::Le => (lhs - self.rhs).max(0.0),
+            CmpOp::Ge => (self.rhs - lhs).max(0.0),
+            CmpOp::Eq => (lhs - self.rhs).abs(),
+        }
+    }
+}
+
+/// Optimisation direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sense {
+    /// Minimise the objective (the default; the BIST formulations minimise area).
+    #[default]
+    Minimize,
+    /// Maximise the objective.
+    Maximize,
+}
+
+/// An integer linear programming model.
+///
+/// The model owns its variables, constraints and objective. It is built
+/// incrementally and solved with [`Model::solve`]; the same model may be
+/// solved several times with different [`SolverConfig`]s.
+#[derive(Debug, Clone, Default)]
+pub struct Model {
+    name: String,
+    vars: Vec<VarDef>,
+    constraints: Vec<Constraint>,
+    objective: LinExpr,
+    sense: Sense,
+}
+
+impl Model {
+    /// Creates an empty model with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ..Self::default()
+        }
+    }
+
+    /// The model name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Adds a binary (0/1) variable and returns its handle.
+    pub fn add_binary(&mut self, name: impl Into<String>) -> VarId {
+        self.push_var(name.into(), VarKind::Binary)
+    }
+
+    /// Adds a bounded general-integer variable.
+    pub fn add_integer(&mut self, name: impl Into<String>, lower: i64, upper: i64) -> VarId {
+        self.push_var(name.into(), VarKind::Integer { lower, upper })
+    }
+
+    /// Adds a bounded continuous variable.
+    pub fn add_continuous(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> VarId {
+        self.push_var(name.into(), VarKind::Continuous { lower, upper })
+    }
+
+    fn push_var(&mut self, name: String, kind: VarKind) -> VarId {
+        let id = VarId(self.vars.len());
+        self.vars.push(VarDef {
+            name,
+            kind,
+            objective: 0.0,
+        });
+        id
+    }
+
+    /// Number of variables in the model.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints in the model.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Number of binary variables.
+    pub fn num_binary(&self) -> usize {
+        self.vars
+            .iter()
+            .filter(|v| matches!(v.kind, VarKind::Binary))
+            .count()
+    }
+
+    /// Number of integer (including binary) variables.
+    pub fn num_integral(&self) -> usize {
+        self.vars.iter().filter(|v| v.kind.is_integral()).count()
+    }
+
+    /// The variable definitions, indexed by [`VarId::index`].
+    pub fn vars(&self) -> &[VarDef] {
+        &self.vars
+    }
+
+    /// The constraints in insertion order.
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The objective expression (constant included).
+    pub fn objective(&self) -> &LinExpr {
+        &self.objective
+    }
+
+    /// The optimisation sense.
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// Definition of a single variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `var` does not belong to this model.
+    pub fn var(&self, var: VarId) -> &VarDef {
+        &self.vars[var.index()]
+    }
+
+    /// Looks a variable up by name (linear scan; intended for tests and
+    /// diagnostics, not hot paths).
+    pub fn var_by_name(&self, name: &str) -> Option<VarId> {
+        self.vars
+            .iter()
+            .position(|v| v.name == name)
+            .map(VarId)
+    }
+
+    /// Adds a generic constraint `expr op rhs`.
+    ///
+    /// The constant part of `expr` is moved to the right-hand side so the
+    /// stored expression is homogeneous.
+    pub fn add_constraint(
+        &mut self,
+        expr: impl Into<LinExpr>,
+        op: CmpOp,
+        rhs: f64,
+        name: impl Into<String>,
+    ) -> usize {
+        let mut expr = expr.into();
+        let rhs = rhs - expr.offset();
+        expr.add_constant(-expr.offset());
+        let index = self.constraints.len();
+        self.constraints.push(Constraint {
+            name: name.into(),
+            expr,
+            op,
+            rhs,
+        });
+        index
+    }
+
+    /// Adds `expr <= rhs`.
+    pub fn add_leq(&mut self, expr: impl Into<LinExpr>, rhs: f64, name: impl Into<String>) -> usize {
+        self.add_constraint(expr, CmpOp::Le, rhs, name)
+    }
+
+    /// Adds `expr >= rhs`.
+    pub fn add_geq(&mut self, expr: impl Into<LinExpr>, rhs: f64, name: impl Into<String>) -> usize {
+        self.add_constraint(expr, CmpOp::Ge, rhs, name)
+    }
+
+    /// Adds `expr == rhs`.
+    pub fn add_eq(&mut self, expr: impl Into<LinExpr>, rhs: f64, name: impl Into<String>) -> usize {
+        self.add_constraint(expr, CmpOp::Eq, rhs, name)
+    }
+
+    /// Sets the objective from an expression and an optimisation sense.
+    ///
+    /// Calling this again replaces the previous objective.
+    pub fn set_objective(&mut self, expr: impl Into<LinExpr>, sense: Sense) {
+        let expr = expr.into();
+        for def in &mut self.vars {
+            def.objective = 0.0;
+        }
+        for (var, coeff) in expr.iter() {
+            self.vars[var.index()].objective = coeff;
+        }
+        self.objective = expr;
+        self.sense = sense;
+    }
+
+    /// Validates structural well-formedness: finite coefficients, bound
+    /// consistency and variable indices in range.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem encountered.
+    pub fn validate(&self) -> Result<(), IlpError> {
+        for def in &self.vars {
+            let (lo, hi) = (def.kind.lower(), def.kind.upper());
+            if lo > hi || !lo.is_finite() || !hi.is_finite() {
+                return Err(IlpError::InvalidBounds {
+                    name: def.name.clone(),
+                    lower: lo,
+                    upper: hi,
+                });
+            }
+        }
+        if !self.objective.is_finite() {
+            return Err(IlpError::InvalidCoefficient {
+                location: "objective".into(),
+            });
+        }
+        if let Some(max) = self.objective.max_var_index() {
+            if max >= self.vars.len() {
+                return Err(IlpError::UnknownVariable {
+                    index: max,
+                    len: self.vars.len(),
+                });
+            }
+        }
+        for c in &self.constraints {
+            if !c.expr.is_finite() || !c.rhs.is_finite() {
+                return Err(IlpError::InvalidCoefficient {
+                    location: c.name.clone(),
+                });
+            }
+            if let Some(max) = c.expr.max_var_index() {
+                if max >= self.vars.len() {
+                    return Err(IlpError::UnknownVariable {
+                        index: max,
+                        len: self.vars.len(),
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the objective for a dense assignment.
+    pub fn objective_value(&self, values: &[f64]) -> f64 {
+        self.objective.evaluate(values)
+    }
+
+    /// Whether a dense assignment satisfies every constraint and every
+    /// variable domain (integrality included) within `tol`.
+    pub fn is_feasible(&self, values: &[f64], tol: f64) -> bool {
+        if values.len() != self.vars.len() {
+            return false;
+        }
+        for (def, &val) in self.vars.iter().zip(values) {
+            if val < def.kind.lower() - tol || val > def.kind.upper() + tol {
+                return false;
+            }
+            if def.kind.is_integral() && (val - val.round()).abs() > tol {
+                return false;
+            }
+        }
+        self.constraints.iter().all(|c| c.is_satisfied(values, tol))
+    }
+
+    /// Solves the model with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the model is malformed; infeasibility and time
+    /// limits are reported through [`Solution::status`], not as errors.
+    pub fn solve(&self, config: &SolverConfig) -> Result<Solution, IlpError> {
+        self.validate()?;
+        BranchAndBound::new(self, config.clone()).run()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_a_model() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_integer("y", 0, 5);
+        let z = m.add_continuous("z", -1.0, 1.0);
+        assert_eq!(m.num_vars(), 3);
+        assert_eq!(m.num_binary(), 1);
+        assert_eq!(m.num_integral(), 2);
+        assert_eq!(m.var(x).kind.upper(), 1.0);
+        assert_eq!(m.var(y).kind.upper(), 5.0);
+        assert_eq!(m.var(z).kind.lower(), -1.0);
+        assert_eq!(m.var_by_name("y"), Some(y));
+        assert_eq!(m.var_by_name("nope"), None);
+    }
+
+    #[test]
+    fn constraint_constant_folding() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let expr = LinExpr::term(x, 2.0) + LinExpr::constant(3.0);
+        m.add_leq(expr, 4.0, "c");
+        let c = &m.constraints()[0];
+        assert_eq!(c.rhs, 1.0);
+        assert_eq!(c.expr.offset(), 0.0);
+    }
+
+    #[test]
+    fn validation_catches_bad_bounds_and_nan() {
+        let mut m = Model::new("m");
+        m.add_continuous("bad", 2.0, 1.0);
+        assert!(matches!(m.validate(), Err(IlpError::InvalidBounds { .. })));
+
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        m.add_leq([(x, f64::NAN)], 1.0, "c");
+        assert!(matches!(
+            m.validate(),
+            Err(IlpError::InvalidCoefficient { .. })
+        ));
+    }
+
+    #[test]
+    fn feasibility_checker() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_leq([(x, 1.0), (y, 1.0)], 1.0, "c");
+        assert!(m.is_feasible(&[1.0, 0.0], 1e-9));
+        assert!(!m.is_feasible(&[1.0, 1.0], 1e-9));
+        assert!(!m.is_feasible(&[0.5, 0.0], 1e-9));
+        assert!(!m.is_feasible(&[1.0], 1e-9));
+    }
+
+    #[test]
+    fn objective_replacement_resets_coefficients() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.set_objective([(x, 5.0)], Sense::Minimize);
+        assert_eq!(m.var(x).objective, 5.0);
+        m.set_objective([(y, 2.0)], Sense::Maximize);
+        assert_eq!(m.var(x).objective, 0.0);
+        assert_eq!(m.var(y).objective, 2.0);
+        assert_eq!(m.sense(), Sense::Maximize);
+    }
+
+    #[test]
+    fn constraint_violation_metrics() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let idx = m.add_geq([(x, 2.0)], 1.0, "c");
+        let c = &m.constraints()[idx];
+        assert_eq!(c.violation(&[0.0]), 1.0);
+        assert_eq!(c.violation(&[1.0]), 0.0);
+    }
+}

@@ -1,0 +1,147 @@
+//! Presolve: cheap model reductions applied before the tree search.
+//!
+//! The reductions never change the optimal objective value; they only shrink
+//! the search space. The report is also useful on its own as a structural
+//! diagnostic of a formulation (how many variables are decided by
+//! propagation alone, how many rows are vacuous, ...), which the BIST crates
+//! use in their tests to validate that the generated models are sensible.
+
+use crate::model::{CmpOp, Model};
+use crate::propagate::{Domains, PropagationResult, Propagator};
+use crate::EPS;
+
+/// Summary of the reductions found by [`presolve`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PresolveReport {
+    /// Variables fixed by root propagation.
+    pub fixed_vars: usize,
+    /// Variables whose bounds were tightened (but not fixed).
+    pub tightened_vars: usize,
+    /// Constraints that are satisfied by every point of the propagated box.
+    pub redundant_constraints: usize,
+    /// Whether root propagation proved the model infeasible.
+    pub infeasible: bool,
+}
+
+impl PresolveReport {
+    /// Fraction of variables already decided at the root, in `[0, 1]`.
+    pub fn fixed_fraction(&self, model: &Model) -> f64 {
+        if model.num_vars() == 0 {
+            return 0.0;
+        }
+        self.fixed_vars as f64 / model.num_vars() as f64
+    }
+}
+
+/// Runs root propagation on the model and reports the resulting reductions
+/// together with the propagated domains (which a solver can reuse).
+pub fn presolve(model: &Model) -> (PresolveReport, Domains) {
+    let propagator = Propagator::new(model);
+    let original = Domains::from_model(model);
+    let mut domains = original.clone();
+    let mut report = PresolveReport::default();
+
+    if propagator.propagate(&mut domains) == PropagationResult::Infeasible {
+        report.infeasible = true;
+        return (report, domains);
+    }
+
+    for j in 0..domains.len() {
+        if domains.is_fixed(j) && !original.is_fixed(j) {
+            report.fixed_vars += 1;
+        } else if domains.lower(j) > original.lower(j) + EPS
+            || domains.upper(j) < original.upper(j) - EPS
+        {
+            report.tightened_vars += 1;
+        }
+    }
+
+    for row in propagator.rows() {
+        let (min_act, max_act) = {
+            let mut min = 0.0;
+            let mut max = 0.0;
+            for &(i, a) in &row.terms {
+                if a >= 0.0 {
+                    min += a * domains.lower(i);
+                    max += a * domains.upper(i);
+                } else {
+                    min += a * domains.upper(i);
+                    max += a * domains.lower(i);
+                }
+            }
+            (min, max)
+        };
+        let redundant = match row.op {
+            CmpOp::Le => max_act <= row.rhs + EPS,
+            CmpOp::Ge => min_act >= row.rhs - EPS,
+            CmpOp::Eq => (min_act - row.rhs).abs() <= EPS && (max_act - row.rhs).abs() <= EPS,
+        };
+        if redundant {
+            report.redundant_constraints += 1;
+        }
+    }
+
+    (report, domains)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+
+    #[test]
+    fn presolve_fixes_forced_variables() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.add_geq([(x, 1.0)], 1.0, "fix_x");
+        m.add_leq([(x, 1.0), (y, 1.0)], 1.0, "x_excludes_y");
+        m.set_objective([(z, 1.0)], Sense::Minimize);
+        let (report, domains) = presolve(&m);
+        assert!(!report.infeasible);
+        assert_eq!(report.fixed_vars, 2); // x = 1, y = 0
+        assert!(domains.is_fixed(x.index()));
+        assert!(domains.is_fixed(y.index()));
+        assert!(!domains.is_fixed(z.index()));
+        assert!(report.fixed_fraction(&m) > 0.6);
+    }
+
+    #[test]
+    fn presolve_detects_infeasibility() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        m.add_geq([(x, 1.0)], 1.0, "a");
+        m.add_leq([(x, 1.0)], 0.0, "b");
+        let (report, _) = presolve(&m);
+        assert!(report.infeasible);
+    }
+
+    #[test]
+    fn redundant_constraints_are_counted() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_leq([(x, 1.0), (y, 1.0)], 5.0, "slack_row");
+        let (report, _) = presolve(&m);
+        assert_eq!(report.redundant_constraints, 1);
+    }
+
+    #[test]
+    fn integer_bound_tightening_is_reported() {
+        let mut m = Model::new("m");
+        let x = m.add_integer("x", 0, 10);
+        m.add_leq([(x, 2.0)], 9.0, "half");
+        let (report, domains) = presolve(&m);
+        assert_eq!(report.tightened_vars, 1);
+        assert_eq!(domains.upper(x.index()), 4.0);
+    }
+
+    #[test]
+    fn empty_model_presolves_cleanly() {
+        let m = Model::new("empty");
+        let (report, _) = presolve(&m);
+        assert_eq!(report, PresolveReport::default());
+        assert_eq!(report.fixed_fraction(&m), 0.0);
+    }
+}

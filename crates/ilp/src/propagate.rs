@@ -1,0 +1,476 @@
+//! Interval (bound) propagation over linear constraints.
+//!
+//! The propagator maintains a box of variable domains and repeatedly tightens
+//! it using constraint activity bounds, the classic bound-consistency
+//! technique for linear pseudo-Boolean / integer constraints. It is used
+//! three ways by the crate:
+//!
+//! * as a presolve step before branch and bound,
+//! * at every branch-and-bound node to prune and to detect infeasibility,
+//! * by the greedy diving heuristic to repair partial assignments.
+
+use crate::model::{CmpOp, Model};
+use crate::EPS;
+
+/// Current lower/upper bounds of every model variable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Domains {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    integral: Vec<bool>,
+}
+
+impl Domains {
+    /// Domains initialised from the declared variable bounds of a model.
+    pub fn from_model(model: &Model) -> Self {
+        let lower = model.vars().iter().map(|v| v.kind.lower()).collect();
+        let upper = model.vars().iter().map(|v| v.kind.upper()).collect();
+        let integral = model.vars().iter().map(|v| v.kind.is_integral()).collect();
+        Self {
+            lower,
+            upper,
+            integral,
+        }
+    }
+
+    /// Number of variables.
+    pub fn len(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Whether the domain set is empty (no variables).
+    pub fn is_empty(&self) -> bool {
+        self.lower.is_empty()
+    }
+
+    /// Lower bound of variable `i`.
+    pub fn lower(&self, i: usize) -> f64 {
+        self.lower[i]
+    }
+
+    /// Upper bound of variable `i`.
+    pub fn upper(&self, i: usize) -> f64 {
+        self.upper[i]
+    }
+
+    /// Whether variable `i` must take an integral value.
+    pub fn is_integral(&self, i: usize) -> bool {
+        self.integral[i]
+    }
+
+    /// Whether variable `i` is fixed (lower == upper within tolerance).
+    pub fn is_fixed(&self, i: usize) -> bool {
+        self.upper[i] - self.lower[i] <= EPS
+    }
+
+    /// The fixed value of variable `i`, if it is fixed.
+    pub fn fixed_value(&self, i: usize) -> Option<f64> {
+        if self.is_fixed(i) {
+            Some(if self.integral[i] {
+                self.lower[i].round()
+            } else {
+                0.5 * (self.lower[i] + self.upper[i])
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Whether every integral variable is fixed.
+    pub fn all_integral_fixed(&self) -> bool {
+        (0..self.len()).all(|i| !self.integral[i] || self.is_fixed(i))
+    }
+
+    /// Whether every variable is fixed.
+    pub fn all_fixed(&self) -> bool {
+        (0..self.len()).all(|i| self.is_fixed(i))
+    }
+
+    /// Fixes variable `i` to `value`.
+    ///
+    /// Returns `false` (leaving the domain empty-marked) if `value` lies
+    /// outside the current bounds.
+    pub fn fix(&mut self, i: usize, value: f64) -> bool {
+        if value < self.lower[i] - EPS || value > self.upper[i] + EPS {
+            return false;
+        }
+        self.lower[i] = value;
+        self.upper[i] = value;
+        true
+    }
+
+    /// Tightens the lower bound of variable `i`. Returns whether it changed.
+    pub fn tighten_lower(&mut self, i: usize, value: f64) -> bool {
+        let mut value = value;
+        if self.integral[i] {
+            value = (value - EPS).ceil();
+        }
+        if value > self.lower[i] + EPS {
+            self.lower[i] = value;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Tightens the upper bound of variable `i`. Returns whether it changed.
+    pub fn tighten_upper(&mut self, i: usize, value: f64) -> bool {
+        let mut value = value;
+        if self.integral[i] {
+            value = (value + EPS).floor();
+        }
+        if value < self.upper[i] - EPS {
+            self.upper[i] = value;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Whether the box is empty (some variable has lower > upper).
+    pub fn is_infeasible(&self) -> bool {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .any(|(l, u)| *l > *u + EPS)
+    }
+
+    /// Produces a dense assignment by taking the fixed value of every
+    /// variable (midpoint for unfixed continuous, lower bound for unfixed
+    /// integral variables). Intended for fully-fixed domains.
+    pub fn assignment(&self) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| {
+                if self.integral[i] {
+                    self.lower[i].round()
+                } else if self.is_fixed(i) {
+                    0.5 * (self.lower[i] + self.upper[i])
+                } else {
+                    self.lower[i]
+                }
+            })
+            .collect()
+    }
+}
+
+/// A normalised linear row `Σ aᵢ·xᵢ  op  rhs` used by the propagator and the
+/// bounding code.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Sparse terms `(variable index, coefficient)`.
+    pub terms: Vec<(usize, f64)>,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// The propagation engine: a compiled, index-based copy of the model rows.
+#[derive(Debug, Clone)]
+pub struct Propagator {
+    rows: Vec<Row>,
+    /// Maximum number of fixpoint sweeps per call; guards against slow
+    /// convergence on badly scaled models.
+    pub max_rounds: usize,
+}
+
+/// Result of a propagation fixpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PropagationResult {
+    /// The box is still non-empty; bounds may have been tightened.
+    Consistent,
+    /// Some constraint cannot be satisfied within the current box.
+    Infeasible,
+}
+
+impl Propagator {
+    /// Compiles the rows of a model.
+    pub fn new(model: &Model) -> Self {
+        let rows = model
+            .constraints()
+            .iter()
+            .map(|c| Row {
+                terms: c.expr.iter().map(|(v, a)| (v.index(), a)).collect(),
+                op: c.op,
+                rhs: c.rhs,
+            })
+            .collect();
+        Self {
+            rows,
+            max_rounds: 64,
+        }
+    }
+
+    /// The compiled rows.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Runs bound propagation to fixpoint on `domains`.
+    pub fn propagate(&self, domains: &mut Domains) -> PropagationResult {
+        for _ in 0..self.max_rounds {
+            if domains.is_infeasible() {
+                return PropagationResult::Infeasible;
+            }
+            let mut changed = false;
+            for row in &self.rows {
+                match propagate_row(row, domains) {
+                    RowResult::Infeasible => return PropagationResult::Infeasible,
+                    RowResult::Changed => changed = true,
+                    RowResult::Unchanged => {}
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        if domains.is_infeasible() {
+            PropagationResult::Infeasible
+        } else {
+            PropagationResult::Consistent
+        }
+    }
+}
+
+enum RowResult {
+    Unchanged,
+    Changed,
+    Infeasible,
+}
+
+/// Activity range of `Σ aᵢ·xᵢ` over the box.
+fn activity_bounds(terms: &[(usize, f64)], domains: &Domains) -> (f64, f64) {
+    let mut min = 0.0;
+    let mut max = 0.0;
+    for &(i, a) in terms {
+        if a >= 0.0 {
+            min += a * domains.lower(i);
+            max += a * domains.upper(i);
+        } else {
+            min += a * domains.upper(i);
+            max += a * domains.lower(i);
+        }
+    }
+    (min, max)
+}
+
+fn propagate_row(row: &Row, domains: &mut Domains) -> RowResult {
+    let mut changed = false;
+    // Handle <= (and the <= half of ==).
+    if matches!(row.op, CmpOp::Le | CmpOp::Eq) {
+        match propagate_upper(row, domains) {
+            RowResult::Infeasible => return RowResult::Infeasible,
+            RowResult::Changed => changed = true,
+            RowResult::Unchanged => {}
+        }
+    }
+    // Handle >= (and the >= half of ==).
+    if matches!(row.op, CmpOp::Ge | CmpOp::Eq) {
+        match propagate_lower(row, domains) {
+            RowResult::Infeasible => return RowResult::Infeasible,
+            RowResult::Changed => changed = true,
+            RowResult::Unchanged => {}
+        }
+    }
+    if changed {
+        RowResult::Changed
+    } else {
+        RowResult::Unchanged
+    }
+}
+
+/// Propagates `Σ aᵢ·xᵢ <= rhs`.
+fn propagate_upper(row: &Row, domains: &mut Domains) -> RowResult {
+    let (min_act, _) = activity_bounds(&row.terms, domains);
+    if min_act > row.rhs + EPS {
+        return RowResult::Infeasible;
+    }
+    let mut changed = false;
+    for &(i, a) in &row.terms {
+        if a.abs() < EPS {
+            continue;
+        }
+        // residual minimum activity of the other terms
+        let own_min = if a >= 0.0 {
+            a * domains.lower(i)
+        } else {
+            a * domains.upper(i)
+        };
+        let resid = min_act - own_min;
+        let slack = row.rhs - resid;
+        if a > 0.0 {
+            // a * x_i <= slack  =>  x_i <= slack / a
+            if domains.tighten_upper(i, slack / a) {
+                changed = true;
+            }
+        } else {
+            // a * x_i <= slack  =>  x_i >= slack / a   (a negative)
+            if domains.tighten_lower(i, slack / a) {
+                changed = true;
+            }
+        }
+    }
+    if domains.is_infeasible() {
+        RowResult::Infeasible
+    } else if changed {
+        RowResult::Changed
+    } else {
+        RowResult::Unchanged
+    }
+}
+
+/// Propagates `Σ aᵢ·xᵢ >= rhs`.
+fn propagate_lower(row: &Row, domains: &mut Domains) -> RowResult {
+    let (_, max_act) = activity_bounds(&row.terms, domains);
+    if max_act < row.rhs - EPS {
+        return RowResult::Infeasible;
+    }
+    let mut changed = false;
+    for &(i, a) in &row.terms {
+        if a.abs() < EPS {
+            continue;
+        }
+        let own_max = if a >= 0.0 {
+            a * domains.upper(i)
+        } else {
+            a * domains.lower(i)
+        };
+        let resid = max_act - own_max;
+        let need = row.rhs - resid;
+        if a > 0.0 {
+            // a * x_i >= need  =>  x_i >= need / a
+            if domains.tighten_lower(i, need / a) {
+                changed = true;
+            }
+        } else {
+            // a * x_i >= need  =>  x_i <= need / a   (a negative)
+            if domains.tighten_upper(i, need / a) {
+                changed = true;
+            }
+        }
+    }
+    if domains.is_infeasible() {
+        RowResult::Infeasible
+    } else if changed {
+        RowResult::Changed
+    } else {
+        RowResult::Unchanged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Model, Sense};
+
+    #[test]
+    fn domains_reflect_declared_bounds() {
+        let mut m = Model::new("m");
+        m.add_binary("b");
+        m.add_integer("i", -2, 7);
+        m.add_continuous("c", 0.5, 2.5);
+        let d = Domains::from_model(&m);
+        assert_eq!(d.lower(0), 0.0);
+        assert_eq!(d.upper(0), 1.0);
+        assert_eq!(d.lower(1), -2.0);
+        assert_eq!(d.upper(1), 7.0);
+        assert!(!d.is_integral(2));
+        assert!(d.is_integral(0));
+    }
+
+    #[test]
+    fn equality_fixes_partner_variable() {
+        // x + y = 1 with x fixed to 1 forces y = 0.
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_eq([(x, 1.0), (y, 1.0)], 1.0, "c");
+        m.set_objective([(x, 1.0)], Sense::Minimize);
+        let prop = Propagator::new(&m);
+        let mut d = Domains::from_model(&m);
+        assert!(d.fix(x.index(), 1.0));
+        assert_eq!(prop.propagate(&mut d), PropagationResult::Consistent);
+        assert_eq!(d.fixed_value(y.index()), Some(0.0));
+    }
+
+    #[test]
+    fn geq_forces_variable_up() {
+        // 2x >= 1, x binary  => x = 1.
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        m.add_geq([(x, 2.0)], 1.0, "c");
+        let prop = Propagator::new(&m);
+        let mut d = Domains::from_model(&m);
+        assert_eq!(prop.propagate(&mut d), PropagationResult::Consistent);
+        assert_eq!(d.fixed_value(x.index()), Some(1.0));
+    }
+
+    #[test]
+    fn detects_infeasibility() {
+        // x + y >= 3 over binaries is infeasible.
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_geq([(x, 1.0), (y, 1.0)], 3.0, "c");
+        let prop = Propagator::new(&m);
+        let mut d = Domains::from_model(&m);
+        assert_eq!(prop.propagate(&mut d), PropagationResult::Infeasible);
+    }
+
+    #[test]
+    fn negative_coefficients() {
+        // x - y <= -1 over binaries forces x = 0, y = 1.
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_leq([(x, 1.0), (y, -1.0)], -1.0, "c");
+        let prop = Propagator::new(&m);
+        let mut d = Domains::from_model(&m);
+        assert_eq!(prop.propagate(&mut d), PropagationResult::Consistent);
+        assert_eq!(d.fixed_value(x.index()), Some(0.0));
+        assert_eq!(d.fixed_value(y.index()), Some(1.0));
+    }
+
+    #[test]
+    fn integral_rounding_of_bounds() {
+        // 2x <= 3 over an integer x in [0, 5] gives x <= 1.
+        let mut m = Model::new("m");
+        let x = m.add_integer("x", 0, 5);
+        m.add_leq([(x, 2.0)], 3.0, "c");
+        let prop = Propagator::new(&m);
+        let mut d = Domains::from_model(&m);
+        prop.propagate(&mut d);
+        assert_eq!(d.upper(x.index()), 1.0);
+    }
+
+    #[test]
+    fn chained_implications_reach_fixpoint() {
+        // x1 = 1; x1 <= x2; x2 <= x3; ... all become 1.
+        let mut m = Model::new("m");
+        let vars: Vec<_> = (0..10).map(|i| m.add_binary(format!("x{i}"))).collect();
+        m.add_geq([(vars[0], 1.0)], 1.0, "fix");
+        for w in vars.windows(2) {
+            m.add_leq([(w[0], 1.0), (w[1], -1.0)], 0.0, "imp");
+        }
+        let prop = Propagator::new(&m);
+        let mut d = Domains::from_model(&m);
+        assert_eq!(prop.propagate(&mut d), PropagationResult::Consistent);
+        for v in &vars {
+            assert_eq!(d.fixed_value(v.index()), Some(1.0));
+        }
+    }
+
+    #[test]
+    fn assignment_of_fully_fixed_domains() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_integer("y", 0, 4);
+        m.add_geq([(x, 1.0)], 1.0, "c1");
+        m.add_eq([(y, 1.0)], 3.0, "c2");
+        let prop = Propagator::new(&m);
+        let mut d = Domains::from_model(&m);
+        prop.propagate(&mut d);
+        assert!(d.all_integral_fixed());
+        assert_eq!(d.assignment(), vec![1.0, 3.0]);
+    }
+}

@@ -1,0 +1,180 @@
+//! Solve results: status, variable values and statistics.
+
+use crate::model::VarId;
+use std::time::Duration;
+
+/// Outcome of a solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Status {
+    /// The reported solution is proven optimal.
+    Optimal,
+    /// A feasible solution was found but optimality was not proven within
+    /// the configured limits.
+    Feasible,
+    /// The model was proven to have no feasible solution.
+    Infeasible,
+    /// The relaxation is unbounded in the optimisation direction.
+    Unbounded,
+    /// The limits expired before any feasible solution was found; nothing is
+    /// known about feasibility.
+    Unknown,
+}
+
+impl Status {
+    /// Whether a usable (feasible) assignment is available.
+    pub fn has_solution(self) -> bool {
+        matches!(self, Status::Optimal | Status::Feasible)
+    }
+}
+
+/// Counters describing the effort spent by the solver.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SolveStats {
+    /// Number of branch-and-bound nodes explored.
+    pub nodes: u64,
+    /// Number of simplex pivots performed across all LP relaxations.
+    pub lp_pivots: u64,
+    /// Number of LP relaxations solved.
+    pub lp_solves: u64,
+    /// Number of propagation fixpoint rounds executed.
+    pub propagations: u64,
+    /// Wall-clock time of the solve.
+    pub time: Duration,
+    /// Best proven lower bound on the (minimisation) objective.
+    pub best_bound: f64,
+    /// Relative optimality gap `(incumbent - bound) / max(|incumbent|, 1)`,
+    /// zero when proven optimal, infinity when no incumbent exists.
+    pub gap: f64,
+    /// True when the wall-clock or node limit stopped the search.
+    pub limit_reached: bool,
+}
+
+/// A solution returned by [`crate::Model::solve`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution {
+    status: Status,
+    values: Vec<f64>,
+    objective: f64,
+    stats: SolveStats,
+}
+
+impl Solution {
+    /// Creates a solution record (crate-internal; users obtain solutions from
+    /// the solver).
+    pub(crate) fn new(status: Status, values: Vec<f64>, objective: f64, stats: SolveStats) -> Self {
+        Self {
+            status,
+            values,
+            objective,
+            stats,
+        }
+    }
+
+    /// Creates a solution carrying no assignment (infeasible / unknown).
+    pub(crate) fn without_values(status: Status, stats: SolveStats) -> Self {
+        Self {
+            status,
+            values: Vec::new(),
+            objective: f64::INFINITY,
+            stats,
+        }
+    }
+
+    /// The solve status.
+    pub fn status(&self) -> Status {
+        self.status
+    }
+
+    /// Whether the solution is proven optimal.
+    pub fn is_optimal(&self) -> bool {
+        self.status == Status::Optimal
+    }
+
+    /// Whether a feasible assignment is available (optimal or not).
+    pub fn is_feasible(&self) -> bool {
+        self.status.has_solution()
+    }
+
+    /// Objective value of the reported assignment.
+    ///
+    /// Returns `f64::INFINITY` when no assignment is available.
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Value of a variable in the reported assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no assignment is available or `var` is out of range.
+    pub fn value(&self, var: VarId) -> f64 {
+        self.values[var.index()]
+    }
+
+    /// Whether a (binary) variable is 1 in the reported assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no assignment is available or `var` is out of range.
+    pub fn is_one(&self, var: VarId) -> bool {
+        self.value(var) > 0.5
+    }
+
+    /// Rounded integer value of a variable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no assignment is available or `var` is out of range.
+    pub fn int_value(&self, var: VarId) -> i64 {
+        self.value(var).round() as i64
+    }
+
+    /// The dense assignment vector (empty when no solution is available).
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Solver effort statistics.
+    pub fn stats(&self) -> &SolveStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_predicates() {
+        assert!(Status::Optimal.has_solution());
+        assert!(Status::Feasible.has_solution());
+        assert!(!Status::Infeasible.has_solution());
+        assert!(!Status::Unknown.has_solution());
+        assert!(!Status::Unbounded.has_solution());
+    }
+
+    #[test]
+    fn solution_accessors() {
+        let sol = Solution::new(
+            Status::Optimal,
+            vec![1.0, 0.0, 3.0],
+            42.0,
+            SolveStats::default(),
+        );
+        assert!(sol.is_optimal());
+        assert!(sol.is_feasible());
+        assert_eq!(sol.objective(), 42.0);
+        assert!(sol.is_one(VarId(0)));
+        assert!(!sol.is_one(VarId(1)));
+        assert_eq!(sol.int_value(VarId(2)), 3);
+        assert_eq!(sol.values().len(), 3);
+    }
+
+    #[test]
+    fn empty_solution() {
+        let sol = Solution::without_values(Status::Infeasible, SolveStats::default());
+        assert!(!sol.is_feasible());
+        assert!(sol.objective().is_infinite());
+        assert!(sol.values().is_empty());
+    }
+}

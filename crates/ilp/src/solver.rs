@@ -1,0 +1,921 @@
+//! Branch-and-bound solver for mixed 0-1 / integer linear programs.
+//!
+//! The solver explores a binary search tree over the integral variables. At
+//! every node it runs bound propagation, computes a dual (lower) bound —
+//! either from the LP relaxation, from the objective over the propagated box,
+//! or a depth-dependent hybrid of the two — and prunes nodes that cannot beat
+//! the incumbent. A greedy propagation-repaired dive supplies an early
+//! incumbent, which matters a great deal for the highly constrained BIST
+//! assignment models this crate was written for.
+
+use std::collections::BinaryHeap;
+use std::time::{Duration, Instant};
+
+use crate::error::IlpError;
+use crate::heuristics::{greedy_dive, round_and_repair};
+use crate::model::{Model, Sense};
+use crate::propagate::{Domains, PropagationResult, Propagator};
+use crate::simplex::{solve_lp, LpStatus};
+use crate::solution::{SolveStats, Solution, Status};
+use crate::{EPS, INT_EPS};
+
+/// How dual bounds are computed at branch-and-bound nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BoundMode {
+    /// Objective bound over the propagated variable box only. Cheapest, and
+    /// surprisingly effective on the assignment-heavy BIST models, but the
+    /// weakest bound.
+    Propagation,
+    /// Solve the LP relaxation at every node. Strongest bound, most work.
+    LpRelaxation,
+    /// Solve the LP relaxation at nodes of depth `lp_depth` or shallower and
+    /// fall back to the propagation bound deeper in the tree.
+    Hybrid {
+        /// Maximum depth at which the LP relaxation is still solved.
+        lp_depth: usize,
+    },
+}
+
+/// Variable selection strategy for branching.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Branching {
+    /// Branch on the first unfixed integral variable (model order).
+    InputOrder,
+    /// Branch on the unfixed integral variable that appears in the largest
+    /// number of constraints.
+    MostConstrained,
+    /// Branch on the variable whose LP relaxation value is most fractional;
+    /// falls back to [`Branching::MostConstrained`] when no LP value is
+    /// available at the node.
+    MostFractional,
+}
+
+/// Node exploration order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchOrder {
+    /// Depth-first (default): finds feasible solutions quickly and keeps the
+    /// open-node set small.
+    DepthFirst,
+    /// Best-bound-first: explores the node with the smallest dual bound
+    /// first; proves optimality with fewer nodes at the price of memory.
+    BestFirst,
+}
+
+/// Configuration of a branch-and-bound run.
+#[derive(Debug, Clone)]
+pub struct SolverConfig {
+    /// Wall-clock limit. `None` means unlimited.
+    pub time_limit: Option<Duration>,
+    /// Maximum number of explored nodes. `None` means unlimited.
+    pub node_limit: Option<u64>,
+    /// Dual bound computation mode.
+    pub bound_mode: BoundMode,
+    /// Branching variable selection.
+    pub branching: Branching,
+    /// Node exploration order.
+    pub search: SearchOrder,
+    /// Stop as soon as the relative gap drops below this value.
+    pub gap_tolerance: f64,
+    /// Pivot budget per LP relaxation solve.
+    pub max_lp_pivots: u64,
+    /// Run the greedy dive heuristic before the tree search.
+    pub dive_heuristic: bool,
+    /// Optional warm-start assignment; used as the initial incumbent when it
+    /// is feasible for the model.
+    pub initial_solution: Option<Vec<f64>>,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            time_limit: Some(Duration::from_secs(60)),
+            node_limit: None,
+            bound_mode: BoundMode::Hybrid { lp_depth: 4 },
+            branching: Branching::MostConstrained,
+            search: SearchOrder::DepthFirst,
+            gap_tolerance: 1e-9,
+            max_lp_pivots: 50_000,
+            dive_heuristic: true,
+            initial_solution: None,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// A configuration tuned for exhaustive solving of small models in tests:
+    /// no time limit, LP relaxation bound everywhere.
+    pub fn exact() -> Self {
+        Self {
+            time_limit: None,
+            bound_mode: BoundMode::LpRelaxation,
+            ..Self::default()
+        }
+    }
+
+    /// A cheap configuration for large models: propagation bounds only and
+    /// the given wall-clock budget.
+    pub fn time_boxed(limit: Duration) -> Self {
+        Self {
+            time_limit: Some(limit),
+            bound_mode: BoundMode::Propagation,
+            ..Self::default()
+        }
+    }
+
+    /// Builder-style setter for the time limit.
+    pub fn with_time_limit(mut self, limit: Option<Duration>) -> Self {
+        self.time_limit = limit;
+        self
+    }
+
+    /// Builder-style setter for the bound mode.
+    pub fn with_bound_mode(mut self, mode: BoundMode) -> Self {
+        self.bound_mode = mode;
+        self
+    }
+
+    /// Builder-style setter for the branching rule.
+    pub fn with_branching(mut self, branching: Branching) -> Self {
+        self.branching = branching;
+        self
+    }
+
+    /// Builder-style setter for the search order.
+    pub fn with_search(mut self, search: SearchOrder) -> Self {
+        self.search = search;
+        self
+    }
+
+    /// Builder-style setter for a warm-start assignment.
+    pub fn with_initial_solution(mut self, values: Vec<f64>) -> Self {
+        self.initial_solution = Some(values);
+        self
+    }
+}
+
+/// A branch-and-bound node.
+#[derive(Debug, Clone)]
+struct Node {
+    domains: Domains,
+    depth: usize,
+    /// Dual bound inherited from the parent (minimisation objective).
+    bound: f64,
+}
+
+/// Wrapper giving the binary heap min-heap semantics on the node bound.
+struct HeapNode(Node);
+
+impl PartialEq for HeapNode {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.bound == other.0.bound
+    }
+}
+impl Eq for HeapNode {}
+impl PartialOrd for HeapNode {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapNode {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reverse: smaller bound = higher priority.
+        other
+            .0
+            .bound
+            .partial_cmp(&self.0.bound)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    }
+}
+
+enum Frontier {
+    Stack(Vec<Node>),
+    Heap(BinaryHeap<HeapNode>),
+}
+
+impl Frontier {
+    fn new(order: SearchOrder) -> Self {
+        match order {
+            SearchOrder::DepthFirst => Frontier::Stack(Vec::new()),
+            SearchOrder::BestFirst => Frontier::Heap(BinaryHeap::new()),
+        }
+    }
+    fn push(&mut self, node: Node) {
+        match self {
+            Frontier::Stack(s) => s.push(node),
+            Frontier::Heap(h) => h.push(HeapNode(node)),
+        }
+    }
+    fn pop(&mut self) -> Option<Node> {
+        match self {
+            Frontier::Stack(s) => s.pop(),
+            Frontier::Heap(h) => h.pop().map(|n| n.0),
+        }
+    }
+    fn min_bound(&self) -> Option<f64> {
+        match self {
+            Frontier::Stack(s) => s
+                .iter()
+                .map(|n| n.bound)
+                .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)),
+            Frontier::Heap(h) => h.peek().map(|n| n.0.bound),
+        }
+    }
+    fn is_empty(&self) -> bool {
+        match self {
+            Frontier::Stack(s) => s.is_empty(),
+            Frontier::Heap(h) => h.is_empty(),
+        }
+    }
+}
+
+/// The branch-and-bound engine. Construct with [`BranchAndBound::new`] and
+/// call [`BranchAndBound::run`]; most users go through [`Model::solve`].
+pub struct BranchAndBound<'a> {
+    model: &'a Model,
+    config: SolverConfig,
+    propagator: Propagator,
+    /// Minimisation objective coefficients (sign-flipped for maximisation).
+    objective: Vec<f64>,
+    objective_constant: f64,
+    sense_factor: f64,
+    occurrence: Vec<usize>,
+}
+
+impl<'a> BranchAndBound<'a> {
+    /// Prepares a solver run for `model`.
+    pub fn new(model: &'a Model, config: SolverConfig) -> Self {
+        let propagator = Propagator::new(model);
+        let sense_factor = match model.sense() {
+            Sense::Minimize => 1.0,
+            Sense::Maximize => -1.0,
+        };
+        let objective: Vec<f64> = model
+            .vars()
+            .iter()
+            .map(|v| sense_factor * v.objective)
+            .collect();
+        let objective_constant = sense_factor * model.objective().offset();
+        let mut occurrence = vec![0usize; model.num_vars()];
+        for row in propagator.rows() {
+            for &(j, _) in &row.terms {
+                occurrence[j] += 1;
+            }
+        }
+        Self {
+            model,
+            config,
+            propagator,
+            objective,
+            objective_constant,
+            sense_factor,
+            occurrence,
+        }
+    }
+
+    /// Runs the search and returns the best solution found.
+    ///
+    /// # Errors
+    ///
+    /// Only structural errors are reported as `Err`; infeasibility and limit
+    /// expiry are encoded in the returned [`Status`].
+    pub fn run(self) -> Result<Solution, IlpError> {
+        let start = Instant::now();
+        let mut stats = SolveStats::default();
+
+        let mut root = Domains::from_model(self.model);
+        stats.propagations += 1;
+        if self.propagator.propagate(&mut root) == PropagationResult::Infeasible {
+            stats.time = start.elapsed();
+            stats.best_bound = f64::INFINITY;
+            return Ok(Solution::without_values(Status::Infeasible, stats));
+        }
+
+        // Incumbent: (internal minimisation objective, values).
+        let mut incumbent: Option<(f64, Vec<f64>)> = None;
+
+        if let Some(warm) = self.config.initial_solution.clone() {
+            if self.model.is_feasible(&warm, 1e-6) {
+                let obj = self.internal_objective(&warm);
+                incumbent = Some((obj, warm));
+            }
+        }
+
+        if self.config.dive_heuristic {
+            if let Some(values) = greedy_dive(&self.propagator, &root, &self.objective) {
+                if self.model.is_feasible(&values, 1e-6) {
+                    let obj = self.internal_objective(&values);
+                    if incumbent.as_ref().map(|(b, _)| obj < *b).unwrap_or(true) {
+                        incumbent = Some((obj, values));
+                    }
+                }
+            }
+        }
+
+        // Pure LP case: no integral variables at all.
+        if self.model.num_integral() == 0 {
+            return Ok(self.solve_pure_lp(&root, start, stats, incumbent));
+        }
+
+        let mut frontier = Frontier::new(self.config.search);
+        frontier.push(Node {
+            domains: root,
+            depth: 0,
+            bound: f64::NEG_INFINITY,
+        });
+
+        let mut limit_reached = false;
+        let mut root_bound = f64::NEG_INFINITY;
+        let mut pruned_bound_min = f64::INFINITY;
+
+        while let Some(mut node) = frontier.pop() {
+            if self.limits_exceeded(start, &stats) {
+                limit_reached = true;
+                // The popped node is still open.
+                pruned_bound_min = pruned_bound_min.min(node.bound);
+                break;
+            }
+            stats.nodes += 1;
+
+            stats.propagations += 1;
+            if self.propagator.propagate(&mut node.domains) == PropagationResult::Infeasible {
+                continue;
+            }
+
+            let incumbent_obj = incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
+            let bound = match self.node_bound(&node, &mut stats, incumbent_obj, &mut incumbent) {
+                NodeBound::Infeasible => continue,
+                NodeBound::Bound { value, lp_values } => {
+                    node.bound = value;
+                    if node.depth == 0 {
+                        root_bound = value;
+                    }
+                    if value >= incumbent_obj - EPS {
+                        pruned_bound_min = pruned_bound_min.min(value);
+                        continue;
+                    }
+                    lp_values
+                }
+            };
+
+            if node.domains.all_integral_fixed() {
+                if let Some(values) = self.complete_assignment(&node.domains, &mut stats) {
+                    if self.model.is_feasible(&values, 1e-6) {
+                        let obj = self.internal_objective(&values);
+                        if obj < incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY) {
+                            incumbent = Some((obj, values));
+                        }
+                    }
+                }
+                continue;
+            }
+
+            let branch_var = self.select_branch_var(&node.domains, bound.as_deref());
+            let Some(j) = branch_var else {
+                continue;
+            };
+            self.push_children(&mut frontier, &node, j, bound.as_deref());
+        }
+
+        if !frontier.is_empty() {
+            limit_reached = true;
+        }
+
+        // Final bound and gap bookkeeping.
+        let open_min = frontier.min_bound().unwrap_or(f64::INFINITY);
+        let best_bound_internal = if limit_reached {
+            open_min
+                .min(pruned_bound_min)
+                .min(incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY))
+                .max(root_bound.min(open_min))
+        } else {
+            incumbent
+                .as_ref()
+                .map(|(b, _)| *b)
+                .unwrap_or(f64::INFINITY)
+        };
+
+        stats.time = start.elapsed();
+        stats.limit_reached = limit_reached;
+        stats.best_bound = self.sense_factor * best_bound_internal;
+
+        match incumbent {
+            Some((obj, values)) => {
+                let status = if limit_reached {
+                    Status::Feasible
+                } else {
+                    Status::Optimal
+                };
+                stats.gap = if status == Status::Optimal {
+                    0.0
+                } else {
+                    ((obj - best_bound_internal).max(0.0)) / obj.abs().max(1.0)
+                };
+                let external_obj = self.sense_factor * obj;
+                Ok(Solution::new(status, values, external_obj, stats))
+            }
+            None => {
+                let status = if limit_reached {
+                    Status::Unknown
+                } else {
+                    Status::Infeasible
+                };
+                stats.gap = f64::INFINITY;
+                Ok(Solution::without_values(status, stats))
+            }
+        }
+    }
+
+    fn solve_pure_lp(
+        &self,
+        root: &Domains,
+        start: Instant,
+        mut stats: SolveStats,
+        _incumbent: Option<(f64, Vec<f64>)>,
+    ) -> Solution {
+        let lp = solve_lp(
+            self.propagator.rows(),
+            &self.objective,
+            self.objective_constant,
+            root,
+            self.config.max_lp_pivots,
+        );
+        stats.lp_solves += 1;
+        stats.lp_pivots += lp.pivots;
+        stats.time = start.elapsed();
+        match lp.status {
+            LpStatus::Optimal => {
+                stats.best_bound = self.sense_factor * lp.objective;
+                Solution::new(
+                    Status::Optimal,
+                    lp.values,
+                    self.sense_factor * lp.objective,
+                    stats,
+                )
+            }
+            LpStatus::Infeasible => Solution::without_values(Status::Infeasible, stats),
+            LpStatus::Unbounded => Solution::without_values(Status::Unbounded, stats),
+            LpStatus::IterationLimit => {
+                stats.limit_reached = true;
+                Solution::without_values(Status::Unknown, stats)
+            }
+        }
+    }
+
+    fn internal_objective(&self, values: &[f64]) -> f64 {
+        self.objective_constant
+            + self
+                .objective
+                .iter()
+                .zip(values)
+                .map(|(c, v)| c * v)
+                .sum::<f64>()
+    }
+
+    fn limits_exceeded(&self, start: Instant, stats: &SolveStats) -> bool {
+        if let Some(limit) = self.config.time_limit {
+            if start.elapsed() >= limit {
+                return true;
+            }
+        }
+        if let Some(limit) = self.config.node_limit {
+            if stats.nodes >= limit {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Objective bound over the box: every variable at its cheapest bound.
+    fn propagation_bound(&self, domains: &Domains) -> f64 {
+        let mut bound = self.objective_constant;
+        for (j, &c) in self.objective.iter().enumerate() {
+            bound += if c >= 0.0 {
+                c * domains.lower(j)
+            } else {
+                c * domains.upper(j)
+            };
+        }
+        bound
+    }
+
+    fn use_lp_at(&self, depth: usize) -> bool {
+        match self.config.bound_mode {
+            BoundMode::Propagation => false,
+            BoundMode::LpRelaxation => true,
+            BoundMode::Hybrid { lp_depth } => depth <= lp_depth,
+        }
+    }
+
+    fn node_bound(
+        &self,
+        node: &Node,
+        stats: &mut SolveStats,
+        incumbent_obj: f64,
+        incumbent: &mut Option<(f64, Vec<f64>)>,
+    ) -> NodeBound {
+        let prop_bound = self.propagation_bound(&node.domains);
+        if !self.use_lp_at(node.depth) {
+            return NodeBound::Bound {
+                value: prop_bound,
+                lp_values: None,
+            };
+        }
+        let lp = solve_lp(
+            self.propagator.rows(),
+            &self.objective,
+            self.objective_constant,
+            &node.domains,
+            self.config.max_lp_pivots,
+        );
+        stats.lp_solves += 1;
+        stats.lp_pivots += lp.pivots;
+        match lp.status {
+            LpStatus::Infeasible => NodeBound::Infeasible,
+            LpStatus::Optimal => {
+                // If the relaxation happens to be integral it is a feasible
+                // MILP solution; use it to tighten the incumbent.
+                let integral = (0..node.domains.len()).all(|j| {
+                    !node.domains.is_integral(j)
+                        || (lp.values[j] - lp.values[j].round()).abs() <= INT_EPS
+                });
+                if integral {
+                    let mut values = lp.values.clone();
+                    for (j, v) in values.iter_mut().enumerate() {
+                        if node.domains.is_integral(j) {
+                            *v = v.round();
+                        }
+                    }
+                    if self.model.is_feasible(&values, 1e-6) {
+                        let obj = self.internal_objective(&values);
+                        if obj < incumbent_obj {
+                            *incumbent = Some((obj, values));
+                        }
+                    }
+                } else if node.depth <= 2 {
+                    // Try an LP-guided rounding heuristic near the top of the
+                    // tree, where it is most likely to pay off.
+                    if let Some(values) = round_and_repair(
+                        &self.propagator,
+                        &node.domains,
+                        &lp.values,
+                        &self.objective,
+                    ) {
+                        if self.model.is_feasible(&values, 1e-6) {
+                            let obj = self.internal_objective(&values);
+                            let current =
+                                incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
+                            if obj < current {
+                                *incumbent = Some((obj, values));
+                            }
+                        }
+                    }
+                }
+                NodeBound::Bound {
+                    value: lp.objective.max(prop_bound),
+                    lp_values: Some(lp.values),
+                }
+            }
+            LpStatus::Unbounded | LpStatus::IterationLimit => NodeBound::Bound {
+                value: prop_bound,
+                lp_values: None,
+            },
+        }
+    }
+
+    fn complete_assignment(&self, domains: &Domains, stats: &mut SolveStats) -> Option<Vec<f64>> {
+        let has_free_continuous =
+            (0..domains.len()).any(|j| !domains.is_integral(j) && !domains.is_fixed(j));
+        if !has_free_continuous {
+            return Some(domains.assignment());
+        }
+        // Optimise the remaining continuous variables with the integral part
+        // fixed.
+        let lp = solve_lp(
+            self.propagator.rows(),
+            &self.objective,
+            self.objective_constant,
+            domains,
+            self.config.max_lp_pivots,
+        );
+        stats.lp_solves += 1;
+        stats.lp_pivots += lp.pivots;
+        match lp.status {
+            LpStatus::Optimal => Some(lp.values),
+            _ => None,
+        }
+    }
+
+    fn select_branch_var(&self, domains: &Domains, lp_values: Option<&[f64]>) -> Option<usize> {
+        let candidates: Vec<usize> = (0..domains.len())
+            .filter(|&j| domains.is_integral(j) && !domains.is_fixed(j))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        match self.config.branching {
+            Branching::InputOrder => candidates.first().copied(),
+            Branching::MostConstrained => candidates
+                .iter()
+                .copied()
+                .max_by_key(|&j| (self.occurrence[j], usize::MAX - j)),
+            Branching::MostFractional => {
+                if let Some(values) = lp_values {
+                    let most = candidates
+                        .iter()
+                        .copied()
+                        .map(|j| {
+                            let frac = (values[j] - values[j].round()).abs();
+                            (j, frac)
+                        })
+                        .filter(|(_, frac)| *frac > INT_EPS)
+                        .max_by(|a, b| {
+                            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
+                        });
+                    if let Some((j, _)) = most {
+                        return Some(j);
+                    }
+                }
+                candidates
+                    .iter()
+                    .copied()
+                    .max_by_key(|&j| (self.occurrence[j], usize::MAX - j))
+            }
+        }
+    }
+
+    fn push_children(
+        &self,
+        frontier: &mut Frontier,
+        node: &Node,
+        j: usize,
+        lp_values: Option<&[f64]>,
+    ) {
+        let lower = node.domains.lower(j);
+        let upper = node.domains.upper(j);
+        debug_assert!(upper > lower + EPS);
+
+        if upper - lower <= 1.0 + EPS {
+            // Binary-style split: fix to each bound. Push the preferred value
+            // last so depth-first search explores it first.
+            let preferred = if let Some(values) = lp_values {
+                if values[j] >= 0.5 * (lower + upper) {
+                    upper
+                } else {
+                    lower
+                }
+            } else if self.objective[j] >= 0.0 {
+                lower
+            } else {
+                upper
+            };
+            let other = if (preferred - lower).abs() < EPS {
+                upper
+            } else {
+                lower
+            };
+            for value in [other, preferred] {
+                let mut domains = node.domains.clone();
+                if domains.fix(j, value) {
+                    frontier.push(Node {
+                        domains,
+                        depth: node.depth + 1,
+                        bound: node.bound,
+                    });
+                }
+            }
+        } else {
+            // Interval split around the LP value or the midpoint.
+            let pivot = lp_values
+                .map(|v| v[j])
+                .unwrap_or_else(|| 0.5 * (lower + upper));
+            let split = pivot.floor().clamp(lower, upper - 1.0);
+            let mut down = node.domains.clone();
+            down.tighten_upper(j, split);
+            let mut up = node.domains.clone();
+            up.tighten_lower(j, split + 1.0);
+            for domains in [up, down] {
+                if !domains.is_infeasible() {
+                    frontier.push(Node {
+                        domains,
+                        depth: node.depth + 1,
+                        bound: node.bound,
+                    });
+                }
+            }
+        }
+    }
+}
+
+enum NodeBound {
+    Infeasible,
+    Bound {
+        value: f64,
+        lp_values: Option<Vec<f64>>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Model;
+
+    fn exact_configs() -> Vec<SolverConfig> {
+        vec![
+            SolverConfig::exact(),
+            SolverConfig::exact().with_bound_mode(BoundMode::Propagation),
+            SolverConfig::exact()
+                .with_bound_mode(BoundMode::Hybrid { lp_depth: 2 })
+                .with_branching(Branching::MostFractional),
+            SolverConfig::exact().with_search(SearchOrder::BestFirst),
+            SolverConfig::exact().with_branching(Branching::InputOrder),
+        ]
+    }
+
+    #[test]
+    fn knapsack_is_solved_optimally_by_all_strategies() {
+        // max 6a + 5b + 4c  s.t. 3a + 2b + 2c <= 4 => best is b + c = 9.
+        let mut m = Model::new("knap");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        m.add_leq([(a, 3.0), (b, 2.0), (c, 2.0)], 4.0, "cap");
+        m.set_objective([(a, 6.0), (b, 5.0), (c, 4.0)], Sense::Maximize);
+        for config in exact_configs() {
+            let sol = m.solve(&config).expect("solve");
+            assert!(sol.is_optimal(), "config {config:?}");
+            assert!((sol.objective() - 9.0).abs() < 1e-6, "config {config:?}");
+            assert!(!sol.is_one(a));
+            assert!(sol.is_one(b));
+            assert!(sol.is_one(c));
+        }
+    }
+
+    #[test]
+    fn set_cover_minimisation() {
+        // Cover {1,2,3} with sets A={1,2}(3), B={2,3}(3), C={1,3}(3), D={1,2,3}(5).
+        // Optimal: D alone costs 5, any two of A/B/C cost 6 => D wins.
+        let mut m = Model::new("cover");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        let d = m.add_binary("d");
+        m.add_geq([(a, 1.0), (c, 1.0), (d, 1.0)], 1.0, "e1");
+        m.add_geq([(a, 1.0), (b, 1.0), (d, 1.0)], 1.0, "e2");
+        m.add_geq([(b, 1.0), (c, 1.0), (d, 1.0)], 1.0, "e3");
+        m.set_objective([(a, 3.0), (b, 3.0), (c, 3.0), (d, 5.0)], Sense::Minimize);
+        for config in exact_configs() {
+            let sol = m.solve(&config).expect("solve");
+            assert!(sol.is_optimal());
+            assert!((sol.objective() - 5.0).abs() < 1e-6);
+            assert!(sol.is_one(d));
+        }
+    }
+
+    #[test]
+    fn infeasible_model_is_detected() {
+        let mut m = Model::new("bad");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_geq([(x, 1.0), (y, 1.0)], 3.0, "impossible");
+        m.set_objective([(x, 1.0)], Sense::Minimize);
+        let sol = m.solve(&SolverConfig::exact()).expect("solve");
+        assert_eq!(sol.status(), Status::Infeasible);
+    }
+
+    #[test]
+    fn equality_assignment_problem() {
+        // 3 tasks, 3 machines, permutation with cost matrix; optimal = 1+2+1 = 4
+        let costs = [[1.0, 4.0, 5.0], [3.0, 2.0, 7.0], [1.0, 3.0, 4.0]];
+        // optimal assignment: t0->m0 (1), t1->m1 (2), t2->?? m2 (4) = 7
+        // or t0->m2(5), t1->m1(2), t2->m0(1) = 8; or t0->m0(1), t1->m1(2), t2->m2(4)=7
+        // best is 7.
+        let mut m = Model::new("assign");
+        let mut x = Vec::new();
+        for t in 0..3 {
+            let row: Vec<_> = (0..3)
+                .map(|j| m.add_binary(format!("x{t}{j}")))
+                .collect();
+            m.add_eq(
+                row.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+                1.0,
+                format!("task{t}"),
+            );
+            x.push(row);
+        }
+        for j in 0..3 {
+            m.add_leq(
+                (0..3).map(|t| (x[t][j], 1.0)).collect::<Vec<_>>(),
+                1.0,
+                format!("mach{j}"),
+            );
+        }
+        let obj: Vec<_> = (0..3)
+            .flat_map(|t| (0..3).map(move |j| (t, j)))
+            .map(|(t, j)| (x[t][j], costs[t][j]))
+            .collect();
+        m.set_objective(obj, Sense::Minimize);
+        for config in exact_configs() {
+            let sol = m.solve(&config).expect("solve");
+            assert!(sol.is_optimal());
+            assert!((sol.objective() - 7.0).abs() < 1e-6, "got {}", sol.objective());
+        }
+    }
+
+    #[test]
+    fn general_integer_variables() {
+        // min 3x + 2y  s.t.  x + y >= 7, x <= 4, y <= 5, x,y integer
+        // best: x=2, y=5 -> 16.
+        let mut m = Model::new("int");
+        let x = m.add_integer("x", 0, 4);
+        let y = m.add_integer("y", 0, 5);
+        m.add_geq([(x, 1.0), (y, 1.0)], 7.0, "need");
+        m.set_objective([(x, 3.0), (y, 2.0)], Sense::Minimize);
+        for config in exact_configs() {
+            let sol = m.solve(&config).expect("solve");
+            assert!(sol.is_optimal());
+            assert_eq!(sol.int_value(x), 2);
+            assert_eq!(sol.int_value(y), 5);
+            assert!((sol.objective() - 16.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn mixed_integer_continuous() {
+        // min y - x_c  s.t. x_c <= 2.5*y, x_c <= 1.7, y binary.
+        // y=1, x_c=1.7 -> -0.7 ; y=0 -> 0. Optimal -0.7.
+        let mut m = Model::new("mix");
+        let y = m.add_binary("y");
+        let xc = m.add_continuous("xc", 0.0, 1.7);
+        m.add_leq([(xc, 1.0), (y, -2.5)], 0.0, "link");
+        m.set_objective([(y, 1.0), (xc, -1.0)], Sense::Minimize);
+        let sol = m.solve(&SolverConfig::exact()).expect("solve");
+        assert!(sol.is_optimal());
+        assert!((sol.objective() + 0.7).abs() < 1e-6);
+        assert!(sol.is_one(y));
+        assert!((sol.value(xc) - 1.7).abs() < 1e-6);
+    }
+
+    #[test]
+    fn warm_start_is_used() {
+        let mut m = Model::new("warm");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_geq([(x, 1.0), (y, 1.0)], 1.0, "c");
+        m.set_objective([(x, 1.0), (y, 2.0)], Sense::Minimize);
+        let config = SolverConfig::exact().with_initial_solution(vec![1.0, 0.0]);
+        let sol = m.solve(&config).expect("solve");
+        assert!(sol.is_optimal());
+        assert!((sol.objective() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn node_limit_yields_feasible_or_unknown() {
+        let mut m = Model::new("limited");
+        let vars: Vec<_> = (0..30).map(|i| m.add_binary(format!("x{i}"))).collect();
+        for w in vars.chunks(3) {
+            m.add_geq(
+                w.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+                1.0,
+                "chunk",
+            );
+        }
+        m.set_objective(
+            vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            Sense::Minimize,
+        );
+        let config = SolverConfig {
+            node_limit: Some(1),
+            dive_heuristic: false,
+            bound_mode: BoundMode::Propagation,
+            ..SolverConfig::default()
+        };
+        let sol = m.solve(&config).expect("solve");
+        assert!(matches!(sol.status(), Status::Feasible | Status::Unknown));
+        assert!(sol.stats().limit_reached || sol.status() == Status::Feasible);
+    }
+
+    #[test]
+    fn pure_lp_model() {
+        let mut m = Model::new("lp");
+        let x = m.add_continuous("x", 0.0, 10.0);
+        let y = m.add_continuous("y", 0.0, 10.0);
+        m.add_leq([(x, 1.0), (y, 2.0)], 14.0, "a");
+        m.add_leq([(x, 3.0), (y, -1.0)], 0.0, "b");
+        m.set_objective([(x, 3.0), (y, 4.0)], Sense::Maximize);
+        let sol = m.solve(&SolverConfig::exact()).expect("solve");
+        assert!(sol.is_optimal());
+        // optimum at x=2, y=6 -> 30
+        assert!((sol.objective() - 30.0).abs() < 1e-5, "got {}", sol.objective());
+    }
+
+    #[test]
+    fn maximisation_sign_handling_in_stats() {
+        let mut m = Model::new("max");
+        let x = m.add_binary("x");
+        m.set_objective([(x, 10.0)], Sense::Maximize);
+        let sol = m.solve(&SolverConfig::exact()).expect("solve");
+        assert!(sol.is_optimal());
+        assert!((sol.objective() - 10.0).abs() < 1e-9);
+        assert!((sol.stats().best_bound - 10.0).abs() < 1e-6);
+    }
+}

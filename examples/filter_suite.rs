@@ -1,0 +1,56 @@
+//! The four HYPER-derived filter benchmarks (fir6, iir3, dct4, wavelet6):
+//! ADVBIST against the three heuristic baselines at the maximal test-session
+//! count — a runnable slice of Table 3.
+//!
+//! Run with (budget in seconds per ILP solve, default 5):
+//! ```text
+//! BIST_TIME_LIMIT_SECS=10 cargo run --release --example filter_suite
+//! ```
+
+use std::error::Error;
+use std::time::Duration;
+
+use advbist::baselines::{synthesize_advan, synthesize_bits, synthesize_ralloc};
+use advbist::core::{reference, synthesis, SynthesisConfig};
+use advbist::datapath::report::DesignReport;
+use advbist::dfg::benchmarks;
+
+fn budget() -> Duration {
+    std::env::var("BIST_TIME_LIMIT_SECS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .map(Duration::from_secs_f64)
+        .unwrap_or(Duration::from_secs(5))
+}
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let config = SynthesisConfig::time_boxed(budget());
+    let circuits = vec![
+        ("fir6", benchmarks::fir6()),
+        ("iir3", benchmarks::iir3()),
+        ("dct4", benchmarks::dct4()),
+        ("wavelet6", benchmarks::wavelet6()),
+    ];
+
+    println!("{}", DesignReport::table3_header());
+    for (name, input) in circuits {
+        let k = input.binding().num_modules();
+        let reference = reference::synthesize_reference(&input, &config)?;
+        let reference_area = reference.area.total();
+
+        let advbist = synthesis::synthesize_bist(&input, k, &config)?;
+        println!("{}", advbist.report("ADVBIST", name, reference_area));
+
+        let advan = synthesize_advan(&input, k, &config.cost)?;
+        println!("{}", advan.report("ADVAN", name, reference_area));
+
+        let ralloc = synthesize_ralloc(&input, k, &config.cost)?;
+        println!("{}", ralloc.report("RALLOC", name, reference_area));
+
+        let bits = synthesize_bits(&input, k, &config.cost)?;
+        println!("{}", bits.report("BITS", name, reference_area));
+        println!();
+    }
+    println!("Lower OH(%) is better; ADVBIST should win or tie on every circuit (Table 3).");
+    Ok(())
+}

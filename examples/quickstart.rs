@@ -1,0 +1,73 @@
+//! Quickstart: synthesise the paper's Figure 1 example end to end.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use std::error::Error;
+
+use advbist::core::{reference, synthesis, SynthesisConfig};
+use advbist::datapath::test_plan::TpgSource;
+use advbist::dfg::benchmarks;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // The running example of the paper: 4 operations, 8 variables, scheduled
+    // into 4 control steps on one adder and one multiplier.
+    let input = benchmarks::figure1();
+    println!(
+        "circuit {}: {} operations, {} variables, {} modules, {} control steps",
+        input.name(),
+        input.dfg().num_ops(),
+        input.dfg().num_vars(),
+        input.binding().num_modules(),
+        input.num_control_steps()
+    );
+
+    // Exact solving is fine at this size (about a hundred binary variables).
+    let config = SynthesisConfig::exact();
+
+    // Reference (non-BIST) data path: the overhead baseline.
+    let reference = reference::synthesize_reference(&input, &config)?;
+    println!(
+        "\nreference data path: {} registers, {} mux inputs, {} transistors",
+        reference.datapath.num_registers(),
+        reference.area.mux_inputs,
+        reference.area.total()
+    );
+
+    // One self-testable design per k-test session.
+    for k in 1..=input.binding().num_modules() {
+        let design = synthesis::synthesize_bist(&input, k, &config)?;
+        println!(
+            "\n{k}-test session design ({}):",
+            if design.optimal { "optimal" } else { "best found" }
+        );
+        println!(
+            "  area {} transistors, overhead {:.1}%",
+            design.area.total(),
+            design.overhead_percent(reference.area.total())
+        );
+        for r in 0..design.datapath.num_registers() {
+            println!("  R{r}: {}", design.datapath.register_kind(r));
+        }
+        for (p, session) in design.plan.sessions.iter().enumerate() {
+            for &m in &session.modules {
+                let tpgs: Vec<String> = (0..design.datapath.modules()[m].num_inputs)
+                    .map(|port| match session.tpg.get(&(m, port)) {
+                        Some(TpgSource::Register(r)) => format!("R{r}"),
+                        Some(TpgSource::ConstantGenerator) => "dedicated".into(),
+                        None => "-".into(),
+                    })
+                    .collect();
+                println!(
+                    "  sub-session {p}: test {} with TPGs [{}] and SR R{}",
+                    design.datapath.modules()[m].name,
+                    tpgs.join(", "),
+                    session.sr[&m]
+                );
+            }
+        }
+    }
+    Ok(())
+}

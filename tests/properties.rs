@@ -1,0 +1,113 @@
+//! Property-based tests over randomly generated scheduled DFGs: the
+//! invariants that must hold for *every* circuit, not just the six paper
+//! benchmarks.
+
+use std::time::Duration;
+
+use advbist::baselines::{synthesize_advan, synthesize_bits, synthesize_ralloc};
+use advbist::core::{reference, synthesis, SynthesisConfig};
+use advbist::datapath::validate::validate_design;
+use advbist::datapath::{CostModel, Datapath};
+use advbist::dfg::allocate::left_edge;
+use advbist::dfg::benchmarks::{random_dfg, RandomDfgConfig};
+use advbist::dfg::lifetime::{InputTiming, LifetimeTable};
+use proptest::prelude::*;
+
+fn arbitrary_config() -> impl Strategy<Value = RandomDfgConfig> {
+    (0u64..500, 4usize..10, 3usize..6, 1usize..3).prop_map(
+        |(seed, num_ops, num_inputs, multipliers)| RandomDfgConfig {
+            seed,
+            num_ops,
+            num_inputs,
+            multipliers,
+            alus: 1,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Left-edge allocation always hits the horizontal-crossing lower bound
+    /// and never co-locates conflicting variables.
+    #[test]
+    fn left_edge_is_optimal_and_valid(config in arbitrary_config()) {
+        let input = random_dfg(&config);
+        let lifetimes = LifetimeTable::new(&input).unwrap();
+        let assignment = left_edge(&lifetimes);
+        prop_assert_eq!(assignment.num_registers(), lifetimes.min_registers());
+        prop_assert!(assignment.is_valid(&lifetimes));
+    }
+
+    /// Loading primary inputs early (FromStart) can only increase register
+    /// pressure relative to just-in-time loading.
+    #[test]
+    fn input_timing_monotonicity(config in arbitrary_config()) {
+        let input = random_dfg(&config);
+        let jit = LifetimeTable::with_timing(&input, InputTiming::JustInTime).unwrap();
+        let early = LifetimeTable::with_timing(&input, InputTiming::FromStart).unwrap();
+        prop_assert!(early.min_registers() >= jit.min_registers());
+    }
+
+    /// Every heuristic baseline produces a design that passes the structural
+    /// and BIST validators, for every random circuit and the maximal k.
+    #[test]
+    fn baselines_always_produce_valid_designs(config in arbitrary_config()) {
+        let input = random_dfg(&config);
+        let cost = CostModel::eight_bit();
+        let lifetimes = LifetimeTable::new(&input).unwrap();
+        let k = input.binding().num_modules();
+        for result in [
+            synthesize_advan(&input, k, &cost),
+            synthesize_ralloc(&input, k, &cost),
+            synthesize_bits(&input, k, &cost),
+        ] {
+            let design = result.unwrap();
+            prop_assert!(validate_design(&design.datapath, &design.plan, &input, &lifetimes).is_ok());
+            prop_assert!(design.area.total() > 0);
+        }
+    }
+
+    /// The data path derived from any valid register assignment implements
+    /// every DFG edge (checked via its area being computable and the
+    /// structural validator accepting it).
+    #[test]
+    fn datapath_construction_is_total(config in arbitrary_config()) {
+        let input = random_dfg(&config);
+        let lifetimes = LifetimeTable::new(&input).unwrap();
+        let assignment = left_edge(&lifetimes);
+        let datapath = Datapath::from_register_assignment(&input, &assignment, 8).unwrap();
+        prop_assert_eq!(datapath.num_registers(), lifetimes.min_registers());
+        prop_assert!(
+            advbist::datapath::validate::validate_structure(&datapath, &input, &lifetimes).is_ok()
+        );
+        let area = datapath.area(&CostModel::eight_bit());
+        prop_assert!(area.total() >= 208 * datapath.num_registers() as u64);
+    }
+}
+
+proptest! {
+    // The ILP-backed properties are slower (they invoke the solver), so run
+    // fewer cases with a tight per-solve budget.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The time-boxed ADVBIST flow always returns a *validated* design on
+    /// random circuits, and its area is at least the reference area.
+    #[test]
+    fn advbist_designs_are_always_valid(seed in 0u64..200) {
+        let input = random_dfg(&RandomDfgConfig {
+            seed,
+            num_ops: 6,
+            num_inputs: 4,
+            multipliers: 1,
+            alus: 1,
+        });
+        let config = SynthesisConfig::time_boxed(Duration::from_millis(300));
+        let lifetimes = LifetimeTable::new(&input).unwrap();
+        let reference = reference::synthesize_reference(&input, &config).unwrap();
+        let k = input.binding().num_modules();
+        let design = synthesis::synthesize_bist(&input, k, &config).unwrap();
+        prop_assert!(validate_design(&design.datapath, &design.plan, &input, &lifetimes).is_ok());
+        prop_assert!(design.area.total() >= reference.area.total());
+    }
+}
