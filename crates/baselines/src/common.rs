@@ -107,9 +107,7 @@ pub(crate) fn assign_bist_roles(
                 .collect();
             let sr = choose_sr(&candidates, &is_tpg, &is_sr, strategy).ok_or_else(|| {
                 BaselineError::NoFeasiblePlan {
-                    reason: format!(
-                        "module {m} has no free signature register in sub-session {p}"
-                    ),
+                    reason: format!("module {m} has no free signature register in sub-session {p}"),
                 }
             })?;
             srs_this_session.push(sr);
@@ -277,22 +275,42 @@ mod tests {
         let is_sr = vec![false, false, true];
         let candidates = vec![0, 1, 2];
         assert_eq!(
-            choose_sr(&candidates, &is_tpg, &is_sr, SharingStrategy::MinimizeReconfiguration),
+            choose_sr(
+                &candidates,
+                &is_tpg,
+                &is_sr,
+                SharingStrategy::MinimizeReconfiguration
+            ),
             Some(2)
         );
         assert_eq!(
-            choose_sr(&candidates, &is_tpg, &is_sr, SharingStrategy::MaximizeSharing),
+            choose_sr(
+                &candidates,
+                &is_tpg,
+                &is_sr,
+                SharingStrategy::MaximizeSharing
+            ),
             Some(2)
         );
         // Without an existing SR, the minimiser avoids the TPG; the sharer
         // picks it.
         let candidates = vec![0, 1];
         assert_eq!(
-            choose_sr(&candidates, &is_tpg, &is_sr, SharingStrategy::MinimizeReconfiguration),
+            choose_sr(
+                &candidates,
+                &is_tpg,
+                &is_sr,
+                SharingStrategy::MinimizeReconfiguration
+            ),
             Some(0)
         );
         assert_eq!(
-            choose_sr(&candidates, &is_tpg, &is_sr, SharingStrategy::MaximizeSharing),
+            choose_sr(
+                &candidates,
+                &is_tpg,
+                &is_sr,
+                SharingStrategy::MaximizeSharing
+            ),
             Some(1)
         );
     }
@@ -307,11 +325,20 @@ mod tests {
             SharingStrategy::MinimizeReconfiguration,
             SharingStrategy::MaximizeSharing,
         ] {
-            assert_eq!(choose_tpg(&candidates, 0, &is_tpg, &is_sr, strategy), Some(1));
+            assert_eq!(
+                choose_tpg(&candidates, 0, &is_tpg, &is_sr, strategy),
+                Some(1)
+            );
         }
         // If the SR is the only candidate it is still returned (CBILBO).
         assert_eq!(
-            choose_tpg(&[0], 0, &is_tpg, &is_sr, SharingStrategy::MinimizeReconfiguration),
+            choose_tpg(
+                &[0],
+                0,
+                &is_tpg,
+                &is_sr,
+                SharingStrategy::MinimizeReconfiguration
+            ),
             Some(0)
         );
     }

@@ -131,7 +131,8 @@ pub(crate) fn allocate_avoiding_self_adjacency(
             regs.push(RegState::default());
             regs.len() - 1
         } else {
-            best.expect("a compatible register exists within the budget").1
+            best.expect("a compatible register exists within the budget")
+                .1
         };
 
         regs[r].occupants.push(v);

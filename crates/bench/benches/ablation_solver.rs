@@ -17,17 +17,13 @@ fn bench_ablation(c: &mut Criterion) {
         let k = input.binding().num_modules().min(2);
         for (label, config) in bist_bench::ablation::variants(limit) {
             let short = label.split(' ').next().unwrap_or("variant").to_string();
-            group.bench_with_input(
-                BenchmarkId::new(short, name),
-                &input,
-                |b, input| {
-                    b.iter(|| {
-                        // The cold-start variant may time out without a
-                        // solution under the tiny bench budget; that is fine.
-                        let _ = synthesis::synthesize_bist(black_box(input), k, &config);
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(short, name), &input, |b, input| {
+                b.iter(|| {
+                    // The cold-start variant may time out without a
+                    // solution under the tiny bench budget; that is fine.
+                    let _ = synthesis::synthesize_bist(black_box(input), k, &config);
+                })
+            });
         }
     }
     group.finish();

@@ -18,11 +18,9 @@ fn bench_table3(c: &mut Criterion) {
     group.measurement_time(Duration::from_secs(3));
     for (name, input) in benchmarks::all() {
         let k = input.binding().num_modules();
-        group.bench_with_input(
-            BenchmarkId::new("ADVBIST", name),
-            &input,
-            |b, input| b.iter(|| synthesis::synthesize_bist(black_box(input), k, &config).unwrap()),
-        );
+        group.bench_with_input(BenchmarkId::new("ADVBIST", name), &input, |b, input| {
+            b.iter(|| synthesis::synthesize_bist(black_box(input), k, &config).unwrap())
+        });
         group.bench_with_input(BenchmarkId::new("ADVAN", name), &input, |b, input| {
             b.iter(|| synthesize_advan(black_box(input), k, &cost).unwrap())
         });

@@ -33,7 +33,10 @@ pub struct AblationRow {
 pub fn variants(limit: Duration) -> Vec<(String, SynthesisConfig)> {
     let base = SynthesisConfig::time_boxed(limit);
     vec![
-        ("baseline (hybrid bound, reduction, warm start)".to_string(), base.clone()),
+        (
+            "baseline (hybrid bound, reduction, warm start)".to_string(),
+            base.clone(),
+        ),
         (
             "no search-space reduction".to_string(),
             base.clone().with_search_space_reduction(false),

@@ -1,5 +1,7 @@
-//! Runs the whole evaluation (Tables 1-3, Figures 1-3) and prints a JSON
-//! summary at the end, suitable for pasting into EXPERIMENTS.md.
+//! Runs the whole evaluation (Tables 1-3, Figures 1-3, the k-sweep engine
+//! comparison) and prints a JSON summary at the end, suitable for pasting
+//! into EXPERIMENTS.md. The sweep comparison is also written to
+//! `BENCH_sweep.json` so the perf trajectory can be tracked across PRs.
 
 use bist_bench::report::ExperimentReport;
 use bist_datapath::CostModel;
@@ -7,7 +9,10 @@ use bist_datapath::CostModel;
 fn main() {
     let limit = bist_bench::time_limit_from_env();
     let config = bist_bench::quick_config(limit);
-    eprintln!("# per-instance ILP budget: {:.1}s (set BIST_TIME_LIMIT_SECS to change)", limit.as_secs_f64());
+    eprintln!(
+        "# per-instance ILP budget: {:.1}s (set BIST_TIME_LIMIT_SECS to change)",
+        limit.as_secs_f64()
+    );
 
     println!("{}", bist_bench::table1::render(&CostModel::eight_bit()));
 
@@ -49,10 +54,40 @@ fn main() {
         }
     };
 
+    // The rebuild-vs-engine sweep comparison, under a deterministic node
+    // budget so the per-k objectives can be cross-checked.
+    let sweep_nodes = bist_bench::workload::sweep_nodes_from_env();
+    eprintln!("# sweep node budget: {sweep_nodes} nodes/solve (set BIST_SWEEP_NODES to change)");
+    let sweep_config = bist_bench::workload::sweep_config(sweep_nodes);
+    let sweep_circuits = bist_bench::small_circuits();
+    let sweep = match bist_bench::sweep::run_all(&sweep_circuits, &sweep_config) {
+        Ok(sweeps) => {
+            println!("{}", bist_bench::sweep::render(&sweeps));
+            sweeps
+        }
+        Err(e) => {
+            eprintln!("sweep comparison failed: {e}");
+            Vec::new()
+        }
+    };
+    if !sweep.is_empty() {
+        let body = sweep
+            .iter()
+            .map(bist_bench::CircuitSweep::to_json)
+            .collect::<Vec<_>>()
+            .join(",\n");
+        let json = format!("[\n{body}\n]\n");
+        match std::fs::write("BENCH_sweep.json", &json) {
+            Ok(()) => eprintln!("# wrote BENCH_sweep.json"),
+            Err(e) => eprintln!("could not write BENCH_sweep.json: {e}"),
+        }
+    }
+
     let report = ExperimentReport {
         time_limit_seconds: limit.as_secs_f64(),
         table2,
         table3,
+        sweep,
     };
     match report.to_json() {
         Ok(json) => println!("\n--- machine readable summary ---\n{json}"),

@@ -5,7 +5,10 @@
 
 fn main() {
     let limit = bist_bench::time_limit_from_env();
-    eprintln!("# per-instance ILP budget: {:.1}s (set BIST_TIME_LIMIT_SECS to change)", limit.as_secs_f64());
+    eprintln!(
+        "# per-instance ILP budget: {:.1}s (set BIST_TIME_LIMIT_SECS to change)",
+        limit.as_secs_f64()
+    );
     match bist_bench::table2::run_all(limit) {
         Ok(rows) => print!("{}", bist_bench::table2::render(&rows)),
         Err(e) => {

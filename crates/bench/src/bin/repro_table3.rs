@@ -3,13 +3,18 @@
 
 fn main() {
     let limit = bist_bench::time_limit_from_env();
-    eprintln!("# per-instance ILP budget: {:.1}s (set BIST_TIME_LIMIT_SECS to change)", limit.as_secs_f64());
+    eprintln!(
+        "# per-instance ILP budget: {:.1}s (set BIST_TIME_LIMIT_SECS to change)",
+        limit.as_secs_f64()
+    );
     match bist_bench::table3::run_all(limit) {
         Ok(rows) => {
             print!("{}", bist_bench::table3::render(&rows));
             let violations = bist_bench::table3::advbist_wins(&rows);
             if violations.is_empty() {
-                println!("\nADVBIST is never worse than any baseline (paper's qualitative claim holds).");
+                println!(
+                    "\nADVBIST is never worse than any baseline (paper's qualitative claim holds)."
+                );
             } else {
                 println!("\nViolations of the paper's claim under this time budget:");
                 for v in violations {

@@ -60,7 +60,13 @@ pub fn render_figure1(config: &SynthesisConfig) -> Result<String, bist_core::Cor
                 )
             })
             .collect();
-        let _ = writeln!(out, "  {} ({}): {}", module.name, module.class, sources.join("  "));
+        let _ = writeln!(
+            out,
+            "  {} ({}): {}",
+            module.name,
+            module.class,
+            sources.join("  ")
+        );
     }
     Ok(out)
 }

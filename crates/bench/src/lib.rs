@@ -11,6 +11,7 @@
 //! | Figure 1 (example DFG / data path) | [`figures`] | `repro_fig1` | `figure1` |
 //! | Figures 2–3 (SR / TPG assignment) | [`figures`] | `repro_fig2_fig3` | — |
 //! | Ablations (ours) | [`ablation`] | — | `ablation_solver`, `ilp_solver` |
+//! | k-sweep engine vs rebuild (ours, `BENCH_sweep.json`) | [`sweep`] | `repro_all` | — |
 //!
 //! The ILP solve budget is controlled by the `BIST_TIME_LIMIT_SECS`
 //! environment variable (default: 5 seconds per instance); the paper used a
@@ -22,10 +23,12 @@
 pub mod ablation;
 pub mod figures;
 pub mod report;
+pub mod sweep;
 pub mod table1;
 pub mod table2;
 pub mod table3;
 pub mod workload;
 
 pub use report::{ExperimentReport, MethodRow, SessionRow};
+pub use sweep::CircuitSweep;
 pub use workload::{circuits, quick_config, small_circuits, time_limit_from_env};

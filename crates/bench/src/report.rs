@@ -1,10 +1,15 @@
 //! Serialisable result records for the experiment harness.
+//!
+//! The records are written as JSON by a small hand-rolled writer (the build
+//! environment has no crate registry, so `serde`/`serde_json` are not
+//! available); only the exact shapes below need to serialise, which keeps
+//! the writer tiny and the output stable for diffing across runs.
 
-use serde::{Deserialize, Serialize};
+use crate::sweep::CircuitSweep;
 
 /// One row of the Table 2 reproduction: ADVBIST for one circuit and one
 /// k-test session.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SessionRow {
     /// Circuit name.
     pub circuit: String,
@@ -21,11 +26,32 @@ pub struct SessionRow {
     pub area: u64,
     /// Reference area in transistors.
     pub reference_area: u64,
+    /// Branch-and-bound nodes explored by the main solve.
+    pub nodes: u64,
+    /// LP relaxations solved by the main solve.
+    pub lp_solves: u64,
+}
+
+impl SessionRow {
+    /// Serialises the row as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("circuit", &self.circuit)
+            .u64("sessions", self.sessions as u64)
+            .f64("overhead_percent", self.overhead_percent)
+            .f64("time_seconds", self.time_seconds)
+            .bool("optimal", self.optimal)
+            .u64("area", self.area)
+            .u64("reference_area", self.reference_area)
+            .u64("nodes", self.nodes)
+            .u64("lp_solves", self.lp_solves)
+            .finish()
+    }
 }
 
 /// One row of the Table 3 reproduction: one method on one circuit at the
 /// maximal test-session count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MethodRow {
     /// Circuit name.
     pub circuit: String,
@@ -51,8 +77,27 @@ pub struct MethodRow {
     pub overhead_percent: f64,
 }
 
+impl MethodRow {
+    /// Serialises the row as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("circuit", &self.circuit)
+            .str("method", &self.method)
+            .u64("sessions", self.sessions as u64)
+            .u64("registers", self.registers as u64)
+            .u64("tpgs", self.tpgs as u64)
+            .u64("srs", self.srs as u64)
+            .u64("bilbos", self.bilbos as u64)
+            .u64("cbilbos", self.cbilbos as u64)
+            .u64("mux_inputs", self.mux_inputs as u64)
+            .u64("area", self.area)
+            .f64("overhead_percent", self.overhead_percent)
+            .finish()
+    }
+}
+
 /// A complete harness run, serialisable to JSON for EXPERIMENTS.md.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExperimentReport {
     /// Per-instance ILP budget in seconds.
     pub time_limit_seconds: f64,
@@ -60,6 +105,9 @@ pub struct ExperimentReport {
     pub table2: Vec<SessionRow>,
     /// Table 3 rows.
     pub table3: Vec<MethodRow>,
+    /// Per-circuit k-sweep comparison (rebuild baseline vs the layered
+    /// engine), empty when the sweep benchmark did not run.
+    pub sweep: Vec<CircuitSweep>,
 }
 
 impl ExperimentReport {
@@ -67,339 +115,112 @@ impl ExperimentReport {
     ///
     /// # Errors
     ///
-    /// Propagates serde serialisation failures (not expected for these
-    /// plain-data types).
-    pub fn to_json(&self) -> Result<String, serde_json_error::Error> {
-        serde_json_error::to_string_pretty(self)
+    /// Infallible in practice; the `Result` is kept so call sites do not
+    /// change if a richer serialiser is swapped back in.
+    pub fn to_json(&self) -> Result<String, std::fmt::Error> {
+        Ok(json::Obj::new()
+            .f64("time_limit_seconds", self.time_limit_seconds)
+            .array("table2", self.table2.iter().map(SessionRow::to_json))
+            .array("table3", self.table3.iter().map(MethodRow::to_json))
+            .array("sweep", self.sweep.iter().map(CircuitSweep::to_json))
+            .finish())
     }
 }
 
-/// Minimal JSON writer so the harness does not need `serde_json` (which is
-/// not on the approved dependency list). Only the subset needed by
-/// [`ExperimentReport`] is supported.
-pub mod serde_json_error {
-    //! Tiny JSON serialisation shim (see the module-level note).
-    use serde::ser::{self, Serialize};
-    use std::fmt;
-
-    /// Serialisation error.
-    #[derive(Debug, Clone, PartialEq, Eq)]
-    pub struct Error(String);
-
-    impl fmt::Display for Error {
-        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "json serialisation error: {}", self.0)
-        }
-    }
-    impl std::error::Error for Error {}
-    impl ser::Error for Error {
-        fn custom<T: fmt::Display>(msg: T) -> Self {
-            Error(msg.to_string())
-        }
-    }
-
-    /// Serialises a value to a pretty-printed JSON string.
-    ///
-    /// # Errors
-    ///
-    /// Returns an error for value shapes the shim does not support (maps with
-    /// non-string keys, bytes, etc.), none of which occur in the harness
-    /// reports.
-    pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
-        let mut out = String::new();
-        value.serialize(JsonSer { out: &mut out, indent: 0 })?;
-        Ok(out)
-    }
-
-    struct JsonSer<'a> {
-        out: &'a mut String,
-        indent: usize,
-    }
-
-    impl JsonSer<'_> {
-        fn pad(&mut self) {
-            for _ in 0..self.indent {
-                self.out.push_str("  ");
+/// Minimal JSON writing helpers shared by the harness reports: a tiny JSON
+/// object/array writer covering string keys, the scalar types used by the
+/// reports, and pre-serialised nested values. Non-finite floats are written
+/// as `null` (JSON has no NaN/Inf).
+pub mod json {
+    /// Escapes a string for inclusion in a JSON string literal.
+    pub fn escape(s: &str) -> String {
+        let mut out = String::with_capacity(s.len());
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                '\r' => out.push_str("\\r"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
             }
         }
+        out
     }
 
-    fn escape(s: &str) -> String {
-        s.chars()
-            .flat_map(|c| match c {
-                '"' => vec!['\\', '"'],
-                '\\' => vec!['\\', '\\'],
-                '\n' => vec!['\\', 'n'],
-                c => vec![c],
-            })
-            .collect()
+    /// Renders a float as JSON (4 decimal places, `null` for non-finite).
+    pub fn fmt_f64(v: f64) -> String {
+        if v.is_finite() {
+            format!("{v:.4}")
+        } else {
+            "null".to_string()
+        }
     }
 
-    macro_rules! forward_num {
-        ($method:ident, $ty:ty) => {
-            fn $method(self, v: $ty) -> Result<(), Error> {
-                self.out.push_str(&v.to_string());
-                Ok(())
+    /// Incremental JSON object writer.
+    #[derive(Debug, Default)]
+    pub struct Obj {
+        fields: Vec<(String, String)>,
+    }
+
+    impl Obj {
+        /// Starts an empty object.
+        pub fn new() -> Self {
+            Self::default()
+        }
+
+        fn push(mut self, key: &str, raw: String) -> Self {
+            self.fields.push((key.to_string(), raw));
+            self
+        }
+
+        /// Adds a string field.
+        pub fn str(self, key: &str, value: &str) -> Self {
+            let raw = format!("\"{}\"", escape(value));
+            self.push(key, raw)
+        }
+
+        /// Adds an unsigned integer field.
+        pub fn u64(self, key: &str, value: u64) -> Self {
+            self.push(key, value.to_string())
+        }
+
+        /// Adds a float field (`null` when non-finite).
+        pub fn f64(self, key: &str, value: f64) -> Self {
+            self.push(key, fmt_f64(value))
+        }
+
+        /// Adds an optional unsigned integer field (`null` when absent).
+        pub fn opt_u64(self, key: &str, value: Option<u64>) -> Self {
+            match value {
+                Some(v) => self.u64(key, v),
+                None => self.push(key, "null".to_string()),
             }
-        };
-    }
+        }
 
-    impl<'a> ser::Serializer for JsonSer<'a> {
-        type Ok = ();
-        type Error = Error;
-        type SerializeSeq = SeqSer<'a>;
-        type SerializeTuple = SeqSer<'a>;
-        type SerializeTupleStruct = SeqSer<'a>;
-        type SerializeTupleVariant = SeqSer<'a>;
-        type SerializeMap = StructSer<'a>;
-        type SerializeStruct = StructSer<'a>;
-        type SerializeStructVariant = StructSer<'a>;
+        /// Adds a boolean field.
+        pub fn bool(self, key: &str, value: bool) -> Self {
+            self.push(key, value.to_string())
+        }
 
-        forward_num!(serialize_i8, i8);
-        forward_num!(serialize_i16, i16);
-        forward_num!(serialize_i32, i32);
-        forward_num!(serialize_i64, i64);
-        forward_num!(serialize_u8, u8);
-        forward_num!(serialize_u16, u16);
-        forward_num!(serialize_u32, u32);
-        forward_num!(serialize_u64, u64);
+        /// Adds an array field from pre-serialised JSON elements.
+        pub fn array(self, key: &str, items: impl Iterator<Item = String>) -> Self {
+            let body = items.collect::<Vec<_>>().join(", ");
+            self.push(key, format!("[{body}]"))
+        }
 
-        fn serialize_bool(self, v: bool) -> Result<(), Error> {
-            self.out.push_str(if v { "true" } else { "false" });
-            Ok(())
-        }
-        fn serialize_f32(self, v: f32) -> Result<(), Error> {
-            self.serialize_f64(f64::from(v))
-        }
-        fn serialize_f64(self, v: f64) -> Result<(), Error> {
-            if v.is_finite() {
-                self.out.push_str(&format!("{v:.4}"));
-            } else {
-                self.out.push_str("null");
-            }
-            Ok(())
-        }
-        fn serialize_char(self, v: char) -> Result<(), Error> {
-            self.serialize_str(&v.to_string())
-        }
-        fn serialize_str(self, v: &str) -> Result<(), Error> {
-            self.out.push('"');
-            self.out.push_str(&escape(v));
-            self.out.push('"');
-            Ok(())
-        }
-        fn serialize_bytes(self, _v: &[u8]) -> Result<(), Error> {
-            Err(ser::Error::custom("bytes not supported"))
-        }
-        fn serialize_none(self) -> Result<(), Error> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_some<T: Serialize + ?Sized>(self, value: &T) -> Result<(), Error> {
-            value.serialize(self)
-        }
-        fn serialize_unit(self) -> Result<(), Error> {
-            self.out.push_str("null");
-            Ok(())
-        }
-        fn serialize_unit_struct(self, _name: &'static str) -> Result<(), Error> {
-            self.serialize_unit()
-        }
-        fn serialize_unit_variant(
-            self,
-            _name: &'static str,
-            _index: u32,
-            variant: &'static str,
-        ) -> Result<(), Error> {
-            self.serialize_str(variant)
-        }
-        fn serialize_newtype_struct<T: Serialize + ?Sized>(
-            self,
-            _name: &'static str,
-            value: &T,
-        ) -> Result<(), Error> {
-            value.serialize(self)
-        }
-        fn serialize_newtype_variant<T: Serialize + ?Sized>(
-            self,
-            _name: &'static str,
-            _index: u32,
-            _variant: &'static str,
-            value: &T,
-        ) -> Result<(), Error> {
-            value.serialize(self)
-        }
-        fn serialize_seq(self, _len: Option<usize>) -> Result<Self::SerializeSeq, Error> {
-            self.out.push('[');
-            Ok(SeqSer {
-                out: self.out,
-                indent: self.indent,
-                first: true,
-            })
-        }
-        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_struct(
-            self,
-            _name: &'static str,
-            len: usize,
-        ) -> Result<Self::SerializeTupleStruct, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_tuple_variant(
-            self,
-            _name: &'static str,
-            _index: u32,
-            _variant: &'static str,
-            len: usize,
-        ) -> Result<Self::SerializeTupleVariant, Error> {
-            self.serialize_seq(Some(len))
-        }
-        fn serialize_map(self, _len: Option<usize>) -> Result<Self::SerializeMap, Error> {
-            self.out.push('{');
-            Ok(StructSer {
-                out: self.out,
-                indent: self.indent + 1,
-                first: true,
-            })
-        }
-        fn serialize_struct(
-            self,
-            _name: &'static str,
-            len: usize,
-        ) -> Result<Self::SerializeStruct, Error> {
-            self.serialize_map(Some(len))
-        }
-        fn serialize_struct_variant(
-            self,
-            _name: &'static str,
-            _index: u32,
-            _variant: &'static str,
-            len: usize,
-        ) -> Result<Self::SerializeStructVariant, Error> {
-            self.serialize_map(Some(len))
-        }
-    }
-
-    /// Sequence serialiser.
-    pub struct SeqSer<'a> {
-        out: &'a mut String,
-        indent: usize,
-        first: bool,
-    }
-
-    impl SeqSer<'_> {
-        fn element<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
-            if !self.first {
-                self.out.push_str(", ");
-            }
-            self.first = false;
-            value.serialize(JsonSer {
-                out: self.out,
-                indent: self.indent,
-            })
-        }
-    }
-
-    macro_rules! impl_seq {
-        ($trait:path, $method:ident) => {
-            impl $trait for SeqSer<'_> {
-                type Ok = ();
-                type Error = Error;
-                fn $method<T: Serialize + ?Sized>(&mut self, value: &T) -> Result<(), Error> {
-                    self.element(value)
+        /// Closes the object and returns its JSON text.
+        pub fn finish(self) -> String {
+            let mut out = String::from("{");
+            for (i, (key, raw)) in self.fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
                 }
-                fn end(self) -> Result<(), Error> {
-                    self.out.push(']');
-                    Ok(())
-                }
+                out.push_str(&format!("\n  \"{}\": {}", escape(key), raw));
             }
-        };
-    }
-    impl_seq!(ser::SerializeSeq, serialize_element);
-    impl_seq!(ser::SerializeTuple, serialize_element);
-    impl_seq!(ser::SerializeTupleStruct, serialize_field);
-    impl_seq!(ser::SerializeTupleVariant, serialize_field);
-
-    /// Struct / map serialiser.
-    pub struct StructSer<'a> {
-        out: &'a mut String,
-        indent: usize,
-        first: bool,
-    }
-
-    impl StructSer<'_> {
-        fn entry<T: Serialize + ?Sized>(&mut self, key: &str, value: &T) -> Result<(), Error> {
-            if !self.first {
-                self.out.push(',');
-            }
-            self.first = false;
-            self.out.push('\n');
-            let mut ser = JsonSer {
-                out: self.out,
-                indent: self.indent,
-            };
-            ser.pad();
-            self.out.push('"');
-            self.out.push_str(&escape(key));
-            self.out.push_str("\": ");
-            value.serialize(JsonSer {
-                out: self.out,
-                indent: self.indent,
-            })
-        }
-        fn finish(self) -> Result<(), Error> {
-            self.out.push('\n');
-            let mut ser = JsonSer {
-                out: self.out,
-                indent: self.indent.saturating_sub(1),
-            };
-            ser.pad();
-            self.out.push('}');
-            Ok(())
-        }
-    }
-
-    impl ser::SerializeStruct for StructSer<'_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: Serialize + ?Sized>(
-            &mut self,
-            key: &'static str,
-            value: &T,
-        ) -> Result<(), Error> {
-            self.entry(key, value)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.finish()
-        }
-    }
-    impl ser::SerializeStructVariant for StructSer<'_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_field<T: Serialize + ?Sized>(
-            &mut self,
-            key: &'static str,
-            value: &T,
-        ) -> Result<(), Error> {
-            self.entry(key, value)
-        }
-        fn end(self) -> Result<(), Error> {
-            self.finish()
-        }
-    }
-    impl ser::SerializeMap for StructSer<'_> {
-        type Ok = ();
-        type Error = Error;
-        fn serialize_key<T: Serialize + ?Sized>(&mut self, _key: &T) -> Result<(), Error> {
-            Err(ser::Error::custom("maps with dynamic keys not supported"))
-        }
-        fn serialize_value<T: Serialize + ?Sized>(&mut self, _value: &T) -> Result<(), Error> {
-            Err(ser::Error::custom("maps with dynamic keys not supported"))
-        }
-        fn end(self) -> Result<(), Error> {
-            self.finish()
+            out.push_str("\n}");
+            out
         }
     }
 }
@@ -420,6 +241,8 @@ mod tests {
                 optimal: true,
                 area: 2152,
                 reference_area: 1600,
+                nodes: 42,
+                lp_solves: 7,
             }],
             table3: vec![MethodRow {
                 circuit: "tseng".into(),
@@ -434,11 +257,13 @@ mod tests {
                 area: 2152,
                 overhead_percent: 25.7,
             }],
+            sweep: Vec::new(),
         };
         let json = report.to_json().unwrap();
         assert!(json.contains("\"tseng\""));
-        assert!(json.contains("\"overhead_percent\": 25.7"));
+        assert!(json.contains("\"overhead_percent\": 25.7000"));
         assert!(json.contains("\"optimal\": true"));
+        assert!(json.contains("\"nodes\": 42"));
         assert!(json.starts_with('{'));
         assert!(json.trim_end().ends_with('}'));
     }
@@ -453,13 +278,23 @@ mod tests {
             optimal: false,
             area: 0,
             reference_area: 0,
+            nodes: 0,
+            lp_solves: 0,
         };
         let report = ExperimentReport {
             time_limit_seconds: 1.0,
             table2: vec![row],
             table3: vec![],
+            sweep: vec![],
         };
         let json = report.to_json().unwrap();
         assert!(json.contains("null"));
+    }
+
+    #[test]
+    fn escaping_covers_quotes_and_control_chars() {
+        assert_eq!(json::escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json::escape("\u{1}"), "\\u0001");
+        assert_eq!(json::fmt_f64(f64::INFINITY), "null");
     }
 }

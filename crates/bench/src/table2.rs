@@ -3,7 +3,7 @@
 
 use std::time::Duration;
 
-use bist_core::{reference, synthesis, SynthesisConfig};
+use bist_core::{SynthesisConfig, SynthesisEngine};
 use bist_dfg::SynthesisInput;
 
 use crate::report::SessionRow;
@@ -11,6 +11,11 @@ use crate::workload;
 
 /// Runs ADVBIST for every `k = 1..=N` of one circuit and returns one row per
 /// test session.
+///
+/// The circuit runs on one [`SynthesisEngine`]: the base model is shared
+/// between the reference solve and every k-solve, and each k chains the
+/// previous incumbent as a warm start. Per-solve [`bist_ilp::SolveStats`]
+/// are threaded into the rows.
 ///
 /// # Errors
 ///
@@ -21,33 +26,43 @@ pub fn run_circuit(
     input: &SynthesisInput,
     config: &SynthesisConfig,
 ) -> Result<Vec<SessionRow>, bist_core::CoreError> {
-    let reference = reference::synthesize_reference(input, config)?;
-    let mut rows = Vec::new();
-    for k in 1..=input.binding().num_modules() {
-        let design = synthesis::synthesize_bist(input, k, config)?;
-        rows.push(SessionRow {
-            circuit: name.to_string(),
-            sessions: k,
-            overhead_percent: design.overhead_percent(reference.area.total()),
-            time_seconds: design.stats.time.as_secs_f64(),
-            optimal: design.optimal,
-            area: design.area.total(),
-            reference_area: reference.area.total(),
-        });
-    }
+    let engine = SynthesisEngine::new(input, config)?;
+    let reference = engine.synthesize_reference()?;
+    let rows = engine
+        .sweep_chained()?
+        .into_iter()
+        .map(|outcome| {
+            let design = outcome.design;
+            SessionRow {
+                circuit: name.to_string(),
+                sessions: design.sessions,
+                overhead_percent: design.overhead_percent(reference.area.total()),
+                time_seconds: design.stats.time.as_secs_f64(),
+                optimal: design.optimal,
+                area: design.area.total(),
+                reference_area: reference.area.total(),
+                nodes: design.stats.nodes,
+                lp_solves: design.stats.lp_solves,
+            }
+        })
+        .collect();
     Ok(rows)
 }
 
-/// Runs the full Table 2 sweep over all six circuits.
+/// Runs the full Table 2 sweep over all six circuits, one circuit per worker
+/// thread. Row order is circuit order, independent of scheduling.
 ///
 /// # Errors
 ///
-/// Propagates the first synthesis error.
+/// Propagates the first synthesis error (in circuit order).
 pub fn run_all(limit: Duration) -> Result<Vec<SessionRow>, bist_core::CoreError> {
     let config = workload::quick_config(limit);
+    let circuits = workload::circuits();
+    let results =
+        workload::par_map_circuits(&circuits, |name, input| run_circuit(name, input, &config));
     let mut rows = Vec::new();
-    for (name, input) in workload::circuits() {
-        rows.extend(run_circuit(name, &input, &config)?);
+    for result in results {
+        rows.extend(result?);
     }
     Ok(rows)
 }

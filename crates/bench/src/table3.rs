@@ -12,7 +12,13 @@ use bist_dfg::SynthesisInput;
 use crate::report::MethodRow;
 use crate::workload;
 
-fn method_row(circuit: &str, method: &str, sessions: usize, area: &AreaBreakdown, reference: u64) -> MethodRow {
+fn method_row(
+    circuit: &str,
+    method: &str,
+    sessions: usize,
+    area: &AreaBreakdown,
+    reference: u64,
+) -> MethodRow {
     use bist_datapath::TestRegisterKind as K;
     MethodRow {
         circuit: circuit.to_string(),
@@ -39,7 +45,7 @@ pub fn run_circuit(
     name: &str,
     input: &SynthesisInput,
     config: &SynthesisConfig,
-) -> Result<Vec<MethodRow>, Box<dyn std::error::Error>> {
+) -> Result<Vec<MethodRow>, Box<dyn std::error::Error + Send + Sync>> {
     let k = input.binding().num_modules();
     let reference_design = reference::synthesize_reference(input, config)?;
     let reference_area = reference_design.area.total();
@@ -53,7 +59,13 @@ pub fn run_circuit(
     )];
 
     let advbist = synthesis::synthesize_bist(input, k, config)?;
-    rows.push(method_row(name, "ADVBIST", k, &advbist.area, reference_area));
+    rows.push(method_row(
+        name,
+        "ADVBIST",
+        k,
+        &advbist.area,
+        reference_area,
+    ));
 
     let advan = synthesize_advan(input, k, &config.cost)?;
     rows.push(method_row(name, "ADVAN", k, &advan.area, reference_area));
@@ -67,16 +79,22 @@ pub fn run_circuit(
     Ok(rows)
 }
 
-/// Runs the full Table 3 comparison over all six circuits.
+/// Runs the full Table 3 comparison over all six circuits, one circuit per
+/// worker thread. Row order is circuit order, independent of scheduling.
 ///
 /// # Errors
 ///
-/// Propagates the first synthesis error.
-pub fn run_all(limit: Duration) -> Result<Vec<MethodRow>, Box<dyn std::error::Error>> {
+/// Propagates the first synthesis error (in circuit order).
+pub fn run_all(
+    limit: Duration,
+) -> Result<Vec<MethodRow>, Box<dyn std::error::Error + Send + Sync>> {
     let config = workload::quick_config(limit);
+    let circuits = workload::circuits();
+    let results =
+        workload::par_map_circuits(&circuits, |name, input| run_circuit(name, input, &config));
     let mut rows = Vec::new();
-    for (name, input) in workload::circuits() {
-        rows.extend(run_circuit(name, &input, &config)?);
+    for result in results {
+        rows.extend(result?);
     }
     Ok(rows)
 }

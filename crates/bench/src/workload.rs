@@ -4,6 +4,7 @@ use std::time::Duration;
 
 use bist_core::SynthesisConfig;
 use bist_dfg::{benchmarks, SynthesisInput};
+use bist_ilp::{BoundMode, SolverConfig};
 
 /// The six evaluation circuits of the paper, in table order.
 pub fn circuits() -> Vec<(&'static str, SynthesisInput)> {
@@ -32,6 +33,52 @@ pub fn quick_config(limit: Duration) -> SynthesisConfig {
     SynthesisConfig::time_boxed(limit)
 }
 
+/// A *deterministic* synthesis configuration for the k-sweep comparison:
+/// node-limited instead of time-limited, so repeated runs (and the rebuild
+/// vs engine variants) explore bit-identical search trees regardless of
+/// machine speed or load.
+pub fn sweep_config(node_limit: u64) -> SynthesisConfig {
+    SynthesisConfig {
+        solver: SolverConfig {
+            time_limit: None,
+            node_limit: Some(node_limit),
+            bound_mode: BoundMode::LpRelaxation,
+            ..SolverConfig::default()
+        },
+        ..SynthesisConfig::default()
+    }
+}
+
+/// Reads the per-solve node budget of the sweep comparison from
+/// `BIST_SWEEP_NODES` (default 1000, minimum 1).
+pub fn sweep_nodes_from_env() -> u64 {
+    std::env::var("BIST_SWEEP_NODES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(1000)
+}
+
+/// Maps a closure over circuits on a scoped thread pool and returns the
+/// results in circuit order — the harness tables stay byte-identical no
+/// matter how the threads are scheduled.
+///
+/// The worker count is capped at the machine's available parallelism, so a
+/// wall-clock-limited solve never shares its core with more workers than
+/// the machine actually has; on a single-core host this degenerates to the
+/// sequential loop (and its solve quality) exactly.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics.
+pub fn par_map_circuits<R, F>(circuits: &[(&str, SynthesisInput)], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(&str, &SynthesisInput) -> R + Sync,
+{
+    bist_core::engine::par_map_ordered(circuits, |(name, input)| f(name, input))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -53,9 +100,6 @@ mod tests {
         let limit = time_limit_from_env();
         assert!(limit >= Duration::from_millis(1));
         let config = quick_config(Duration::from_millis(250));
-        assert_eq!(
-            config.solver.time_limit,
-            Some(Duration::from_millis(250))
-        );
+        assert_eq!(config.solver.time_limit, Some(Duration::from_millis(250)));
     }
 }

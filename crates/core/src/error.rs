@@ -51,7 +51,10 @@ impl fmt::Display for CoreError {
                 write!(f, "no feasible BIST design for a {sessions}-test session")
             }
             CoreError::NoSolutionWithinLimits => {
-                write!(f, "solver limits expired before a feasible design was found")
+                write!(
+                    f,
+                    "solver limits expired before a feasible design was found"
+                )
             }
             CoreError::InvalidSessionCount { requested, modules } => write!(
                 f,

@@ -61,14 +61,14 @@ pub fn test_plan(formulation: &BistFormulation<'_>, solution: &Solution) -> Test
 
     // Signature registers decide which sub-session tests each module.
     let mut session_of_module = vec![0usize; num_modules];
-    for m in 0..num_modules {
+    for (m, session_slot) in session_of_module.iter_mut().enumerate() {
         'search: for p in 0..k {
             for r in 0..formulation.num_registers() {
                 if let Some(s) = formulation.s_var(m, r, p) {
                     if solution.is_one(s) {
                         plan.sessions[p].modules.push(m);
                         plan.sessions[p].sr.insert(m, r);
-                        session_of_module[m] = p;
+                        *session_slot = p;
                         break 'search;
                     }
                 }
@@ -144,10 +144,7 @@ mod tests {
         assert_eq!(tested, vec![0, 1]);
         // Every register-fed port of a tested module has a TPG somewhere.
         for &(m, l) in f.register_fed_ports.iter() {
-            let found = plan
-                .sessions
-                .iter()
-                .any(|s| s.tpg.contains_key(&(m, l)));
+            let found = plan.sessions.iter().any(|s| s.tpg.contains_key(&(m, l)));
             assert!(found, "port ({m},{l}) has no TPG");
         }
     }

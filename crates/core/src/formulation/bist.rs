@@ -49,8 +49,7 @@ impl BistFormulation<'_> {
                 // Eq. (6): an SR needs the module -> register connection.
                 let mut expr: LinExpr = (0..k).map(|p| (self.s[&(m, r, p)], 1.0)).collect();
                 expr.add_term(self.z_out[&(m, r)], -1.0);
-                self.model
-                    .add_leq(expr, 0.0, format!("eq6[M{m},R{r}]"));
+                self.model.add_leq(expr, 0.0, format!("eq6[M{m},R{r}]"));
             }
             // Eq. (7): each module is tested exactly once.
             let expr: LinExpr = (0..self.num_registers)
@@ -235,7 +234,8 @@ impl BistFormulation<'_> {
         name: String,
     ) {
         if terms.is_empty() {
-            self.model.add_eq([(indicator, 1.0)], 0.0, format!("{name}_zero"));
+            self.model
+                .add_eq([(indicator, 1.0)], 0.0, format!("{name}_zero"));
             return;
         }
         let n = terms.len() as f64;
@@ -300,7 +300,10 @@ mod tests {
         f.add_mux_sizing();
         assert!(matches!(
             f.add_bist(3),
-            Err(CoreError::InvalidSessionCount { requested: 3, modules: 2 })
+            Err(CoreError::InvalidSessionCount {
+                requested: 3,
+                modules: 2
+            })
         ));
     }
 

@@ -67,15 +67,8 @@ impl BistFormulation<'_> {
         if self.config.commutative_swapping {
             for o in dfg.op_ids() {
                 let op = dfg.op(o);
-                let class = self
-                    .input
-                    .binding()
-                    .module(self.input.module_of(o))
-                    .class;
-                let all_variable = op
-                    .inputs
-                    .iter()
-                    .all(|&v| !dfg.var(v).is_constant());
+                let class = self.input.binding().module(self.input.module_of(o)).class;
+                let all_variable = op.inputs.iter().all(|&v| !dfg.var(v).is_constant());
                 if op.kind.is_commutative() && class.is_commutative() && all_variable {
                     let w = self.model.add_binary(format!("swap[{}]", op.name));
                     self.swap.insert(o.index(), w);
@@ -109,10 +102,7 @@ impl BistFormulation<'_> {
                             0.0,
                             format!("req[{},R{r},M{m},p{l}]", dfg.var(v).name),
                         );
-                        reachable
-                            .entry((m, l, r))
-                            .or_default()
-                            .add_term(x, 1.0);
+                        reachable.entry((m, l, r)).or_default().add_term(x, 1.0);
                     }
                     Some(w) => {
                         // Unswapped: connection needed on the declared port.
@@ -131,14 +121,8 @@ impl BistFormulation<'_> {
                             format!("req_sw[{},R{r},M{m},p{other}]", dfg.var(v).name),
                         );
                         // The edge can justify a wire on either port.
-                        reachable
-                            .entry((m, l, r))
-                            .or_default()
-                            .add_term(x, 1.0);
-                        reachable
-                            .entry((m, other, r))
-                            .or_default()
-                            .add_term(x, 1.0);
+                        reachable.entry((m, l, r)).or_default().add_term(x, 1.0);
+                        reachable.entry((m, other, r)).or_default().add_term(x, 1.0);
                     }
                 }
             }
@@ -177,10 +161,7 @@ impl BistFormulation<'_> {
                     0.0,
                     format!("req_out[{},M{m},R{r}]", dfg.var(v).name),
                 );
-                out_reachable
-                    .entry((m, r))
-                    .or_default()
-                    .add_term(x, 1.0);
+                out_reachable.entry((m, r)).or_default().add_term(x, 1.0);
             }
         }
         for (&(m, r), &z) in &self.z_out {

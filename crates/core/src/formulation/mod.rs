@@ -39,7 +39,13 @@ use crate::error::CoreError;
 pub(crate) type PortKey = (usize, usize);
 
 /// Incremental builder of the ADVBIST integer linear program.
-#[derive(Debug)]
+///
+/// Cloning a formulation is cheap relative to rebuilding it and is how the
+/// [`crate::engine::SynthesisEngine`] reuses the circuit-level base model
+/// (register assignment + interconnect + mux sizing) across every k-test
+/// session of a sweep: the base is built once, and each `k` applies its BIST
+/// delta ([`BistFormulation::add_bist`]) onto a fresh clone.
+#[derive(Debug, Clone)]
 pub struct BistFormulation<'a> {
     pub(crate) input: &'a SynthesisInput,
     pub(crate) config: &'a SynthesisConfig,
@@ -230,11 +236,8 @@ impl<'a> BistFormulation<'a> {
                 if let Some(r) = self.baseline.register_of(v) {
                     if r < self.num_registers {
                         let var = self.x[&(v.index(), r)];
-                        self.model.add_eq(
-                            [(var, 1.0)],
-                            1.0,
-                            format!("reduce_{}", dfg.var(v).name),
-                        );
+                        self.model
+                            .add_eq([(var, 1.0)], 1.0, format!("reduce_{}", dfg.var(v).name));
                     }
                 }
             }

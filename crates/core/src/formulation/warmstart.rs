@@ -14,6 +14,7 @@
 
 use std::collections::BTreeMap;
 
+use bist_dfg::allocate::RegisterAssignment;
 use bist_ilp::VarId;
 
 use super::BistFormulation;
@@ -25,6 +26,20 @@ impl BistFormulation<'_> {
     /// their only driving register), in which case the caller simply runs the
     /// solver cold.
     pub fn baseline_warm_values(&self) -> Option<Vec<f64>> {
+        self.warm_values_for_assignment(&self.baseline)
+    }
+
+    /// Builds a dense, feasible assignment of every model variable from an
+    /// arbitrary complete register assignment: the `x`/`z`/mux-selector
+    /// values follow mechanically from the assignment, and the BIST roles
+    /// are completed greedily. This is how the synthesis engine chains the
+    /// k−1 sweep incumbent into the k solve — the register assignment of the
+    /// previous design is re-dressed with a role assignment valid for the
+    /// new session count.
+    ///
+    /// Returns `None` when `assignment` does not cover every register
+    /// variable or the greedy role completion fails.
+    pub fn warm_values_for_assignment(&self, assignment: &RegisterAssignment) -> Option<Vec<f64>> {
         let dfg = self.input.dfg();
         let num_modules = self.input.binding().num_modules();
         let mut values = vec![0.0f64; self.model.num_vars()];
@@ -37,9 +52,9 @@ impl BistFormulation<'_> {
         // ------------------------------------------------------------------
         let mut reg_of = vec![usize::MAX; dfg.num_vars()];
         for v in dfg.register_variables() {
-            let r = self.baseline.register_of(v)?;
+            let r = assignment.register_of(v)?;
             reg_of[v.index()] = r;
-            set(self.x[&(v.index(), r)], 1.0, &mut values);
+            set(*self.x.get(&(v.index(), r))?, 1.0, &mut values);
         }
 
         // z_in: wires required by the input edges under the baseline.
@@ -77,12 +92,12 @@ impl BistFormulation<'_> {
         // Multiplexer size selectors.
         for r in 0..self.num_registers {
             let fanin = reg_sources.get(&r).map_or(0, |s| s.len());
-            set(self.reg_mux_sel[&(r, fanin)], 1.0, &mut values);
+            set(*self.reg_mux_sel.get(&(r, fanin))?, 1.0, &mut values);
         }
         for &(m, l) in &self.register_fed_ports {
             let fanin = port_drivers.get(&(m, l)).map_or(0, |d| d.len())
                 + self.constants_on_port.get(&(m, l)).copied().unwrap_or(0);
-            set(self.port_mux_sel[&(m, l, fanin)], 1.0, &mut values);
+            set(*self.port_mux_sel.get(&(m, l, fanin))?, 1.0, &mut values);
         }
 
         // Swap variables (if any) stay at zero: the baseline keeps the
@@ -99,6 +114,7 @@ impl BistFormulation<'_> {
         // role[r] = (used as TPG in sessions, used as SR in sessions)
         let mut tpg_sessions: Vec<Vec<usize>> = vec![Vec::new(); self.num_registers];
         let mut sr_sessions: Vec<Vec<usize>> = vec![Vec::new(); self.num_registers];
+        let mut session_load = vec![0usize; k];
 
         // Assign the most constrained modules (fewest candidate signature
         // registers) first so that a contested register is not grabbed by a
@@ -107,18 +123,20 @@ impl BistFormulation<'_> {
         module_order.sort_by_key(|&m| (module_sinks.get(&m).map_or(0, |s| s.len()), m));
 
         for &m in &module_order {
-            let p = m % k;
-            // Signature register: prefer a register already compacting
-            // something (reuse), then one with no role yet.
+            // Signature register and sub-session jointly: the model lets any
+            // module test in any session (Eq. 7), so scan every (session,
+            // sink register) pair and pick the cheapest — reuse a register
+            // already compacting, avoid upgrading a TPG to a BILBO, and
+            // break ties toward the emptier session so later modules keep
+            // their options.
             let sinks = module_sinks.get(&m)?.clone();
-            let taken: Vec<usize> = (0..self.num_registers)
-                .filter(|r| sr_sessions[*r].contains(&p))
-                .collect();
-            let sr = sinks
-                .iter()
-                .copied()
-                .filter(|r| !taken.contains(r))
-                .min_by_key(|&r| {
+            let mut best: Option<(usize, usize)> = None;
+            let mut best_key: Option<(usize, usize, usize, usize)> = None;
+            for (p, &load) in session_load.iter().enumerate() {
+                for &r in &sinks {
+                    if sr_sessions[r].contains(&p) {
+                        continue;
+                    }
                     let class = if !sr_sessions[r].is_empty() {
                         0
                     } else if tpg_sessions[r].is_empty() {
@@ -126,8 +144,15 @@ impl BistFormulation<'_> {
                     } else {
                         2
                     };
-                    (class, r)
-                })?;
+                    let key = (class, load, r, p);
+                    if best_key.map(|k0| key < k0).unwrap_or(true) {
+                        best = Some((p, r));
+                        best_key = Some(key);
+                    }
+                }
+            }
+            let (p, sr) = best?;
+            session_load[p] += 1;
             sr_sessions[sr].push(p);
             set(self.s[&(m, sr, p)], 1.0, &mut values);
 
@@ -229,8 +254,7 @@ mod tests {
         // design by *changing* the register assignment). Whenever it does
         // produce values, they must be feasible; and at the maximal k (one
         // module per session) it must always succeed.
-        let config: &'static SynthesisConfig =
-            Box::leak(Box::new(SynthesisConfig::default()));
+        let config: &'static SynthesisConfig = Box::leak(Box::new(SynthesisConfig::default()));
         for (name, input) in benchmarks::all() {
             let input: &'static bist_dfg::SynthesisInput = Box::leak(Box::new(input));
             let n = input.binding().num_modules();
@@ -252,10 +276,8 @@ mod tests {
 
     #[test]
     fn warm_values_are_feasible_for_the_reference_model() {
-        let config: &'static SynthesisConfig =
-            Box::leak(Box::new(SynthesisConfig::default()));
-        let input: &'static bist_dfg::SynthesisInput =
-            Box::leak(Box::new(benchmarks::paulin()));
+        let config: &'static SynthesisConfig = Box::leak(Box::new(SynthesisConfig::default()));
+        let input: &'static bist_dfg::SynthesisInput = Box::leak(Box::new(benchmarks::paulin()));
         let mut f = BistFormulation::new(input, config).unwrap();
         f.add_interconnect();
         f.add_mux_sizing();

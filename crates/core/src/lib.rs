@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod engine;
 pub mod error;
 pub mod extract;
 pub mod formulation;
@@ -44,6 +45,7 @@ pub mod reference;
 pub mod synthesis;
 
 pub use config::{ModuleBindingMode, SynthesisConfig};
+pub use engine::{SweepOutcome, SynthesisEngine};
 pub use error::CoreError;
 pub use reference::ReferenceDesign;
 pub use synthesis::BistDesign;

@@ -9,7 +9,7 @@
 
 use bist_datapath::{AreaBreakdown, Datapath};
 use bist_dfg::SynthesisInput;
-use bist_ilp::{SolveStats, Status};
+use bist_ilp::{SolveStats, SolverConfig, Status};
 
 use crate::config::SynthesisConfig;
 use crate::error::CoreError;
@@ -57,7 +57,18 @@ pub fn synthesize_reference(
             solver_config.initial_solution = Some(values);
         }
     }
-    let solution = formulation.model.solve(&solver_config)?;
+    solve_reference_formulation(config, &formulation, &solver_config)
+}
+
+/// Solves a fully-built reference formulation and extracts the design.
+/// Shared by [`synthesize_reference`] and the layered
+/// [`crate::engine::SynthesisEngine`].
+pub(crate) fn solve_reference_formulation(
+    config: &SynthesisConfig,
+    formulation: &BistFormulation<'_>,
+    solver_config: &SolverConfig,
+) -> Result<ReferenceDesign, CoreError> {
+    let solution = formulation.model.solve(solver_config)?;
 
     let (chosen, optimal) = match solution.status() {
         Status::Optimal => (solution, true),
@@ -66,7 +77,7 @@ pub fn synthesize_reference(
         _ => return Err(CoreError::NoSolutionWithinLimits),
     };
 
-    let datapath = extract::datapath(&formulation, &chosen)?;
+    let datapath = extract::datapath(formulation, &chosen)?;
     let area = datapath.area(&config.cost);
     Ok(ReferenceDesign {
         datapath,

@@ -3,11 +3,13 @@
 use bist_datapath::report::DesignReport;
 use bist_datapath::validate::validate_design;
 use bist_datapath::{AreaBreakdown, Datapath, TestPlan};
+use bist_dfg::allocate::RegisterAssignment;
 use bist_dfg::lifetime::LifetimeTable;
 use bist_dfg::SynthesisInput;
-use bist_ilp::{SolveStats, Status};
+use bist_ilp::{SolveStats, SolverConfig, Status};
 
 use crate::config::SynthesisConfig;
+use crate::engine::SynthesisEngine;
 use crate::error::CoreError;
 use crate::extract;
 use crate::formulation::BistFormulation;
@@ -86,7 +88,21 @@ pub fn synthesize_bist(
             solver_config.initial_solution = Some(values);
         }
     }
-    let solution = formulation.model.solve(&solver_config)?;
+    solve_bist_formulation(input, config, &formulation, &solver_config, k).map(|(d, _)| d)
+}
+
+/// Solves a fully-built BIST formulation, extracts the design and validates
+/// it. Shared by the per-k rebuild path above and the layered
+/// [`SynthesisEngine`]; also returns the register assignment so sweeps can
+/// chain it into the next solve.
+pub(crate) fn solve_bist_formulation(
+    input: &SynthesisInput,
+    config: &SynthesisConfig,
+    formulation: &BistFormulation<'_>,
+    solver_config: &SolverConfig,
+    k: usize,
+) -> Result<(BistDesign, RegisterAssignment), CoreError> {
+    let solution = formulation.model.solve(solver_config)?;
 
     let (chosen, optimal) = match solution.status() {
         Status::Optimal => (solution, true),
@@ -95,32 +111,67 @@ pub fn synthesize_bist(
         _ => return Err(CoreError::NoSolutionWithinLimits),
     };
 
-    let mut datapath = extract::datapath(&formulation, &chosen)?;
-    let plan = extract::test_plan(&formulation, &chosen);
+    let registers = extract::register_assignment(formulation, &chosen);
+    let mut datapath = extract::datapath(formulation, &chosen)?;
+    let plan = extract::test_plan(formulation, &chosen);
     plan.apply_register_kinds(&mut datapath);
 
     let lifetimes = LifetimeTable::with_timing(input, config.input_timing)?;
     validate_design(&datapath, &plan, input, &lifetimes)?;
 
     let area = datapath.area(&config.cost);
-    Ok(BistDesign {
-        datapath,
-        plan,
-        area,
-        sessions: k,
-        optimal,
-        objective: chosen.objective(),
-        stats: chosen.stats().clone(),
-    })
+    Ok((
+        BistDesign {
+            datapath,
+            plan,
+            area,
+            sessions: k,
+            optimal,
+            objective: chosen.objective(),
+            stats: chosen.stats().clone(),
+        },
+        registers,
+    ))
 }
 
 /// Synthesises one design per k-test session, k = 1..=N (N = number of
 /// modules) — the sweep reported in Table 2 of the paper.
 ///
+/// The sweep runs on the layered [`SynthesisEngine`]: the circuit-level base
+/// model is built once and every `k` applies its BIST delta onto a clone,
+/// with the solves spread across a scoped thread pool capped at the
+/// machine's available parallelism (on a single core this is exactly the
+/// sequential loop). Note that with a wall-clock [`SolverConfig::time_limit`]
+/// concurrent solves share the machine, trading some per-solve search depth
+/// for sweep wall-clock; under deterministic budgets (node limits) the per-k
+/// results are identical to independent solves. Results are returned in
+/// ascending-k order regardless of thread scheduling. Use
+/// [`synthesize_all_sessions_rebuild`] for the sequential rebuild-per-k
+/// behaviour (kept as the benchmark baseline).
+///
 /// # Errors
 ///
 /// Propagates the first error of any individual synthesis.
 pub fn synthesize_all_sessions(
+    input: &SynthesisInput,
+    config: &SynthesisConfig,
+) -> Result<Vec<BistDesign>, CoreError> {
+    let engine = SynthesisEngine::new(input, config)?;
+    Ok(engine
+        .sweep_parallel()?
+        .into_iter()
+        .map(|outcome| outcome.design)
+        .collect())
+}
+
+/// The pre-engine sweep: a fresh formulation is built and solved for every
+/// `k`, sequentially. This is the baseline the `BENCH_sweep.json` comparison
+/// measures the engine against.
+///
+/// # Errors
+///
+/// Propagates the first error of any individual synthesis.
+pub fn synthesize_all_sessions_rebuild(
     input: &SynthesisInput,
     config: &SynthesisConfig,
 ) -> Result<Vec<BistDesign>, CoreError> {

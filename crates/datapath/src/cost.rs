@@ -213,7 +213,10 @@ mod tests {
         assert_eq!(cost.reconfiguration_increment(TestRegisterKind::Tpg), 48);
         assert_eq!(cost.reconfiguration_increment(TestRegisterKind::Sr), 96);
         assert_eq!(cost.reconfiguration_increment(TestRegisterKind::Bilbo), 180);
-        assert_eq!(cost.reconfiguration_increment(TestRegisterKind::Cbilbo), 388);
+        assert_eq!(
+            cost.reconfiguration_increment(TestRegisterKind::Cbilbo),
+            388
+        );
     }
 
     #[test]

@@ -46,7 +46,8 @@ impl Interconnect {
 
     /// Adds a hard-wired constant value feeding an input port.
     pub fn add_constant_to_port(&mut self, value: i64, port: ModulePort) {
-        self.constant_to_port.insert((value, port.module, port.port));
+        self.constant_to_port
+            .insert((value, port.module, port.port));
     }
 
     /// Whether register `register` drives input `port`.
@@ -177,8 +178,14 @@ mod tests {
         assert!(ic.has_register_to_port(0, ModulePort { module: 0, port: 0 }));
         assert!(!ic.has_register_to_port(1, ModulePort { module: 0, port: 0 }));
         assert!(ic.has_module_to_register(1, 1));
-        assert_eq!(ic.registers_driving_port(ModulePort { module: 1, port: 0 }), vec![0, 1]);
-        assert_eq!(ic.constants_driving_port(ModulePort { module: 1, port: 1 }), vec![5]);
+        assert_eq!(
+            ic.registers_driving_port(ModulePort { module: 1, port: 0 }),
+            vec![0, 1]
+        );
+        assert_eq!(
+            ic.constants_driving_port(ModulePort { module: 1, port: 1 }),
+            vec![5]
+        );
         assert_eq!(ic.modules_driving_register(0), vec![0, 1]);
         assert_eq!(ic.registers_driven_by_module(1), vec![0, 1]);
         assert_eq!(ic.ports_driven_by_register(1).len(), 2);

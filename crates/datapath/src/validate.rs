@@ -269,7 +269,9 @@ mod tests {
                     .copied()
                     .find(|r| !already.contains(r))
                     .expect("figure1 ports have distinct drivable registers");
-                session.tpg.insert((module, port), TpgSource::Register(pick));
+                session
+                    .tpg
+                    .insert((module, port), TpgSource::Register(pick));
             }
             let sr = dp
                 .interconnect()
@@ -384,7 +386,10 @@ mod tests {
         dp.set_register_kind(tpg_reg, TestRegisterKind::Bilbo);
         assert!(matches!(
             validate_bist(&dp, &plan),
-            Err(DatapathError::WrongTestRegisterKind { needed: "concurrent BILBO", .. })
+            Err(DatapathError::WrongTestRegisterKind {
+                needed: "concurrent BILBO",
+                ..
+            })
         ));
         dp.set_register_kind(tpg_reg, TestRegisterKind::Cbilbo);
         assert!(validate_bist(&dp, &plan).is_ok());

@@ -72,7 +72,10 @@ mod tests {
         assert_eq!(input.binding().num_modules(), 4);
         let table = LifetimeTable::new(&input).unwrap();
         let regs = table.min_registers();
-        assert!((5..=8).contains(&regs), "dct4 registers = {regs} (paper: 6)");
+        assert!(
+            (5..=8).contains(&regs),
+            "dct4 registers = {regs} (paper: 6)"
+        );
     }
 
     #[test]

@@ -57,12 +57,7 @@ mod tests {
     #[test]
     fn modules_are_one_adder_and_one_multiplier() {
         let input = figure1();
-        let classes: Vec<ModuleClass> = input
-            .binding()
-            .modules()
-            .iter()
-            .map(|m| m.class)
-            .collect();
+        let classes: Vec<ModuleClass> = input.binding().modules().iter().map(|m| m.class).collect();
         assert!(classes.contains(&ModuleClass::Adder));
         assert!(classes.contains(&ModuleClass::Multiplier));
     }

@@ -54,7 +54,10 @@ mod tests {
         assert_eq!(input.dfg().constants().len(), 6);
         let table = LifetimeTable::new(&input).unwrap();
         let regs = table.min_registers();
-        assert!((5..=8).contains(&regs), "fir6 registers = {regs} (paper: 7)");
+        assert!(
+            (5..=8).contains(&regs),
+            "fir6 registers = {regs} (paper: 7)"
+        );
     }
 
     #[test]

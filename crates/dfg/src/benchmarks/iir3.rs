@@ -69,7 +69,10 @@ mod tests {
         assert_eq!(input.binding().num_modules(), 3);
         let table = LifetimeTable::new(&input).unwrap();
         let regs = table.min_registers();
-        assert!((5..=8).contains(&regs), "iir3 registers = {regs} (paper: 6)");
+        assert!(
+            (5..=8).contains(&regs),
+            "iir3 registers = {regs} (paper: 6)"
+        );
     }
 
     #[test]

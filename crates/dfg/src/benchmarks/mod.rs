@@ -47,7 +47,11 @@ pub fn all() -> Vec<(&'static str, SynthesisInput)> {
 /// The subset of circuits small enough for exact (optimal) ILP solving in a
 /// few seconds; used by the quick harness mode and by integration tests.
 pub fn small() -> Vec<(&'static str, SynthesisInput)> {
-    vec![("figure1", figure1()), ("tseng", tseng()), ("paulin", paulin())]
+    vec![
+        ("figure1", figure1()),
+        ("tseng", tseng()),
+        ("paulin", paulin()),
+    ]
 }
 
 #[cfg(test)]
@@ -62,9 +66,15 @@ mod tests {
         for (name, input) in circuits {
             assert_eq!(input.name(), name);
             assert!(input.dfg().num_ops() >= 4, "{name} too small");
-            assert!(input.binding().num_modules() >= 2, "{name} needs >= 2 modules");
+            assert!(
+                input.binding().num_modules() >= 2,
+                "{name} needs >= 2 modules"
+            );
             let table = LifetimeTable::new(&input).unwrap();
-            assert!(table.min_registers() >= 3, "{name} register count suspicious");
+            assert!(
+                table.min_registers() >= 3,
+                "{name} register count suspicious"
+            );
         }
     }
 

@@ -54,20 +54,19 @@ mod tests {
     #[test]
     fn tseng_module_classes() {
         let input = tseng();
-        let mut classes: Vec<_> = input
-            .binding()
-            .modules()
-            .iter()
-            .map(|m| m.class)
-            .collect();
+        let mut classes: Vec<_> = input.binding().modules().iter().map(|m| m.class).collect();
         classes.sort();
         assert_eq!(
             classes,
-            vec![ModuleClass::Alu, ModuleClass::Multiplier, ModuleClass::Logic]
-                .into_iter()
-                .collect::<std::collections::BTreeSet<_>>()
-                .into_iter()
-                .collect::<Vec<_>>()
+            vec![
+                ModuleClass::Alu,
+                ModuleClass::Multiplier,
+                ModuleClass::Logic
+            ]
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect::<Vec<_>>()
         );
     }
 }

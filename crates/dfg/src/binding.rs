@@ -152,9 +152,8 @@ impl Binding {
         for op in ops {
             let class = classify(dfg.op(op).kind);
             let step = schedule.step_of(op);
-            let slot = (0..modules.len()).find(|&m| {
-                modules[m].class == class && !busy[m].contains(&step)
-            });
+            let slot =
+                (0..modules.len()).find(|&m| modules[m].class == class && !busy[m].contains(&step));
             let m = match slot {
                 Some(m) => m,
                 None => {
@@ -346,10 +345,7 @@ mod tests {
     #[test]
     fn list_schedule_then_minimal_binding_is_consistent() {
         let (dfg, _) = chain();
-        let limits = BTreeMap::from([
-            (ModuleClass::Multiplier, 1),
-            (ModuleClass::Adder, 1),
-        ]);
+        let limits = BTreeMap::from([(ModuleClass::Multiplier, 1), (ModuleClass::Adder, 1)]);
         let schedule = Schedule::list(&dfg, &limits, ModuleClass::of).unwrap();
         let binding = Binding::minimal(&dfg, &schedule, ModuleClass::of);
         assert!(binding.validate(&dfg, &schedule).is_ok());

@@ -46,7 +46,13 @@ impl DfgBuilder {
 
     /// Adds a two-operand operation producing a fresh variable, and returns
     /// the output variable.
-    pub fn op(&mut self, kind: OpKind, result_name: impl Into<String>, a: VarId, b: VarId) -> VarId {
+    pub fn op(
+        &mut self,
+        kind: OpKind,
+        result_name: impl Into<String>,
+        a: VarId,
+        b: VarId,
+    ) -> VarId {
         let op_id = OpId(self.dfg.ops.len());
         let result_name = result_name.into();
         let out = self.push_var(result_name.clone(), VarSource::OpOutput(op_id));

@@ -111,7 +111,9 @@ mod tests {
 
     #[test]
     fn messages_mention_the_subject() {
-        assert!(DfgError::UnknownVariable { index: 7 }.to_string().contains('7'));
+        assert!(DfgError::UnknownVariable { index: 7 }
+            .to_string()
+            .contains('7'));
         assert!(DfgError::Cyclic.to_string().contains("cycle"));
         assert!(DfgError::ModuleConflict { module: 2, step: 3 }
             .to_string()

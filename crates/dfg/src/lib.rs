@@ -51,6 +51,8 @@ pub mod schedule;
 pub use binding::{Binding, ModuleClass, ModuleId};
 pub use builder::DfgBuilder;
 pub use error::DfgError;
-pub use graph::{Dfg, OpId, OpKind, Operation, PortIndex, SynthesisInput, VarId, VarSource, Variable};
+pub use graph::{
+    Dfg, OpId, OpKind, Operation, PortIndex, SynthesisInput, VarId, VarSource, Variable,
+};
 pub use lifetime::{InputTiming, Lifetime, LifetimeTable};
 pub use schedule::Schedule;

@@ -89,9 +89,7 @@ impl LifetimeTable {
                 Some(op) => input.step_of(op) + 1,
                 None => match timing {
                     InputTiming::FromStart => 0,
-                    InputTiming::JustInTime => {
-                        consumption_steps.iter().copied().min().unwrap_or(0)
-                    }
+                    InputTiming::JustInTime => consumption_steps.iter().copied().min().unwrap_or(0),
                 },
             };
             let mut death = consumption_steps.iter().copied().max().unwrap_or(birth);

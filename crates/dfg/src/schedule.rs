@@ -167,13 +167,11 @@ impl Schedule {
                 .op_ids()
                 .filter(|&op| {
                     !scheduled[op.index()]
-                        && dfg.op(op).inputs.iter().all(|&v| {
-                            match dfg.var(v).source {
-                                VarSource::OpOutput(p) => {
-                                    scheduled[p.index()] && steps[p.index()] < step
-                                }
-                                _ => true,
+                        && dfg.op(op).inputs.iter().all(|&v| match dfg.var(v).source {
+                            VarSource::OpOutput(p) => {
+                                scheduled[p.index()] && steps[p.index()] < step
                             }
+                            _ => true,
                         })
                 })
                 .collect();

@@ -43,7 +43,10 @@ impl fmt::Display for IlpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             IlpError::UnknownVariable { index, len } => {
-                write!(f, "unknown variable index {index} (model has {len} variables)")
+                write!(
+                    f,
+                    "unknown variable index {index} (model has {len} variables)"
+                )
             }
             IlpError::InvalidCoefficient { location } => {
                 write!(f, "non-finite coefficient in {location}")

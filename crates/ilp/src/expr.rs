@@ -40,7 +40,10 @@ impl LinExpr {
         if coeff != 0.0 {
             terms.insert(var, coeff);
         }
-        Self { terms, constant: 0.0 }
+        Self {
+            terms,
+            constant: 0.0,
+        }
     }
 
     /// Creates a constant expression.

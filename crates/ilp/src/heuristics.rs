@@ -31,12 +31,8 @@ pub fn greedy_dive(
     // them. Fixing the most entangled variables first lets propagation do the
     // bulk of the work.
     let n = domains.len();
-    let mut occurrence = vec![0usize; n];
-    for row in propagator.rows() {
-        for &(j, _) in &row.terms {
-            occurrence[j] += 1;
-        }
-    }
+    let matrix = propagator.matrix();
+    let occurrence: Vec<usize> = (0..n).map(|j| matrix.occurrences(j)).collect();
     let mut order: Vec<usize> = (0..n).collect();
     order.sort_by(|&a, &b| occurrence[b].cmp(&occurrence[a]).then(a.cmp(&b)));
 
@@ -52,15 +48,17 @@ pub fn greedy_dive(
         } else {
             (upper, lower)
         };
+        // `domains` is at a fixpoint between fixes, so each attempt only
+        // needs to propagate from the variable just fixed.
         let mut attempt = domains.clone();
         attempt.fix(j, first);
-        if propagator.propagate(&mut attempt) == PropagationResult::Consistent {
+        if propagator.propagate_seeded(&mut attempt, &[j]) == PropagationResult::Consistent {
             domains = attempt;
             continue;
         }
         let mut attempt = domains.clone();
         attempt.fix(j, second);
-        if propagator.propagate(&mut attempt) == PropagationResult::Consistent {
+        if propagator.propagate_seeded(&mut attempt, &[j]) == PropagationResult::Consistent {
             domains = attempt;
             continue;
         }
@@ -93,21 +91,23 @@ pub fn round_and_repair(
     objective: &[f64],
 ) -> Option<Vec<f64>> {
     let mut domains = start.clone();
-    let n = domains.len();
     // Fix the near-integral variables first; leave fractional ones to the dive.
-    for j in 0..n {
+    let mut fixed = Vec::new();
+    for (j, &v) in lp_values.iter().enumerate() {
         if !domains.is_integral(j) || domains.is_fixed(j) {
             continue;
         }
-        let v = lp_values[j];
         if (v - v.round()).abs() <= 1e-4 {
             let rounded = v.round().clamp(domains.lower(j), domains.upper(j));
             if !domains.fix(j, rounded) {
                 return None;
             }
+            fixed.push(j);
         }
     }
-    if propagator.propagate(&mut domains) == PropagationResult::Infeasible {
+    // `start` is the node's propagated (fixpoint) box, so only the rows of
+    // the variables just rounded can fire.
+    if propagator.propagate_seeded(&mut domains, &fixed) == PropagationResult::Infeasible {
         return None;
     }
     greedy_dive(propagator, &domains, objective)

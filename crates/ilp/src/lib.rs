@@ -3,17 +3,18 @@
 //! This crate is the substitute for the commercial CPLEX 6.0 solver used in
 //! the DAC'99 paper *"On ILP Formulations for Built-In Self-Testable Data
 //! Path Synthesis"* (Kim, Ha, Takahashi). The BIST synthesis formulations in
-//! [`bist-core`](https://example.invalid/advbist) only need a reliable exact
-//! solver for small-to-medium 0-1 programs plus a time-limited best-effort
-//! mode for the larger benchmark circuits, and that is exactly what this
-//! crate provides:
+//! the workspace's `bist-core` crate only need a reliable exact solver for
+//! small-to-medium 0-1 programs plus a time-limited best-effort mode for the
+//! larger benchmark circuits, and that is exactly what this crate provides:
 //!
 //! * a [`Model`] builder with binary, general integer and continuous
 //!   variables, linear constraints and a linear objective,
-//! * a dense two-phase bounded-variable primal [`simplex`] solver for the LP
-//!   relaxation,
-//! * an interval [`propagate`] engine (bound tightening over linear
-//!   constraints) used both for presolve and for node pruning,
+//! * a shared [`sparse`] CSR+CSC image of the constraint matrix consumed by
+//!   every solver kernel,
+//! * a two-phase bounded-variable primal [`simplex`] solver for the LP
+//!   relaxation, fed from the sparse rows,
+//! * a worklist-driven interval [`propagate`] engine (bound tightening over
+//!   linear constraints) used both for presolve and for node pruning,
 //! * a branch-and-bound [`solver`] with configurable bounding
 //!   (LP relaxation, propagation-only, or hybrid), branching and search
 //!   strategies, a greedy diving primal heuristic and wall-clock limits,
@@ -51,12 +52,14 @@ pub mod propagate;
 pub mod simplex;
 pub mod solution;
 pub mod solver;
+pub mod sparse;
 
 pub use error::IlpError;
 pub use expr::LinExpr;
 pub use model::{CmpOp, Constraint, Model, Sense, VarId, VarKind};
-pub use solution::{SolveStats, Solution, Status};
+pub use solution::{Improvement, Solution, SolveStats, Status};
 pub use solver::{BoundMode, Branching, SearchOrder, SolverConfig};
+pub use sparse::{RowRef, SparseModel};
 
 /// Numerical tolerance used throughout the crate when comparing floating
 /// point activities, bounds and objective values.

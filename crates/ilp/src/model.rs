@@ -251,10 +251,7 @@ impl Model {
     /// Looks a variable up by name (linear scan; intended for tests and
     /// diagnostics, not hot paths).
     pub fn var_by_name(&self, name: &str) -> Option<VarId> {
-        self.vars
-            .iter()
-            .position(|v| v.name == name)
-            .map(VarId)
+        self.vars.iter().position(|v| v.name == name).map(VarId)
     }
 
     /// Adds a generic constraint `expr op rhs`.
@@ -282,12 +279,22 @@ impl Model {
     }
 
     /// Adds `expr <= rhs`.
-    pub fn add_leq(&mut self, expr: impl Into<LinExpr>, rhs: f64, name: impl Into<String>) -> usize {
+    pub fn add_leq(
+        &mut self,
+        expr: impl Into<LinExpr>,
+        rhs: f64,
+        name: impl Into<String>,
+    ) -> usize {
         self.add_constraint(expr, CmpOp::Le, rhs, name)
     }
 
     /// Adds `expr >= rhs`.
-    pub fn add_geq(&mut self, expr: impl Into<LinExpr>, rhs: f64, name: impl Into<String>) -> usize {
+    pub fn add_geq(
+        &mut self,
+        expr: impl Into<LinExpr>,
+        rhs: f64,
+        name: impl Into<String>,
+    ) -> usize {
         self.add_constraint(expr, CmpOp::Ge, rhs, name)
     }
 

@@ -56,11 +56,11 @@ pub fn presolve(model: &Model) -> (PresolveReport, Domains) {
         }
     }
 
-    for row in propagator.rows() {
+    for row in propagator.matrix().rows() {
         let (min_act, max_act) = {
             let mut min = 0.0;
             let mut max = 0.0;
-            for &(i, a) in &row.terms {
+            for (i, a) in row.terms() {
                 if a >= 0.0 {
                     min += a * domains.lower(i);
                     max += a * domains.upper(i);

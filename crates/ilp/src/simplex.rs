@@ -14,8 +14,9 @@
 //! the tableau is built, which keeps relaxations small deep in the
 //! branch-and-bound tree.
 
-use crate::propagate::{Domains, Row};
 use crate::model::CmpOp;
+use crate::propagate::Domains;
+use crate::sparse::SparseModel;
 use crate::EPS;
 
 /// Outcome of an LP solve.
@@ -57,12 +58,12 @@ impl LpSolution {
 }
 
 /// Solves the LP `minimise Σ objective[j]·x[j] + objective_constant` subject
-/// to `rows` and the variable box described by `domains`.
+/// to the rows of `matrix` and the variable box described by `domains`.
 ///
-/// `rows` must reference variable indices smaller than `domains.len()`.
+/// `matrix` must reference variable indices smaller than `domains.len()`.
 /// Integrality of the domains is ignored (this is the relaxation).
 pub fn solve_lp(
-    rows: &[Row],
+    matrix: &SparseModel,
     objective: &[f64],
     objective_constant: f64,
     domains: &Domains,
@@ -74,9 +75,9 @@ pub fn solve_lp(
     // Map original variables to LP columns, substituting fixed variables.
     let mut col_of = vec![usize::MAX; n_orig];
     let mut orig_of_col = Vec::new();
-    for j in 0..n_orig {
+    for (j, slot) in col_of.iter_mut().enumerate() {
         if !domains.is_fixed(j) {
-            col_of[j] = orig_of_col.len();
+            *slot = orig_of_col.len();
             orig_of_col.push(j);
         }
     }
@@ -85,8 +86,8 @@ pub fn solve_lp(
     // Shifted objective constant: every variable contributes c_j · lower_j
     // (fixed variables have lower == upper).
     let mut obj_shift = objective_constant;
-    for j in 0..n_orig {
-        obj_shift += objective[j] * domains.lower(j);
+    for (j, &c) in objective.iter().enumerate() {
+        obj_shift += c * domains.lower(j);
     }
     let costs: Vec<f64> = orig_of_col.iter().map(|&j| objective[j]).collect();
 
@@ -97,10 +98,10 @@ pub fn solve_lp(
         rhs: f64,
     }
     let mut norm_rows: Vec<NormRow> = Vec::new();
-    for row in rows {
+    for row in matrix.rows() {
         let mut rhs = row.rhs;
         let mut terms: Vec<(usize, f64)> = Vec::new();
-        for &(j, a) in &row.terms {
+        for (j, a) in row.terms() {
             // every variable contributes a·lower as a constant shift
             rhs -= a * domains.lower(j);
             if !domains.is_fixed(j) {
@@ -416,14 +417,12 @@ fn pivot(tab: &mut [f64], m: usize, width: usize, prow: usize, pcol: usize) {
 mod tests {
     use super::*;
     use crate::model::{Model, Sense};
-    use crate::propagate::Propagator;
 
-    fn relax(model: &Model) -> (Vec<Row>, Vec<f64>, f64, Domains) {
-        let prop = Propagator::new(model);
+    fn relax(model: &Model) -> (SparseModel, Vec<f64>, f64, Domains) {
         let objective: Vec<f64> = model.vars().iter().map(|v| v.objective).collect();
         let constant = model.objective().offset();
         (
-            prop.rows().to_vec(),
+            SparseModel::from_model(model),
             objective,
             constant,
             Domains::from_model(model),
@@ -456,7 +455,11 @@ mod tests {
         let (rows, obj, k, dom) = relax(&m);
         let sol = solve_lp(&rows, &obj, k, &dom, 10_000);
         assert_eq!(sol.status, LpStatus::Optimal);
-        assert!((sol.objective + 10.0).abs() < 1e-6, "objective {}", sol.objective);
+        assert!(
+            (sol.objective + 10.0).abs() < 1e-6,
+            "objective {}",
+            sol.objective
+        );
         assert!((sol.values[x.index()] - 2.0).abs() < 1e-6);
         assert!((sol.values[y.index()] - 2.0).abs() < 1e-6);
     }

@@ -27,6 +27,22 @@ impl Status {
     }
 }
 
+/// One incumbent improvement during the search: when it happened and what
+/// objective it reached. The sequence is strictly improving, so the first
+/// entry at or below a target objective tells the *time-to-target* of the
+/// solve — the metric the k-sweep benchmark uses to compare warm-start
+/// chaining against cold starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Improvement {
+    /// Nodes explored when the incumbent improved (0 = before the search,
+    /// i.e. a warm-start candidate or the dive heuristic).
+    pub nodes: u64,
+    /// Seconds since the solve started.
+    pub seconds: f64,
+    /// The new incumbent objective, in the model's external sense.
+    pub objective: f64,
+}
+
 /// Counters describing the effort spent by the solver.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct SolveStats {
@@ -47,6 +63,42 @@ pub struct SolveStats {
     pub gap: f64,
     /// True when the wall-clock or node limit stopped the search.
     pub limit_reached: bool,
+    /// Every incumbent improvement, in chronological order.
+    pub improvements: Vec<Improvement>,
+}
+
+impl SolveStats {
+    /// Seconds until the incumbent first reached `target` (minimisation
+    /// sense: first improvement with `objective <= target + tol`). `None`
+    /// when the solve never got there.
+    pub fn seconds_to_target(&self, target: f64, tol: f64) -> Option<f64> {
+        self.improvements
+            .iter()
+            .find(|imp| imp.objective <= target + tol)
+            .map(|imp| imp.seconds)
+    }
+
+    /// Seconds until the final incumbent was found (0 when it came from a
+    /// warm start; `None` when no incumbent exists).
+    pub fn seconds_to_best(&self) -> Option<f64> {
+        self.improvements.last().map(|imp| imp.seconds)
+    }
+
+    /// Nodes explored until the incumbent first reached `target`
+    /// (minimisation sense). Unlike the wall-clock variant this is fully
+    /// deterministic, which is what the sweep benchmark asserts on.
+    pub fn nodes_to_target(&self, target: f64, tol: f64) -> Option<u64> {
+        self.improvements
+            .iter()
+            .find(|imp| imp.objective <= target + tol)
+            .map(|imp| imp.nodes)
+    }
+
+    /// Nodes explored until the final incumbent was found (`None` when no
+    /// incumbent exists).
+    pub fn nodes_to_best(&self) -> Option<u64> {
+        self.improvements.last().map(|imp| imp.nodes)
+    }
 }
 
 /// A solution returned by [`crate::Model::solve`].

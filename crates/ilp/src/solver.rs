@@ -16,7 +16,7 @@ use crate::heuristics::{greedy_dive, round_and_repair};
 use crate::model::{Model, Sense};
 use crate::propagate::{Domains, PropagationResult, Propagator};
 use crate::simplex::{solve_lp, LpStatus};
-use crate::solution::{SolveStats, Solution, Status};
+use crate::solution::{Solution, SolveStats, Status};
 use crate::{EPS, INT_EPS};
 
 /// How dual bounds are computed at branch-and-bound nodes.
@@ -83,6 +83,11 @@ pub struct SolverConfig {
     /// Optional warm-start assignment; used as the initial incumbent when it
     /// is feasible for the model.
     pub initial_solution: Option<Vec<f64>>,
+    /// Additional warm-start candidates. Every feasible candidate competes
+    /// for the initial incumbent and the best one wins; the synthesis engine
+    /// uses this to chain the k−1 sweep incumbent alongside the sequential
+    /// baseline design.
+    pub initial_solutions: Vec<Vec<f64>>,
 }
 
 impl Default for SolverConfig {
@@ -97,6 +102,7 @@ impl Default for SolverConfig {
             max_lp_pivots: 50_000,
             dive_heuristic: true,
             initial_solution: None,
+            initial_solutions: Vec::new(),
         }
     }
 }
@@ -151,6 +157,13 @@ impl SolverConfig {
         self.initial_solution = Some(values);
         self
     }
+
+    /// Builder-style addition of a warm-start candidate (see
+    /// [`SolverConfig::initial_solutions`]).
+    pub fn with_warm_candidate(mut self, values: Vec<f64>) -> Self {
+        self.initial_solutions.push(values);
+        self
+    }
 }
 
 /// A branch-and-bound node.
@@ -160,6 +173,10 @@ struct Node {
     depth: usize,
     /// Dual bound inherited from the parent (minimisation objective).
     bound: f64,
+    /// The variable whose bounds were tightened to create this node. The
+    /// parent's domains were at a propagation fixpoint, so the child's
+    /// propagation can be seeded with just this variable's rows.
+    branched: Option<usize>,
 }
 
 /// Wrapper giving the binary heap min-heap semantics on the node bound.
@@ -255,12 +272,9 @@ impl<'a> BranchAndBound<'a> {
             .map(|v| sense_factor * v.objective)
             .collect();
         let objective_constant = sense_factor * model.objective().offset();
-        let mut occurrence = vec![0usize; model.num_vars()];
-        for row in propagator.rows() {
-            for &(j, _) in &row.terms {
-                occurrence[j] += 1;
-            }
-        }
+        let occurrence: Vec<usize> = (0..model.num_vars())
+            .map(|j| propagator.matrix().occurrences(j))
+            .collect();
         Self {
             model,
             config,
@@ -290,13 +304,22 @@ impl<'a> BranchAndBound<'a> {
             return Ok(Solution::without_values(Status::Infeasible, stats));
         }
 
-        // Incumbent: (internal minimisation objective, values).
+        // Incumbent: (internal minimisation objective, values). All supplied
+        // warm-start candidates compete; the cheapest feasible one wins.
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
 
-        if let Some(warm) = self.config.initial_solution.clone() {
-            if self.model.is_feasible(&warm, 1e-6) {
-                let obj = self.internal_objective(&warm);
-                incumbent = Some((obj, warm));
+        for warm in self
+            .config
+            .initial_solution
+            .iter()
+            .chain(self.config.initial_solutions.iter())
+        {
+            if self.model.is_feasible(warm, 1e-6) {
+                let obj = self.internal_objective(warm);
+                if incumbent.as_ref().map(|(b, _)| obj < *b).unwrap_or(true) {
+                    incumbent = Some((obj, warm.clone()));
+                    self.record_improvement(&mut stats, start, obj);
+                }
             }
         }
 
@@ -306,6 +329,7 @@ impl<'a> BranchAndBound<'a> {
                     let obj = self.internal_objective(&values);
                     if incumbent.as_ref().map(|(b, _)| obj < *b).unwrap_or(true) {
                         incumbent = Some((obj, values));
+                        self.record_improvement(&mut stats, start, obj);
                     }
                 }
             }
@@ -321,6 +345,7 @@ impl<'a> BranchAndBound<'a> {
             domains: root,
             depth: 0,
             bound: f64::NEG_INFINITY,
+            branched: None,
         });
 
         let mut limit_reached = false;
@@ -337,25 +362,32 @@ impl<'a> BranchAndBound<'a> {
             stats.nodes += 1;
 
             stats.propagations += 1;
-            if self.propagator.propagate(&mut node.domains) == PropagationResult::Infeasible {
+            // The parent's domains were propagated to fixpoint, so only the
+            // rows of the just-branched variable can fire initially.
+            let propagated = match node.branched {
+                Some(j) => self.propagator.propagate_seeded(&mut node.domains, &[j]),
+                None => self.propagator.propagate(&mut node.domains),
+            };
+            if propagated == PropagationResult::Infeasible {
                 continue;
             }
 
             let incumbent_obj = incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
-            let bound = match self.node_bound(&node, &mut stats, incumbent_obj, &mut incumbent) {
-                NodeBound::Infeasible => continue,
-                NodeBound::Bound { value, lp_values } => {
-                    node.bound = value;
-                    if node.depth == 0 {
-                        root_bound = value;
+            let bound =
+                match self.node_bound(&node, &mut stats, incumbent_obj, &mut incumbent, start) {
+                    NodeBound::Infeasible => continue,
+                    NodeBound::Bound { value, lp_values } => {
+                        node.bound = value;
+                        if node.depth == 0 {
+                            root_bound = value;
+                        }
+                        if value >= incumbent_obj - EPS {
+                            pruned_bound_min = pruned_bound_min.min(value);
+                            continue;
+                        }
+                        lp_values
                     }
-                    if value >= incumbent_obj - EPS {
-                        pruned_bound_min = pruned_bound_min.min(value);
-                        continue;
-                    }
-                    lp_values
-                }
-            };
+                };
 
             if node.domains.all_integral_fixed() {
                 if let Some(values) = self.complete_assignment(&node.domains, &mut stats) {
@@ -363,6 +395,7 @@ impl<'a> BranchAndBound<'a> {
                         let obj = self.internal_objective(&values);
                         if obj < incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY) {
                             incumbent = Some((obj, values));
+                            self.record_improvement(&mut stats, start, obj);
                         }
                     }
                 }
@@ -388,10 +421,7 @@ impl<'a> BranchAndBound<'a> {
                 .min(incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY))
                 .max(root_bound.min(open_min))
         } else {
-            incumbent
-                .as_ref()
-                .map(|(b, _)| *b)
-                .unwrap_or(f64::INFINITY)
+            incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY)
         };
 
         stats.time = start.elapsed();
@@ -433,7 +463,7 @@ impl<'a> BranchAndBound<'a> {
         _incumbent: Option<(f64, Vec<f64>)>,
     ) -> Solution {
         let lp = solve_lp(
-            self.propagator.rows(),
+            self.propagator.matrix(),
             &self.objective,
             self.objective_constant,
             root,
@@ -459,6 +489,16 @@ impl<'a> BranchAndBound<'a> {
                 Solution::without_values(Status::Unknown, stats)
             }
         }
+    }
+
+    /// Logs an incumbent improvement (external objective sense) into the
+    /// stats so callers can compute time-to-target metrics.
+    fn record_improvement(&self, stats: &mut SolveStats, start: Instant, internal_obj: f64) {
+        stats.improvements.push(crate::solution::Improvement {
+            nodes: stats.nodes,
+            seconds: start.elapsed().as_secs_f64(),
+            objective: self.sense_factor * internal_obj,
+        });
     }
 
     fn internal_objective(&self, values: &[f64]) -> f64 {
@@ -512,6 +552,7 @@ impl<'a> BranchAndBound<'a> {
         stats: &mut SolveStats,
         incumbent_obj: f64,
         incumbent: &mut Option<(f64, Vec<f64>)>,
+        start: Instant,
     ) -> NodeBound {
         let prop_bound = self.propagation_bound(&node.domains);
         if !self.use_lp_at(node.depth) {
@@ -521,7 +562,7 @@ impl<'a> BranchAndBound<'a> {
             };
         }
         let lp = solve_lp(
-            self.propagator.rows(),
+            self.propagator.matrix(),
             &self.objective,
             self.objective_constant,
             &node.domains,
@@ -549,6 +590,7 @@ impl<'a> BranchAndBound<'a> {
                         let obj = self.internal_objective(&values);
                         if obj < incumbent_obj {
                             *incumbent = Some((obj, values));
+                            self.record_improvement(stats, start, obj);
                         }
                     }
                 } else if node.depth <= 2 {
@@ -566,6 +608,7 @@ impl<'a> BranchAndBound<'a> {
                                 incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
                             if obj < current {
                                 *incumbent = Some((obj, values));
+                                self.record_improvement(stats, start, obj);
                             }
                         }
                     }
@@ -591,7 +634,7 @@ impl<'a> BranchAndBound<'a> {
         // Optimise the remaining continuous variables with the integral part
         // fixed.
         let lp = solve_lp(
-            self.propagator.rows(),
+            self.propagator.matrix(),
             &self.objective,
             self.objective_constant,
             domains,
@@ -628,9 +671,7 @@ impl<'a> BranchAndBound<'a> {
                             (j, frac)
                         })
                         .filter(|(_, frac)| *frac > INT_EPS)
-                        .max_by(|a, b| {
-                            a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal)
-                        });
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
                     if let Some((j, _)) = most {
                         return Some(j);
                     }
@@ -680,6 +721,7 @@ impl<'a> BranchAndBound<'a> {
                         domains,
                         depth: node.depth + 1,
                         bound: node.bound,
+                        branched: Some(j),
                     });
                 }
             }
@@ -699,6 +741,7 @@ impl<'a> BranchAndBound<'a> {
                         domains,
                         depth: node.depth + 1,
                         bound: node.bound,
+                        branched: Some(j),
                     });
                 }
             }
@@ -783,6 +826,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::needless_range_loop)]
     fn equality_assignment_problem() {
         // 3 tasks, 3 machines, permutation with cost matrix; optimal = 1+2+1 = 4
         let costs = [[1.0, 4.0, 5.0], [3.0, 2.0, 7.0], [1.0, 3.0, 4.0]];
@@ -792,9 +836,7 @@ mod tests {
         let mut m = Model::new("assign");
         let mut x = Vec::new();
         for t in 0..3 {
-            let row: Vec<_> = (0..3)
-                .map(|j| m.add_binary(format!("x{t}{j}")))
-                .collect();
+            let row: Vec<_> = (0..3).map(|j| m.add_binary(format!("x{t}{j}"))).collect();
             m.add_eq(
                 row.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
                 1.0,
@@ -817,7 +859,11 @@ mod tests {
         for config in exact_configs() {
             let sol = m.solve(&config).expect("solve");
             assert!(sol.is_optimal());
-            assert!((sol.objective() - 7.0).abs() < 1e-6, "got {}", sol.objective());
+            assert!(
+                (sol.objective() - 7.0).abs() < 1e-6,
+                "got {}",
+                sol.objective()
+            );
         }
     }
 
@@ -905,7 +951,11 @@ mod tests {
         let sol = m.solve(&SolverConfig::exact()).expect("solve");
         assert!(sol.is_optimal());
         // optimum at x=2, y=6 -> 30
-        assert!((sol.objective() - 30.0).abs() < 1e-5, "got {}", sol.objective());
+        assert!(
+            (sol.objective() - 30.0).abs() < 1e-5,
+            "got {}",
+            sol.objective()
+        );
     }
 
     #[test]

@@ -41,7 +41,11 @@ fn main() -> Result<(), Box<dyn Error>> {
         let design = synthesis::synthesize_bist(&input, k, &config)?;
         println!(
             "\n{k}-test session design ({}):",
-            if design.optimal { "optimal" } else { "best found" }
+            if design.optimal {
+                "optimal"
+            } else {
+                "best found"
+            }
         );
         println!(
             "  area {} transistors, overhead {:.1}%",

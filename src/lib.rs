@@ -60,7 +60,10 @@ mod tests {
         let input = crate::dfg::benchmarks::figure1();
         assert_eq!(input.binding().num_modules(), 2);
         let cost = crate::datapath::CostModel::eight_bit();
-        assert_eq!(cost.register_cost(crate::datapath::TestRegisterKind::Plain), 208);
+        assert_eq!(
+            cost.register_cost(crate::datapath::TestRegisterKind::Plain),
+            208
+        );
         assert!(crate::PAPER.contains("DAC 1999"));
     }
 }

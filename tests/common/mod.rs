@@ -1,0 +1,96 @@
+//! Shared helpers for the integration test suites: a tiny deterministic
+//! PRNG (the registry-less build cannot use `proptest`/`rand`), a random 0-1
+//! model generator and an exhaustive-enumeration oracle for the solver.
+// Each test binary includes this module separately and uses a different
+// subset of it.
+#![allow(dead_code)]
+
+use advbist::ilp::{Model, Sense};
+
+/// Deterministic xorshift* PRNG; the failing seed is printed by every
+/// property harness, so a reported failure reproduces with a unit test.
+pub struct Rng(u64);
+
+impl Rng {
+    pub fn new(seed: u64) -> Self {
+        Self(seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 << 13;
+        self.0 ^= self.0 >> 7;
+        self.0 ^= self.0 << 17;
+        self.0
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi);
+        lo + self.next_u64() % (hi - lo)
+    }
+}
+
+/// Exhaustively solves a pure-binary model by enumeration (only usable for a
+/// handful of variables). Returns the optimal objective, `None` when
+/// infeasible.
+pub fn brute_force(model: &Model) -> Option<f64> {
+    let n = model.num_vars();
+    assert!(n <= 16, "brute force only for tiny models");
+    let mut best: Option<f64> = None;
+    for mask in 0u32..(1 << n) {
+        let values: Vec<f64> = (0..n).map(|i| f64::from((mask >> i) & 1)).collect();
+        if model.is_feasible(&values, 1e-6) {
+            let obj = model.objective_value(&values);
+            let better = match (model.sense(), best) {
+                (_, None) => true,
+                (Sense::Minimize, Some(b)) => obj < b,
+                (Sense::Maximize, Some(b)) => obj > b,
+            };
+            if better {
+                best = Some(obj);
+            }
+        }
+    }
+    best
+}
+
+/// Generates a random pure-binary model with ±1 coefficients, mixed
+/// operators and a small integer objective.
+pub fn random_binary_model(seed: u64, num_vars: usize, num_rows: usize) -> Model {
+    let mut rng = Rng::new(seed);
+    let mut model = Model::new(format!("random_{seed}"));
+    let vars: Vec<_> = (0..num_vars)
+        .map(|i| model.add_binary(format!("x{i}")))
+        .collect();
+    for row in 0..num_rows {
+        let mut terms = Vec::new();
+        for &v in &vars {
+            let pick = rng.next_u64() % 3;
+            if pick == 0 {
+                continue;
+            }
+            let coeff = if pick == 1 { 1.0 } else { -1.0 };
+            terms.push((v, coeff));
+        }
+        if terms.is_empty() {
+            continue;
+        }
+        let rhs = (rng.next_u64() % 3) as f64 - 1.0;
+        match rng.next_u64() % 3 {
+            0 => model.add_leq(terms, rhs, format!("r{row}")),
+            1 => model.add_geq(terms, rhs, format!("r{row}")),
+            _ => model.add_eq(terms, rhs.max(0.0), format!("r{row}")),
+        };
+    }
+    let objective: Vec<_> = vars
+        .iter()
+        .map(|&v| (v, ((rng.next_u64() % 11) as f64) - 5.0))
+        .collect();
+    let sense = if rng.next_u64().is_multiple_of(2) {
+        Sense::Minimize
+    } else {
+        Sense::Maximize
+    };
+    model.set_objective(objective, sense);
+    model
+}

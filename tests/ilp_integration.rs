@@ -3,87 +3,18 @@
 //! cross-check by exhaustive enumeration, and the LP writer must round-trip
 //! the generated BIST models structurally.
 
+mod common;
+
 use advbist::dfg::benchmarks;
-use advbist::ilp::{lpfile, BoundMode, Branching, Model, SearchOrder, Sense, SolverConfig};
-use proptest::prelude::*;
+use advbist::ilp::{lpfile, BoundMode, Branching, SearchOrder, SolverConfig};
+use common::{brute_force, random_binary_model};
 
-/// Exhaustively solves a pure-binary model by enumeration (only usable for a
-/// handful of variables).
-fn brute_force(model: &Model) -> Option<f64> {
-    let n = model.num_vars();
-    assert!(n <= 16, "brute force only for tiny models");
-    let mut best: Option<f64> = None;
-    for mask in 0u32..(1 << n) {
-        let values: Vec<f64> = (0..n).map(|i| f64::from((mask >> i) & 1)).collect();
-        if model.is_feasible(&values, 1e-6) {
-            let obj = model.objective_value(&values);
-            let better = match (model.sense(), best) {
-                (_, None) => true,
-                (Sense::Minimize, Some(b)) => obj < b,
-                (Sense::Maximize, Some(b)) => obj > b,
-            };
-            if better {
-                best = Some(obj);
-            }
-        }
-    }
-    best
-}
-
-fn random_binary_model(seed: u64, num_vars: usize, num_rows: usize) -> Model {
-    // Deterministic pseudo-random model generation without external crates.
-    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
-    let mut next = move || {
-        state ^= state << 13;
-        state ^= state >> 7;
-        state ^= state << 17;
-        state
-    };
-    let mut model = Model::new(format!("random_{seed}"));
-    let vars: Vec<_> = (0..num_vars)
-        .map(|i| model.add_binary(format!("x{i}")))
-        .collect();
-    for row in 0..num_rows {
-        let mut terms = Vec::new();
-        for &v in &vars {
-            let pick = next() % 3;
-            if pick == 0 {
-                continue;
-            }
-            let coeff = if pick == 1 { 1.0 } else { -1.0 };
-            terms.push((v, coeff));
-        }
-        if terms.is_empty() {
-            continue;
-        }
-        let rhs = (next() % 3) as f64 - 1.0;
-        match next() % 3 {
-            0 => model.add_leq(terms, rhs, format!("r{row}")),
-            1 => model.add_geq(terms, rhs, format!("r{row}")),
-            _ => model.add_eq(terms, rhs.max(0.0), format!("r{row}")),
-        };
-    }
-    let objective: Vec<_> = vars
-        .iter()
-        .map(|&v| (v, ((next() % 11) as f64) - 5.0))
-        .collect();
-    let sense = if next() % 2 == 0 {
-        Sense::Minimize
-    } else {
-        Sense::Maximize
-    };
-    model.set_objective(objective, sense);
-    model
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Branch and bound agrees with exhaustive enumeration on random small
-    /// 0-1 models, for every bounding and search strategy.
-    #[test]
-    fn solver_matches_brute_force(seed in 0u64..10_000) {
-        let model = random_binary_model(seed, 8, 6);
+/// Branch and bound agrees with exhaustive enumeration on random small 0-1
+/// models, for every bounding and search strategy.
+#[test]
+fn solver_matches_brute_force() {
+    for seed in 0..40u64 {
+        let model = random_binary_model(seed * 251, 8, 6);
         let expected = brute_force(&model);
         for config in [
             SolverConfig::exact(),
@@ -95,12 +26,18 @@ proptest! {
         ] {
             let solution = model.solve(&config).unwrap();
             match expected {
-                None => prop_assert!(!solution.is_feasible(), "seed {seed}: expected infeasible"),
+                None => assert!(
+                    !solution.is_feasible(),
+                    "seed {seed}: expected infeasible ({config:?})"
+                ),
                 Some(best) => {
-                    prop_assert!(solution.is_optimal(), "seed {seed}: not optimal");
-                    prop_assert!(
+                    assert!(
+                        solution.is_optimal(),
+                        "seed {seed}: not optimal ({config:?})"
+                    );
+                    assert!(
                         (solution.objective() - best).abs() < 1e-6,
-                        "seed {seed}: solver {} vs brute force {}",
+                        "seed {seed}: solver {} vs brute force {} ({config:?})",
                         solution.objective(),
                         best
                     );

@@ -1,6 +1,10 @@
-//! Property-based tests over randomly generated scheduled DFGs: the
-//! invariants that must hold for *every* circuit, not just the six paper
-//! benchmarks.
+//! Property-based tests over randomly generated inputs: the invariants that
+//! must hold for *every* circuit and every small 0-1 model, not just the six
+//! paper benchmarks. The cases are driven by a deterministic in-repo PRNG
+//! (see `common`), so every failure message names the seed that reproduces
+//! it.
+
+mod common;
 
 use std::time::Duration;
 
@@ -11,90 +15,116 @@ use advbist::datapath::{CostModel, Datapath};
 use advbist::dfg::allocate::left_edge;
 use advbist::dfg::benchmarks::{random_dfg, RandomDfgConfig};
 use advbist::dfg::lifetime::{InputTiming, LifetimeTable};
-use proptest::prelude::*;
+use advbist::ilp::{BoundMode, SolverConfig};
+use common::{brute_force, random_binary_model, Rng};
 
-fn arbitrary_config() -> impl Strategy<Value = RandomDfgConfig> {
-    (0u64..500, 4usize..10, 3usize..6, 1usize..3).prop_map(
-        |(seed, num_ops, num_inputs, multipliers)| RandomDfgConfig {
-            seed,
-            num_ops,
-            num_inputs,
-            multipliers,
-            alus: 1,
-        },
-    )
+/// Draws a random DFG configuration from a seeded PRNG, mirroring the
+/// proptest strategy the seed repository used.
+fn arbitrary_config(rng: &mut Rng) -> RandomDfgConfig {
+    RandomDfgConfig {
+        seed: rng.range(0, 500),
+        num_ops: rng.range(4, 10) as usize,
+        num_inputs: rng.range(3, 6) as usize,
+        multipliers: rng.range(1, 3) as usize,
+        alus: 1,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Left-edge allocation always hits the horizontal-crossing lower bound
-    /// and never co-locates conflicting variables.
-    #[test]
-    fn left_edge_is_optimal_and_valid(config in arbitrary_config()) {
+/// Left-edge allocation always hits the horizontal-crossing lower bound and
+/// never co-locates conflicting variables.
+#[test]
+fn left_edge_is_optimal_and_valid() {
+    let mut rng = Rng::new(0x1e01);
+    for case in 0..24 {
+        let config = arbitrary_config(&mut rng);
         let input = random_dfg(&config);
         let lifetimes = LifetimeTable::new(&input).unwrap();
         let assignment = left_edge(&lifetimes);
-        prop_assert_eq!(assignment.num_registers(), lifetimes.min_registers());
-        prop_assert!(assignment.is_valid(&lifetimes));
+        assert_eq!(
+            assignment.num_registers(),
+            lifetimes.min_registers(),
+            "case {case}, config {config:?}"
+        );
+        assert!(
+            assignment.is_valid(&lifetimes),
+            "case {case}, config {config:?}"
+        );
     }
+}
 
-    /// Loading primary inputs early (FromStart) can only increase register
-    /// pressure relative to just-in-time loading.
-    #[test]
-    fn input_timing_monotonicity(config in arbitrary_config()) {
+/// Loading primary inputs early (FromStart) can only increase register
+/// pressure relative to just-in-time loading.
+#[test]
+fn input_timing_monotonicity() {
+    let mut rng = Rng::new(0x71b3);
+    for case in 0..24 {
+        let config = arbitrary_config(&mut rng);
         let input = random_dfg(&config);
         let jit = LifetimeTable::with_timing(&input, InputTiming::JustInTime).unwrap();
         let early = LifetimeTable::with_timing(&input, InputTiming::FromStart).unwrap();
-        prop_assert!(early.min_registers() >= jit.min_registers());
+        assert!(
+            early.min_registers() >= jit.min_registers(),
+            "case {case}, config {config:?}"
+        );
     }
+}
 
-    /// Every heuristic baseline produces a design that passes the structural
-    /// and BIST validators, for every random circuit and the maximal k.
-    #[test]
-    fn baselines_always_produce_valid_designs(config in arbitrary_config()) {
+/// Every heuristic baseline produces a design that passes the structural and
+/// BIST validators, for every random circuit and the maximal k.
+#[test]
+fn baselines_always_produce_valid_designs() {
+    let mut rng = Rng::new(0xba5e);
+    for case in 0..24 {
+        let config = arbitrary_config(&mut rng);
         let input = random_dfg(&config);
         let cost = CostModel::eight_bit();
         let lifetimes = LifetimeTable::new(&input).unwrap();
         let k = input.binding().num_modules();
-        for result in [
-            synthesize_advan(&input, k, &cost),
-            synthesize_ralloc(&input, k, &cost),
-            synthesize_bits(&input, k, &cost),
+        for (method, result) in [
+            ("ADVAN", synthesize_advan(&input, k, &cost)),
+            ("RALLOC", synthesize_ralloc(&input, k, &cost)),
+            ("BITS", synthesize_bits(&input, k, &cost)),
         ] {
-            let design = result.unwrap();
-            prop_assert!(validate_design(&design.datapath, &design.plan, &input, &lifetimes).is_ok());
-            prop_assert!(design.area.total() > 0);
+            let design = result
+                .unwrap_or_else(|e| panic!("{method} failed on case {case} ({config:?}): {e}"));
+            validate_design(&design.datapath, &design.plan, &input, &lifetimes)
+                .unwrap_or_else(|e| panic!("{method} invalid on case {case} ({config:?}): {e}"));
+            assert!(design.area.total() > 0, "{method}, case {case}");
         }
     }
+}
 
-    /// The data path derived from any valid register assignment implements
-    /// every DFG edge (checked via its area being computable and the
-    /// structural validator accepting it).
-    #[test]
-    fn datapath_construction_is_total(config in arbitrary_config()) {
+/// The data path derived from any valid register assignment implements every
+/// DFG edge (checked via its area being computable and the structural
+/// validator accepting it).
+#[test]
+fn datapath_construction_is_total() {
+    let mut rng = Rng::new(0xd47a);
+    for case in 0..24 {
+        let config = arbitrary_config(&mut rng);
         let input = random_dfg(&config);
         let lifetimes = LifetimeTable::new(&input).unwrap();
         let assignment = left_edge(&lifetimes);
         let datapath = Datapath::from_register_assignment(&input, &assignment, 8).unwrap();
-        prop_assert_eq!(datapath.num_registers(), lifetimes.min_registers());
-        prop_assert!(
-            advbist::datapath::validate::validate_structure(&datapath, &input, &lifetimes).is_ok()
+        assert_eq!(
+            datapath.num_registers(),
+            lifetimes.min_registers(),
+            "case {case}, config {config:?}"
         );
+        advbist::datapath::validate::validate_structure(&datapath, &input, &lifetimes)
+            .unwrap_or_else(|e| panic!("structure invalid on case {case} ({config:?}): {e}"));
         let area = datapath.area(&CostModel::eight_bit());
-        prop_assert!(area.total() >= 208 * datapath.num_registers() as u64);
+        assert!(area.total() >= 208 * datapath.num_registers() as u64);
     }
 }
 
-proptest! {
-    // The ILP-backed properties are slower (they invoke the solver), so run
-    // fewer cases with a tight per-solve budget.
-    #![proptest_config(ProptestConfig::with_cases(6))]
-
-    /// The time-boxed ADVBIST flow always returns a *validated* design on
-    /// random circuits, and its area is at least the reference area.
-    #[test]
-    fn advbist_designs_are_always_valid(seed in 0u64..200) {
+/// The time-boxed ADVBIST flow always returns a *validated* design on random
+/// circuits, and its area is at least the reference area.
+#[test]
+fn advbist_designs_are_always_valid() {
+    let mut rng = Rng::new(0xadb1);
+    for case in 0..6 {
+        let seed = rng.range(0, 200);
         let input = random_dfg(&RandomDfgConfig {
             seed,
             num_ops: 6,
@@ -107,7 +137,49 @@ proptest! {
         let reference = reference::synthesize_reference(&input, &config).unwrap();
         let k = input.binding().num_modules();
         let design = synthesis::synthesize_bist(&input, k, &config).unwrap();
-        prop_assert!(validate_design(&design.datapath, &design.plan, &input, &lifetimes).is_ok());
-        prop_assert!(design.area.total() >= reference.area.total());
+        validate_design(&design.datapath, &design.plan, &input, &lifetimes)
+            .unwrap_or_else(|e| panic!("case {case} (dfg seed {seed}): {e}"));
+        assert!(
+            design.area.total() >= reference.area.total(),
+            "case {case} (dfg seed {seed})"
+        );
+    }
+}
+
+/// Branch and bound agrees with exhaustive enumeration on random small 0-1
+/// models for **all three** dual-bound modes — the propagation-only bound,
+/// the LP-relaxation bound and the depth-limited hybrid. Every mode must be
+/// an exact oracle; only their cost profiles may differ.
+#[test]
+fn bound_modes_agree_with_brute_force() {
+    let modes = [
+        BoundMode::Propagation,
+        BoundMode::LpRelaxation,
+        BoundMode::Hybrid { lp_depth: 2 },
+    ];
+    for seed in 0..40u64 {
+        let model = random_binary_model(seed.wrapping_mul(7919) + 17, 8, 6);
+        let expected = brute_force(&model);
+        for mode in modes {
+            let config = SolverConfig::exact().with_bound_mode(mode);
+            let solution = model.solve(&config).unwrap();
+            match expected {
+                None => assert!(
+                    !solution.is_feasible(),
+                    "seed {seed}, mode {mode:?}: expected infeasible"
+                ),
+                Some(best) => {
+                    assert!(
+                        solution.is_optimal(),
+                        "seed {seed}, mode {mode:?}: not optimal"
+                    );
+                    assert!(
+                        (solution.objective() - best).abs() < 1e-6,
+                        "seed {seed}, mode {mode:?}: solver {} vs brute force {best}",
+                        solution.objective(),
+                    );
+                }
+            }
+        }
     }
 }
