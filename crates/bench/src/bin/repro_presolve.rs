@@ -1,0 +1,42 @@
+//! Runs the presolve/cuts ablation (reducing pipeline + cut pool vs the
+//! PR-1 solver) over the small circuits, writes `BENCH_presolve.json` and
+//! exits non-zero if the default solver regresses against the no-reduce
+//! baseline on `figure1` — CI uses this as the perf gate for the reduce
+//! layer.
+
+fn main() {
+    let node_limit = std::env::var("BIST_PRESOLVE_NODES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(300);
+    eprintln!(
+        "# presolve ablation node budget: {node_limit} nodes/solve \
+         (set BIST_PRESOLVE_NODES to change)"
+    );
+
+    let circuits = bist_bench::small_circuits();
+    let ablation = match bist_bench::presolve::run_all(&circuits, node_limit) {
+        Ok(ablation) => ablation,
+        Err(e) => {
+            eprintln!("presolve ablation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", bist_bench::presolve::render(&ablation));
+
+    let json = ablation.to_json();
+    match std::fs::write("BENCH_presolve.json", format!("{json}\n")) {
+        Ok(()) => eprintln!("# wrote BENCH_presolve.json"),
+        Err(e) => eprintln!("could not write BENCH_presolve.json: {e}"),
+    }
+
+    let violations = ablation.figure1_violations();
+    if !violations.is_empty() {
+        for violation in &violations {
+            eprintln!("presolve regression: {violation}");
+        }
+        std::process::exit(1);
+    }
+    println!("figure1 gate: reduce+cuts strictly below the no-reduce baseline.");
+}

@@ -22,6 +22,7 @@
 
 pub mod ablation;
 pub mod figures;
+pub mod presolve;
 pub mod report;
 pub mod sweep;
 pub mod table1;

@@ -9,8 +9,14 @@
 //! the instances one after another. [`SynthesisEngine`] instead:
 //!
 //! 1. builds the circuit-level **base model** once
-//!    ([`BistFormulation::new`] + interconnect + mux sizing),
-//! 2. applies the per-k **BIST delta** onto a cheap clone of the base,
+//!    ([`BistFormulation::new`] + interconnect + mux sizing) and runs the
+//!    reducing presolve pipeline ([`bist_ilp::reduce`]) on it once — the
+//!    *reduced* base (fixed variables eliminated, redundant rows dropped,
+//!    implications disaggregated) is what every `k` clones,
+//! 2. applies the per-k **BIST delta** through the reduced base's variable
+//!    map (terms on eliminated variables fold into the right-hand sides),
+//!    runs one more reduce pass over the extended model so the delta rows
+//!    shrink too, and solves with the cut pool seeded at the root,
 //! 3. **chains warm starts**: the register assignment of the k−1 incumbent
 //!    is re-dressed with a greedy role assignment for `k` sessions and
 //!    handed to the solver *alongside* the sequential left-edge baseline,
@@ -20,10 +26,12 @@
 //!    ([`SynthesisEngine::sweep_parallel`]), collecting results in
 //!    deterministic ascending-k order.
 //!
-//! Because the cloned base is byte-for-byte the model the rebuild path
-//! produces, the parallel sweep runs searches identical to independent
-//! per-k solves under any deterministic budget (node limits, or exact
-//! solves), and the chained sweep can only return equal-or-better designs
+//! The rebuild path runs the very same reduction code on the very same
+//! prefix (see [`crate::synthesis`]), so the parallel sweep runs searches
+//! identical to independent per-k solves under any deterministic budget
+//! (node limits, or exact solves) — the engine just pays the base reduction
+//! once per circuit instead of once per k — and the chained sweep can only
+//! return equal-or-better designs
 //! — its extra warm-start candidate strengthens the initial incumbent.
 //! Under a *wall-clock* time limit the usual caveats apply: concurrent
 //! solves share the machine and an earlier incumbent changes where the
@@ -33,6 +41,7 @@ use std::time::Instant;
 
 use bist_dfg::allocate::RegisterAssignment;
 use bist_dfg::SynthesisInput;
+use bist_ilp::reduce::{reduce_prefix, ReduceOptions, ReduceReport, ReducedModel};
 
 use crate::config::SynthesisConfig;
 use crate::error::CoreError;
@@ -116,11 +125,18 @@ pub struct SynthesisEngine<'a> {
     input: &'a SynthesisInput,
     config: &'a SynthesisConfig,
     base: BistFormulation<'a>,
+    /// The base model after the delta-safe reducing presolve, computed once
+    /// per circuit; every per-k solve clones it and replays the BIST delta
+    /// through its variable map. `None` when the solver configuration
+    /// disables presolve.
+    reduced_base: Option<ReducedModel>,
 }
 
 impl<'a> SynthesisEngine<'a> {
     /// Builds the circuit-level base model (register assignment +
-    /// interconnect + multiplexer sizing) once.
+    /// interconnect + multiplexer sizing) once, and — unless presolve is
+    /// disabled — runs the reducing pipeline on it once, so the per-k
+    /// sweeps clone the *reduced* base instead of the raw one.
     ///
     /// # Errors
     ///
@@ -130,16 +146,32 @@ impl<'a> SynthesisEngine<'a> {
         let mut base = BistFormulation::new(input, config)?;
         base.add_interconnect();
         base.add_mux_sizing();
+        let reduced_base = config.solver.presolve.then(|| {
+            reduce_prefix(
+                &base.model,
+                base.model.num_constraints(),
+                base.model.num_vars(),
+                &ReduceOptions::base(),
+            )
+        });
         Ok(Self {
             input,
             config,
             base,
+            reduced_base,
         })
     }
 
     /// The shared base formulation (no BIST layer, no objective).
     pub fn base(&self) -> &BistFormulation<'a> {
         &self.base
+    }
+
+    /// Reduction counters of the shared base model, or `None` when presolve
+    /// is disabled. The reduction runs exactly once per engine (i.e. once
+    /// per circuit), in [`SynthesisEngine::new`].
+    pub fn base_reduce_report(&self) -> Option<&ReduceReport> {
+        self.reduced_base.as_ref().map(|r| &r.report)
     }
 
     /// Number of modules, i.e. the maximal session count `N` of the sweep.
@@ -162,7 +194,12 @@ impl<'a> SynthesisEngine<'a> {
                 solver_config.initial_solutions.push(values);
             }
         }
-        solve_reference_formulation(self.config, &formulation, &solver_config)
+        solve_reference_formulation(
+            self.config,
+            &formulation,
+            &solver_config,
+            self.reduced_base.as_ref(),
+        )
     }
 
     /// Synthesises the ADVBIST design for one `k`, reusing the base model.
@@ -204,8 +241,14 @@ impl<'a> SynthesisEngine<'a> {
             }
         }
 
-        let (design, registers) =
-            solve_bist_formulation(self.input, self.config, &formulation, &solver_config, k)?;
+        let (design, registers) = solve_bist_formulation(
+            self.input,
+            self.config,
+            &formulation,
+            &solver_config,
+            k,
+            self.reduced_base.as_ref(),
+        )?;
         Ok(SweepOutcome {
             design,
             seconds: start.elapsed().as_secs_f64(),
@@ -328,6 +371,43 @@ mod tests {
         assert_eq!(outcomes.len(), 3);
         for (i, outcome) in outcomes.iter().enumerate() {
             assert_eq!(outcome.design.sessions, i + 1);
+        }
+    }
+
+    #[test]
+    fn engine_reduces_the_base_once_and_lowers_node_counts() {
+        use bist_ilp::{BoundMode, SolverConfig};
+        let input = benchmarks::figure1();
+        let reduce_config = SynthesisConfig {
+            solver: SolverConfig::exact().with_bound_mode(BoundMode::LpRelaxation),
+            ..SynthesisConfig::default()
+        };
+        let mut plain_config = reduce_config.clone();
+        plain_config.solver.presolve = false;
+        plain_config.solver.cuts = false;
+
+        let reduced_engine = SynthesisEngine::new(&input, &reduce_config).unwrap();
+        let plain_engine = SynthesisEngine::new(&input, &plain_config).unwrap();
+        // The base reduction exists exactly when presolve is on, and it must
+        // actually shrink the base model.
+        assert!(plain_engine.base_reduce_report().is_none());
+        let report = reduced_engine.base_reduce_report().expect("base reduced");
+        assert!(report.var_reduction_ratio() > 0.0, "{report:?}");
+
+        // At equal bound mode, reduce+cuts must strictly lower the total
+        // branch-and-bound node count of the sweep (the PR-2 acceptance
+        // criterion), without changing any objective.
+        let reduced_sweep = reduced_engine.sweep_parallel().unwrap();
+        let plain_sweep = plain_engine.sweep_parallel().unwrap();
+        let reduced_nodes: u64 = reduced_sweep.iter().map(|o| o.design.stats.nodes).sum();
+        let plain_nodes: u64 = plain_sweep.iter().map(|o| o.design.stats.nodes).sum();
+        assert!(
+            reduced_nodes < plain_nodes,
+            "reduce+cuts explored {reduced_nodes} nodes vs {plain_nodes} without"
+        );
+        for (reduced, plain) in reduced_sweep.iter().zip(&plain_sweep) {
+            assert!((reduced.design.objective - plain.design.objective).abs() < 1e-6);
+            assert!(reduced.design.stats.presolve_vars_removed > 0);
         }
     }
 

@@ -57,18 +57,20 @@ pub fn synthesize_reference(
             solver_config.initial_solution = Some(values);
         }
     }
-    solve_reference_formulation(config, &formulation, &solver_config)
+    solve_reference_formulation(config, &formulation, &solver_config, None)
 }
 
 /// Solves a fully-built reference formulation and extracts the design.
 /// Shared by [`synthesize_reference`] and the layered
-/// [`crate::engine::SynthesisEngine`].
+/// [`crate::engine::SynthesisEngine`] (which hands in its shared reduced
+/// base model).
 pub(crate) fn solve_reference_formulation(
     config: &SynthesisConfig,
     formulation: &BistFormulation<'_>,
     solver_config: &SolverConfig,
+    reduced_base: Option<&bist_ilp::ReducedModel>,
 ) -> Result<ReferenceDesign, CoreError> {
-    let solution = formulation.model.solve(solver_config)?;
+    let solution = crate::synthesis::solve_formulation(formulation, solver_config, reduced_base)?;
 
     let (chosen, optimal) = match solution.status() {
         Status::Optimal => (solution, true),

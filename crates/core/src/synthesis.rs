@@ -6,7 +6,8 @@ use bist_datapath::{AreaBreakdown, Datapath, TestPlan};
 use bist_dfg::allocate::RegisterAssignment;
 use bist_dfg::lifetime::LifetimeTable;
 use bist_dfg::SynthesisInput;
-use bist_ilp::{SolveStats, SolverConfig, Status};
+use bist_ilp::reduce::{self, ReduceOptions, ReducedModel};
+use bist_ilp::{Solution, SolveStats, SolverConfig, Status};
 
 use crate::config::SynthesisConfig;
 use crate::engine::SynthesisEngine;
@@ -88,7 +89,52 @@ pub fn synthesize_bist(
             solver_config.initial_solution = Some(values);
         }
     }
-    solve_bist_formulation(input, config, &formulation, &solver_config, k).map(|(d, _)| d)
+    solve_bist_formulation(input, config, &formulation, &solver_config, k, None).map(|(d, _)| d)
+}
+
+/// Solves a fully-built formulation through the reducing presolve.
+///
+/// With [`SolverConfig::presolve`] enabled (the default) the circuit-level
+/// base prefix of the model (everything before the BIST delta, see
+/// [`BistFormulation::base_dims`]) is reduced with the delta-safe pass set
+/// and the delta rows plus the objective are replayed through the variable
+/// map; the branch and bound then explores the reduced model and the
+/// solution is lifted back. The caller may pass a pre-computed reduced base
+/// (the [`SynthesisEngine`] builds it once per circuit); when `None`, the
+/// reduction is computed here from the same prefix, so the rebuild-per-k
+/// path and the engine run bit-identical searches.
+///
+/// # Errors
+///
+/// Propagates solver errors.
+pub(crate) fn solve_formulation(
+    formulation: &BistFormulation<'_>,
+    solver_config: &SolverConfig,
+    reduced_base: Option<&ReducedModel>,
+) -> Result<Solution, CoreError> {
+    if !solver_config.presolve {
+        return Ok(formulation.model.solve(solver_config)?);
+    }
+    let computed;
+    let base = match reduced_base {
+        Some(base) => base,
+        None => {
+            let (rows, vars) = formulation.base_dims();
+            computed =
+                reduce::reduce_prefix(&formulation.model, rows, vars, &ReduceOptions::base());
+            &computed
+        }
+    };
+    // Replay the BIST delta and the objective through the base's variable
+    // map, then run the full pipeline once more so the delta rows (the
+    // aggregated OR/BILBO structure) get reduced and disaggregated too.
+    let extended = base.extend(&formulation.model)?;
+    let full = extended.compose(reduce::reduce(&extended.model, &ReduceOptions::full()));
+    Ok(reduce::solve_reduced(
+        &formulation.model,
+        &full,
+        solver_config,
+    )?)
 }
 
 /// Solves a fully-built BIST formulation, extracts the design and validates
@@ -101,8 +147,9 @@ pub(crate) fn solve_bist_formulation(
     formulation: &BistFormulation<'_>,
     solver_config: &SolverConfig,
     k: usize,
+    reduced_base: Option<&ReducedModel>,
 ) -> Result<(BistDesign, RegisterAssignment), CoreError> {
-    let solution = formulation.model.solve(solver_config)?;
+    let solution = solve_formulation(formulation, solver_config, reduced_base)?;
 
     let (chosen, optimal) = match solution.status() {
         Status::Optimal => (solution, true),

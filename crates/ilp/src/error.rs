@@ -37,6 +37,13 @@ pub enum IlpError {
         /// Description of the numerical failure.
         message: String,
     },
+    /// An LP-format text could not be parsed (see [`crate::lpfile`]).
+    Parse {
+        /// 1-based line number of the offending text.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
 }
 
 impl fmt::Display for IlpError {
@@ -58,6 +65,9 @@ impl fmt::Display for IlpError {
             IlpError::Unbounded => write!(f, "model is unbounded"),
             IlpError::MissingObjective => write!(f, "model has no objective"),
             IlpError::Numerical { message } => write!(f, "numerical failure: {message}"),
+            IlpError::Parse { line, message } => {
+                write!(f, "lp parse error at line {line}: {message}")
+            }
         }
     }
 }

@@ -15,6 +15,12 @@
 //!   relaxation, fed from the sparse rows,
 //! * a worklist-driven interval [`propagate`] engine (bound tightening over
 //!   linear constraints) used both for presolve and for node pruning,
+//! * a [`reduce`] pipeline of model-rewriting presolve passes (fixed-variable
+//!   elimination, redundant-row removal, clique merging, coefficient
+//!   tightening, singleton substitution) producing a smaller
+//!   [`reduce::ReducedModel`] with round-trip solution lifting,
+//! * a [`cuts`] pool of knapsack-cover and clique cutting planes, separated
+//!   at the root and re-checked at improved incumbents,
 //! * a branch-and-bound [`solver`] with configurable bounding
 //!   (LP relaxation, propagation-only, or hybrid), branching and search
 //!   strategies, a greedy diving primal heuristic and wall-clock limits,
@@ -42,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cuts;
 pub mod error;
 pub mod expr;
 pub mod heuristics;
@@ -49,14 +56,17 @@ pub mod lpfile;
 pub mod model;
 pub mod presolve;
 pub mod propagate;
+pub mod reduce;
 pub mod simplex;
 pub mod solution;
 pub mod solver;
 pub mod sparse;
 
+pub use cuts::{CutGenerator, CutKind, CutRow};
 pub use error::IlpError;
 pub use expr::LinExpr;
 pub use model::{CmpOp, Constraint, Model, Sense, VarId, VarKind};
+pub use reduce::{ReduceOptions, ReduceReport, ReducedModel, VarDisposition};
 pub use solution::{Improvement, Solution, SolveStats, Status};
 pub use solver::{BoundMode, Branching, SearchOrder, SolverConfig};
 pub use sparse::{RowRef, SparseModel};

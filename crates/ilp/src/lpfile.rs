@@ -108,6 +108,225 @@ fn append_term(out: &mut String, coeff: f64, name: &str) {
     }
 }
 
+/// A constraint read back from LP text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedConstraint {
+    /// Label of the constraint (the part before the `:`).
+    pub name: String,
+    /// `(variable name, coefficient)` terms in text order.
+    pub terms: Vec<(String, f64)>,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+/// A structural image of an LP-format file, as produced by
+/// [`parse_lp`]. Covers the subset of the format [`to_lp_string`] emits,
+/// which is enough to round-trip-check any model this crate writes.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ParsedLp {
+    /// Problem name from the leading comment, if present.
+    pub name: String,
+    /// Whether the objective is maximised.
+    pub maximize: bool,
+    /// `(variable name, coefficient)` objective terms.
+    pub objective: Vec<(String, f64)>,
+    /// The constraints, in file order.
+    pub constraints: Vec<ParsedConstraint>,
+    /// Explicit `lower <= name <= upper` bounds, in file order.
+    pub bounds: Vec<(String, f64, f64)>,
+    /// Names listed in the `Generals` section.
+    pub generals: Vec<String>,
+    /// Names listed in the `Binaries` section.
+    pub binaries: Vec<String>,
+}
+
+impl ParsedLp {
+    /// Number of distinct variable names mentioned anywhere in the file.
+    pub fn num_vars(&self) -> usize {
+        let mut names: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        names.extend(self.objective.iter().map(|(n, _)| n.as_str()));
+        for c in &self.constraints {
+            names.extend(c.terms.iter().map(|(n, _)| n.as_str()));
+        }
+        names.extend(self.bounds.iter().map(|(n, _, _)| n.as_str()));
+        names.extend(self.generals.iter().map(String::as_str));
+        names.extend(self.binaries.iter().map(String::as_str));
+        names.len()
+    }
+}
+
+/// Parses LP-format text (the dialect [`to_lp_string`] writes) back into a
+/// structural summary, so tests can assert that variable/constraint counts,
+/// bounds and integrality sections survive a write/read round trip.
+///
+/// # Errors
+///
+/// Returns [`IlpError::Parse`] with the offending line on malformed input.
+pub fn parse_lp(text: &str) -> Result<ParsedLp, crate::error::IlpError> {
+    use crate::error::IlpError;
+
+    #[derive(PartialEq, Clone, Copy)]
+    enum Section {
+        Preamble,
+        Objective,
+        Constraints,
+        Bounds,
+        Generals,
+        Binaries,
+        Done,
+    }
+
+    let fail = |line: usize, message: &str| IlpError::Parse {
+        line,
+        message: message.to_string(),
+    };
+    let parse_f64 = |token: &str, line: usize| {
+        token
+            .parse::<f64>()
+            .map_err(|_| fail(line, &format!("expected a number, found `{token}`")))
+    };
+    // Parses a `+ c name - c name ...` term sequence; returns the terms and
+    // any trailing tokens (used for the `op rhs` tail of constraints).
+    fn parse_terms(
+        tokens: &[&str],
+        line: usize,
+    ) -> Result<(Vec<(String, f64)>, usize), crate::error::IlpError> {
+        let mut terms = Vec::new();
+        let mut i = 0;
+        if tokens == ["0"] {
+            return Ok((terms, 1));
+        }
+        while i < tokens.len() {
+            let sign = match tokens.get(i) {
+                Some(&"+") => 1.0,
+                Some(&"-") => -1.0,
+                _ => break,
+            };
+            let coeff: f64 = tokens.get(i + 1).and_then(|t| t.parse().ok()).ok_or(
+                crate::error::IlpError::Parse {
+                    line,
+                    message: "expected a coefficient after the sign".to_string(),
+                },
+            )?;
+            let name = tokens
+                .get(i + 2)
+                .ok_or(crate::error::IlpError::Parse {
+                    line,
+                    message: "expected a variable name after the coefficient".to_string(),
+                })?
+                .to_string();
+            terms.push((name, sign * coeff));
+            i += 3;
+        }
+        Ok((terms, i))
+    }
+
+    let mut parsed = ParsedLp::default();
+    let mut section = Section::Preamble;
+    for (index, raw) in text.lines().enumerate() {
+        let line_no = index + 1;
+        let line = raw.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(comment) = line.strip_prefix('\\') {
+            if let Some(name) = comment.trim().strip_prefix("Problem:") {
+                parsed.name = name.trim().to_string();
+            }
+            continue;
+        }
+        section = match line {
+            "Minimize" => {
+                parsed.maximize = false;
+                section = Section::Objective;
+                continue;
+            }
+            "Maximize" => {
+                parsed.maximize = true;
+                section = Section::Objective;
+                continue;
+            }
+            "Subject To" => {
+                section = Section::Constraints;
+                continue;
+            }
+            "Bounds" => {
+                section = Section::Bounds;
+                continue;
+            }
+            "Generals" => {
+                section = Section::Generals;
+                continue;
+            }
+            "Binaries" => {
+                section = Section::Binaries;
+                continue;
+            }
+            "End" => {
+                section = Section::Done;
+                continue;
+            }
+            _ => section,
+        };
+        match section {
+            Section::Preamble | Section::Done => {
+                return Err(fail(line_no, &format!("unexpected text `{line}`")));
+            }
+            Section::Objective => {
+                let body = line
+                    .strip_prefix("obj:")
+                    .ok_or_else(|| fail(line_no, "expected `obj:`"))?;
+                let tokens: Vec<&str> = body.split_whitespace().collect();
+                let (terms, used) = parse_terms(&tokens, line_no)?;
+                if used != tokens.len() {
+                    return Err(fail(line_no, "trailing tokens after the objective"));
+                }
+                parsed.objective = terms;
+            }
+            Section::Constraints => {
+                let (label, body) = line
+                    .split_once(':')
+                    .ok_or_else(|| fail(line_no, "expected `name:` before the constraint"))?;
+                let tokens: Vec<&str> = body.split_whitespace().collect();
+                let (terms, used) = parse_terms(&tokens, line_no)?;
+                if tokens.len() != used + 2 {
+                    return Err(fail(line_no, "expected `op rhs` after the terms"));
+                }
+                let op = match tokens[used] {
+                    "<=" => CmpOp::Le,
+                    ">=" => CmpOp::Ge,
+                    "=" => CmpOp::Eq,
+                    other => return Err(fail(line_no, &format!("unknown operator `{other}`"))),
+                };
+                let rhs = parse_f64(tokens[used + 1], line_no)?;
+                parsed.constraints.push(ParsedConstraint {
+                    name: label.trim().to_string(),
+                    terms,
+                    op,
+                    rhs,
+                });
+            }
+            Section::Bounds => {
+                let tokens: Vec<&str> = line.split_whitespace().collect();
+                if tokens.len() != 5 || tokens[1] != "<=" || tokens[3] != "<=" {
+                    return Err(fail(line_no, "expected `lower <= name <= upper`"));
+                }
+                let lower = parse_f64(tokens[0], line_no)?;
+                let upper = parse_f64(tokens[4], line_no)?;
+                parsed.bounds.push((tokens[2].to_string(), lower, upper));
+            }
+            Section::Generals => parsed.generals.push(line.to_string()),
+            Section::Binaries => parsed.binaries.push(line.to_string()),
+        }
+    }
+    if section != Section::Done {
+        return Err(fail(text.lines().count(), "missing `End`"));
+    }
+    Ok(parsed)
+}
+
 fn sanitize(name: &str, index: usize) -> String {
     let cleaned: String = name
         .chars()
@@ -163,6 +382,64 @@ mod tests {
         m.set_objective([(x, 1.0)], Sense::Maximize);
         let text = to_lp_string(&m);
         assert!(text.contains("Maximize"));
+    }
+
+    #[test]
+    fn lp_round_trip_preserves_structure() {
+        // Write a model with every variable kind, re-parse the text and
+        // check that counts, bounds and integrality sections survive.
+        let mut m = Model::new("round_trip");
+        let x = m.add_binary("x[0,1]");
+        let y = m.add_integer("y", -2, 7);
+        let z = m.add_continuous("z", 0.5, 2.5);
+        m.add_leq([(x, 1.0), (y, 2.0)], 3.0, "cap");
+        m.add_geq([(z, 1.0), (x, -1.0)], 0.0, "link");
+        m.add_eq([(y, 1.0)], 4.0, "pin");
+        m.set_objective([(x, 5.0), (z, -1.5)], Sense::Minimize);
+
+        let text = to_lp_string(&m);
+        let parsed = parse_lp(&text).expect("round trip parses");
+        assert_eq!(parsed.name, "round_trip");
+        assert!(!parsed.maximize);
+        assert_eq!(parsed.num_vars(), m.num_vars());
+        assert_eq!(parsed.constraints.len(), m.num_constraints());
+        assert_eq!(parsed.objective.len(), 2);
+        assert_eq!(parsed.binaries.len(), m.num_binary());
+        assert_eq!(parsed.generals.len(), 1);
+        // Bounds survive for the integer and continuous variables.
+        assert_eq!(parsed.bounds.len(), 2);
+        assert_eq!(parsed.bounds[0].1, -2.0);
+        assert_eq!(parsed.bounds[0].2, 7.0);
+        assert_eq!(parsed.bounds[1].1, 0.5);
+        assert_eq!(parsed.bounds[1].2, 2.5);
+        // Operators and right-hand sides survive in order.
+        let (ops, rhs): (Vec<CmpOp>, Vec<f64>) =
+            parsed.constraints.iter().map(|c| (c.op, c.rhs)).unzip();
+        assert_eq!(ops, vec![CmpOp::Le, CmpOp::Ge, CmpOp::Eq]);
+        assert_eq!(rhs, vec![3.0, 0.0, 4.0]);
+        // Per-constraint term counts match the model.
+        for (parsed_c, model_c) in parsed.constraints.iter().zip(m.constraints()) {
+            assert_eq!(parsed_c.terms.len(), model_c.expr.len());
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_text() {
+        assert!(matches!(
+            parse_lp("Minimize\n obj: 0\n"),
+            Err(crate::error::IlpError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_lp("Minimize\n obj: + 1\nEnd\n"),
+            Err(crate::error::IlpError::Parse { .. })
+        ));
+        assert!(matches!(
+            parse_lp("garbage\n"),
+            Err(crate::error::IlpError::Parse { .. })
+        ));
+        let ok = parse_lp("\\ Problem: p\nMinimize\n obj: 0\nSubject To\nBounds\nEnd\n").unwrap();
+        assert_eq!(ok.name, "p");
+        assert_eq!(ok.num_vars(), 0);
     }
 
     #[test]

@@ -390,12 +390,22 @@ impl Model {
 
     /// Solves the model with the given configuration.
     ///
+    /// With [`SolverConfig::presolve`] enabled (the default) the model is
+    /// first rewritten by the reducing pipeline ([`crate::reduce`]) and the
+    /// branch and bound explores the reduced model; the returned solution is
+    /// lifted back to this model's variable indexing, so callers never see
+    /// the reduction.
+    ///
     /// # Errors
     ///
     /// Returns an error if the model is malformed; infeasibility and time
     /// limits are reported through [`Solution::status`], not as errors.
     pub fn solve(&self, config: &SolverConfig) -> Result<Solution, IlpError> {
         self.validate()?;
+        if config.presolve {
+            let reduced = crate::reduce::reduce(self, &crate::reduce::ReduceOptions::full());
+            return crate::reduce::solve_reduced(self, &reduced, config);
+        }
         BranchAndBound::new(self, config.clone()).run()
     }
 }

@@ -1,0 +1,1592 @@
+//! Reducing presolve: composable model-to-model transformations.
+//!
+//! The [`crate::presolve`] module *inspects* a model (fixed variables,
+//! redundant rows) without changing it. This module goes further: it rewrites
+//! the model into a smaller, tighter [`ReducedModel`] that the solver
+//! explores instead, with a round-trip [`ReducedModel::lift`] that maps any
+//! reduced-space assignment back to the original variable indexing (and
+//! [`ReducedModel::project`] for warm starts travelling the other way).
+//!
+//! The pipeline composes these passes, iterated to a fixpoint:
+//!
+//! * **bound propagation + fixed-variable elimination** — variables forced by
+//!   root propagation leave the model; their contribution folds into row
+//!   right-hand sides and the objective constant,
+//! * **redundant-row removal** — rows satisfied by every point of the
+//!   propagated box are dropped,
+//! * **clique merging** — set-packing rows (`Σ x ≤ 1` over binaries) that are
+//!   dominated by a wider packing/partitioning row are dropped, and surviving
+//!   packing rows are *extended* with every variable in conflict with all of
+//!   their members (the ≤ 1 assignment cliques of the BIST register rows),
+//! * **coefficient tightening** — knapsack-style rows over binaries get their
+//!   coefficients reduced to the strongest values that keep the same integer
+//!   solutions (cuts off fractional LP vertices for free),
+//! * **singleton-column substitution** — an implied-free continuous variable
+//!   appearing in exactly one equality row is solved out of the model,
+//! * **empty-column fixing** — a variable mentioned by no row moves to its
+//!   objective-cheapest bound.
+//!
+//! The last two passes assume the model is *final*; [`ReduceOptions::base`]
+//! disables them so a reduced model can later be [`ReducedModel::extend`]ed
+//! with delta rows that reference base variables — this is how the synthesis
+//! engine reduces a circuit's base model once and replays every per-k BIST
+//! delta through the variable map.
+
+use crate::error::IlpError;
+use crate::expr::LinExpr;
+use crate::model::{CmpOp, Model, Sense, VarKind};
+use crate::propagate::{Domains, PropagationResult, Propagator};
+use crate::solution::{Improvement, Solution, Status};
+use crate::solver::{BranchAndBound, SolverConfig};
+use crate::sparse::SparseModel;
+use crate::EPS;
+use std::collections::BTreeSet;
+
+/// Which passes the reduce pipeline runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReduceOptions {
+    /// Drop rows satisfied by every point of the propagated box.
+    pub remove_redundant_rows: bool,
+    /// Drop dominated set-packing rows and extend packing rows to maximal
+    /// cliques of the conflict graph.
+    pub merge_cliques: bool,
+    /// Tighten coefficients of knapsack-style rows over binary variables.
+    pub coefficient_tightening: bool,
+    /// Replace aggregated implication rows (`Σ aᵢ·xᵢ ≤ M·y` with
+    /// `Σ aᵢ ≤ M`, and the symmetric `M·y ≤ Σ aᵢ·xᵢ` with `Σ aᵢ = M`) by
+    /// their per-term implications `xᵢ ≤ y` / `y ≤ xᵢ`. Integer-equivalent
+    /// but strictly tighter in the LP relaxation — this is what defuses the
+    /// big-M OR-reduction rows of the BIST formulation.
+    pub disaggregate_implications: bool,
+    /// Solve implied-free continuous singleton columns out of equality rows.
+    /// Only sound on a *final* model (no rows will be added later).
+    pub substitute_continuous: bool,
+    /// Fix variables that appear in no row to their objective-cheapest
+    /// bound. Only sound on a *final* model.
+    pub fix_empty_columns: bool,
+    /// Maximum number of pipeline fixpoint rounds.
+    pub max_rounds: usize,
+}
+
+impl ReduceOptions {
+    /// Every pass, for a model that will be solved as-is.
+    pub fn full() -> Self {
+        Self {
+            remove_redundant_rows: true,
+            merge_cliques: true,
+            coefficient_tightening: true,
+            disaggregate_implications: true,
+            substitute_continuous: true,
+            fix_empty_columns: true,
+            max_rounds: 8,
+        }
+    }
+
+    /// The passes that stay sound when delta rows referencing the reduced
+    /// variables are appended later (see [`ReducedModel::extend`]): every
+    /// transformation is implied by the base constraints alone, so it remains
+    /// valid under any additional constraints.
+    pub fn base() -> Self {
+        Self {
+            substitute_continuous: false,
+            fix_empty_columns: false,
+            ..Self::full()
+        }
+    }
+}
+
+/// What became of one original variable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VarDisposition {
+    /// The variable survives as reduced-model column `index`.
+    Kept(usize),
+    /// The variable was eliminated at this fixed value.
+    Fixed(f64),
+    /// The variable was solved out of an equality row; its value is
+    /// recomputed from the stored substitution during [`ReducedModel::lift`].
+    Substituted(usize),
+}
+
+/// Counters describing the reductions performed by the pipeline.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReduceReport {
+    /// Variables in the (prefix of the) original model.
+    pub original_vars: usize,
+    /// Rows in the (prefix of the) original model.
+    pub original_rows: usize,
+    /// Variables eliminated at a propagation-forced value.
+    pub fixed_vars: usize,
+    /// Continuous variables solved out of singleton equality rows.
+    pub substituted_vars: usize,
+    /// Variables fixed because no row mentions them.
+    pub empty_column_vars: usize,
+    /// Rows dropped as redundant over the propagated box.
+    pub redundant_rows: usize,
+    /// Set-packing rows dropped because a wider row dominates them.
+    pub dominated_rows: usize,
+    /// Aggregated implication rows replaced by per-term implications.
+    pub disaggregated_rows: usize,
+    /// Variables added to packing rows by clique extension.
+    pub clique_extensions: usize,
+    /// Coefficients strengthened by the tightening pass.
+    pub tightened_coefficients: usize,
+    /// Pipeline rounds executed before the fixpoint (or the round cap).
+    pub rounds: usize,
+    /// Whether the pipeline proved the model infeasible.
+    pub infeasible: bool,
+}
+
+impl ReduceReport {
+    /// Fraction of original variables eliminated, in `[0, 1]`.
+    pub fn var_reduction_ratio(&self) -> f64 {
+        if self.original_vars == 0 {
+            return 0.0;
+        }
+        (self.fixed_vars + self.substituted_vars + self.empty_column_vars) as f64
+            / self.original_vars as f64
+    }
+
+    /// Fraction of original rows removed, in `[0, 1]`.
+    pub fn row_reduction_ratio(&self) -> f64 {
+        if self.original_rows == 0 {
+            return 0.0;
+        }
+        (self.redundant_rows + self.dominated_rows) as f64 / self.original_rows as f64
+    }
+}
+
+/// A recorded singleton substitution `coeff · x_var + Σ terms = rhs`.
+#[derive(Debug, Clone)]
+struct Substitution {
+    var: usize,
+    coeff: f64,
+    rhs: f64,
+    /// The other terms of the defining row, in original indices.
+    terms: Vec<(usize, f64)>,
+}
+
+/// A reduced model together with the maps back to the original indexing.
+///
+/// `model` is a self-contained [`Model`]; the solver kernels (propagation,
+/// simplex, branching, cuts) consume its sparse image exactly as they would
+/// the original's. `var_map`/`row_map` record where every original variable
+/// and row went, and [`ReducedModel::lift`] round-trips solutions.
+#[derive(Debug, Clone)]
+pub struct ReducedModel {
+    /// The reduced model.
+    pub model: Model,
+    /// Counters of the reductions that produced this model.
+    pub report: ReduceReport,
+    dispositions: Vec<VarDisposition>,
+    /// Reduced column index -> original variable index.
+    kept: Vec<usize>,
+    /// Original row index -> reduced row index (`None` when removed).
+    row_map: Vec<Option<usize>>,
+    substitutions: Vec<Substitution>,
+    /// Per original variable: whether its `Fixed` disposition was chosen by
+    /// the *objective* (empty-column fixing) rather than implied by the
+    /// constraints. Objective-driven fixings must not invalidate warm
+    /// starts — see [`ReducedModel::project`].
+    objective_fixed: Vec<bool>,
+    /// Dimensions of the prefix this reduction was computed from.
+    prefix_vars: usize,
+    prefix_rows: usize,
+}
+
+impl ReducedModel {
+    /// Disposition of every original variable, indexed by original index.
+    pub fn var_map(&self) -> &[VarDisposition] {
+        &self.dispositions
+    }
+
+    /// Reduced row index of every original row (`None` when removed).
+    pub fn row_map(&self) -> &[Option<usize>] {
+        &self.row_map
+    }
+
+    /// Number of original variables covered by [`ReducedModel::var_map`]
+    /// (and the length of [`ReducedModel::lift`]'s output).
+    pub fn original_vars(&self) -> usize {
+        self.dispositions.len()
+    }
+
+    /// Number of original rows covered by [`ReducedModel::row_map`].
+    pub fn original_rows(&self) -> usize {
+        self.row_map.len()
+    }
+
+    /// Maps a reduced-space assignment back to the original indexing:
+    /// kept variables copy their value, fixed variables take their fixed
+    /// value and substituted variables are recomputed from their defining
+    /// rows (in reverse substitution order, so chained substitutions
+    /// resolve).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reduced_values` is shorter than the reduced model's
+    /// variable count.
+    pub fn lift(&self, reduced_values: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.dispositions.len()];
+        for (j, disposition) in self.dispositions.iter().enumerate() {
+            match *disposition {
+                VarDisposition::Kept(r) => out[j] = reduced_values[r],
+                VarDisposition::Fixed(v) => out[j] = v,
+                VarDisposition::Substituted(_) => {}
+            }
+        }
+        // A substitution's defining row only references variables that are
+        // kept, fixed, or substituted *later*, so resolving in reverse
+        // creation order sees every dependency already lifted.
+        for sub in self.substitutions.iter().rev() {
+            let rest: f64 = sub.terms.iter().map(|&(i, a)| a * out[i]).sum();
+            out[sub.var] = (sub.rhs - rest) / sub.coeff;
+        }
+        out
+    }
+
+    /// Projects an original-space assignment onto the reduced variables, for
+    /// warm starts. Returns `None` when the assignment contradicts a value
+    /// the reduction fixed *because of the constraints* (such an assignment
+    /// is infeasible for the original model, since every constraint-implied
+    /// fixing holds in every feasible point). Disagreement on an
+    /// *objective-driven* fixing (empty-column fixing picks the cheapest
+    /// bound of a variable no row mentions) is tolerated: the candidate's
+    /// value is simply replaced by the fixed one, which is feasible (the
+    /// variable constrains nothing) and never objective-worse.
+    pub fn project(&self, original_values: &[f64]) -> Option<Vec<f64>> {
+        if original_values.len() != self.dispositions.len() {
+            return None;
+        }
+        let mut out = vec![0.0; self.kept.len()];
+        for (j, disposition) in self.dispositions.iter().enumerate() {
+            match *disposition {
+                VarDisposition::Kept(r) => out[r] = original_values[j],
+                VarDisposition::Fixed(v) => {
+                    if (original_values[j] - v).abs() > 1e-6 && !self.objective_fixed[j] {
+                        return None;
+                    }
+                }
+                VarDisposition::Substituted(_) => {}
+            }
+        }
+        Some(out)
+    }
+
+    /// Builds a new reduced model for `full`, a model whose first
+    /// `prefix_rows`/`prefix_vars` are exactly the prefix this reduction was
+    /// computed from: the reduced prefix is cloned, the delta variables and
+    /// rows are appended with every term translated through the variable map
+    /// (terms on fixed variables fold into the right-hand side), and the
+    /// objective of `full` is mapped the same way.
+    ///
+    /// This is the synthesis engine's per-k path: reduce the circuit base
+    /// once, then replay each BIST delta through the map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IlpError::UnknownVariable`] if `full` is smaller than the
+    /// reduced prefix, or [`IlpError::Numerical`] if a delta row references a
+    /// substituted variable (impossible when the reduction was built with
+    /// [`ReduceOptions::base`]).
+    pub fn extend(&self, full: &Model) -> Result<ReducedModel, IlpError> {
+        if full.num_vars() < self.prefix_vars || full.num_constraints() < self.prefix_rows {
+            return Err(IlpError::UnknownVariable {
+                index: self.prefix_vars,
+                len: full.num_vars(),
+            });
+        }
+        let mut out = self.clone();
+
+        // Delta variables are appended unchanged and always kept.
+        for def in &full.vars()[self.prefix_vars..] {
+            let reduced_index = match def.kind {
+                VarKind::Binary => out.model.add_binary(def.name.clone()),
+                VarKind::Integer { lower, upper } => {
+                    out.model.add_integer(def.name.clone(), lower, upper)
+                }
+                VarKind::Continuous { lower, upper } => {
+                    out.model.add_continuous(def.name.clone(), lower, upper)
+                }
+            };
+            out.kept.push(out.dispositions.len());
+            out.dispositions
+                .push(VarDisposition::Kept(reduced_index.index()));
+            out.objective_fixed.push(false);
+        }
+
+        // Delta rows travel through the variable map.
+        for constraint in &full.constraints()[self.prefix_rows..] {
+            let mut expr = LinExpr::new();
+            let mut rhs = constraint.rhs;
+            for (var, coeff) in constraint.expr.iter() {
+                match self.map_term(&out.dispositions, var.index(), &constraint.name)? {
+                    MappedTerm::Var(r) => {
+                        expr.add_term(crate::model::VarId(r), coeff);
+                    }
+                    MappedTerm::Fixed(v) => rhs -= coeff * v,
+                }
+            }
+            let index = out
+                .model
+                .add_constraint(expr, constraint.op, rhs, constraint.name.clone());
+            out.row_map.push(Some(index));
+        }
+
+        // Objective: kept terms map, fixed terms fold into the constant.
+        let mut objective = LinExpr::constant(full.objective().offset());
+        for (var, coeff) in full.objective().iter() {
+            match self.map_term(&out.dispositions, var.index(), "objective")? {
+                MappedTerm::Var(r) => {
+                    objective.add_term(crate::model::VarId(r), coeff);
+                }
+                MappedTerm::Fixed(v) => {
+                    objective.add_constant(coeff * v);
+                }
+            }
+        }
+        out.model.set_objective(objective, full.sense());
+
+        out.prefix_vars = full.num_vars();
+        out.prefix_rows = full.num_constraints();
+        out.report.original_vars = full.num_vars();
+        out.report.original_rows = full.num_constraints();
+        Ok(out)
+    }
+
+    /// Chains a second reduction: `second` must have been computed (with
+    /// [`reduce`]) from `self.model`. The result maps the *original* space
+    /// straight to `second`'s reduced model, so one [`ReducedModel::lift`] /
+    /// [`ReducedModel::project`] crosses both reductions. This is how the
+    /// per-k solve composes the shared base reduction with a full-pipeline
+    /// pass over the extended (base + BIST delta) model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `second` does not cover `self.model` (variable or row
+    /// counts disagree).
+    pub fn compose(&self, second: ReducedModel) -> ReducedModel {
+        assert_eq!(
+            second.original_vars(),
+            self.model.num_vars(),
+            "second reduction was not computed from this reduced model"
+        );
+        assert_eq!(second.original_rows(), self.model.num_constraints());
+
+        let substitution_offset = self.substitutions.len();
+        let dispositions: Vec<VarDisposition> = self
+            .dispositions
+            .iter()
+            .map(|d| match *d {
+                VarDisposition::Kept(r) => match second.dispositions[r] {
+                    VarDisposition::Kept(r2) => VarDisposition::Kept(r2),
+                    VarDisposition::Fixed(v) => VarDisposition::Fixed(v),
+                    VarDisposition::Substituted(s) => {
+                        VarDisposition::Substituted(substitution_offset + s)
+                    }
+                },
+                other => other,
+            })
+            .collect();
+        let kept: Vec<usize> = second.kept.iter().map(|&r| self.kept[r]).collect();
+        let objective_fixed: Vec<bool> = self
+            .dispositions
+            .iter()
+            .enumerate()
+            .map(|(j, d)| {
+                self.objective_fixed[j]
+                    || matches!(*d, VarDisposition::Kept(r) if second.objective_fixed[r])
+            })
+            .collect();
+        let row_map: Vec<Option<usize>> = self
+            .row_map
+            .iter()
+            .map(|entry| entry.and_then(|r| second.row_map[r]))
+            .collect();
+        // Remap the second reduction's substitutions (stated in `self`'s
+        // reduced indices) into original indices and append them after
+        // `self`'s own, preserving the "later substitutions resolve first"
+        // invariant of `lift`.
+        let mut substitutions = self.substitutions.clone();
+        substitutions.extend(second.substitutions.into_iter().map(|sub| {
+            Substitution {
+                var: self.kept[sub.var],
+                coeff: sub.coeff,
+                rhs: sub.rhs,
+                terms: sub
+                    .terms
+                    .into_iter()
+                    .map(|(r, a)| (self.kept[r], a))
+                    .collect(),
+            }
+        }));
+
+        let report = ReduceReport {
+            original_vars: self.report.original_vars,
+            original_rows: self.report.original_rows,
+            fixed_vars: self.report.fixed_vars + second.report.fixed_vars,
+            substituted_vars: self.report.substituted_vars + second.report.substituted_vars,
+            empty_column_vars: self.report.empty_column_vars + second.report.empty_column_vars,
+            redundant_rows: self.report.redundant_rows + second.report.redundant_rows,
+            dominated_rows: self.report.dominated_rows + second.report.dominated_rows,
+            disaggregated_rows: self.report.disaggregated_rows + second.report.disaggregated_rows,
+            clique_extensions: self.report.clique_extensions + second.report.clique_extensions,
+            tightened_coefficients: self.report.tightened_coefficients
+                + second.report.tightened_coefficients,
+            rounds: self.report.rounds + second.report.rounds,
+            infeasible: self.report.infeasible || second.report.infeasible,
+        };
+
+        ReducedModel {
+            model: second.model,
+            report,
+            dispositions,
+            kept,
+            row_map,
+            substitutions,
+            objective_fixed,
+            prefix_vars: self.prefix_vars,
+            prefix_rows: self.prefix_rows,
+        }
+    }
+
+    fn map_term(
+        &self,
+        dispositions: &[VarDisposition],
+        index: usize,
+        location: &str,
+    ) -> Result<MappedTerm, IlpError> {
+        match dispositions.get(index) {
+            Some(&VarDisposition::Kept(r)) => Ok(MappedTerm::Var(r)),
+            Some(&VarDisposition::Fixed(v)) => Ok(MappedTerm::Fixed(v)),
+            Some(&VarDisposition::Substituted(_)) => Err(IlpError::Numerical {
+                message: format!("{location} references a substituted variable (index {index})"),
+            }),
+            None => Err(IlpError::UnknownVariable {
+                index,
+                len: dispositions.len(),
+            }),
+        }
+    }
+}
+
+enum MappedTerm {
+    Var(usize),
+    Fixed(f64),
+}
+
+/// Runs the full pipeline on a complete model (objective included).
+pub fn reduce(model: &Model, options: &ReduceOptions) -> ReducedModel {
+    run_pipeline(
+        model,
+        model.num_constraints(),
+        model.num_vars(),
+        options,
+        true,
+    )
+}
+
+thread_local! {
+    static PREFIX_REDUCTIONS: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of [`reduce_prefix`] runs performed by the *current thread* since
+/// it started. The presolve benchmark measures the delta of this counter
+/// around an engine sweep to verify — rather than assume — that the shared
+/// base model is reduced exactly once per circuit and never again per k.
+pub fn prefix_reductions_on_thread() -> usize {
+    PREFIX_REDUCTIONS.with(|c| c.get())
+}
+
+/// Runs the pipeline on the first `prefix_rows` rows / `prefix_vars`
+/// variables of `model` only, ignoring the objective. The result can be
+/// [`ReducedModel::extend`]ed with the remaining (or later-added) rows.
+///
+/// # Panics
+///
+/// Panics if the prefix rows reference variables outside the prefix.
+pub fn reduce_prefix(
+    model: &Model,
+    prefix_rows: usize,
+    prefix_vars: usize,
+    options: &ReduceOptions,
+) -> ReducedModel {
+    PREFIX_REDUCTIONS.with(|c| c.set(c.get() + 1));
+    run_pipeline(model, prefix_rows, prefix_vars, options, false)
+}
+
+/// One working row of the pipeline.
+#[derive(Debug, Clone)]
+struct WorkRow {
+    terms: Vec<(usize, f64)>,
+    op: CmpOp,
+    rhs: f64,
+    name: String,
+    alive: bool,
+}
+
+impl WorkRow {
+    /// Activity range of the live terms over the box.
+    fn activity(&self, domains: &Domains) -> (f64, f64) {
+        let mut min = 0.0;
+        let mut max = 0.0;
+        for &(i, a) in &self.terms {
+            if a >= 0.0 {
+                min += a * domains.lower(i);
+                max += a * domains.upper(i);
+            } else {
+                min += a * domains.upper(i);
+                max += a * domains.lower(i);
+            }
+        }
+        (min, max)
+    }
+
+    fn is_redundant(&self, domains: &Domains) -> bool {
+        let (min_act, max_act) = self.activity(domains);
+        match self.op {
+            CmpOp::Le => max_act <= self.rhs + EPS,
+            CmpOp::Ge => min_act >= self.rhs - EPS,
+            CmpOp::Eq => (min_act - self.rhs).abs() <= EPS && (max_act - self.rhs).abs() <= EPS,
+        }
+    }
+}
+
+fn run_pipeline(
+    model: &Model,
+    prefix_rows: usize,
+    prefix_vars: usize,
+    options: &ReduceOptions,
+    with_objective: bool,
+) -> ReducedModel {
+    let mut report = ReduceReport {
+        original_vars: prefix_vars,
+        original_rows: prefix_rows,
+        ..ReduceReport::default()
+    };
+    let mut domains = Domains::from_model(model);
+    let mut rows: Vec<WorkRow> = model.constraints()[..prefix_rows]
+        .iter()
+        .map(|c| WorkRow {
+            terms: c.expr.iter().map(|(v, a)| (v.index(), a)).collect(),
+            op: c.op,
+            rhs: c.rhs,
+            name: c.name.clone(),
+            alive: true,
+        })
+        .collect();
+    let mut substituted: Vec<Option<usize>> = vec![None; prefix_vars];
+    let mut substitutions: Vec<Substitution> = Vec::new();
+    // Which fixings were chosen by the objective (empty columns) instead of
+    // being implied by the constraints; `project` treats them leniently.
+    let mut objective_fixed: Vec<bool> = vec![false; prefix_vars];
+    // Working objective (raw sense), used by the final-model passes.
+    let mut obj_coeffs: Vec<f64> = vec![0.0; model.num_vars()];
+    let mut obj_const = model.objective().offset();
+    if with_objective {
+        for (var, coeff) in model.objective().iter() {
+            obj_coeffs[var.index()] = coeff;
+        }
+    }
+    let sense_factor = match model.sense() {
+        Sense::Minimize => 1.0,
+        Sense::Maximize => -1.0,
+    };
+
+    for _ in 0..options.max_rounds {
+        report.rounds += 1;
+        let mut changed = false;
+
+        // 1. Propagate the live rows to a fixpoint; forced variables become
+        // eliminations at finalisation time.
+        let matrix = SparseModel::from_rows(
+            model.num_vars(),
+            rows.iter()
+                .filter(|r| r.alive)
+                .map(|r| (r.terms.iter().copied(), r.op, r.rhs)),
+        );
+        let propagator = Propagator::from_matrix(matrix);
+        if propagator.propagate(&mut domains) == PropagationResult::Infeasible {
+            report.infeasible = true;
+            break;
+        }
+
+        // 2. Redundant rows. Only rows of the original prefix count in the
+        // report; rows appended by disaggregation are bookkeeping-free.
+        if options.remove_redundant_rows {
+            for (row_index, row) in rows.iter_mut().enumerate().filter(|(_, r)| r.alive) {
+                if row.is_redundant(&domains) {
+                    row.alive = false;
+                    if row_index < prefix_rows {
+                        report.redundant_rows += 1;
+                    }
+                    changed = true;
+                }
+            }
+        }
+
+        // 3. Clique merging on the ≤ 1 assignment structure.
+        if options.merge_cliques {
+            changed |= merge_cliques(&mut rows, &domains, &mut report);
+        }
+
+        // 4. Coefficient tightening.
+        if options.coefficient_tightening {
+            for row in rows.iter_mut().filter(|r| r.alive) {
+                let tightened = tighten_row(row, &domains);
+                if tightened > 0 {
+                    report.tightened_coefficients += tightened;
+                    changed = true;
+                }
+            }
+        }
+
+        // 5. Implication disaggregation.
+        if options.disaggregate_implications {
+            changed |= disaggregate(&mut rows, &domains, &mut report);
+        }
+
+        // Occurrence counts over the live rows, for the column passes.
+        let needs_columns = options.substitute_continuous || options.fix_empty_columns;
+        if needs_columns {
+            let mut occurrence = vec![0usize; prefix_vars];
+            let mut row_of_singleton = vec![usize::MAX; prefix_vars];
+            for (i, row) in rows.iter().enumerate().filter(|(_, r)| r.alive) {
+                for &(j, a) in &row.terms {
+                    if a.abs() > EPS && substituted[j].is_none() && !domains.is_fixed(j) {
+                        occurrence[j] += 1;
+                        row_of_singleton[j] = i;
+                    }
+                }
+            }
+
+            // 6. Singleton-column substitution (final models only).
+            if options.substitute_continuous {
+                for j in 0..prefix_vars {
+                    if occurrence[j] != 1
+                        || domains.is_integral(j)
+                        || domains.is_fixed(j)
+                        || substituted[j].is_some()
+                    {
+                        continue;
+                    }
+                    let row_index = row_of_singleton[j];
+                    if try_substitute(
+                        j,
+                        row_index,
+                        &mut rows,
+                        &domains,
+                        &mut obj_coeffs,
+                        &mut obj_const,
+                        &mut substitutions,
+                    ) {
+                        substituted[j] = Some(substitutions.len() - 1);
+                        report.substituted_vars += 1;
+                        changed = true;
+                    }
+                }
+            }
+
+            // 7. Empty-column fixing (final models only).
+            if options.fix_empty_columns {
+                for j in 0..prefix_vars {
+                    if occurrence[j] != 0 || domains.is_fixed(j) || substituted[j].is_some() {
+                        continue;
+                    }
+                    let value = if sense_factor * obj_coeffs[j] >= 0.0 {
+                        domains.lower(j)
+                    } else {
+                        domains.upper(j)
+                    };
+                    domains.fix(j, value);
+                    objective_fixed[j] = true;
+                    report.empty_column_vars += 1;
+                    changed = true;
+                }
+            }
+        }
+
+        if !changed {
+            break;
+        }
+    }
+
+    finalize(
+        model,
+        prefix_rows,
+        prefix_vars,
+        with_objective,
+        domains,
+        rows,
+        substituted,
+        substitutions,
+        objective_fixed,
+        obj_coeffs,
+        obj_const,
+        report,
+    )
+}
+
+/// Drops dominated packing rows and extends packing rows to larger cliques.
+fn merge_cliques(rows: &mut [WorkRow], domains: &Domains, report: &mut ReduceReport) -> bool {
+    let binary = |j: usize| {
+        domains.is_integral(j)
+            && !domains.is_fixed(j)
+            && domains.lower(j) >= -EPS
+            && domains.upper(j) <= 1.0 + EPS
+    };
+    // Packing rows: Σ x ≤ 1 with unit coefficients over unfixed binaries
+    // (terms on variables fixed at 0 vanish; a member fixed at 1 forces the
+    // rest to 0 and the row dies in the redundancy pass instead).
+    // Partitioning rows (Σ x = 1) dominate but are never dropped.
+    let unit_support = |row: &WorkRow| -> Option<BTreeSet<usize>> {
+        if row.terms.is_empty() || (row.rhs - 1.0).abs() > EPS {
+            return None;
+        }
+        let mut support = BTreeSet::new();
+        for &(j, a) in &row.terms {
+            if (a - 1.0).abs() > EPS {
+                return None;
+            }
+            if domains.is_fixed(j) {
+                if domains.fixed_value(j).unwrap_or(0.0).abs() > EPS {
+                    return None;
+                }
+                continue;
+            }
+            if !binary(j) {
+                return None;
+            }
+            support.insert(j);
+        }
+        Some(support)
+    };
+    let mut packing: Vec<(usize, BTreeSet<usize>)> = Vec::new();
+    let mut dominators: Vec<BTreeSet<usize>> = Vec::new();
+    for (i, row) in rows.iter().enumerate().filter(|(_, r)| r.alive) {
+        match row.op {
+            CmpOp::Le => {
+                if let Some(s) = unit_support(row) {
+                    if s.len() >= 2 {
+                        packing.push((i, s));
+                    }
+                }
+            }
+            CmpOp::Eq => {
+                if let Some(s) = unit_support(row) {
+                    dominators.push(s);
+                }
+            }
+            CmpOp::Ge => {}
+        }
+    }
+    if packing.is_empty() {
+        return false;
+    }
+
+    // Conflict graph: every pair inside a packing/partitioning support, plus
+    // two-variable knapsack rows that exclude the (1, 1) point.
+    let mut adjacency: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); domains.len()];
+    let add_clique = |support: &BTreeSet<usize>, adjacency: &mut Vec<BTreeSet<usize>>| {
+        let members: Vec<usize> = support.iter().copied().collect();
+        for (a, &x) in members.iter().enumerate() {
+            for &y in &members[a + 1..] {
+                adjacency[x].insert(y);
+                adjacency[y].insert(x);
+            }
+        }
+    };
+    for (_, s) in &packing {
+        add_clique(s, &mut adjacency);
+    }
+    for s in &dominators {
+        add_clique(s, &mut adjacency);
+    }
+    for row in rows.iter().filter(|r| r.alive) {
+        let (sign, rhs) = match row.op {
+            CmpOp::Le => (1.0, row.rhs),
+            CmpOp::Ge => (-1.0, -row.rhs),
+            CmpOp::Eq => continue,
+        };
+        if row.terms.len() == 2 {
+            let (x, ax) = row.terms[0];
+            let (y, ay) = row.terms[1];
+            let (ax, ay) = (sign * ax, sign * ay);
+            if ax > EPS && ay > EPS && ax + ay > rhs + EPS && ax <= rhs + EPS && ay <= rhs + EPS {
+                // x = y = 1 violates the row while each alone is allowed.
+                if binary(x) && binary(y) {
+                    adjacency[x].insert(y);
+                    adjacency[y].insert(x);
+                }
+            }
+        }
+    }
+
+    let mut changed = false;
+
+    // Dominance: a packing row implied by a wider packing/partitioning row.
+    let mut dead: Vec<bool> = vec![false; packing.len()];
+    for a in 0..packing.len() {
+        if dead[a] {
+            continue;
+        }
+        let dominated_by_eq = dominators.iter().any(|d| packing[a].1.is_subset(d));
+        if dominated_by_eq {
+            dead[a] = true;
+        } else {
+            for b in 0..packing.len() {
+                if a == b || dead[b] {
+                    continue;
+                }
+                let subset = packing[a].1.is_subset(&packing[b].1);
+                // On equal supports keep the earlier row.
+                if subset && (packing[a].1.len() < packing[b].1.len() || b < a) {
+                    dead[a] = true;
+                    break;
+                }
+            }
+        }
+        if dead[a] {
+            rows[packing[a].0].alive = false;
+            report.dominated_rows += 1;
+            changed = true;
+        }
+    }
+
+    // Clique extension on the survivors: add every variable in conflict with
+    // all current members (ascending index for determinism).
+    for (a, (row_index, support)) in packing.iter().enumerate() {
+        if dead[a] {
+            continue;
+        }
+        let mut members: Vec<usize> = support.iter().copied().collect();
+        let mut added = Vec::new();
+        let candidates: Vec<usize> = adjacency[members[0]]
+            .iter()
+            .copied()
+            .filter(|c| !support.contains(c) && binary(*c))
+            .collect();
+        for c in candidates {
+            if members.iter().all(|&m| adjacency[c].contains(&m)) {
+                members.push(c);
+                added.push(c);
+            }
+        }
+        if !added.is_empty() {
+            let row = &mut rows[*row_index];
+            for c in added {
+                row.terms.push((c, 1.0));
+                report.clique_extensions += 1;
+            }
+            row.terms.sort_unstable_by_key(|&(j, _)| j);
+            changed = true;
+        }
+    }
+    changed
+}
+
+/// Tightens the coefficients of binary variables in a knapsack-style row.
+/// Returns how many coefficients were strengthened.
+fn tighten_row(row: &mut WorkRow, domains: &Domains) -> usize {
+    let sign = match row.op {
+        CmpOp::Le => 1.0,
+        CmpOp::Ge => -1.0,
+        CmpOp::Eq => return 0,
+    };
+    let mut tightened = 0;
+    loop {
+        // Normalised view: Σ (sign·a_i)·x_i ≤ sign·rhs. `umax - rhs` is
+        // invariant under each application, so every term tightens at most
+        // once and the loop terminates.
+        let (min_act, max_act) = row.activity(domains);
+        let (umax, rhs) = if sign > 0.0 {
+            (max_act, row.rhs)
+        } else {
+            (-min_act, -row.rhs)
+        };
+        if umax <= rhs + EPS {
+            return tightened; // redundant; the row pass will drop it
+        }
+        let mut applied = false;
+        for t in 0..row.terms.len() {
+            let (j, raw) = row.terms[t];
+            let a = sign * raw;
+            let is_binary = domains.is_integral(j)
+                && !domains.is_fixed(j)
+                && domains.lower(j).abs() <= EPS
+                && (domains.upper(j) - 1.0).abs() <= EPS;
+            if !is_binary || a <= EPS {
+                continue;
+            }
+            if umax - a <= rhs + EPS && umax > rhs + EPS {
+                let new_a = umax - rhs;
+                let new_rhs = umax - a;
+                if new_a < a - 1e-9 {
+                    row.terms[t].1 = sign * new_a;
+                    row.rhs = sign * new_rhs;
+                    tightened += 1;
+                    applied = true;
+                    break;
+                }
+            }
+        }
+        if !applied {
+            return tightened;
+        }
+    }
+}
+
+/// Replaces aggregated implication rows by their per-term implications.
+///
+/// In the ≤-normalised view `Σ cᵢ·xᵢ ≤ 0` over unfixed binaries:
+///
+/// * exactly one negative term `−M·y` and positives with `Σ aᵢ ≤ M`
+///   (`Σ aᵢ·xᵢ ≤ M·y`, the big-M OR "up" rows) becomes `xᵢ ≤ y` per term;
+/// * exactly one positive term `M·y` and negatives with `Σ aᵢ = M` and
+///   `Σ aᵢ − min aᵢ < M` (`M·y ≤ Σ aᵢ·xᵢ`, the AND rows) becomes `y ≤ xᵢ`.
+///
+/// Both replacements keep the 0-1 solution set and strictly tighten the LP
+/// relaxation, which is where the aggregated rows hurt: the relaxation could
+/// park the indicator at `Σ/M` instead of at the maximum (minimum) of its
+/// terms.
+fn disaggregate(rows: &mut Vec<WorkRow>, domains: &Domains, report: &mut ReduceReport) -> bool {
+    let binary = |j: usize| {
+        domains.is_integral(j)
+            && !domains.is_fixed(j)
+            && domains.lower(j).abs() <= EPS
+            && (domains.upper(j) - 1.0).abs() <= EPS
+    };
+    let mut appended: Vec<WorkRow> = Vec::new();
+    let mut changed = false;
+    for row in rows.iter_mut().filter(|r| r.alive) {
+        let sign = match row.op {
+            CmpOp::Le => 1.0,
+            CmpOp::Ge => -1.0,
+            CmpOp::Eq => continue,
+        };
+        if (sign * row.rhs).abs() > EPS {
+            continue;
+        }
+        // Split the live terms of the normalised view; skip the row if any
+        // term sits on a fixed variable with a non-zero value (propagation
+        // will simplify it first) or on a non-binary variable.
+        let mut positives: Vec<(usize, f64)> = Vec::new();
+        let mut negatives: Vec<(usize, f64)> = Vec::new();
+        let mut eligible = true;
+        for &(j, raw) in &row.terms {
+            let c = sign * raw;
+            if domains.is_fixed(j) {
+                if domains.fixed_value(j).unwrap_or(0.0).abs() > EPS {
+                    eligible = false;
+                    break;
+                }
+                continue; // fixed at zero: the term vanishes
+            }
+            if !binary(j) || c.abs() <= EPS {
+                eligible = false;
+                break;
+            }
+            if c > 0.0 {
+                positives.push((j, c));
+            } else {
+                negatives.push((j, -c));
+            }
+        }
+        if !eligible {
+            continue;
+        }
+        let (indicator, indicator_first, terms) = if negatives.len() == 1 && positives.len() >= 2 {
+            // Σ aᵢ·xᵢ ≤ M·y: xᵢ = 1 forces y = 1; equivalent when Σ aᵢ ≤ M.
+            let (y, m) = negatives[0];
+            let total: f64 = positives.iter().map(|&(_, a)| a).sum();
+            if total > m + EPS {
+                continue;
+            }
+            (y, false, positives)
+        } else if positives.len() == 1 && negatives.len() >= 2 {
+            // M·y ≤ Σ aᵢ·xᵢ: equivalent to y ≤ xᵢ when Σ aᵢ = M and no
+            // single term can be dropped without falling below M.
+            let (y, m) = positives[0];
+            let total: f64 = negatives.iter().map(|&(_, a)| a).sum();
+            let min = negatives
+                .iter()
+                .map(|&(_, a)| a)
+                .fold(f64::INFINITY, f64::min);
+            if (total - m).abs() > EPS || total - min >= m - EPS {
+                continue;
+            }
+            (y, true, negatives)
+        } else {
+            continue;
+        };
+        row.alive = false;
+        report.disaggregated_rows += 1;
+        changed = true;
+        for (index, (x, _)) in terms.into_iter().enumerate() {
+            // `x − y ≤ 0` (up rows) or `y − x ≤ 0` (and rows).
+            let (first, second) = if indicator_first {
+                (indicator, x)
+            } else {
+                (x, indicator)
+            };
+            appended.push(WorkRow {
+                terms: vec![(first, 1.0), (second, -1.0)],
+                op: CmpOp::Le,
+                rhs: 0.0,
+                name: format!("{}_dis{}", row.name, index),
+                alive: true,
+            });
+        }
+    }
+    rows.extend(appended);
+    changed
+}
+
+/// Attempts to solve continuous singleton `var` out of `rows[row_index]`.
+fn try_substitute(
+    var: usize,
+    row_index: usize,
+    rows: &mut [WorkRow],
+    domains: &Domains,
+    obj_coeffs: &mut [f64],
+    obj_const: &mut f64,
+    substitutions: &mut Vec<Substitution>,
+) -> bool {
+    let row = &rows[row_index];
+    if !row.alive || row.op != CmpOp::Eq {
+        return false;
+    }
+    let coeff = row
+        .terms
+        .iter()
+        .find(|&&(j, _)| j == var)
+        .map(|&(_, a)| a)
+        .unwrap_or(0.0);
+    if coeff.abs() <= EPS {
+        return false;
+    }
+    // Implied-free check: the bounds the row forces on `var` (given the
+    // others' boxes) must lie inside its declared bounds, otherwise dropping
+    // the row would lose the bound constraints.
+    let terms: Vec<(usize, f64)> = row
+        .terms
+        .iter()
+        .copied()
+        .filter(|&(j, _)| j != var)
+        .collect();
+    let (mut rest_min, mut rest_max) = (0.0, 0.0);
+    for &(i, a) in &terms {
+        if a >= 0.0 {
+            rest_min += a * domains.lower(i);
+            rest_max += a * domains.upper(i);
+        } else {
+            rest_min += a * domains.upper(i);
+            rest_max += a * domains.lower(i);
+        }
+    }
+    let (implied_lo, implied_hi) = if coeff > 0.0 {
+        ((row.rhs - rest_max) / coeff, (row.rhs - rest_min) / coeff)
+    } else {
+        ((row.rhs - rest_min) / coeff, (row.rhs - rest_max) / coeff)
+    };
+    if implied_lo < domains.lower(var) - EPS || implied_hi > domains.upper(var) + EPS {
+        return false;
+    }
+    // Fold the objective: c·x = c·(rhs − Σ a_i x_i)/coeff.
+    let c = obj_coeffs[var];
+    if c != 0.0 {
+        *obj_const += c * row.rhs / coeff;
+        for &(i, a) in &terms {
+            obj_coeffs[i] -= c * a / coeff;
+        }
+        obj_coeffs[var] = 0.0;
+    }
+    let rhs = row.rhs;
+    rows[row_index].alive = false;
+    substitutions.push(Substitution {
+        var,
+        coeff,
+        rhs,
+        terms,
+    });
+    true
+}
+
+#[allow(clippy::too_many_arguments)]
+fn finalize(
+    model: &Model,
+    prefix_rows: usize,
+    prefix_vars: usize,
+    with_objective: bool,
+    domains: Domains,
+    rows: Vec<WorkRow>,
+    substituted: Vec<Option<usize>>,
+    substitutions: Vec<Substitution>,
+    objective_fixed: Vec<bool>,
+    obj_coeffs: Vec<f64>,
+    obj_const: f64,
+    mut report: ReduceReport,
+) -> ReducedModel {
+    let mut reduced = Model::new(format!("{}_reduced", model.name()));
+    let mut dispositions: Vec<VarDisposition> = Vec::with_capacity(prefix_vars);
+    let mut kept: Vec<usize> = Vec::new();
+    for (j, def) in model.vars()[..prefix_vars].iter().enumerate() {
+        if let Some(s) = substituted[j] {
+            dispositions.push(VarDisposition::Substituted(s));
+            continue;
+        }
+        if domains.is_fixed(j) {
+            let value = domains.fixed_value(j).unwrap_or(domains.lower(j));
+            dispositions.push(VarDisposition::Fixed(value));
+            continue;
+        }
+        let (lo, hi) = (domains.lower(j), domains.upper(j));
+        let id = match def.kind {
+            VarKind::Binary if lo.abs() <= EPS && (hi - 1.0).abs() <= EPS => {
+                reduced.add_binary(def.name.clone())
+            }
+            VarKind::Binary | VarKind::Integer { .. } => {
+                reduced.add_integer(def.name.clone(), lo.round() as i64, hi.round() as i64)
+            }
+            VarKind::Continuous { .. } => reduced.add_continuous(def.name.clone(), lo, hi),
+        };
+        dispositions.push(VarDisposition::Kept(id.index()));
+        kept.push(j);
+    }
+    report.fixed_vars = dispositions
+        .iter()
+        .filter(|d| matches!(d, VarDisposition::Fixed(_)))
+        .count()
+        .saturating_sub(report.empty_column_vars);
+
+    // The first `prefix_rows` entries are the original rows (tracked in the
+    // row map); anything beyond was appended by disaggregation.
+    let mut row_map: Vec<Option<usize>> = Vec::with_capacity(prefix_rows);
+    for (row_index, row) in rows.iter().enumerate() {
+        let original = row_index < prefix_rows;
+        if !row.alive {
+            if original {
+                row_map.push(None);
+            }
+            continue;
+        }
+        let mut expr = LinExpr::new();
+        let mut rhs = row.rhs;
+        for &(j, a) in &row.terms {
+            match dispositions[j] {
+                VarDisposition::Kept(r) => {
+                    expr.add_term(crate::model::VarId(r), a);
+                }
+                VarDisposition::Fixed(v) => rhs -= a * v,
+                VarDisposition::Substituted(_) => unreachable!("substituted var in a live row"),
+            }
+        }
+        if expr.is_empty() {
+            // All terms were eliminated: the row is either vacuous or proof
+            // of infeasibility.
+            let satisfied = match row.op {
+                CmpOp::Le => 0.0 <= rhs + EPS,
+                CmpOp::Ge => 0.0 >= rhs - EPS,
+                CmpOp::Eq => rhs.abs() <= EPS,
+            };
+            if !satisfied {
+                report.infeasible = true;
+            }
+            if original {
+                report.redundant_rows += 1;
+                row_map.push(None);
+            }
+            continue;
+        }
+        let index = reduced.add_constraint(expr, row.op, rhs, row.name.clone());
+        if original {
+            row_map.push(Some(index));
+        }
+    }
+
+    if with_objective {
+        let mut objective = LinExpr::constant(obj_const);
+        for (j, disposition) in dispositions.iter().enumerate() {
+            let c = obj_coeffs[j];
+            if c == 0.0 {
+                continue;
+            }
+            match *disposition {
+                VarDisposition::Kept(r) => {
+                    objective.add_term(crate::model::VarId(r), c);
+                }
+                VarDisposition::Fixed(v) => {
+                    objective.add_constant(c * v);
+                }
+                VarDisposition::Substituted(_) => {}
+            }
+        }
+        reduced.set_objective(objective, model.sense());
+    }
+
+    ReducedModel {
+        model: reduced,
+        report,
+        dispositions,
+        kept,
+        row_map,
+        substitutions,
+        objective_fixed,
+        prefix_vars,
+        prefix_rows,
+    }
+}
+
+/// Solves `reduced` (a reduction of `original`) and lifts the result back to
+/// the original variable indexing: warm-start candidates are projected into
+/// the reduced space, the branch and bound runs on the reduced model (cut
+/// pool included, per the configuration), and the returned [`Solution`]
+/// carries original-space values and the original-space objective.
+///
+/// When the reduction decided every variable, the solve is skipped entirely
+/// and the lifted assignment is returned as optimal with a root (`nodes = 0`)
+/// incumbent improvement, so time-to-target metrics see root-solved
+/// instances.
+///
+/// # Errors
+///
+/// Propagates structural solver errors, exactly like [`Model::solve`].
+pub fn solve_reduced(
+    original: &Model,
+    reduced: &ReducedModel,
+    config: &SolverConfig,
+) -> Result<Solution, IlpError> {
+    let vars_removed = reduced
+        .original_vars()
+        .saturating_sub(reduced.model.num_vars()) as u64;
+    // Count the *original* rows the pipeline eliminated or replaced, not the
+    // net size delta: disaggregation replaces one aggregated row with several
+    // implications, which would otherwise mask genuine removals (or clamp
+    // the stat to zero entirely).
+    let rows_removed = (reduced.report.redundant_rows
+        + reduced.report.dominated_rows
+        + reduced.report.disaggregated_rows) as u64;
+
+    if reduced.report.infeasible {
+        let stats = crate::solution::SolveStats {
+            best_bound: f64::INFINITY,
+            gap: f64::INFINITY,
+            presolve_vars_removed: vars_removed,
+            presolve_rows_removed: rows_removed,
+            ..Default::default()
+        };
+        return Ok(Solution::without_values(Status::Infeasible, stats));
+    }
+
+    if reduced.model.num_vars() == 0 {
+        // The pipeline decided everything at the root.
+        let lifted = reduced.lift(&[]);
+        let objective = original.objective_value(&lifted);
+        let stats = crate::solution::SolveStats {
+            best_bound: objective,
+            presolve_vars_removed: vars_removed,
+            presolve_rows_removed: rows_removed,
+            improvements: vec![Improvement {
+                nodes: 0,
+                seconds: 0.0,
+                objective,
+            }],
+            ..Default::default()
+        };
+        return Ok(Solution::new(Status::Optimal, lifted, objective, stats));
+    }
+
+    let mut inner_config = config.clone();
+    inner_config.initial_solution = config
+        .initial_solution
+        .as_ref()
+        .and_then(|v| reduced.project(v));
+    inner_config.initial_solutions = config
+        .initial_solutions
+        .iter()
+        .filter_map(|v| reduced.project(v))
+        .collect();
+
+    let inner = BranchAndBound::new(&reduced.model, inner_config).run()?;
+    let mut stats = inner.stats().clone();
+    stats.presolve_vars_removed = vars_removed;
+    stats.presolve_rows_removed = rows_removed;
+    let status = inner.status();
+    if status.has_solution() {
+        let lifted = reduced.lift(inner.values());
+        let objective = original.objective_value(&lifted);
+        Ok(Solution::new(status, lifted, objective, stats))
+    } else {
+        Ok(Solution::without_values(status, stats))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Sense;
+
+    fn solve_both(model: &Model) -> (Solution, Solution) {
+        let raw = BranchAndBound::new(
+            model,
+            SolverConfig {
+                presolve: false,
+                cuts: false,
+                ..SolverConfig::exact()
+            },
+        )
+        .run()
+        .unwrap();
+        let reduced = reduce(model, &ReduceOptions::full());
+        let via = solve_reduced(model, &reduced, &SolverConfig::exact()).unwrap();
+        (raw, via)
+    }
+
+    #[test]
+    fn fixed_variables_are_eliminated_and_lifted() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.add_geq([(x, 1.0)], 1.0, "fix_x");
+        m.add_leq([(x, 1.0), (y, 1.0)], 1.0, "x_excludes_y");
+        m.add_leq([(z, 1.0)], 1.0, "slack");
+        m.set_objective([(z, 1.0)], Sense::Minimize);
+        let reduced = reduce(&m, &ReduceOptions::full());
+        assert!(!reduced.report.infeasible);
+        // x = 1 and y = 0 are eliminated; the slack row is redundant; z has
+        // no live row left so the empty-column pass fixes it too.
+        assert_eq!(reduced.model.num_vars(), 0);
+        assert!(matches!(
+            reduced.var_map()[x.index()],
+            VarDisposition::Fixed(v) if (v - 1.0).abs() < 1e-9
+        ));
+        assert!(matches!(
+            reduced.var_map()[y.index()],
+            VarDisposition::Fixed(v) if v.abs() < 1e-9
+        ));
+        let sol = solve_reduced(&m, &reduced, &SolverConfig::exact()).unwrap();
+        assert!(sol.is_optimal());
+        assert_eq!(sol.values(), &[1.0, 0.0, 0.0]);
+        assert_eq!(sol.objective(), 0.0);
+        assert_eq!(sol.stats().improvements.len(), 1);
+        assert_eq!(sol.stats().improvements[0].nodes, 0);
+    }
+
+    #[test]
+    fn reduced_solve_matches_raw_solve() {
+        // A small model exercising fixing, redundancy and tightening at once.
+        let mut m = Model::new("m");
+        let a = m.add_binary("a");
+        let b = m.add_binary("b");
+        let c = m.add_binary("c");
+        let d = m.add_binary("d");
+        m.add_leq([(a, 3.0), (b, 2.0), (c, 2.0)], 4.0, "cap");
+        m.add_leq([(a, 1.0), (d, 1.0)], 1.0, "pack");
+        m.add_geq([(b, 1.0), (c, 1.0), (d, 1.0)], 1.0, "cover");
+        m.set_objective(
+            [(a, -6.0), (b, -5.0), (c, -4.0), (d, -1.0)],
+            Sense::Minimize,
+        );
+        let (raw, via) = solve_both(&m);
+        assert!(raw.is_optimal() && via.is_optimal());
+        assert!((raw.objective() - via.objective()).abs() < 1e-6);
+        assert!(m.is_feasible(via.values(), 1e-6));
+    }
+
+    #[test]
+    fn dominated_packing_rows_are_dropped() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.add_leq([(x, 1.0), (y, 1.0)], 1.0, "small");
+        m.add_leq([(x, 1.0), (y, 1.0), (z, 1.0)], 1.0, "wide");
+        m.set_objective([(x, -1.0), (y, -1.0), (z, -1.0)], Sense::Minimize);
+        let reduced = reduce(&m, &ReduceOptions::full());
+        assert!(reduced.report.dominated_rows >= 1);
+        assert_eq!(reduced.model.num_constraints(), 1);
+        assert_eq!(reduced.row_map()[0], None);
+        let sol = solve_reduced(&m, &reduced, &SolverConfig::exact()).unwrap();
+        assert!(sol.is_optimal());
+        assert!((sol.objective() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clique_extension_strengthens_pairwise_conflicts() {
+        // Pairwise x+y ≤ 1, y+z ≤ 1, x+z ≤ 1 merge into one clique row.
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.add_leq([(x, 1.0), (y, 1.0)], 1.0, "xy");
+        m.add_leq([(y, 1.0), (z, 1.0)], 1.0, "yz");
+        m.add_leq([(x, 1.0), (z, 1.0)], 1.0, "xz");
+        m.set_objective([(x, -1.0), (y, -1.0), (z, -1.0)], Sense::Minimize);
+        let reduced = reduce(&m, &ReduceOptions::full());
+        assert!(reduced.report.clique_extensions >= 1);
+        assert!(reduced.report.dominated_rows >= 2);
+        assert_eq!(reduced.model.num_constraints(), 1);
+        let row = &reduced.model.constraints()[0];
+        assert_eq!(row.expr.len(), 3);
+        let sol = solve_reduced(&m, &reduced, &SolverConfig::exact()).unwrap();
+        assert!((sol.objective() + 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coefficient_tightening_preserves_integer_solutions() {
+        // 3x + 3y ≤ 5 over binaries has the same 0-1 points as x + y ≤ 1 but
+        // a weaker LP relaxation; tightening must strengthen the row.
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_leq([(x, 3.0), (y, 3.0)], 5.0, "knap");
+        m.set_objective([(x, -2.0), (y, -1.0)], Sense::Minimize);
+        let reduced = reduce(&m, &ReduceOptions::full());
+        assert!(reduced.report.tightened_coefficients >= 1);
+        let row = &reduced.model.constraints()[0];
+        let max_activity: f64 = row.expr.iter().map(|(_, c)| c.max(0.0)).sum();
+        assert!(
+            max_activity <= row.rhs + 1.0 + 1e-9,
+            "tightened to a clique"
+        );
+        let sol = solve_reduced(&m, &reduced, &SolverConfig::exact()).unwrap();
+        assert!(sol.is_optimal());
+        assert!((sol.objective() + 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn continuous_singleton_is_substituted_and_lifted() {
+        // w appears only in the equality w + x + y = 2 and is implied free.
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let w = m.add_continuous("w", 0.0, 2.0);
+        m.add_eq([(w, 1.0), (x, 1.0), (y, 1.0)], 2.0, "def_w");
+        m.add_geq([(x, 1.0), (y, 1.0)], 1.0, "use_xy");
+        m.set_objective([(w, 1.0), (x, 3.0), (y, 3.0)], Sense::Minimize);
+        let reduced = reduce(&m, &ReduceOptions::full());
+        assert_eq!(reduced.report.substituted_vars, 1);
+        assert!(matches!(
+            reduced.var_map()[w.index()],
+            VarDisposition::Substituted(_)
+        ));
+        let sol = solve_reduced(&m, &reduced, &SolverConfig::exact()).unwrap();
+        assert!(sol.is_optimal());
+        assert!(m.is_feasible(sol.values(), 1e-6));
+        // Optimal: one of x/y at 1, w = 1 → 1 + 3 = 4.
+        assert!((sol.objective() - 4.0).abs() < 1e-6);
+        assert!((sol.values()[w.index()] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn infeasible_models_are_detected() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        m.add_geq([(x, 1.0)], 1.0, "up");
+        m.add_leq([(x, 1.0)], 0.0, "down");
+        m.set_objective([(x, 1.0)], Sense::Minimize);
+        let reduced = reduce(&m, &ReduceOptions::full());
+        assert!(reduced.report.infeasible);
+        let sol = solve_reduced(&m, &reduced, &SolverConfig::exact()).unwrap();
+        assert_eq!(sol.status(), Status::Infeasible);
+    }
+
+    #[test]
+    fn base_reduction_extends_with_delta_rows() {
+        // Base: x fixed by its rows, y free. Delta references both x (fixed)
+        // and a new variable.
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_geq([(x, 1.0)], 1.0, "fix_x");
+        let base = reduce_prefix(
+            &m,
+            m.num_constraints(),
+            m.num_vars(),
+            &ReduceOptions::base(),
+        );
+        assert!(matches!(
+            base.var_map()[x.index()],
+            VarDisposition::Fixed(_)
+        ));
+        assert!(matches!(base.var_map()[y.index()], VarDisposition::Kept(_)));
+
+        // The delta adds z and the row x + y + z ≥ 2 (⇒ y + z ≥ 1).
+        let z = m.add_binary("z");
+        m.add_geq([(x, 1.0), (y, 1.0), (z, 1.0)], 2.0, "delta");
+        m.set_objective([(y, 1.0), (z, 2.0)], Sense::Minimize);
+        let extended = base.extend(&m).unwrap();
+        assert_eq!(extended.original_vars(), 3);
+        assert_eq!(extended.model.num_vars(), 2); // y and z
+        let delta_row = extended.model.constraints().last().unwrap();
+        assert!((delta_row.rhs - 1.0).abs() < 1e-9, "x folded into the rhs");
+        let sol = solve_reduced(&m, &extended, &SolverConfig::exact()).unwrap();
+        assert!(sol.is_optimal());
+        assert!((sol.objective() - 1.0).abs() < 1e-9); // y = 1, z = 0
+        assert_eq!(sol.values(), &[1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn projection_rejects_contradicting_warm_starts() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_geq([(x, 1.0)], 1.0, "fix_x");
+        m.add_leq([(y, 1.0)], 1.0, "slack");
+        m.set_objective([(y, 1.0)], Sense::Minimize);
+        let reduced = reduce(&m, &ReduceOptions::base());
+        assert!(reduced.project(&[0.0, 1.0]).is_none(), "x must be 1");
+        let projected = reduced.project(&[1.0, 1.0]).unwrap();
+        assert_eq!(projected.len(), reduced.model.num_vars());
+    }
+
+    #[test]
+    fn projection_tolerates_objective_driven_empty_column_fixings() {
+        // z appears only in a redundant row, so the full pipeline fixes it
+        // to its cheapest bound (0). A feasible warm start carrying z = 1
+        // must NOT be rejected — the fixing is an objective choice, not a
+        // constraint implication — and the surviving candidate must still
+        // drive the solve to the optimum.
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.add_geq([(x, 1.0), (y, 1.0)], 1.0, "cover");
+        m.add_leq([(z, 1.0)], 1.0, "slack_only_z");
+        m.set_objective([(x, 1.0), (y, 2.0), (z, 1.0)], Sense::Minimize);
+        let reduced = reduce(&m, &ReduceOptions::full());
+        assert!(matches!(
+            reduced.var_map()[z.index()],
+            VarDisposition::Fixed(v) if v.abs() < 1e-9
+        ));
+        let warm = vec![1.0, 0.0, 1.0]; // feasible, z at the expensive bound
+        assert!(m.is_feasible(&warm, 1e-6));
+        let projected = reduced.project(&warm).expect("warm start survives");
+        assert_eq!(projected.len(), reduced.model.num_vars());
+        let config = SolverConfig::exact().with_initial_solution(warm);
+        let sol = solve_reduced(&m, &reduced, &config).unwrap();
+        assert!(sol.is_optimal());
+        assert!((sol.objective() - 1.0).abs() < 1e-9);
+        // Constraint-implied fixings still reject contradicting candidates.
+        let mut m2 = Model::new("m2");
+        let a = m2.add_binary("a");
+        m2.add_geq([(a, 1.0)], 1.0, "force");
+        m2.set_objective([(a, 1.0)], Sense::Minimize);
+        let r2 = reduce(&m2, &ReduceOptions::full());
+        assert!(r2.project(&[0.0]).is_none());
+    }
+
+    #[test]
+    fn report_ratios_are_bounded() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        m.add_geq([(x, 1.0)], 1.0, "fix");
+        m.set_objective([(x, 1.0)], Sense::Minimize);
+        let reduced = reduce(&m, &ReduceOptions::full());
+        let report = &reduced.report;
+        assert!(report.var_reduction_ratio() > 0.0);
+        assert!(report.var_reduction_ratio() <= 1.0);
+        assert!(report.row_reduction_ratio() <= 1.0);
+        assert!(report.rounds >= 1);
+    }
+}

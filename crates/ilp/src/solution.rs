@@ -63,6 +63,14 @@ pub struct SolveStats {
     pub gap: f64,
     /// True when the wall-clock or node limit stopped the search.
     pub limit_reached: bool,
+    /// Cutting planes added to the row set (root separation plus the
+    /// re-checks at improved incumbents).
+    pub cuts: u64,
+    /// Variables eliminated by the reducing presolve before the search
+    /// (0 when presolve is off).
+    pub presolve_vars_removed: u64,
+    /// Rows removed by the reducing presolve before the search.
+    pub presolve_rows_removed: u64,
     /// Every incumbent improvement, in chronological order.
     pub improvements: Vec<Improvement>,
 }

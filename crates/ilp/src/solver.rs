@@ -11,13 +11,25 @@
 use std::collections::BinaryHeap;
 use std::time::{Duration, Instant};
 
+use crate::cuts::{CutGenerator, CutRow};
 use crate::error::IlpError;
 use crate::heuristics::{greedy_dive, round_and_repair};
-use crate::model::{Model, Sense};
+use crate::model::{CmpOp, Model, Sense};
 use crate::propagate::{Domains, PropagationResult, Propagator};
 use crate::simplex::{solve_lp, LpStatus};
 use crate::solution::{Solution, SolveStats, Status};
+use crate::sparse::SparseModel;
 use crate::{EPS, INT_EPS};
+
+/// Maximum separation rounds at the root node.
+const ROOT_CUT_ROUNDS: usize = 4;
+/// Maximum in-tree separation passes (re-checks at improved incumbents).
+const TREE_SEPARATIONS: usize = 6;
+/// Maximum cuts accepted per separation call.
+const CUTS_PER_ROUND: usize = 24;
+
+/// One materialised row handed to [`SparseModel::from_rows`].
+type DenseRow = (Vec<(usize, f64)>, CmpOp, f64);
 
 /// How dual bounds are computed at branch-and-bound nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +100,16 @@ pub struct SolverConfig {
     /// uses this to chain the k−1 sweep incumbent alongside the sequential
     /// baseline design.
     pub initial_solutions: Vec<Vec<f64>>,
+    /// Run the reducing presolve pipeline ([`crate::reduce`]) and solve the
+    /// reduced model instead of the raw one (solutions are lifted back
+    /// transparently). On by default.
+    pub presolve: bool,
+    /// Seed a cut pool with knapsack-cover and clique cuts
+    /// ([`crate::cuts`]), separated at the root and re-checked at improved
+    /// incumbents. On by default. Has no effect under
+    /// [`BoundMode::Propagation`], which never produces the LP points
+    /// separation needs.
+    pub cuts: bool,
 }
 
 impl Default for SolverConfig {
@@ -103,6 +125,8 @@ impl Default for SolverConfig {
             dive_heuristic: true,
             initial_solution: None,
             initial_solutions: Vec::new(),
+            presolve: true,
+            cuts: true,
         }
     }
 }
@@ -162,6 +186,18 @@ impl SolverConfig {
     /// [`SolverConfig::initial_solutions`]).
     pub fn with_warm_candidate(mut self, values: Vec<f64>) -> Self {
         self.initial_solutions.push(values);
+        self
+    }
+
+    /// Builder-style toggle for the reducing presolve.
+    pub fn with_presolve(mut self, enabled: bool) -> Self {
+        self.presolve = enabled;
+        self
+    }
+
+    /// Builder-style toggle for the cut pool.
+    pub fn with_cuts(mut self, enabled: bool) -> Self {
+        self.cuts = enabled;
         self
     }
 }
@@ -256,6 +292,19 @@ pub struct BranchAndBound<'a> {
     objective_constant: f64,
     sense_factor: f64,
     occurrence: Vec<usize>,
+    /// Cut pool: the generator mines the model once, `cut_rows` holds every
+    /// accepted cut. The rows live in the shared sparse matrix, so the
+    /// propagator, the simplex and the branching rules consume them exactly
+    /// like model rows.
+    cut_source: Option<CutGenerator>,
+    cut_rows: Vec<CutRow>,
+    /// Remaining in-tree separation passes (re-checks at improved
+    /// incumbents).
+    tree_separations_left: usize,
+    /// The last root LP solved by the cut loop, valid for the *current*
+    /// matrix; the root node consumes it instead of re-solving the most
+    /// expensive LP of the tree.
+    root_lp_cache: Option<(f64, Vec<f64>)>,
 }
 
 impl<'a> BranchAndBound<'a> {
@@ -275,6 +324,12 @@ impl<'a> BranchAndBound<'a> {
         let occurrence: Vec<usize> = (0..model.num_vars())
             .map(|j| propagator.matrix().occurrences(j))
             .collect();
+        let cut_source = if config.cuts && model.num_integral() > 0 {
+            let generator = CutGenerator::new(model);
+            generator.has_sources().then_some(generator)
+        } else {
+            None
+        };
         Self {
             model,
             config,
@@ -283,7 +338,138 @@ impl<'a> BranchAndBound<'a> {
             objective_constant,
             sense_factor,
             occurrence,
+            cut_source,
+            cut_rows: Vec::new(),
+            tree_separations_left: TREE_SEPARATIONS,
+            root_lp_cache: None,
         }
+    }
+
+    /// Rebuilds the shared sparse matrix from the model rows plus every
+    /// accepted cut, and refreshes the occurrence counts the branching rules
+    /// read. Called whenever the cut pool grows.
+    fn rebuild_matrix(&mut self) {
+        let rows: Vec<DenseRow> = self
+            .model
+            .constraints()
+            .iter()
+            .map(|c| {
+                (
+                    c.expr.iter().map(|(v, a)| (v.index(), a)).collect(),
+                    c.op,
+                    c.rhs,
+                )
+            })
+            .chain(
+                self.cut_rows
+                    .iter()
+                    .map(|cut| (cut.terms.clone(), CmpOp::Le, cut.rhs)),
+            )
+            .collect();
+        self.propagator =
+            Propagator::from_matrix(SparseModel::from_rows(self.model.num_vars(), rows));
+        for (j, slot) in self.occurrence.iter_mut().enumerate() {
+            *slot = self.propagator.matrix().occurrences(j);
+        }
+    }
+
+    /// Separates cuts violated by `lp_values`, installs them in the row set
+    /// and re-propagates `domains`. Returns `false` when the tightened row
+    /// set proves the box empty.
+    fn install_cuts(
+        &mut self,
+        lp_values: &[f64],
+        domains: &mut Domains,
+        stats: &mut SolveStats,
+    ) -> Option<bool> {
+        let generator = self.cut_source.as_mut()?;
+        let new_cuts = generator.separate(lp_values, CUTS_PER_ROUND);
+        if new_cuts.is_empty() {
+            return None;
+        }
+        stats.cuts += new_cuts.len() as u64;
+        self.cut_rows.extend(new_cuts);
+        self.rebuild_matrix();
+        stats.propagations += 1;
+        Some(self.propagator.propagate(domains) != PropagationResult::Infeasible)
+    }
+
+    /// Root cut loop: solve the root LP, separate violated covers/cliques,
+    /// tighten and repeat. Returns `false` when the root becomes infeasible
+    /// (only possible numerically, since cuts preserve every integer point).
+    fn root_cuts(
+        &mut self,
+        domains: &mut Domains,
+        stats: &mut SolveStats,
+        incumbent: &mut Option<(f64, Vec<f64>)>,
+        start: Instant,
+    ) -> bool {
+        for _ in 0..ROOT_CUT_ROUNDS {
+            let lp = solve_lp(
+                self.propagator.matrix(),
+                &self.objective,
+                self.objective_constant,
+                domains,
+                self.config.max_lp_pivots,
+            );
+            stats.lp_solves += 1;
+            stats.lp_pivots += lp.pivots;
+            match lp.status {
+                LpStatus::Infeasible => return false,
+                LpStatus::Optimal => {}
+                LpStatus::Unbounded | LpStatus::IterationLimit => return true,
+            }
+            // An integral root relaxation is a solved instance: log it as an
+            // incumbent improvement and stop separating.
+            if self.try_integral_incumbent(&lp.values, domains, incumbent, stats, start) {
+                self.root_lp_cache = Some((lp.objective, lp.values));
+                return true;
+            }
+            match self.install_cuts(&lp.values, domains, stats) {
+                None => {
+                    // No violated cuts: this LP is valid for the final row
+                    // set, so hand it to the root node instead of having it
+                    // re-solve the identical relaxation.
+                    self.root_lp_cache = Some((lp.objective, lp.values));
+                    return true;
+                }
+                Some(true) => {}
+                Some(false) => return false,
+            }
+        }
+        true
+    }
+
+    /// If `values` is integral over the box, round it, check feasibility and
+    /// update the incumbent. Returns whether the point was integral.
+    fn try_integral_incumbent(
+        &self,
+        lp_values: &[f64],
+        domains: &Domains,
+        incumbent: &mut Option<(f64, Vec<f64>)>,
+        stats: &mut SolveStats,
+        start: Instant,
+    ) -> bool {
+        let integral = (0..domains.len()).all(|j| {
+            !domains.is_integral(j) || (lp_values[j] - lp_values[j].round()).abs() <= INT_EPS
+        });
+        if !integral {
+            return false;
+        }
+        let mut values = lp_values.to_vec();
+        for (j, v) in values.iter_mut().enumerate() {
+            if domains.is_integral(j) {
+                *v = v.round();
+            }
+        }
+        if self.model.is_feasible(&values, 1e-6) {
+            let obj = self.internal_objective(&values);
+            if incumbent.as_ref().map(|(b, _)| obj < *b).unwrap_or(true) {
+                *incumbent = Some((obj, values));
+                self.record_improvement(stats, start, obj);
+            }
+        }
+        true
     }
 
     /// Runs the search and returns the best solution found.
@@ -292,7 +478,7 @@ impl<'a> BranchAndBound<'a> {
     ///
     /// Only structural errors are reported as `Err`; infeasibility and limit
     /// expiry are encoded in the returned [`Status`].
-    pub fn run(self) -> Result<Solution, IlpError> {
+    pub fn run(mut self) -> Result<Solution, IlpError> {
         let start = Instant::now();
         let mut stats = SolveStats::default();
 
@@ -340,13 +526,31 @@ impl<'a> BranchAndBound<'a> {
             return Ok(self.solve_pure_lp(&root, start, stats, incumbent));
         }
 
+        // Seed the cut pool at the root: separate covers/cliques against the
+        // root LP, tighten, repeat. The accepted cuts join the shared row set
+        // for the whole search. Propagation-only runs skip this — their
+        // point is to avoid the simplex, and without LP points neither the
+        // root loop nor the in-tree re-checks could separate anything.
+        let mut root_closed = false;
+        if self.cut_source.is_some()
+            && self.use_lp_at(0)
+            && !self.root_cuts(&mut root, &mut stats, &mut incumbent, start)
+        {
+            // Cuts preserve every integer point, so an empty root box means
+            // the model has no integer solution (modulo numerics, in which
+            // case the incumbent already in hand is the answer).
+            root_closed = true;
+        }
+
         let mut frontier = Frontier::new(self.config.search);
-        frontier.push(Node {
-            domains: root,
-            depth: 0,
-            bound: f64::NEG_INFINITY,
-            branched: None,
-        });
+        if !root_closed {
+            frontier.push(Node {
+                domains: root,
+                depth: 0,
+                bound: f64::NEG_INFINITY,
+                branched: None,
+            });
+        }
 
         let mut limit_reached = false;
         let mut root_bound = f64::NEG_INFINITY;
@@ -388,6 +592,20 @@ impl<'a> BranchAndBound<'a> {
                         lp_values
                     }
                 };
+
+            // Re-check the cut pool whenever the incumbent improved at this
+            // node: the new incumbent's neighbourhood is where violated
+            // covers/cliques are most likely to tighten the remaining tree.
+            let improved =
+                incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY) < incumbent_obj - EPS;
+            if improved && self.tree_separations_left > 0 && self.cut_source.is_some() {
+                if let Some(values) = bound.as_deref() {
+                    self.tree_separations_left -= 1;
+                    if self.install_cuts(values, &mut node.domains, &mut stats) == Some(false) {
+                        continue;
+                    }
+                }
+            }
 
             if node.domains.all_integral_fixed() {
                 if let Some(values) = self.complete_assignment(&node.domains, &mut stats) {
@@ -460,7 +678,7 @@ impl<'a> BranchAndBound<'a> {
         root: &Domains,
         start: Instant,
         mut stats: SolveStats,
-        _incumbent: Option<(f64, Vec<f64>)>,
+        incumbent: Option<(f64, Vec<f64>)>,
     ) -> Solution {
         let lp = solve_lp(
             self.propagator.matrix(),
@@ -475,6 +693,16 @@ impl<'a> BranchAndBound<'a> {
         match lp.status {
             LpStatus::Optimal => {
                 stats.best_bound = self.sense_factor * lp.objective;
+                // The root relaxation *is* the solution here; log it as an
+                // improvement so time-to-target metrics cover root-solved
+                // instances, not only branched incumbents.
+                let beats_warm = incumbent
+                    .as_ref()
+                    .map(|(b, _)| lp.objective < *b - EPS)
+                    .unwrap_or(true);
+                if beats_warm {
+                    self.record_improvement(&mut stats, start, lp.objective);
+                }
                 Solution::new(
                     Status::Optimal,
                     lp.values,
@@ -547,7 +775,7 @@ impl<'a> BranchAndBound<'a> {
     }
 
     fn node_bound(
-        &self,
+        &mut self,
         node: &Node,
         stats: &mut SolveStats,
         incumbent_obj: f64,
@@ -561,67 +789,76 @@ impl<'a> BranchAndBound<'a> {
                 lp_values: None,
             };
         }
-        let lp = solve_lp(
-            self.propagator.matrix(),
-            &self.objective,
-            self.objective_constant,
-            &node.domains,
-            self.config.max_lp_pivots,
-        );
-        stats.lp_solves += 1;
-        stats.lp_pivots += lp.pivots;
-        match lp.status {
-            LpStatus::Infeasible => NodeBound::Infeasible,
-            LpStatus::Optimal => {
-                // If the relaxation happens to be integral it is a feasible
-                // MILP solution; use it to tighten the incumbent.
-                let integral = (0..node.domains.len()).all(|j| {
-                    !node.domains.is_integral(j)
-                        || (lp.values[j] - lp.values[j].round()).abs() <= INT_EPS
-                });
-                if integral {
-                    let mut values = lp.values.clone();
-                    for (j, v) in values.iter_mut().enumerate() {
-                        if node.domains.is_integral(j) {
-                            *v = v.round();
+        // The root cut loop may already have solved this exact relaxation;
+        // consume its result instead of repeating the most expensive LP of
+        // the tree.
+        let cached = if node.depth == 0 {
+            self.root_lp_cache.take()
+        } else {
+            None
+        };
+        let (lp_objective, lp_values) = match cached {
+            Some((objective, values)) => (objective, values),
+            None => {
+                let lp = solve_lp(
+                    self.propagator.matrix(),
+                    &self.objective,
+                    self.objective_constant,
+                    &node.domains,
+                    self.config.max_lp_pivots,
+                );
+                stats.lp_solves += 1;
+                stats.lp_pivots += lp.pivots;
+                match lp.status {
+                    LpStatus::Infeasible => return NodeBound::Infeasible,
+                    LpStatus::Optimal => (lp.objective, lp.values),
+                    LpStatus::Unbounded | LpStatus::IterationLimit => {
+                        return NodeBound::Bound {
+                            value: prop_bound,
+                            lp_values: None,
                         }
                     }
-                    if self.model.is_feasible(&values, 1e-6) {
-                        let obj = self.internal_objective(&values);
-                        if obj < incumbent_obj {
-                            *incumbent = Some((obj, values));
-                            self.record_improvement(stats, start, obj);
-                        }
-                    }
-                } else if node.depth <= 2 {
-                    // Try an LP-guided rounding heuristic near the top of the
-                    // tree, where it is most likely to pay off.
-                    if let Some(values) = round_and_repair(
-                        &self.propagator,
-                        &node.domains,
-                        &lp.values,
-                        &self.objective,
-                    ) {
-                        if self.model.is_feasible(&values, 1e-6) {
-                            let obj = self.internal_objective(&values);
-                            let current =
-                                incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
-                            if obj < current {
-                                *incumbent = Some((obj, values));
-                                self.record_improvement(stats, start, obj);
-                            }
-                        }
-                    }
-                }
-                NodeBound::Bound {
-                    value: lp.objective.max(prop_bound),
-                    lp_values: Some(lp.values),
                 }
             }
-            LpStatus::Unbounded | LpStatus::IterationLimit => NodeBound::Bound {
-                value: prop_bound,
-                lp_values: None,
-            },
+        };
+        // If the relaxation happens to be integral it is a feasible MILP
+        // solution; use it to tighten the incumbent.
+        let integral = (0..node.domains.len()).all(|j| {
+            !node.domains.is_integral(j) || (lp_values[j] - lp_values[j].round()).abs() <= INT_EPS
+        });
+        if integral {
+            let mut values = lp_values.clone();
+            for (j, v) in values.iter_mut().enumerate() {
+                if node.domains.is_integral(j) {
+                    *v = v.round();
+                }
+            }
+            if self.model.is_feasible(&values, 1e-6) {
+                let obj = self.internal_objective(&values);
+                if obj < incumbent_obj {
+                    *incumbent = Some((obj, values));
+                    self.record_improvement(stats, start, obj);
+                }
+            }
+        } else if node.depth <= 2 {
+            // Try an LP-guided rounding heuristic near the top of the tree,
+            // where it is most likely to pay off.
+            if let Some(values) =
+                round_and_repair(&self.propagator, &node.domains, &lp_values, &self.objective)
+            {
+                if self.model.is_feasible(&values, 1e-6) {
+                    let obj = self.internal_objective(&values);
+                    let current = incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
+                    if obj < current {
+                        *incumbent = Some((obj, values));
+                        self.record_improvement(stats, start, obj);
+                    }
+                }
+            }
+        }
+        NodeBound::Bound {
+            value: lp_objective.max(prop_bound),
+            lp_values: Some(lp_values),
         }
     }
 

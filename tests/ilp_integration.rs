@@ -69,6 +69,30 @@ fn bist_models_serialise_to_lp_format() {
     assert!(text.contains("End"));
     // Every model variable appears in the Binaries section or bounds.
     assert!(text.len() > 10_000, "the figure1 BIST model is non-trivial");
+
+    // Round trip: re-parse the text and check the structure survived —
+    // variable and constraint counts, integrality sections, per-constraint
+    // term counts and right-hand sides.
+    let parsed = lpfile::parse_lp(&text).expect("generated LP text parses");
+    assert_eq!(parsed.num_vars(), formulation.model.num_vars());
+    assert_eq!(
+        parsed.constraints.len(),
+        formulation.model.num_constraints()
+    );
+    assert_eq!(parsed.binaries.len(), formulation.model.num_binary());
+    assert!(!parsed.maximize);
+    for (parsed_c, model_c) in parsed
+        .constraints
+        .iter()
+        .zip(formulation.model.constraints())
+    {
+        assert_eq!(parsed_c.terms.len(), model_c.expr.len(), "{}", model_c.name);
+        assert!(
+            (parsed_c.rhs - model_c.rhs).abs() < 1e-9,
+            "{}",
+            model_c.name
+        );
+    }
 }
 
 #[test]

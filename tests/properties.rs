@@ -15,6 +15,7 @@ use advbist::datapath::{CostModel, Datapath};
 use advbist::dfg::allocate::left_edge;
 use advbist::dfg::benchmarks::{random_dfg, RandomDfgConfig};
 use advbist::dfg::lifetime::{InputTiming, LifetimeTable};
+use advbist::ilp::reduce::{reduce, solve_reduced, ReduceOptions, VarDisposition};
 use advbist::ilp::{BoundMode, SolverConfig};
 use common::{brute_force, random_binary_model, Rng};
 
@@ -143,6 +144,59 @@ fn advbist_designs_are_always_valid() {
             design.area.total() >= reference.area.total(),
             "case {case} (dfg seed {seed})"
         );
+    }
+}
+
+/// The reducing presolve pipeline is optimum-preserving: on random small 0-1
+/// models, solving the explicitly reduced model and lifting the solution
+/// back must reproduce the brute-force optimum, for **all three** dual-bound
+/// modes, and the lifted assignment must be feasible for the *original*
+/// model (the round trip through `var_map` loses nothing).
+#[test]
+fn reduce_and_lift_preserve_the_brute_force_optimum() {
+    let modes = [
+        BoundMode::Propagation,
+        BoundMode::LpRelaxation,
+        BoundMode::Hybrid { lp_depth: 2 },
+    ];
+    for seed in 0..40u64 {
+        let model = random_binary_model(seed.wrapping_mul(6151) + 3, 8, 6);
+        let expected = brute_force(&model);
+        let reduced = reduce(&model, &ReduceOptions::full());
+        // Structural sanity of the maps: every original variable has a
+        // disposition, and kept ones point into the reduced model.
+        assert_eq!(reduced.var_map().len(), model.num_vars());
+        assert_eq!(reduced.row_map().len(), model.num_constraints());
+        for disposition in reduced.var_map() {
+            if let VarDisposition::Kept(r) = disposition {
+                assert!(*r < reduced.model.num_vars(), "seed {seed}");
+            }
+        }
+        for mode in modes {
+            let config = SolverConfig::exact().with_bound_mode(mode);
+            let solution = solve_reduced(&model, &reduced, &config).unwrap();
+            match expected {
+                None => assert!(
+                    !solution.is_feasible(),
+                    "seed {seed}, mode {mode:?}: expected infeasible"
+                ),
+                Some(best) => {
+                    assert!(
+                        solution.is_optimal(),
+                        "seed {seed}, mode {mode:?}: not optimal"
+                    );
+                    assert!(
+                        (solution.objective() - best).abs() < 1e-6,
+                        "seed {seed}, mode {mode:?}: lifted {} vs brute force {best}",
+                        solution.objective(),
+                    );
+                    assert!(
+                        model.is_feasible(solution.values(), 1e-6),
+                        "seed {seed}, mode {mode:?}: lifted assignment infeasible"
+                    );
+                }
+            }
+        }
     }
 }
 
