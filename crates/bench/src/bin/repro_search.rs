@@ -1,0 +1,46 @@
+//! Runs the search-layer ablation (warm-started dual simplex + pseudo-cost
+//! branching + reduced-cost fixing vs the PR-2 search) over the small
+//! circuits, writes `BENCH_search.json` and exits non-zero if the new
+//! default search regresses the figure1 node counts or fails to cut the
+//! figure1 simplex-iteration total at the LP bound mode — CI uses this as
+//! the perf gate for the search layer.
+
+fn main() {
+    let node_limit = std::env::var("BIST_SEARCH_NODES")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(|n| n.max(1))
+        .unwrap_or(300);
+    eprintln!(
+        "# search ablation node budget: {node_limit} nodes/solve \
+         (set BIST_SEARCH_NODES to change)"
+    );
+
+    let circuits = bist_bench::small_circuits();
+    let ablation = match bist_bench::search::run_all(&circuits, node_limit) {
+        Ok(ablation) => ablation,
+        Err(e) => {
+            eprintln!("search ablation failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{}", bist_bench::search::render(&ablation));
+
+    let json = ablation.to_json();
+    match std::fs::write("BENCH_search.json", format!("{json}\n")) {
+        Ok(()) => eprintln!("# wrote BENCH_search.json"),
+        Err(e) => eprintln!("could not write BENCH_search.json: {e}"),
+    }
+
+    let violations = ablation.figure1_violations();
+    if !violations.is_empty() {
+        for violation in &violations {
+            eprintln!("search regression: {violation}");
+        }
+        std::process::exit(1);
+    }
+    println!(
+        "figure1 gate: warm dual simplex + pseudo-cost branching cut the simplex-iteration \
+         total without node regressions."
+    );
+}

@@ -24,6 +24,7 @@ pub mod ablation;
 pub mod figures;
 pub mod presolve;
 pub mod report;
+pub mod search;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

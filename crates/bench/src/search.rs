@@ -1,0 +1,378 @@
+//! Search-layer ablation: warm-started dual-simplex node LPs, pseudo-cost
+//! branching and reduced-cost fixing against the PR-2 search, per circuit ×
+//! k × bound mode.
+//!
+//! This is the machine-readable perf trail for the search layer
+//! (`BENCH_search.json`), the companion of `BENCH_presolve.json`. Every
+//! instance is solved three ways under the *same deterministic node budget*
+//! and the same [`bist_ilp::BoundMode`]:
+//!
+//! * **baseline** — the PR-2 search: cold two-phase primal at every LP node,
+//!   most-constrained branching, no reduced-cost fixing (presolve + cuts
+//!   stay on, as they were the PR-2 default),
+//! * **warm** — dual-simplex warm starts + reduced-cost fixing, branching
+//!   unchanged (isolates the LP-path win from the branching change),
+//! * **search** — warm starts + reduced-cost fixing + pseudo-cost
+//!   (reliability) branching: the new default configuration.
+//!
+//! A fourth solve runs the `search` configuration through the layered
+//! [`SynthesisEngine`]; it must reproduce the rebuild path bit-identically
+//! (`engine_matches`: same objective, same node count, same simplex
+//! iteration count), which pins down that basis reuse inside the per-k
+//! solves loses nothing when the base model is shared across the sweep.
+//!
+//! All comparisons are quoted in branch-and-bound node counts and simplex
+//! iteration counts: this container is single-core with no crate registry,
+//! so wall-clock numbers are noisy and unportable, while node and pivot
+//! counts are bit-reproducible. The CI gate ([`SearchAblation::figure1_violations`])
+//! is evaluated at the LP bound mode only — propagation-only search solves
+//! no LPs, so there is nothing to warm-start and the branching falls back
+//! to the baseline rule there.
+
+use bist_core::engine::SynthesisEngine;
+use bist_core::{synthesis, CoreError, SynthesisConfig};
+use bist_dfg::SynthesisInput;
+use bist_ilp::{BoundMode, BranchRule, SolveStats, SolverConfig};
+
+use crate::report::json;
+
+/// The bound modes the ablation sweeps.
+pub fn modes() -> Vec<(&'static str, BoundMode)> {
+    vec![
+        ("lp", BoundMode::LpRelaxation),
+        ("prop", BoundMode::Propagation),
+    ]
+}
+
+/// A deterministic, node-limited configuration for one ablation variant.
+pub fn search_config(
+    mode: BoundMode,
+    node_limit: u64,
+    warm: bool,
+    branching: BranchRule,
+) -> SynthesisConfig {
+    SynthesisConfig {
+        solver: SolverConfig {
+            time_limit: None,
+            node_limit: Some(node_limit),
+            bound_mode: mode,
+            lp_warm_start: warm,
+            rc_fixing: warm,
+            branching,
+            ..SolverConfig::default()
+        },
+        ..SynthesisConfig::default()
+    }
+}
+
+/// One circuit × k × mode search-layer measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchRow {
+    /// Circuit name.
+    pub circuit: String,
+    /// Number of sub-test sessions `k`.
+    pub sessions: usize,
+    /// Bound-mode label (`lp` or `prop`).
+    pub mode: String,
+    /// Nodes explored by the PR-2 search (cold LPs, most-constrained).
+    pub baseline_nodes: u64,
+    /// Simplex iterations of the PR-2 search.
+    pub baseline_pivots: u64,
+    /// Nodes with warm starts + reduced-cost fixing, PR-2 branching.
+    pub warm_nodes: u64,
+    /// Simplex iterations of the warm variant.
+    pub warm_pivots: u64,
+    /// Nodes with the full new default (warm + rc fixing + pseudo-cost).
+    pub search_nodes: u64,
+    /// Simplex iterations of the full new default.
+    pub search_pivots: u64,
+    /// Node LPs the `search` variant re-solved with the dual simplex.
+    pub warm_lp_solves: u64,
+    /// Cold factorisations of the `search` variant.
+    pub refactorizations: u64,
+    /// Strong-branching probes of the `search` variant.
+    pub strong_branch_solves: u64,
+    /// Bounds tightened by reduced-cost fixing in the `search` variant.
+    pub rc_fixed_bounds: u64,
+    /// Final objective of the baseline solve.
+    pub baseline_objective: f64,
+    /// Final objective of the `search` solve.
+    pub search_objective: f64,
+    /// Whether the engine path reproduced the rebuild `search` solve
+    /// exactly (same objective, node count and simplex iterations).
+    pub engine_matches: bool,
+    /// Nodes until the baseline first reached the best objective any
+    /// variant found (`None` when it never did within the budget).
+    pub nodes_to_target_baseline: Option<u64>,
+    /// Nodes until the `search` solve first reached that objective.
+    pub nodes_to_target_search: Option<u64>,
+}
+
+impl SearchRow {
+    /// Serialises the row as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .str("circuit", &self.circuit)
+            .u64("sessions", self.sessions as u64)
+            .str("mode", &self.mode)
+            .u64("baseline_nodes", self.baseline_nodes)
+            .u64("baseline_pivots", self.baseline_pivots)
+            .u64("warm_nodes", self.warm_nodes)
+            .u64("warm_pivots", self.warm_pivots)
+            .u64("search_nodes", self.search_nodes)
+            .u64("search_pivots", self.search_pivots)
+            .u64("warm_lp_solves", self.warm_lp_solves)
+            .u64("refactorizations", self.refactorizations)
+            .u64("strong_branch_solves", self.strong_branch_solves)
+            .u64("rc_fixed_bounds", self.rc_fixed_bounds)
+            .f64("baseline_objective", self.baseline_objective)
+            .f64("search_objective", self.search_objective)
+            .bool("engine_matches", self.engine_matches)
+            .opt_u64("nodes_to_target_baseline", self.nodes_to_target_baseline)
+            .opt_u64("nodes_to_target_search", self.nodes_to_target_search)
+            .finish()
+    }
+}
+
+/// The full search-layer ablation result.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SearchAblation {
+    /// Per-solve node budget.
+    pub node_limit: u64,
+    /// One row per circuit × k × mode.
+    pub rows: Vec<SearchRow>,
+}
+
+impl SearchAblation {
+    /// Serialises the ablation as a JSON object.
+    pub fn to_json(&self) -> String {
+        json::Obj::new()
+            .u64("node_limit", self.node_limit)
+            .array("rows", self.rows.iter().map(SearchRow::to_json))
+            .finish()
+    }
+
+    /// Regressions of the new default search (warm dual simplex +
+    /// pseudo-cost branching + reduced-cost fixing) against the PR-2 search
+    /// on the exactly-solvable `figure1` circuit, evaluated at the LP bound
+    /// mode — the mode of the deterministic sweep benchmark, and the only
+    /// one with LPs to warm-start (under propagation bounds the new layers
+    /// are inert by design). Violations:
+    ///
+    /// * any `lp` instance where the new default explored **more nodes**,
+    /// * an `lp` simplex-iteration total that is not **strictly below** the
+    ///   baseline total,
+    /// * any instance (all modes) where the engine path diverged from the
+    ///   rebuild path,
+    /// * any `lp` instance where the objectives disagree (figure1 is solved
+    ///   to optimality by every variant).
+    ///
+    /// Empty means the gate passes.
+    pub fn figure1_violations(&self) -> Vec<String> {
+        let mut violations = Vec::new();
+        let mut total_baseline_pivots = 0u64;
+        let mut total_search_pivots = 0u64;
+        let mut seen = false;
+        for row in self.rows.iter().filter(|r| r.circuit == "figure1") {
+            if !row.engine_matches {
+                violations.push(format!(
+                    "figure1 k={} mode={}: engine path diverged from the rebuild path",
+                    row.sessions, row.mode
+                ));
+            }
+            if row.mode != "lp" {
+                continue;
+            }
+            seen = true;
+            total_baseline_pivots += row.baseline_pivots;
+            total_search_pivots += row.search_pivots;
+            if row.search_nodes > row.baseline_nodes {
+                violations.push(format!(
+                    "figure1 k={} mode={}: new search explored {} nodes vs baseline {}",
+                    row.sessions, row.mode, row.search_nodes, row.baseline_nodes
+                ));
+            }
+            if (row.baseline_objective - row.search_objective).abs() > 1e-6 {
+                violations.push(format!(
+                    "figure1 k={} mode={}: objective {} diverged from baseline {}",
+                    row.sessions, row.mode, row.search_objective, row.baseline_objective
+                ));
+            }
+        }
+        if seen && total_search_pivots >= total_baseline_pivots {
+            violations.push(format!(
+                "figure1: new search spent {total_search_pivots} simplex iterations, not \
+                 strictly below the baseline total {total_baseline_pivots}"
+            ));
+        }
+        violations
+    }
+}
+
+fn nodes_to(stats: &SolveStats, target: f64) -> Option<u64> {
+    stats.nodes_to_target(target, 1e-6)
+}
+
+/// Runs the ablation for one circuit over every `k` and every bound mode.
+///
+/// # Errors
+///
+/// Propagates the first synthesis error of any variant.
+pub fn run_circuit(
+    name: &str,
+    input: &SynthesisInput,
+    node_limit: u64,
+) -> Result<Vec<SearchRow>, CoreError> {
+    let num_sessions = input.binding().num_modules();
+    let mut rows = Vec::new();
+
+    for (mode_name, mode) in modes() {
+        let baseline_config = search_config(mode, node_limit, false, BranchRule::MostConstrained);
+        let warm_config = search_config(mode, node_limit, true, BranchRule::MostConstrained);
+        let full_config = search_config(mode, node_limit, true, BranchRule::PseudoCost);
+        let engine = SynthesisEngine::new(input, &full_config)?;
+
+        for k in 1..=num_sessions {
+            let baseline = synthesis::synthesize_bist(input, k, &baseline_config)?;
+            let warm = synthesis::synthesize_bist(input, k, &warm_config)?;
+            let full = synthesis::synthesize_bist(input, k, &full_config)?;
+            let engine_design = engine.synthesize(k)?;
+
+            let target = baseline.objective.min(warm.objective).min(full.objective);
+            let engine_matches = (engine_design.objective - full.objective).abs() < 1e-6
+                && engine_design.stats.nodes == full.stats.nodes
+                && engine_design.stats.lp_pivots == full.stats.lp_pivots;
+
+            rows.push(SearchRow {
+                circuit: name.to_string(),
+                sessions: k,
+                mode: mode_name.to_string(),
+                baseline_nodes: baseline.stats.nodes,
+                baseline_pivots: baseline.stats.lp_pivots,
+                warm_nodes: warm.stats.nodes,
+                warm_pivots: warm.stats.lp_pivots,
+                search_nodes: full.stats.nodes,
+                search_pivots: full.stats.lp_pivots,
+                warm_lp_solves: full.stats.warm_lp_solves,
+                refactorizations: full.stats.refactorizations,
+                strong_branch_solves: full.stats.strong_branch_solves,
+                rc_fixed_bounds: full.stats.rc_fixed_bounds,
+                baseline_objective: baseline.objective,
+                search_objective: full.objective,
+                engine_matches,
+                nodes_to_target_baseline: nodes_to(&baseline.stats, target),
+                nodes_to_target_search: nodes_to(&full.stats, target),
+            });
+        }
+    }
+
+    Ok(rows)
+}
+
+/// Runs the ablation over the given circuits.
+///
+/// # Errors
+///
+/// Propagates the first synthesis error.
+pub fn run_all(
+    circuits: &[(&str, SynthesisInput)],
+    node_limit: u64,
+) -> Result<SearchAblation, CoreError> {
+    let mut ablation = SearchAblation {
+        node_limit,
+        ..SearchAblation::default()
+    };
+    for (name, input) in circuits {
+        ablation.rows.extend(run_circuit(name, input, node_limit)?);
+    }
+    Ok(ablation)
+}
+
+/// Renders the ablation as a plain-text table.
+pub fn render(ablation: &SearchAblation) -> String {
+    let mut out = String::new();
+    out.push_str("search ablation: nodes / simplex iterations per circuit x k x bound mode\n");
+    out.push_str(&format!(
+        "{:<10} {:>2} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>5} {:>6}  engine\n",
+        "Ckt",
+        "k",
+        "mode",
+        "base-nd",
+        "warm-nd",
+        "new-nd",
+        "base-it",
+        "warm-it",
+        "new-it",
+        "#rcfx",
+        "#warm"
+    ));
+    for row in &ablation.rows {
+        out.push_str(&format!(
+            "{:<10} {:>2} {:>5} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9} {:>5} {:>6}  {}\n",
+            row.circuit,
+            row.sessions,
+            row.mode,
+            row.baseline_nodes,
+            row.warm_nodes,
+            row.search_nodes,
+            row.baseline_pivots,
+            row.warm_pivots,
+            row.search_pivots,
+            row.rc_fixed_bounds,
+            row.warm_lp_solves,
+            if row.engine_matches {
+                "match"
+            } else {
+                "MISMATCH"
+            }
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_dfg::benchmarks;
+
+    #[test]
+    fn figure1_warm_search_cuts_iterations_without_node_regressions() {
+        let input = benchmarks::figure1();
+        let rows = run_circuit("figure1", &input, 20_000).unwrap();
+        assert_eq!(rows.len(), 2 * 2); // 2 modes x k in {1, 2}
+        let ablation = SearchAblation {
+            node_limit: 20_000,
+            rows,
+        };
+        let violations = ablation.figure1_violations();
+        assert!(
+            violations.is_empty(),
+            "{violations:?}\n{}",
+            render(&ablation)
+        );
+        let lp_rows: Vec<_> = ablation.rows.iter().filter(|r| r.mode == "lp").collect();
+        // The warm-start machinery must actually engage at LP mode...
+        assert!(lp_rows.iter().any(|r| r.warm_lp_solves > 0), "{lp_rows:?}");
+        // ...and the full k-sweep must spend strictly fewer simplex
+        // iterations warm than cold (the headline satellite assertion).
+        let baseline_pivots: u64 = lp_rows.iter().map(|r| r.baseline_pivots).sum();
+        let search_pivots: u64 = lp_rows.iter().map(|r| r.search_pivots).sum();
+        assert!(
+            search_pivots < baseline_pivots,
+            "warm sweep spent {search_pivots} iterations vs cold {baseline_pivots}\n{}",
+            render(&ablation)
+        );
+        // Exactly solvable: every variant agrees on every optimum.
+        for row in &ablation.rows {
+            assert!(
+                (row.baseline_objective - row.search_objective).abs() < 1e-6,
+                "{row:?}"
+            );
+        }
+        let json = ablation.to_json();
+        assert!(json.contains("\"figure1\""));
+        assert!(json.contains("\"node_limit\": 20000"));
+        let text = render(&ablation);
+        assert!(text.contains("figure1"));
+    }
+}

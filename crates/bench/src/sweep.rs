@@ -13,10 +13,14 @@
 //! * **parallel** — the shared-base engine across a scoped thread pool.
 //!
 //! The parallel variant runs bit-identical searches to the rebuild variant,
-//! so its objectives must match exactly; the chained variant starts every
-//! solve from an equal-or-better incumbent, so its objectives must be
-//! equal-or-better (on instances solved to proven optimality all three are
-//! identical). Two wall-clock comparisons are recorded: the raw sweep times,
+//! so its objectives must match exactly — that hard invariant is
+//! [`CircuitSweep::objectives_match`]. The chained variant starts every
+//! solve from an equal-or-better incumbent; on instances solved to proven
+//! optimality its objectives are identical, but under a node cap the
+//! stronger initial pruning redirects the search, and the capped incumbent
+//! can land either side of the baseline's — that soft signal is reported
+//! separately as [`CircuitSweep::chained_not_worse`], not folded into the
+//! invariant. Two wall-clock comparisons are recorded: the raw sweep times,
 //! and the *time-to-quality* — how long each variant needed to reach the
 //! rebuild baseline's final objective for every `k`. The latter is where
 //! warm-start chaining shows up even on a single-core machine: for `k ≥ 2`
@@ -127,9 +131,14 @@ pub struct CircuitSweep {
     /// Node count behind [`CircuitSweep::chained_quality_seconds`].
     pub chained_quality_nodes: u64,
     /// Whether the parallel objectives are identical to the rebuild
-    /// objectives and the chained objectives are equal or better (identical
-    /// whenever optimality was proven).
+    /// objectives — the engine-vs-rebuild bit-identical cross-check. Must
+    /// always hold.
     pub objectives_match: bool,
+    /// Whether every chained objective is equal-or-better than the rebuild
+    /// baseline's. Guaranteed on instances solved to proven optimality;
+    /// under a node cap the chained incumbent's redirected search may end
+    /// slightly worse, so this is a soft quality signal, not an invariant.
+    pub chained_not_worse: bool,
     /// Per-k rows of the rebuild baseline.
     pub rebuild: Vec<SweepKRow>,
     /// Per-k rows of the chained engine sweep.
@@ -155,6 +164,7 @@ impl CircuitSweep {
                 self.rebuild_quality_seconds / self.chained_quality_seconds.max(1e-9),
             )
             .bool("objectives_match", self.objectives_match)
+            .bool("chained_not_worse", self.chained_not_worse)
             .array("rebuild", self.rebuild.iter().map(SweepKRow::to_json))
             .array("chained", self.chained.iter().map(SweepKRow::to_json))
             .array("parallel", self.parallel.iter().map(SweepKRow::to_json))
@@ -239,17 +249,20 @@ pub fn run_circuit(
         .map(|r| r.nodes_to_baseline.unwrap_or(r.nodes))
         .sum();
 
-    // The parallel variant repeats the rebuild searches exactly; the chained
-    // variant may only improve on them.
+    // The parallel variant repeats the rebuild searches exactly (the hard
+    // cross-check); the chained variant usually improves on them but may
+    // end worse under a node cap (soft signal, reported separately).
     let objectives_match = rebuild.len() == chained.len()
         && rebuild.len() == parallel.len()
         && rebuild
             .iter()
-            .zip(&chained)
             .zip(&parallel)
-            .all(|((r, c), p)| {
-                (r.objective - p.objective).abs() < 1e-6 && c.objective <= r.objective + 1e-6
-            });
+            .all(|(r, p)| (r.objective - p.objective).abs() < 1e-6);
+    let chained_not_worse = rebuild.len() == chained.len()
+        && rebuild
+            .iter()
+            .zip(&chained)
+            .all(|(r, c)| c.objective <= r.objective + 1e-6);
 
     Ok(CircuitSweep {
         circuit: name.to_string(),
@@ -261,6 +274,7 @@ pub fn run_circuit(
         rebuild_quality_nodes,
         chained_quality_nodes,
         objectives_match,
+        chained_not_worse,
         rebuild,
         chained,
         parallel,
@@ -296,7 +310,7 @@ pub fn render(sweeps: &[CircuitSweep]) -> String {
         // rebuild baseline's final objectives (wall-clock twins of these
         // numbers are in the JSON).
         out.push_str(&format!(
-            "{:<10} {:>11.3} {:>11.3} {:>11.3} {:>12} {:>12} {:>9.2}x  {}\n",
+            "{:<10} {:>11.3} {:>11.3} {:>11.3} {:>12} {:>12} {:>9.2}x  {}{}\n",
             s.circuit,
             s.rebuild_seconds,
             s.chained_seconds,
@@ -308,6 +322,11 @@ pub fn render(sweeps: &[CircuitSweep]) -> String {
                 "match"
             } else {
                 "MISMATCH"
+            },
+            if s.chained_not_worse {
+                ""
+            } else {
+                " (chained worse under cap)"
             }
         ));
     }
@@ -328,6 +347,7 @@ mod tests {
         let config = SynthesisConfig::exact();
         let sweep = run_circuit("figure1", &input, &config).unwrap();
         assert!(sweep.objectives_match, "{sweep:?}");
+        assert!(sweep.chained_not_worse, "{sweep:?}");
         assert_eq!(sweep.rebuild.len(), 2);
         for ((r, c), p) in sweep
             .rebuild
@@ -358,8 +378,10 @@ mod tests {
         assert_eq!(sweep.chained.len(), 3);
         assert_eq!(sweep.parallel.len(), 3);
         // Node-limited searches are deterministic: parallel must equal the
-        // rebuild baseline exactly, chained may only improve on it.
+        // rebuild baseline exactly; at this budget the chained variant also
+        // holds its equal-or-better property on tseng.
         assert!(sweep.objectives_match, "{sweep:?}");
+        assert!(sweep.chained_not_worse, "{sweep:?}");
         for row in sweep.chained.iter().filter(|r| r.sessions >= 2) {
             assert!(row.chained, "k={} not chained", row.sessions);
             assert!(

@@ -36,6 +36,18 @@
 //! Under a *wall-clock* time limit the usual caveats apply: concurrent
 //! solves share the machine and an earlier incumbent changes where the
 //! budget is spent, so per-k results may differ from a sequential rebuild.
+//!
+//! **Warm bases and the per-k delta replay.** Since the search-layer
+//! overhaul, every per-k solve re-solves its child-node LPs with the dual
+//! simplex from the parent's cached basis (see `bist_ilp::simplex::Basis`),
+//! so the dominant per-node cost inside each solve of the sweep is a
+//! handful of dual pivots instead of a cold two-phase solve. Bases do *not*
+//! cross `k` boundaries: the per-k BIST delta changes the row set (Eqs.
+//! 6–23 and the objective differ per `k`), and a basis is only valid for
+//! the exact rows it was factorised from — what crosses `k` is the reduced
+//! base model and the k−1 incumbent values, while basis reuse lives inside
+//! each per-k tree. [`sweep_search_stats`] aggregates the warm/cold LP
+//! counters of a sweep so harnesses can quote the effect deterministically.
 
 use std::time::Instant;
 
@@ -98,6 +110,44 @@ where
                 .expect("worker thread panicked")
         })
         .collect()
+}
+
+/// Aggregated solver-effort counters of a whole k-sweep, summed over the
+/// per-k solves. All counters are deterministic under node-limited or exact
+/// budgets, so sweeps can be compared across machines.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SweepSearchStats {
+    /// Branch-and-bound nodes explored.
+    pub nodes: u64,
+    /// Simplex iterations across every LP solved (cold, warm and strong
+    /// branching).
+    pub lp_iterations: u64,
+    /// Node LPs re-solved warm with the dual simplex.
+    pub warm_lp_solves: u64,
+    /// Simplex iterations spent inside warm re-solves.
+    pub warm_lp_pivots: u64,
+    /// Cold tableau factorisations on the warm path.
+    pub refactorizations: u64,
+    /// Strong-branching probes solved to initialise pseudo-costs.
+    pub strong_branch_solves: u64,
+    /// Integral bounds tightened by reduced-cost fixing.
+    pub rc_fixed_bounds: u64,
+}
+
+/// Sums the search-effort counters of a sweep's outcomes.
+pub fn sweep_search_stats(outcomes: &[SweepOutcome]) -> SweepSearchStats {
+    let mut total = SweepSearchStats::default();
+    for outcome in outcomes {
+        let stats = &outcome.design.stats;
+        total.nodes += stats.nodes;
+        total.lp_iterations += stats.lp_pivots;
+        total.warm_lp_solves += stats.warm_lp_solves;
+        total.warm_lp_pivots += stats.warm_lp_pivots;
+        total.refactorizations += stats.refactorizations;
+        total.strong_branch_solves += stats.strong_branch_solves;
+        total.rc_fixed_bounds += stats.rc_fixed_bounds;
+    }
+    total
 }
 
 /// One solve of a sweep: the design plus how it was obtained.
@@ -409,6 +459,39 @@ mod tests {
             assert!((reduced.design.objective - plain.design.objective).abs() < 1e-6);
             assert!(reduced.design.stats.presolve_vars_removed > 0);
         }
+    }
+
+    #[test]
+    fn warm_sweep_spends_fewer_simplex_iterations_than_cold_on_figure1() {
+        use bist_ilp::{BoundMode, SolverConfig};
+        let input = benchmarks::figure1();
+        let warm_config = SynthesisConfig {
+            solver: SolverConfig::exact().with_bound_mode(BoundMode::LpRelaxation),
+            ..SynthesisConfig::default()
+        };
+        let mut cold_config = warm_config.clone();
+        cold_config.solver.lp_warm_start = false;
+        cold_config.solver.rc_fixing = false;
+
+        let warm_engine = SynthesisEngine::new(&input, &warm_config).unwrap();
+        let cold_engine = SynthesisEngine::new(&input, &cold_config).unwrap();
+        let warm = sweep_search_stats(&warm_engine.sweep_parallel().unwrap());
+        let cold = sweep_search_stats(&cold_engine.sweep_parallel().unwrap());
+
+        // The warm path must actually engage, and the full k-sweep must
+        // spend strictly fewer simplex iterations than the cold two-phase
+        // search at the same LP bound mode.
+        assert!(warm.warm_lp_solves > 0, "{warm:?}");
+        assert!(
+            warm.lp_iterations < cold.lp_iterations,
+            "warm sweep spent {} iterations vs cold {}",
+            warm.lp_iterations,
+            cold.lp_iterations
+        );
+        // The cold configuration takes the plain LP path: no warm solves,
+        // no refactorisation accounting.
+        assert_eq!(cold.warm_lp_solves, 0, "{cold:?}");
+        assert_eq!(cold.refactorizations, 0, "{cold:?}");
     }
 
     #[test]

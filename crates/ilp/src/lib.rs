@@ -12,7 +12,9 @@
 //! * a shared [`sparse`] CSR+CSC image of the constraint matrix consumed by
 //!   every solver kernel,
 //! * a two-phase bounded-variable primal [`simplex`] solver for the LP
-//!   relaxation, fed from the sparse rows,
+//!   relaxation, fed from the sparse rows, with a reusable [`Basis`] and a
+//!   **dual simplex** path that re-solves child-node LPs from the parent's
+//!   optimal basis after bound changes,
 //! * a worklist-driven interval [`propagate`] engine (bound tightening over
 //!   linear constraints) used both for presolve and for node pruning,
 //! * a [`reduce`] pipeline of model-rewriting presolve passes (fixed-variable
@@ -22,8 +24,11 @@
 //! * a [`cuts`] pool of knapsack-cover and clique cutting planes, separated
 //!   at the root and re-checked at improved incumbents,
 //! * a branch-and-bound [`solver`] with configurable bounding
-//!   (LP relaxation, propagation-only, or hybrid), branching and search
-//!   strategies, a greedy diving primal heuristic and wall-clock limits,
+//!   (LP relaxation, propagation-only, or hybrid), branching rules up to
+//!   pseudo-cost / reliability branching with strong-branching
+//!   initialisation, reduced-cost bound fixing against the incumbent,
+//!   search strategies, a greedy diving primal heuristic and wall-clock
+//!   limits,
 //! * a CPLEX-style `.lp` file writer ([`lpfile`]) for debugging and for
 //!   feeding the very same model to an external solver if one is available.
 //!
@@ -67,8 +72,9 @@ pub use error::IlpError;
 pub use expr::LinExpr;
 pub use model::{CmpOp, Constraint, Model, Sense, VarId, VarKind};
 pub use reduce::{ReduceOptions, ReduceReport, ReducedModel, VarDisposition};
+pub use simplex::{Basis, LpSolution, LpStatus, ReducedCosts};
 pub use solution::{Improvement, Solution, SolveStats, Status};
-pub use solver::{BoundMode, Branching, SearchOrder, SolverConfig};
+pub use solver::{BoundMode, BranchRule, Branching, SearchOrder, SolverConfig};
 pub use sparse::{RowRef, SparseModel};
 
 /// Numerical tolerance used throughout the crate when comparing floating

@@ -1,4 +1,6 @@
-//! Dense two-phase primal simplex for the LP relaxation.
+//! Dense two-phase primal simplex for the LP relaxation, plus a dual-simplex
+//! warm-start path that re-solves a child node's LP from its parent's
+//! optimal [`Basis`] after bound changes.
 //!
 //! The branch-and-bound solver uses this module to compute dual bounds and to
 //! finish off nodes whose integral variables are all fixed but which still
@@ -9,10 +11,26 @@
 //! paper rests on the solver never mislabelling a suboptimal design as
 //! optimal.
 //!
-//! Variables are shifted so their lower bound is zero and finite upper bounds
-//! are expressed as explicit rows; fixed variables are substituted out before
-//! the tableau is built, which keeps relaxations small deep in the
-//! branch-and-bound tree.
+//! Two construction modes share the same core:
+//!
+//! * [`solve_lp`] — the classic cold two-phase solve. Variables are shifted
+//!   so their lower bound is zero, finite upper bounds become explicit rows,
+//!   and fixed variables are substituted out before the tableau is built,
+//!   which keeps relaxations small deep in the branch-and-bound tree.
+//! * [`solve_lp_basis`] — a *warm-capable* cold solve. It additionally emits
+//!   an explicit lower-bound row `-x'ⱼ <= 0` per column and returns the
+//!   optimal [`Basis`] (final tableau + basis vector + construction
+//!   metadata). Because **every** variable bound is now an explicit row, a
+//!   child node that only tightens bounds differs from its parent purely in
+//!   the right-hand side — exactly the change pattern the **dual simplex**
+//!   handles: the parent's optimal basis stays dual feasible, so
+//!   [`resolve_with_basis`] recomputes the basic solution for the child's
+//!   bounds (via the `B⁻¹` image stored in the identity columns of the
+//!   tableau) and pivots the handful of primal infeasibilities away instead
+//!   of re-running two-phase primal from scratch.
+//!
+//! The warm-capable paths also report [`ReducedCosts`] at optimality, which
+//! the solver uses for reduced-cost bound fixing against the incumbent.
 
 use crate::model::CmpOp;
 use crate::propagate::Domains;
@@ -32,7 +50,25 @@ pub enum LpStatus {
     IterationLimit,
 }
 
-/// Result of [`solve_lp`].
+/// Reduced-cost information of an optimal basis, mapped back to the original
+/// model variables.
+///
+/// `up[j]` is the proven marginal objective increase per unit increase of
+/// variable `j` when the optimal solution has `j` at its **lower** bound
+/// (`0.0` otherwise — basic, at the upper bound, or substituted out).
+/// `down[j]` is the symmetric marginal increase per unit *decrease* when `j`
+/// sits at its **upper** bound. Both are non-negative; the solver combines
+/// them with an incumbent objective to fix binaries that provably cannot
+/// flip in any improving solution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReducedCosts {
+    /// Marginal cost of moving up off the lower bound, per variable.
+    pub up: Vec<f64>,
+    /// Marginal cost of moving down off the upper bound, per variable.
+    pub down: Vec<f64>,
+}
+
+/// Result of [`solve_lp`] / [`solve_lp_basis`] / [`resolve_with_basis`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct LpSolution {
     /// Solve status.
@@ -44,6 +80,9 @@ pub struct LpSolution {
     pub values: Vec<f64>,
     /// Number of simplex pivots performed.
     pub pivots: u64,
+    /// Reduced costs at optimality. Only produced by the warm-capable
+    /// paths; `None` from the plain cold solve.
+    pub reduced_costs: Option<ReducedCosts>,
 }
 
 impl LpSolution {
@@ -53,7 +92,47 @@ impl LpSolution {
             objective: f64::INFINITY,
             values: Vec::new(),
             pivots,
+            reduced_costs: None,
         }
+    }
+}
+
+/// Upper bound on tableau cells (`rows × columns`) for which the
+/// warm-capable construction is attempted; beyond it, [`solve_lp_basis`]
+/// falls back to the plain cold solve and returns no basis, so basis storage
+/// cannot blow the memory budget on very large relaxations.
+const MAX_WARM_CELLS: usize = 2_000_000;
+
+/// Primal feasibility tolerance of the dual simplex (a basic value this far
+/// below zero still counts as feasible; extracted values are clamped).
+const DUAL_FEAS_TOL: f64 = 1e-7;
+
+/// A reusable simplex basis: the final optimal tableau of one LP solve plus
+/// the construction metadata needed to re-solve the *same rows* under
+/// tightened variable bounds with the dual simplex.
+///
+/// Produced by [`solve_lp_basis`] and [`resolve_with_basis`]; consumed by
+/// [`resolve_with_basis`]. The basis is only valid for the exact constraint
+/// matrix it was built from — the branch-and-bound solver invalidates its
+/// basis cache whenever cutting planes change the row set.
+#[derive(Debug, Clone)]
+pub struct Basis {
+    t: Tableau,
+    age: u32,
+}
+
+impl Basis {
+    /// Number of dual-simplex re-solves since the last cold factorisation.
+    /// The solver re-factorises (cold-solves) after a chain of warm
+    /// re-solves to keep the dense tableau's accumulated rounding error
+    /// bounded.
+    pub fn age(&self) -> u32 {
+        self.age
+    }
+
+    /// Number of stored tableau cells (memory footprint proxy).
+    pub fn cells(&self) -> usize {
+        self.t.tab.len()
     }
 }
 
@@ -69,228 +148,622 @@ pub fn solve_lp(
     domains: &Domains,
     max_pivots: u64,
 ) -> LpSolution {
-    let n_orig = domains.len();
-    debug_assert_eq!(objective.len(), n_orig);
-
-    // Map original variables to LP columns, substituting fixed variables.
-    let mut col_of = vec![usize::MAX; n_orig];
-    let mut orig_of_col = Vec::new();
-    for (j, slot) in col_of.iter_mut().enumerate() {
-        if !domains.is_fixed(j) {
-            *slot = orig_of_col.len();
-            orig_of_col.push(j);
-        }
-    }
-    let n = orig_of_col.len();
-
-    // Shifted objective constant: every variable contributes c_j · lower_j
-    // (fixed variables have lower == upper).
-    let mut obj_shift = objective_constant;
-    for (j, &c) in objective.iter().enumerate() {
-        obj_shift += c * domains.lower(j);
-    }
-    let costs: Vec<f64> = orig_of_col.iter().map(|&j| objective[j]).collect();
-
-    // Build normalised rows over the free columns:  Σ a·x'  op  b
-    struct NormRow {
-        terms: Vec<(usize, f64)>,
-        op: CmpOp,
-        rhs: f64,
-    }
-    let mut norm_rows: Vec<NormRow> = Vec::new();
-    for row in matrix.rows() {
-        let mut rhs = row.rhs;
-        let mut terms: Vec<(usize, f64)> = Vec::new();
-        for (j, a) in row.terms() {
-            // every variable contributes a·lower as a constant shift
-            rhs -= a * domains.lower(j);
-            if !domains.is_fixed(j) {
-                terms.push((col_of[j], a));
-            } else {
-                // fixed at lower == upper, already folded into rhs via lower
-            }
-        }
-        if terms.is_empty() {
-            let ok = match row.op {
-                CmpOp::Le => 0.0 <= rhs + EPS,
-                CmpOp::Ge => 0.0 >= rhs - EPS,
-                CmpOp::Eq => rhs.abs() <= EPS,
-            };
-            if !ok {
-                return LpSolution::no_solution(LpStatus::Infeasible, 0);
-            }
-            continue;
-        }
-        norm_rows.push(NormRow {
-            terms,
-            op: row.op,
-            rhs,
-        });
-    }
-    // Upper bound rows for the free columns.
-    for (col, &j) in orig_of_col.iter().enumerate() {
-        let range = domains.upper(j) - domains.lower(j);
-        norm_rows.push(NormRow {
-            terms: vec![(col, 1.0)],
-            op: CmpOp::Le,
-            rhs: range,
-        });
-    }
-
-    let m = norm_rows.len();
-    if n == 0 {
-        return LpSolution {
-            status: LpStatus::Optimal,
-            objective: obj_shift,
-            values: (0..n_orig).map(|j| domains.lower(j)).collect(),
-            pivots: 0,
-        };
-    }
-
-    // Count auxiliary columns: slack/surplus per inequality, artificials for
-    // >= and = rows (after rhs sign normalisation).
-    let mut total_cols = n;
-    let mut row_aux: Vec<(Option<usize>, Option<usize>)> = Vec::with_capacity(m); // (slack col, artificial col)
-    let mut flipped: Vec<bool> = Vec::with_capacity(m);
-    for row in &norm_rows {
-        let flip = row.rhs < 0.0;
-        flipped.push(flip);
-        let op = effective_op(row.op, flip);
-        let slack = match op {
-            CmpOp::Le | CmpOp::Ge => {
-                let c = total_cols;
-                total_cols += 1;
-                Some(c)
-            }
-            CmpOp::Eq => None,
-        };
-        let artificial = match op {
-            CmpOp::Le => None,
-            CmpOp::Ge | CmpOp::Eq => {
-                let c = total_cols;
-                total_cols += 1;
-                Some(c)
-            }
-        };
-        row_aux.push((slack, artificial));
-    }
-
-    // Dense tableau: m rows x (total_cols + 1), last column is the rhs.
-    let width = total_cols + 1;
-    let mut tab = vec![0.0f64; m * width];
-    let mut basis = vec![usize::MAX; m];
-    let mut is_artificial = vec![false; total_cols];
-
-    for (i, row) in norm_rows.iter().enumerate() {
-        let sign = if flipped[i] { -1.0 } else { 1.0 };
-        for &(c, a) in &row.terms {
-            tab[i * width + c] += sign * a;
-        }
-        tab[i * width + total_cols] = sign * row.rhs;
-        let op = effective_op(row.op, flipped[i]);
-        let (slack, artificial) = row_aux[i];
-        match op {
-            CmpOp::Le => {
-                let s = slack.expect("le row has slack");
-                tab[i * width + s] = 1.0;
-                basis[i] = s;
-            }
-            CmpOp::Ge => {
-                let s = slack.expect("ge row has surplus");
-                tab[i * width + s] = -1.0;
-                let a = artificial.expect("ge row has artificial");
-                tab[i * width + a] = 1.0;
-                is_artificial[a] = true;
-                basis[i] = a;
-            }
-            CmpOp::Eq => {
-                let a = artificial.expect("eq row has artificial");
-                tab[i * width + a] = 1.0;
-                is_artificial[a] = true;
-                basis[i] = a;
+    match Tableau::build(matrix, objective, objective_constant, domains, false) {
+        Build::Done(solution) => solution,
+        Build::Ready(mut t) => {
+            let (status, pivots) = t.solve_two_phase(max_pivots);
+            match status {
+                InnerResult::Optimal => t.extract(false, pivots),
+                InnerResult::Infeasible => LpSolution::no_solution(LpStatus::Infeasible, pivots),
+                InnerResult::Unbounded => LpSolution::no_solution(LpStatus::Unbounded, pivots),
+                InnerResult::IterationLimit => {
+                    LpSolution::no_solution(LpStatus::IterationLimit, pivots)
+                }
             }
         }
     }
+}
 
+/// Warm-capable cold solve: like [`solve_lp`], but the tableau carries an
+/// explicit lower-bound row per column so descendant nodes can re-solve from
+/// the returned [`Basis`] with the dual simplex, and the solution reports
+/// [`ReducedCosts`].
+///
+/// Falls back to the plain cold solve (returning no basis) when the
+/// warm-capable tableau would exceed an internal size cap.
+pub fn solve_lp_basis(
+    matrix: &SparseModel,
+    objective: &[f64],
+    objective_constant: f64,
+    domains: &Domains,
+    max_pivots: u64,
+) -> (LpSolution, Option<Basis>) {
+    // Rough deterministic size estimate before allocating anything: rows =
+    // model rows + 2 bound rows per free column; columns = structurals +
+    // one slack/artificial per row (upper bound).
+    let free = (0..domains.len()).filter(|&j| !domains.is_fixed(j)).count();
+    let rows = matrix.num_rows() + 2 * free;
+    let cols = free + rows + matrix.num_rows();
+    if rows.saturating_mul(cols + 1) > MAX_WARM_CELLS {
+        return (
+            solve_lp(matrix, objective, objective_constant, domains, max_pivots),
+            None,
+        );
+    }
+    match Tableau::build(matrix, objective, objective_constant, domains, true) {
+        Build::Done(solution) => (solution, None),
+        Build::Ready(mut t) => {
+            let (status, pivots) = t.solve_two_phase(max_pivots);
+            match status {
+                InnerResult::Optimal => {
+                    let solution = t.extract(true, pivots);
+                    (solution, Some(Basis { t: *t, age: 0 }))
+                }
+                InnerResult::Infeasible => {
+                    (LpSolution::no_solution(LpStatus::Infeasible, pivots), None)
+                }
+                InnerResult::Unbounded => {
+                    (LpSolution::no_solution(LpStatus::Unbounded, pivots), None)
+                }
+                InnerResult::IterationLimit => (
+                    LpSolution::no_solution(LpStatus::IterationLimit, pivots),
+                    None,
+                ),
+            }
+        }
+    }
+}
+
+/// Re-solves the LP of `basis` under the (tightened) bounds of `domains`
+/// with the **dual simplex**, starting from the stored optimal basis.
+///
+/// Returns `None` when the basis is incompatible with `domains` — a bound
+/// was *relaxed* below the basis' shift, or a variable substituted out at
+/// construction changed value — in which case the caller should fall back
+/// to a cold solve. Otherwise returns the solution and, at optimality, the
+/// re-solved basis (age incremented) for further descendants.
+pub fn resolve_with_basis(
+    basis: &Basis,
+    domains: &Domains,
+    max_pivots: u64,
+) -> Option<(LpSolution, Option<Basis>)> {
+    let base = &basis.t;
+    if domains.len() != base.n_orig {
+        return None;
+    }
+    // Compatibility: variables substituted out at construction must still be
+    // fixed at the same value, and no lower bound may drop below the shift
+    // (the shifted variable x' >= 0 is implicit in the tableau).
+    for j in 0..base.n_orig {
+        if base.fixed_at_build[j] {
+            if !domains.is_fixed(j) || (domains.lower(j) - base.shift[j]).abs() > 1e-9 {
+                return None;
+            }
+        } else if domains.lower(j) < base.shift[j] - 1e-9 {
+            return None;
+        }
+    }
+
+    let mut t = base.clone();
+    let width = t.total_cols + 1;
+    let m = t.m;
+
+    // New right-hand sides: model rows are untouched (the shift is the
+    // construction-time lower bound, not the child's), bound rows move with
+    // the child's box. rhs_new = B⁻¹·b_new, computed incrementally from the
+    // stored B⁻¹ image (the identity columns) and the rhs deltas.
+    for c in 0..t.n {
+        let j = t.orig_of_col[c];
+        let upper_b = domains.upper(j) - t.shift[j];
+        let lower_b = -(domains.lower(j) - t.shift[j]);
+        for (row, b_new) in [
+            (t.upper_row_of_col[c], upper_b),
+            (t.lower_row_of_col[c], lower_b),
+        ] {
+            let delta = b_new - t.b_built[row];
+            if delta.abs() <= 1e-12 {
+                continue;
+            }
+            let ic = t.ident_col[row];
+            for i in 0..m {
+                let f = t.tab[i * width + ic];
+                if f != 0.0 {
+                    t.tab[i * width + t.total_cols] += f * delta;
+                }
+            }
+            t.b_built[row] = b_new;
+        }
+    }
+
+    // Dual simplex: the stored basis is dual feasible (phase-2 reduced costs
+    // of all allowed columns are >= 0); drive out the primal infeasibilities
+    // the rhs change introduced.
     let mut pivots = 0u64;
+    let bland_threshold = 4 * (m as u64 + t.total_cols as u64) + 64;
+    let status = loop {
+        if pivots >= max_pivots {
+            break InnerResult::IterationLimit;
+        }
+        let use_bland = pivots > bland_threshold;
+        // Leaving row: most negative basic value (first one under Bland).
+        let mut leaving: Option<usize> = None;
+        let mut most = -DUAL_FEAS_TOL;
+        for i in 0..m {
+            // An artificial basic column marks a linearly dependent row
+            // (phase 1 pivots every other artificial out); its rhs is held
+            // at zero by construction and must never drive a dual pivot.
+            if t.is_artificial[t.basis[i]] {
+                continue;
+            }
+            let v = t.tab[i * width + t.total_cols];
+            if v < most {
+                leaving = Some(i);
+                if use_bland {
+                    break;
+                }
+                most = v;
+            }
+        }
+        let Some(row) = leaving else {
+            break InnerResult::Optimal;
+        };
+        // Entering column: dual ratio test over columns with a negative
+        // pivot element. Basic columns are exact unit vectors, so they never
+        // qualify; artificial columns are excluded as in phase 2.
+        let y: Vec<f64> = t.basis.iter().map(|&b| t.costs[b]).collect();
+        let mut entering: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for j in 0..t.total_cols {
+            if t.is_artificial[j] {
+                continue;
+            }
+            let a = t.tab[row * width + j];
+            if a >= -1e-9 {
+                continue;
+            }
+            let mut rc = t.costs[j];
+            for (i, &yi) in y.iter().enumerate() {
+                if yi != 0.0 {
+                    rc -= yi * t.tab[i * width + j];
+                }
+            }
+            let ratio = rc.max(0.0) / -a;
+            if ratio < best_ratio - 1e-12 {
+                best_ratio = ratio;
+                entering = Some(j);
+            }
+        }
+        let Some(col) = entering else {
+            // The row demands a negative basic value but no column can
+            // restore feasibility: the LP is primal infeasible.
+            break InnerResult::Infeasible;
+        };
+        pivot(&mut t.tab, m, width, row, col);
+        t.basis[row] = col;
+        pivots += 1;
+    };
 
-    // Phase 1: minimise the sum of artificials.
-    let needs_phase1 = is_artificial.iter().any(|&a| a);
-    if needs_phase1 {
-        let phase1_costs: Vec<f64> = (0..total_cols)
-            .map(|c| if is_artificial[c] { 1.0 } else { 0.0 })
-            .collect();
-        let status = run_simplex(
-            &mut tab,
-            &mut basis,
+    match status {
+        InnerResult::Optimal => {
+            let solution = t.extract(true, pivots);
+            let age = basis.age + 1;
+            Some((solution, Some(Basis { t, age })))
+        }
+        InnerResult::Infeasible => {
+            Some((LpSolution::no_solution(LpStatus::Infeasible, pivots), None))
+        }
+        InnerResult::Unbounded => {
+            Some((LpSolution::no_solution(LpStatus::Unbounded, pivots), None))
+        }
+        InnerResult::IterationLimit => Some((
+            LpSolution::no_solution(LpStatus::IterationLimit, pivots),
+            None,
+        )),
+    }
+}
+
+/// The dense tableau plus every piece of construction metadata needed to
+/// extract solutions and (in warm-capable mode) re-solve under new bounds.
+#[derive(Debug, Clone)]
+struct Tableau {
+    // Column space.
+    n_orig: usize,
+    col_of: Vec<usize>,
+    orig_of_col: Vec<usize>,
+    /// Construction-time lower bound per original variable (the shift).
+    shift: Vec<f64>,
+    /// Variables substituted out at construction (fixed in the build box).
+    fixed_at_build: Vec<bool>,
+    // Dimensions.
+    n: usize,
+    m: usize,
+    total_cols: usize,
+    // State.
+    tab: Vec<f64>,
+    basis: Vec<usize>,
+    is_artificial: Vec<bool>,
+    /// Phase-2 cost per column (structural costs, zero on slacks).
+    costs: Vec<f64>,
+    obj_shift: f64,
+    // Warm metadata (empty without bound rows).
+    /// Initial identity column per row: the slack of a `<=` row, the
+    /// artificial of a `>=`/`=` row. Their final tableau columns are B⁻¹.
+    ident_col: Vec<usize>,
+    /// Current right-hand side per row (sign-normalised), kept in step with
+    /// every dual re-solve so deltas compose along a warm chain.
+    b_built: Vec<f64>,
+    upper_row_of_col: Vec<usize>,
+    lower_row_of_col: Vec<usize>,
+    has_bound_rows: bool,
+}
+
+enum Build {
+    Done(LpSolution),
+    Ready(Box<Tableau>),
+}
+
+impl Tableau {
+    fn build(
+        matrix: &SparseModel,
+        objective: &[f64],
+        objective_constant: f64,
+        domains: &Domains,
+        bound_rows: bool,
+    ) -> Build {
+        let n_orig = domains.len();
+        debug_assert_eq!(objective.len(), n_orig);
+
+        // Map original variables to LP columns, substituting fixed variables.
+        let mut col_of = vec![usize::MAX; n_orig];
+        let mut orig_of_col = Vec::new();
+        for (j, slot) in col_of.iter_mut().enumerate() {
+            if !domains.is_fixed(j) {
+                *slot = orig_of_col.len();
+                orig_of_col.push(j);
+            }
+        }
+        let n = orig_of_col.len();
+        let shift: Vec<f64> = (0..n_orig).map(|j| domains.lower(j)).collect();
+        let fixed_at_build: Vec<bool> = (0..n_orig).map(|j| domains.is_fixed(j)).collect();
+
+        // Shifted objective constant: every variable contributes c_j · lower_j
+        // (fixed variables have lower == upper).
+        let mut obj_shift = objective_constant;
+        for (j, &c) in objective.iter().enumerate() {
+            obj_shift += c * shift[j];
+        }
+        let struct_costs: Vec<f64> = orig_of_col.iter().map(|&j| objective[j]).collect();
+
+        // Build normalised rows over the free columns:  Σ a·x'  op  b
+        struct NormRow {
+            terms: Vec<(usize, f64)>,
+            op: CmpOp,
+            rhs: f64,
+        }
+        let mut norm_rows: Vec<NormRow> = Vec::new();
+        for row in matrix.rows() {
+            let mut rhs = row.rhs;
+            let mut terms: Vec<(usize, f64)> = Vec::new();
+            for (j, a) in row.terms() {
+                // every variable contributes a·lower as a constant shift
+                rhs -= a * shift[j];
+                if !domains.is_fixed(j) {
+                    terms.push((col_of[j], a));
+                }
+            }
+            if terms.is_empty() {
+                let ok = match row.op {
+                    CmpOp::Le => 0.0 <= rhs + EPS,
+                    CmpOp::Ge => 0.0 >= rhs - EPS,
+                    CmpOp::Eq => rhs.abs() <= EPS,
+                };
+                if !ok {
+                    return Build::Done(LpSolution::no_solution(LpStatus::Infeasible, 0));
+                }
+                continue;
+            }
+            norm_rows.push(NormRow {
+                terms,
+                op: row.op,
+                rhs,
+            });
+        }
+        // Bound rows for the free columns: the upper bound always (the
+        // variables are boxed), and in warm-capable mode also an explicit
+        // lower-bound row -x' <= 0, redundant here but the handle a child
+        // needs to *raise* the lower bound by an rhs change alone.
+        let mut upper_row_of_col = vec![usize::MAX; if bound_rows { n } else { 0 }];
+        let mut lower_row_of_col = vec![usize::MAX; if bound_rows { n } else { 0 }];
+        for (col, &j) in orig_of_col.iter().enumerate() {
+            if bound_rows {
+                upper_row_of_col[col] = norm_rows.len();
+            }
+            norm_rows.push(NormRow {
+                terms: vec![(col, 1.0)],
+                op: CmpOp::Le,
+                rhs: domains.upper(j) - shift[j],
+            });
+            if bound_rows {
+                lower_row_of_col[col] = norm_rows.len();
+                norm_rows.push(NormRow {
+                    terms: vec![(col, -1.0)],
+                    op: CmpOp::Le,
+                    rhs: 0.0,
+                });
+            }
+        }
+
+        let m = norm_rows.len();
+        if n == 0 {
+            return Build::Done(LpSolution {
+                status: LpStatus::Optimal,
+                objective: obj_shift,
+                values: (0..n_orig).map(|j| shift[j]).collect(),
+                pivots: 0,
+                reduced_costs: None,
+            });
+        }
+
+        // Count auxiliary columns: slack/surplus per inequality, artificials
+        // for >= and = rows (after rhs sign normalisation).
+        let mut total_cols = n;
+        let mut row_aux: Vec<(Option<usize>, Option<usize>)> = Vec::with_capacity(m);
+        let mut flipped: Vec<bool> = Vec::with_capacity(m);
+        for row in &norm_rows {
+            let flip = row.rhs < 0.0;
+            flipped.push(flip);
+            let op = effective_op(row.op, flip);
+            let slack = match op {
+                CmpOp::Le | CmpOp::Ge => {
+                    let c = total_cols;
+                    total_cols += 1;
+                    Some(c)
+                }
+                CmpOp::Eq => None,
+            };
+            let artificial = match op {
+                CmpOp::Le => None,
+                CmpOp::Ge | CmpOp::Eq => {
+                    let c = total_cols;
+                    total_cols += 1;
+                    Some(c)
+                }
+            };
+            row_aux.push((slack, artificial));
+        }
+
+        // Dense tableau: m rows x (total_cols + 1), last column is the rhs.
+        let width = total_cols + 1;
+        let mut tab = vec![0.0f64; m * width];
+        let mut basis = vec![usize::MAX; m];
+        let mut is_artificial = vec![false; total_cols];
+        let mut ident_col = vec![usize::MAX; m];
+        let mut b_built = vec![0.0f64; m];
+
+        for (i, row) in norm_rows.iter().enumerate() {
+            let sign = if flipped[i] { -1.0 } else { 1.0 };
+            for &(c, a) in &row.terms {
+                tab[i * width + c] += sign * a;
+            }
+            tab[i * width + total_cols] = sign * row.rhs;
+            b_built[i] = sign * row.rhs;
+            let op = effective_op(row.op, flipped[i]);
+            let (slack, artificial) = row_aux[i];
+            match op {
+                CmpOp::Le => {
+                    let s = slack.expect("le row has slack");
+                    tab[i * width + s] = 1.0;
+                    basis[i] = s;
+                    ident_col[i] = s;
+                }
+                CmpOp::Ge => {
+                    let s = slack.expect("ge row has surplus");
+                    tab[i * width + s] = -1.0;
+                    let a = artificial.expect("ge row has artificial");
+                    tab[i * width + a] = 1.0;
+                    is_artificial[a] = true;
+                    basis[i] = a;
+                    ident_col[i] = a;
+                }
+                CmpOp::Eq => {
+                    let a = artificial.expect("eq row has artificial");
+                    tab[i * width + a] = 1.0;
+                    is_artificial[a] = true;
+                    basis[i] = a;
+                    ident_col[i] = a;
+                }
+            }
+        }
+
+        let mut costs = vec![0.0f64; total_cols];
+        costs[..n].copy_from_slice(&struct_costs);
+
+        Build::Ready(Box::new(Tableau {
+            n_orig,
+            col_of,
+            orig_of_col,
+            shift,
+            fixed_at_build,
+            n,
             m,
             total_cols,
-            &phase1_costs,
-            &vec![true; total_cols],
+            tab,
+            basis,
+            is_artificial,
+            costs,
+            obj_shift,
+            ident_col,
+            b_built,
+            upper_row_of_col,
+            lower_row_of_col,
+            has_bound_rows: bound_rows,
+        }))
+    }
+
+    /// Runs phase 1 (artificial elimination) and phase 2 (true objective).
+    fn solve_two_phase(&mut self, max_pivots: u64) -> (InnerResult, u64) {
+        let width = self.total_cols + 1;
+        let mut pivots = 0u64;
+
+        let needs_phase1 = self.is_artificial.iter().any(|&a| a);
+        if needs_phase1 {
+            let phase1_costs: Vec<f64> = (0..self.total_cols)
+                .map(|c| if self.is_artificial[c] { 1.0 } else { 0.0 })
+                .collect();
+            let status = run_simplex(
+                &mut self.tab,
+                &mut self.basis,
+                self.m,
+                self.total_cols,
+                &phase1_costs,
+                &vec![true; self.total_cols],
+                max_pivots,
+                &mut pivots,
+            );
+            if status == InnerStatus::IterationLimit {
+                return (InnerResult::IterationLimit, pivots);
+            }
+            let phase1_obj: f64 = self
+                .basis
+                .iter()
+                .enumerate()
+                .map(|(i, &b)| {
+                    if self.is_artificial[b] {
+                        self.tab[i * width + self.total_cols]
+                    } else {
+                        0.0
+                    }
+                })
+                .sum();
+            if phase1_obj > 1e-6 {
+                return (InnerResult::Infeasible, pivots);
+            }
+            // Drive every artificial still basic (necessarily at value ~0)
+            // out of the basis with a degenerate pivot. Leaving them in
+            // lets later pivots regrow them silently — phase 2 (or a dual
+            // re-solve) then reports a super-optimal objective for a point
+            // violating the artificial's row. Rows with no eligible pivot
+            // element are linearly dependent on the rest; their artificial
+            // stays basic at zero and no later pivot can touch the row.
+            for row in 0..self.m {
+                if !self.is_artificial[self.basis[row]] {
+                    continue;
+                }
+                let mut target = None;
+                for j in 0..self.total_cols {
+                    if self.is_artificial[j] || self.basis.contains(&j) {
+                        continue;
+                    }
+                    if self.tab[row * width + j].abs() > 1e-7 {
+                        target = Some(j);
+                        break;
+                    }
+                }
+                if let Some(col) = target {
+                    pivot(&mut self.tab, self.m, width, row, col);
+                    self.basis[row] = col;
+                    pivots += 1;
+                }
+            }
+        }
+
+        // Phase 2: minimise the true objective; artificials may not enter.
+        let allowed: Vec<bool> = (0..self.total_cols)
+            .map(|c| !self.is_artificial[c])
+            .collect();
+        let status = run_simplex(
+            &mut self.tab,
+            &mut self.basis,
+            self.m,
+            self.total_cols,
+            &self.costs,
+            &allowed,
             max_pivots,
             &mut pivots,
         );
-        if status == InnerStatus::IterationLimit {
-            return LpSolution::no_solution(LpStatus::IterationLimit, pivots);
+        let result = match status {
+            InnerStatus::IterationLimit => InnerResult::IterationLimit,
+            InnerStatus::Unbounded => InnerResult::Unbounded,
+            InnerStatus::Optimal => InnerResult::Optimal,
+        };
+        (result, pivots)
+    }
+
+    /// Extracts the optimal solution (values, objective and, when requested
+    /// and available, reduced costs) from the current tableau state.
+    fn extract(&self, with_rc: bool, pivots: u64) -> LpSolution {
+        let width = self.total_cols + 1;
+        let mut shifted = vec![0.0f64; self.n];
+        for (i, &b) in self.basis.iter().enumerate() {
+            if b < self.n {
+                shifted[b] = self.tab[i * width + self.total_cols];
+            }
         }
-        let phase1_obj: f64 = basis
-            .iter()
-            .enumerate()
-            .map(|(i, &b)| {
-                if is_artificial[b] {
-                    tab[i * width + total_cols]
-                } else {
-                    0.0
-                }
-            })
-            .sum();
-        if phase1_obj > 1e-6 {
-            return LpSolution::no_solution(LpStatus::Infeasible, pivots);
+        let mut values = vec![0.0f64; self.n_orig];
+        for j in 0..self.n_orig {
+            values[j] = if self.fixed_at_build[j] {
+                self.shift[j]
+            } else {
+                self.shift[j] + shifted[self.col_of[j]].max(0.0)
+            };
+        }
+        let objective_value = self.obj_shift
+            + self
+                .costs
+                .iter()
+                .take(self.n)
+                .zip(&shifted)
+                .map(|(c, x)| c * x)
+                .sum::<f64>();
+        let reduced_costs = (with_rc && self.has_bound_rows).then(|| self.reduced_costs());
+        LpSolution {
+            status: LpStatus::Optimal,
+            objective: objective_value,
+            values,
+            pivots,
+            reduced_costs,
         }
     }
 
-    // Phase 2: minimise the true objective; artificial columns may not enter.
-    let mut phase2_costs = vec![0.0f64; total_cols];
-    phase2_costs[..n].copy_from_slice(&costs);
-    let allowed: Vec<bool> = (0..total_cols).map(|c| !is_artificial[c]).collect();
-    let status = run_simplex(
-        &mut tab,
-        &mut basis,
-        m,
-        total_cols,
-        &phase2_costs,
-        &allowed,
-        max_pivots,
-        &mut pivots,
-    );
-    match status {
-        InnerStatus::IterationLimit => LpSolution::no_solution(LpStatus::IterationLimit, pivots),
-        InnerStatus::Unbounded => LpSolution::no_solution(LpStatus::Unbounded, pivots),
-        InnerStatus::Optimal => {
-            // Extract shifted values of the structural columns.
-            let mut shifted = vec![0.0f64; n];
-            for (i, &b) in basis.iter().enumerate() {
-                if b < n {
-                    shifted[b] = tab[i * width + total_cols];
+    /// Reduced costs of the structural columns and their bound-row slacks,
+    /// mapped to per-variable up/down marginal costs.
+    fn reduced_costs(&self) -> ReducedCosts {
+        let width = self.total_cols + 1;
+        let y: Vec<f64> = self.basis.iter().map(|&b| self.costs[b]).collect();
+        let mut in_basis = vec![false; self.total_cols];
+        for &b in &self.basis {
+            in_basis[b] = true;
+        }
+        let rc_of = |j: usize| -> f64 {
+            let mut rc = self.costs[j];
+            for (i, &yi) in y.iter().enumerate() {
+                if yi != 0.0 {
+                    rc -= yi * self.tab[i * width + j];
                 }
             }
-            let mut values = vec![0.0f64; n_orig];
-            for j in 0..n_orig {
-                values[j] = if domains.is_fixed(j) {
-                    domains.lower(j)
-                } else {
-                    domains.lower(j) + shifted[col_of[j]].max(0.0)
-                };
+            rc.max(0.0)
+        };
+        let mut up = vec![0.0f64; self.n_orig];
+        let mut down = vec![0.0f64; self.n_orig];
+        for (c, &j) in self.orig_of_col.iter().enumerate() {
+            // At the lower bound: either the structural column is nonbasic
+            // (x' = 0, the construction-time lower) or the explicit
+            // lower-bound row is tight (its slack is nonbasic).
+            if !in_basis[c] {
+                up[j] = rc_of(c);
+            } else {
+                let low_slack = self.ident_col[self.lower_row_of_col[c]];
+                if !in_basis[low_slack] {
+                    up[j] = rc_of(low_slack);
+                }
             }
-            let objective_value =
-                obj_shift + costs.iter().zip(&shifted).map(|(c, x)| c * x).sum::<f64>();
-            LpSolution {
-                status: LpStatus::Optimal,
-                objective: objective_value,
-                values,
-                pivots,
+            // At the upper bound: the upper-bound row is tight.
+            let up_slack = self.ident_col[self.upper_row_of_col[c]];
+            if !in_basis[up_slack] {
+                down[j] = rc_of(up_slack);
             }
         }
+        ReducedCosts { up, down }
     }
 }
 
@@ -308,6 +781,15 @@ fn effective_op(op: CmpOp, flipped: bool) -> CmpOp {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum InnerStatus {
     Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+/// Like [`InnerStatus`] but with phase-1 infeasibility folded in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InnerResult {
+    Optimal,
+    Infeasible,
     Unbounded,
     IterationLimit,
 }
@@ -510,11 +992,9 @@ mod tests {
 
     #[test]
     fn relaxation_of_binary_knapsack_is_fractional() {
-        // max 6a + 5b + 4c st 3a + 2b + 2c <= 4 (binaries) — LP optimum 11.0
-        // (a=1, b=0.5, c=0  => 6 + 2.5 = 8.5?  check: greedy by density 6/3=2,
-        // 5/2=2.5, 4/2=2 -> take b fully (2), then a 2/3 -> 5 + 4 = 9, hmm)
-        // We simply assert the relaxation is at least as good as the best
-        // integral solution (b + c = 9) and the solve succeeds.
+        // max 6a + 5b + 4c st 3a + 2b + 2c <= 4 (binaries). We simply assert
+        // the relaxation is at least as good as the best integral solution
+        // (b + c = 9) and the solve succeeds.
         let mut m = Model::new("m");
         let a = m.add_binary("a");
         let b = m.add_binary("b");
@@ -555,5 +1035,173 @@ mod tests {
         let sol = solve_lp(&rows, &obj, k, &dom, 10_000);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.objective + 2.0).abs() < 1e-6);
+    }
+
+    // ---- warm-start / dual simplex ----
+
+    #[test]
+    fn warm_capable_solve_matches_cold_solve() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        let z = m.add_binary("z");
+        m.add_leq([(x, 3.0), (y, 2.0), (z, 2.0)], 4.0, "cap");
+        m.add_geq([(x, 1.0), (z, 1.0)], 1.0, "c");
+        m.set_objective([(x, -6.0), (y, -5.0), (z, -4.0)], Sense::Minimize);
+        let (rows, obj, k, dom) = relax(&m);
+        let cold = solve_lp(&rows, &obj, k, &dom, 10_000);
+        let (warm, basis) = solve_lp_basis(&rows, &obj, k, &dom, 10_000);
+        assert_eq!(cold.status, LpStatus::Optimal);
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!((cold.objective - warm.objective).abs() < 1e-9);
+        assert!(basis.is_some());
+        assert!(warm.reduced_costs.is_some());
+    }
+
+    #[test]
+    fn dual_resolve_after_fixing_matches_cold() {
+        // Fix each binary to each value in turn; the dual re-solve from the
+        // root basis must agree with a cold solve of the child.
+        let mut m = Model::new("m");
+        let vars: Vec<_> = (0..4).map(|i| m.add_binary(format!("x{i}"))).collect();
+        m.add_leq(
+            vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            2.0,
+            "cap",
+        );
+        m.add_geq([(vars[0], 1.0), (vars[2], 1.0)], 1.0, "need");
+        m.set_objective(
+            [
+                (vars[0], -3.0),
+                (vars[1], -5.0),
+                (vars[2], -4.0),
+                (vars[3], -2.0),
+            ],
+            Sense::Minimize,
+        );
+        let (rows, obj, k, dom) = relax(&m);
+        let (root, basis) = solve_lp_basis(&rows, &obj, k, &dom, 10_000);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = basis.unwrap();
+        for j in 0..4 {
+            for value in [0.0, 1.0] {
+                let mut child = dom.clone();
+                assert!(child.fix(j, value));
+                let cold = solve_lp(&rows, &obj, k, &child, 10_000);
+                let (warm, _) = resolve_with_basis(&basis, &child, 10_000).expect("compatible");
+                assert_eq!(warm.status, cold.status, "x{j} := {value}");
+                if warm.status == LpStatus::Optimal {
+                    assert!(
+                        (warm.objective - cold.objective).abs() < 1e-6,
+                        "x{j} := {value}: warm {} vs cold {}",
+                        warm.objective,
+                        cold.objective
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dual_resolve_detects_child_infeasibility() {
+        // x + y >= 1 with both fixed to 0 is infeasible.
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_geq([(x, 1.0), (y, 1.0)], 1.0, "c");
+        m.set_objective([(x, 1.0), (y, 2.0)], Sense::Minimize);
+        let (rows, obj, k, dom) = relax(&m);
+        let (root, basis) = solve_lp_basis(&rows, &obj, k, &dom, 10_000);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let basis = basis.unwrap();
+        let mut child = dom.clone();
+        assert!(child.fix(x.index(), 0.0));
+        assert!(child.fix(y.index(), 0.0));
+        let (warm, next) = resolve_with_basis(&basis, &child, 10_000).expect("compatible");
+        assert_eq!(warm.status, LpStatus::Infeasible);
+        assert!(next.is_none());
+    }
+
+    #[test]
+    fn dual_resolve_chains_across_generations() {
+        // Tighten bounds one variable at a time, re-solving from the
+        // previous basis each step, and compare against cold solves.
+        let mut m = Model::new("m");
+        let vars: Vec<_> = (0..5)
+            .map(|i| m.add_integer(format!("x{i}"), 0, 3))
+            .collect();
+        m.add_leq(
+            vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            7.0,
+            "cap",
+        );
+        m.add_geq([(vars[0], 1.0), (vars[1], 1.0)], 2.0, "need");
+        m.set_objective(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, -((i + 1) as f64)))
+                .collect::<Vec<_>>(),
+            Sense::Minimize,
+        );
+        let (rows, obj, k, dom) = relax(&m);
+        let (root, basis) = solve_lp_basis(&rows, &obj, k, &dom, 10_000);
+        assert_eq!(root.status, LpStatus::Optimal);
+        let mut basis = basis.unwrap();
+        let mut domains = dom.clone();
+        for (step, &(j, lo, hi)) in [(4usize, 0.0, 1.0), (3, 1.0, 3.0), (0, 1.0, 1.0)]
+            .iter()
+            .enumerate()
+        {
+            domains.tighten_lower(j, lo);
+            domains.tighten_upper(j, hi);
+            let cold = solve_lp(&rows, &obj, k, &domains, 10_000);
+            let (warm, next) = resolve_with_basis(&basis, &domains, 10_000).expect("compatible");
+            assert_eq!(warm.status, cold.status, "step {step}");
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "step {step}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            basis = next.expect("optimal resolve returns a basis");
+            assert_eq!(basis.age(), step as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn resolve_rejects_relaxed_lower_bound() {
+        let mut m = Model::new("m");
+        let x = m.add_integer("x", 1, 3);
+        m.add_leq([(x, 1.0)], 2.0, "c");
+        m.set_objective([(x, 1.0)], Sense::Minimize);
+        let (rows, obj, k, dom) = relax(&m);
+        let (_, basis) = solve_lp_basis(&rows, &obj, k, &dom, 10_000);
+        let basis = basis.unwrap();
+        // A domain with a *relaxed* lower bound cannot reuse the basis.
+        let mut m2 = Model::new("m2");
+        m2.add_integer("x", 0, 3);
+        let relaxed = Domains::from_model(&m2);
+        assert!(resolve_with_basis(&basis, &relaxed, 10_000).is_none());
+    }
+
+    #[test]
+    fn reduced_costs_identify_bound_variables() {
+        // min x + 2y s.t. x + y >= 1: optimum x=1, y=0. y is nonbasic at its
+        // lower bound with positive reduced cost (2 - 1 = 1 after pricing).
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_geq([(x, 1.0), (y, 1.0)], 1.0, "c");
+        m.set_objective([(x, 1.0), (y, 2.0)], Sense::Minimize);
+        let (rows, obj, k, dom) = relax(&m);
+        let (sol, _) = solve_lp_basis(&rows, &obj, k, &dom, 10_000);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        let rc = sol.reduced_costs.expect("warm path reports reduced costs");
+        assert!((sol.values[y.index()]).abs() < 1e-6);
+        assert!(
+            rc.up[y.index()] > 0.5,
+            "y at lower bound should have positive up-cost, got {}",
+            rc.up[y.index()]
+        );
     }
 }

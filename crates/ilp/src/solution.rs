@@ -48,10 +48,29 @@ pub struct Improvement {
 pub struct SolveStats {
     /// Number of branch-and-bound nodes explored.
     pub nodes: u64,
-    /// Number of simplex pivots performed across all LP relaxations.
+    /// Number of simplex pivots performed across all LP relaxations
+    /// (two-phase primal, dual-simplex re-solves and strong branching).
     pub lp_pivots: u64,
     /// Number of LP relaxations solved.
     pub lp_solves: u64,
+    /// Simplex iterations of each *node relaxation* LP, in the order the
+    /// nodes were popped (the root cut loop contributes the root's entry).
+    /// Strong-branching probes and leaf completion LPs are not node
+    /// relaxations and are excluded.
+    pub node_lp_pivots: Vec<u64>,
+    /// Node LPs re-solved with the dual simplex from a cached parent basis.
+    pub warm_lp_solves: u64,
+    /// Simplex iterations spent inside warm (dual-simplex) re-solves.
+    pub warm_lp_pivots: u64,
+    /// Cold tableau factorisations at nodes where the solver *wanted* a
+    /// warm start (basis evicted, stale, aged out, or the root): the
+    /// dense-tableau analogue of a basis refactorisation.
+    pub refactorizations: u64,
+    /// Strong-branching child LPs solved to initialise pseudo-costs.
+    pub strong_branch_solves: u64,
+    /// Integral bounds tightened by reduced-cost fixing against the
+    /// incumbent.
+    pub rc_fixed_bounds: u64,
     /// Number of propagation fixpoint rounds executed.
     pub propagations: u64,
     /// Wall-clock time of the solve.

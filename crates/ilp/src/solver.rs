@@ -7,8 +7,24 @@
 //! the incumbent. A greedy propagation-repaired dive supplies an early
 //! incumbent, which matters a great deal for the highly constrained BIST
 //! assignment models this crate was written for.
+//!
+//! The search layer on top of that skeleton:
+//!
+//! * **Warm-started node LPs** — each LP node's optimal [`Basis`] is cached
+//!   (bounded to the most recent nodes: the active DFS spine, or the top of
+//!   the best-first heap) and children re-solve with the dual simplex from
+//!   it instead of running two-phase primal from scratch; chains
+//!   re-factorise cold after [`BASIS_MAX_AGE`] re-solves.
+//! * **Pseudo-cost / reliability branching** ([`BranchRule::PseudoCost`],
+//!   the default) with strong-branching initialisation at shallow depth,
+//!   learning per-variable dual-bound degradations from every branching.
+//! * **Reduced-cost bound fixing** — at LP nodes with an incumbent, duals
+//!   prove some integral variables cannot leave their bound in any
+//!   improving solution; the tightened bounds feed the propagation
+//!   worklist.
 
 use std::collections::BinaryHeap;
+use std::rc::Rc;
 use std::time::{Duration, Instant};
 
 use crate::cuts::{CutGenerator, CutRow};
@@ -16,7 +32,7 @@ use crate::error::IlpError;
 use crate::heuristics::{greedy_dive, round_and_repair};
 use crate::model::{CmpOp, Model, Sense};
 use crate::propagate::{Domains, PropagationResult, Propagator};
-use crate::simplex::{solve_lp, LpStatus};
+use crate::simplex::{resolve_with_basis, solve_lp, solve_lp_basis, Basis, LpStatus, ReducedCosts};
 use crate::solution::{Solution, SolveStats, Status};
 use crate::sparse::SparseModel;
 use crate::{EPS, INT_EPS};
@@ -27,6 +43,30 @@ const ROOT_CUT_ROUNDS: usize = 4;
 const TREE_SEPARATIONS: usize = 6;
 /// Maximum cuts accepted per separation call.
 const CUTS_PER_ROUND: usize = 24;
+/// Capacity of the node-basis cache. Bases are only kept for the most
+/// recently solved LP nodes — with depth-first search that is the active
+/// DFS spine (a child is popped right after its parent), with best-first it
+/// is the top of the heap — so warm-start memory stays bounded regardless
+/// of tree size; anything evicted is simply recomputed cold.
+const BASIS_CACHE_CAP: usize = 6;
+/// Maximum dual-simplex re-solves chained off one cold factorisation
+/// before the node re-factorises (cold-solves) to flush the dense
+/// tableau's accumulated rounding error.
+const BASIS_MAX_AGE: u32 = 24;
+/// Maximum node depth at which uninitialised pseudo-costs are seeded by
+/// strong branching (reliability branching); deeper nodes rely on the
+/// observations already gathered.
+const STRONG_DEPTH: usize = 2;
+/// Observation count below which a variable's pseudo-cost is considered
+/// unreliable and eligible for strong-branching initialisation.
+const RELIABILITY: u32 = 1;
+/// Maximum strong-branching candidates probed per node.
+const STRONG_CANDIDATES: usize = 4;
+/// Pivot budget of each strong-branching child LP.
+const STRONG_PIVOTS: u64 = 100;
+/// Per-unit degradation recorded when a strong-branching child is
+/// infeasible (branching there closes a whole subtree, so prefer it).
+const INFEASIBLE_DEGRADATION: f64 = 1e7;
 
 /// One materialised row handed to [`SparseModel::from_rows`].
 type DenseRow = (Vec<(usize, f64)>, CmpOp, f64);
@@ -50,17 +90,30 @@ pub enum BoundMode {
 
 /// Variable selection strategy for branching.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Branching {
+pub enum BranchRule {
     /// Branch on the first unfixed integral variable (model order).
     InputOrder,
     /// Branch on the unfixed integral variable that appears in the largest
     /// number of constraints.
     MostConstrained,
     /// Branch on the variable whose LP relaxation value is most fractional;
-    /// falls back to [`Branching::MostConstrained`] when no LP value is
+    /// falls back to [`BranchRule::MostConstrained`] when no LP value is
     /// available at the node.
     MostFractional,
+    /// Pseudo-cost (reliability) branching: keep per-variable averages of
+    /// the observed dual-bound degradation per unit of fractionality in
+    /// each direction, pick the fractional variable maximising the product
+    /// of its estimated up/down degradations, and initialise unobserved
+    /// variables at shallow depth by *strong branching* (solving both
+    /// child LPs warm from the node's basis under a small pivot budget).
+    /// Falls back to [`BranchRule::MostConstrained`] when the node has no
+    /// LP values (propagation-only bounds).
+    PseudoCost,
 }
+
+/// Backwards-compatible alias: the branching enum was named `Branching`
+/// before the pseudo-cost rule landed.
+pub type Branching = BranchRule;
 
 /// Node exploration order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,7 +136,7 @@ pub struct SolverConfig {
     /// Dual bound computation mode.
     pub bound_mode: BoundMode,
     /// Branching variable selection.
-    pub branching: Branching,
+    pub branching: BranchRule,
     /// Node exploration order.
     pub search: SearchOrder,
     /// Stop as soon as the relative gap drops below this value.
@@ -110,6 +163,18 @@ pub struct SolverConfig {
     /// [`BoundMode::Propagation`], which never produces the LP points
     /// separation needs.
     pub cuts: bool,
+    /// Re-solve child-node LPs with the dual simplex from the parent's
+    /// cached optimal [`Basis`] instead of cold two-phase primal. On by
+    /// default; node LPs fall back to a cold factorisation whenever the
+    /// basis was evicted, aged out, or invalidated by new cutting planes.
+    /// Has no effect under [`BoundMode::Propagation`].
+    pub lp_warm_start: bool,
+    /// Reduced-cost bound fixing: at every LP node with an incumbent, fix
+    /// integral variables whose reduced cost proves they cannot move off
+    /// their bound in any improving solution, and feed the tightened
+    /// bounds to the propagation worklist. On by default. Requires the
+    /// warm-capable LP path (`lp_warm_start`) for the reduced costs.
+    pub rc_fixing: bool,
 }
 
 impl Default for SolverConfig {
@@ -118,7 +183,7 @@ impl Default for SolverConfig {
             time_limit: Some(Duration::from_secs(60)),
             node_limit: None,
             bound_mode: BoundMode::Hybrid { lp_depth: 4 },
-            branching: Branching::MostConstrained,
+            branching: BranchRule::PseudoCost,
             search: SearchOrder::DepthFirst,
             gap_tolerance: 1e-9,
             max_lp_pivots: 50_000,
@@ -127,6 +192,8 @@ impl Default for SolverConfig {
             initial_solutions: Vec::new(),
             presolve: true,
             cuts: true,
+            lp_warm_start: true,
+            rc_fixing: true,
         }
     }
 }
@@ -165,8 +232,20 @@ impl SolverConfig {
     }
 
     /// Builder-style setter for the branching rule.
-    pub fn with_branching(mut self, branching: Branching) -> Self {
+    pub fn with_branching(mut self, branching: BranchRule) -> Self {
         self.branching = branching;
+        self
+    }
+
+    /// Builder-style toggle for dual-simplex warm starts of node LPs.
+    pub fn with_lp_warm_start(mut self, enabled: bool) -> Self {
+        self.lp_warm_start = enabled;
+        self
+    }
+
+    /// Builder-style toggle for reduced-cost bound fixing.
+    pub fn with_rc_fixing(mut self, enabled: bool) -> Self {
+        self.rc_fixing = enabled;
         self
     }
 
@@ -213,6 +292,18 @@ struct Node {
     /// parent's domains were at a propagation fixpoint, so the child's
     /// propagation can be seeded with just this variable's rows.
     branched: Option<usize>,
+    /// Cache key of the parent's optimal LP basis, if it was stored; the
+    /// child's LP re-solves from it with the dual simplex on a cache hit.
+    parent_basis: Option<u64>,
+    /// Whether the inherited `bound` came from an LP relaxation (pseudo-cost
+    /// updates only compare LP bounds with LP bounds).
+    parent_bound_is_lp: bool,
+    /// Whether this child tightened the branched variable upward.
+    branch_up: bool,
+    /// Distance the branch moved the parent's LP value of the branched
+    /// variable (the pseudo-cost normalisation denominator); 0 when the
+    /// parent had no LP value.
+    branch_step: f64,
 }
 
 /// Wrapper giving the binary heap min-heap semantics on the node bound.
@@ -281,6 +372,82 @@ impl Frontier {
     }
 }
 
+/// Per-variable pseudo-cost accumulators: average observed dual-bound
+/// degradation per unit of fractionality, per branching direction. Fed by
+/// real branchings and by strong-branching probes; consulted by
+/// [`BranchRule::PseudoCost`].
+#[derive(Debug, Default)]
+struct PseudoCosts {
+    up_sum: Vec<f64>,
+    up_cnt: Vec<u32>,
+    down_sum: Vec<f64>,
+    down_cnt: Vec<u32>,
+    /// Running direction-wide totals (`[down, up]`), so the global-average
+    /// fallback of [`PseudoCosts::estimate`] is O(1) instead of a scan over
+    /// every variable.
+    global_sum: [f64; 2],
+    global_cnt: [u32; 2],
+}
+
+impl PseudoCosts {
+    fn new(num_vars: usize) -> Self {
+        Self {
+            up_sum: vec![0.0; num_vars],
+            up_cnt: vec![0; num_vars],
+            down_sum: vec![0.0; num_vars],
+            down_cnt: vec![0; num_vars],
+            global_sum: [0.0; 2],
+            global_cnt: [0; 2],
+        }
+    }
+
+    fn record(&mut self, j: usize, up: bool, degradation_per_unit: f64) {
+        if up {
+            self.up_sum[j] += degradation_per_unit;
+            self.up_cnt[j] += 1;
+        } else {
+            self.down_sum[j] += degradation_per_unit;
+            self.down_cnt[j] += 1;
+        }
+        self.global_sum[usize::from(up)] += degradation_per_unit;
+        self.global_cnt[usize::from(up)] += 1;
+    }
+
+    fn observations(&self, j: usize) -> u32 {
+        self.up_cnt[j] + self.down_cnt[j]
+    }
+
+    /// Estimated per-unit degradation in one direction: the variable's own
+    /// average when observed, the direction's global average otherwise, and
+    /// a neutral 1.0 before any observation exists at all.
+    fn estimate(&self, j: usize, up: bool) -> f64 {
+        let (sum, cnt) = if up {
+            (&self.up_sum, &self.up_cnt)
+        } else {
+            (&self.down_sum, &self.down_cnt)
+        };
+        if cnt[j] > 0 {
+            return sum[j] / f64::from(cnt[j]);
+        }
+        let total = self.global_cnt[usize::from(up)];
+        if total > 0 {
+            self.global_sum[usize::from(up)] / f64::from(total)
+        } else {
+            1.0
+        }
+    }
+}
+
+/// The root relaxation the cut loop already solved for the current row set,
+/// handed to the root node so the most expensive LP of the tree is not
+/// repeated.
+struct CachedRootLp {
+    objective: f64,
+    values: Vec<f64>,
+    reduced_costs: Option<ReducedCosts>,
+    pivots: u64,
+}
+
 /// The branch-and-bound engine. Construct with [`BranchAndBound::new`] and
 /// call [`BranchAndBound::run`]; most users go through [`Model::solve`].
 pub struct BranchAndBound<'a> {
@@ -304,7 +471,18 @@ pub struct BranchAndBound<'a> {
     /// The last root LP solved by the cut loop, valid for the *current*
     /// matrix; the root node consumes it instead of re-solving the most
     /// expensive LP of the tree.
-    root_lp_cache: Option<(f64, Vec<f64>)>,
+    root_lp_cache: Option<CachedRootLp>,
+    /// Basis stored by the root cut loop for the root node to hand to its
+    /// children.
+    root_basis_key: Option<u64>,
+    /// Recently stored node bases, oldest first; capacity-bounded so warm
+    /// starts never hold more than a handful of dense tableaus. Cleared
+    /// whenever the cut pool rebuilds the matrix (a basis is only valid for
+    /// the exact row set it was factorised from).
+    basis_cache: Vec<(u64, Rc<Basis>)>,
+    next_basis_key: u64,
+    /// Pseudo-cost state of the branching rule.
+    pseudo: PseudoCosts,
 }
 
 impl<'a> BranchAndBound<'a> {
@@ -330,6 +508,7 @@ impl<'a> BranchAndBound<'a> {
         } else {
             None
         };
+        let num_vars = model.num_vars();
         Self {
             model,
             config,
@@ -342,7 +521,31 @@ impl<'a> BranchAndBound<'a> {
             cut_rows: Vec::new(),
             tree_separations_left: TREE_SEPARATIONS,
             root_lp_cache: None,
+            root_basis_key: None,
+            basis_cache: Vec::new(),
+            next_basis_key: 0,
+            pseudo: PseudoCosts::new(num_vars),
         }
+    }
+
+    /// Looks up a stored basis by its cache key.
+    fn cached_basis(&self, key: u64) -> Option<Rc<Basis>> {
+        self.basis_cache
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, basis)| Rc::clone(basis))
+    }
+
+    /// Stores a basis, evicting the oldest entry once at capacity, and
+    /// returns its cache key.
+    fn store_basis(&mut self, basis: Basis) -> u64 {
+        let key = self.next_basis_key;
+        self.next_basis_key += 1;
+        if self.basis_cache.len() >= BASIS_CACHE_CAP {
+            self.basis_cache.remove(0);
+        }
+        self.basis_cache.push((key, Rc::new(basis)));
+        key
     }
 
     /// Rebuilds the shared sparse matrix from the model rows plus every
@@ -371,6 +574,10 @@ impl<'a> BranchAndBound<'a> {
         for (j, slot) in self.occurrence.iter_mut().enumerate() {
             *slot = self.propagator.matrix().occurrences(j);
         }
+        // Every stored basis was factorised from the old row set; nodes
+        // still pointing at one will miss and re-factorise cold.
+        self.basis_cache.clear();
+        self.root_basis_key = None;
     }
 
     /// Separates cuts violated by `lp_values`, installs them in the row set
@@ -405,13 +612,26 @@ impl<'a> BranchAndBound<'a> {
         start: Instant,
     ) -> bool {
         for _ in 0..ROOT_CUT_ROUNDS {
-            let lp = solve_lp(
-                self.propagator.matrix(),
-                &self.objective,
-                self.objective_constant,
-                domains,
-                self.config.max_lp_pivots,
-            );
+            let (lp, basis) = if self.config.lp_warm_start {
+                solve_lp_basis(
+                    self.propagator.matrix(),
+                    &self.objective,
+                    self.objective_constant,
+                    domains,
+                    self.config.max_lp_pivots,
+                )
+            } else {
+                (
+                    solve_lp(
+                        self.propagator.matrix(),
+                        &self.objective,
+                        self.objective_constant,
+                        domains,
+                        self.config.max_lp_pivots,
+                    ),
+                    None,
+                )
+            };
             stats.lp_solves += 1;
             stats.lp_pivots += lp.pivots;
             match lp.status {
@@ -422,7 +642,7 @@ impl<'a> BranchAndBound<'a> {
             // An integral root relaxation is a solved instance: log it as an
             // incumbent improvement and stop separating.
             if self.try_integral_incumbent(&lp.values, domains, incumbent, stats, start) {
-                self.root_lp_cache = Some((lp.objective, lp.values));
+                self.cache_root_lp(lp, basis);
                 return true;
             }
             match self.install_cuts(&lp.values, domains, stats) {
@@ -430,7 +650,7 @@ impl<'a> BranchAndBound<'a> {
                     // No violated cuts: this LP is valid for the final row
                     // set, so hand it to the root node instead of having it
                     // re-solve the identical relaxation.
-                    self.root_lp_cache = Some((lp.objective, lp.values));
+                    self.cache_root_lp(lp, basis);
                     return true;
                 }
                 Some(true) => {}
@@ -438,6 +658,18 @@ impl<'a> BranchAndBound<'a> {
             }
         }
         true
+    }
+
+    /// Records the cut loop's final LP (and its basis, when available) for
+    /// the root node to consume.
+    fn cache_root_lp(&mut self, lp: crate::simplex::LpSolution, basis: Option<Basis>) {
+        self.root_lp_cache = Some(CachedRootLp {
+            objective: lp.objective,
+            values: lp.values,
+            reduced_costs: lp.reduced_costs,
+            pivots: lp.pivots,
+        });
+        self.root_basis_key = basis.map(|b| self.store_basis(b));
     }
 
     /// If `values` is integral over the box, round it, check feasibility and
@@ -549,6 +781,10 @@ impl<'a> BranchAndBound<'a> {
                 depth: 0,
                 bound: f64::NEG_INFINITY,
                 branched: None,
+                parent_basis: None,
+                parent_bound_is_lp: false,
+                branch_up: false,
+                branch_step: 0.0,
             });
         }
 
@@ -577,21 +813,74 @@ impl<'a> BranchAndBound<'a> {
             }
 
             let incumbent_obj = incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
+            let parent_bound = node.bound;
             let bound =
                 match self.node_bound(&node, &mut stats, incumbent_obj, &mut incumbent, start) {
-                    NodeBound::Infeasible => continue,
-                    NodeBound::Bound { value, lp_values } => {
+                    NodeBound::Infeasible => {
+                        // An LP-infeasible child is the strongest possible
+                        // degradation signal for its branching variable.
+                        if let Some(j) = node.branched {
+                            if node.parent_bound_is_lp && node.branch_step > INT_EPS {
+                                self.pseudo
+                                    .record(j, node.branch_up, INFEASIBLE_DEGRADATION);
+                            }
+                        }
+                        continue;
+                    }
+                    NodeBound::Bound { value, lp } => {
                         node.bound = value;
                         if node.depth == 0 {
                             root_bound = value;
+                        }
+                        // Learn the observed dual-bound degradation of the
+                        // branching that created this node.
+                        if let (Some(j), true) = (node.branched, lp.is_some()) {
+                            if node.parent_bound_is_lp
+                                && node.branch_step > INT_EPS
+                                && parent_bound > f64::NEG_INFINITY
+                            {
+                                let degradation =
+                                    ((value - parent_bound) / node.branch_step).max(0.0);
+                                self.pseudo.record(j, node.branch_up, degradation);
+                            }
                         }
                         if value >= incumbent_obj - EPS {
                             pruned_bound_min = pruned_bound_min.min(value);
                             continue;
                         }
-                        lp_values
+                        lp
                     }
                 };
+
+            // Reduced-cost bound fixing: with an incumbent in hand, the LP
+            // duals prove some integral variables cannot leave their bound
+            // in any improving solution. Tightened bounds feed the regular
+            // propagation worklist.
+            if self.config.rc_fixing {
+                let incumbent_now = incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
+                if let Some(lp) = bound.as_ref() {
+                    if let Some(rc) = &lp.reduced_costs {
+                        let changed = reduced_cost_fixing(
+                            &mut node.domains,
+                            lp.objective,
+                            rc,
+                            &lp.values,
+                            incumbent_now,
+                        );
+                        if !changed.is_empty() {
+                            stats.rc_fixed_bounds += changed.len() as u64;
+                            stats.propagations += 1;
+                            if self
+                                .propagator
+                                .propagate_seeded(&mut node.domains, &changed)
+                                == PropagationResult::Infeasible
+                            {
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
 
             // Re-check the cut pool whenever the incumbent improved at this
             // node: the new incumbent's neighbourhood is where violated
@@ -599,9 +888,9 @@ impl<'a> BranchAndBound<'a> {
             let improved =
                 incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY) < incumbent_obj - EPS;
             if improved && self.tree_separations_left > 0 && self.cut_source.is_some() {
-                if let Some(values) = bound.as_deref() {
+                if let Some(lp) = bound.as_ref() {
                     self.tree_separations_left -= 1;
-                    if self.install_cuts(values, &mut node.domains, &mut stats) == Some(false) {
+                    if self.install_cuts(&lp.values, &mut node.domains, &mut stats) == Some(false) {
                         continue;
                     }
                 }
@@ -620,11 +909,11 @@ impl<'a> BranchAndBound<'a> {
                 continue;
             }
 
-            let branch_var = self.select_branch_var(&node.domains, bound.as_deref());
+            let branch_var = self.select_branch_var(&node, bound.as_ref(), &mut stats);
             let Some(j) = branch_var else {
                 continue;
             };
-            self.push_children(&mut frontier, &node, j, bound.as_deref());
+            self.push_children(&mut frontier, &node, j, bound.as_ref());
         }
 
         if !frontier.is_empty() {
@@ -786,7 +1075,7 @@ impl<'a> BranchAndBound<'a> {
         if !self.use_lp_at(node.depth) {
             return NodeBound::Bound {
                 value: prop_bound,
-                lp_values: None,
+                lp: None,
             };
         }
         // The root cut loop may already have solved this exact relaxation;
@@ -797,29 +1086,31 @@ impl<'a> BranchAndBound<'a> {
         } else {
             None
         };
-        let (lp_objective, lp_values) = match cached {
-            Some((objective, values)) => (objective, values),
-            None => {
-                let lp = solve_lp(
-                    self.propagator.matrix(),
-                    &self.objective,
-                    self.objective_constant,
-                    &node.domains,
-                    self.config.max_lp_pivots,
-                );
-                stats.lp_solves += 1;
-                stats.lp_pivots += lp.pivots;
-                match lp.status {
-                    LpStatus::Infeasible => return NodeBound::Infeasible,
-                    LpStatus::Optimal => (lp.objective, lp.values),
-                    LpStatus::Unbounded | LpStatus::IterationLimit => {
-                        return NodeBound::Bound {
-                            value: prop_bound,
-                            lp_values: None,
-                        }
+        let (lp_objective, lp_values, lp_rc, basis_key) = match cached {
+            Some(root) => {
+                stats.node_lp_pivots.push(root.pivots);
+                (
+                    root.objective,
+                    root.values,
+                    root.reduced_costs,
+                    self.root_basis_key.take(),
+                )
+            }
+            None => match self.solve_node_lp(node, stats) {
+                SolvedNodeLp::Infeasible => return NodeBound::Infeasible,
+                SolvedNodeLp::NoBound => {
+                    return NodeBound::Bound {
+                        value: prop_bound,
+                        lp: None,
                     }
                 }
-            }
+                SolvedNodeLp::Optimal {
+                    objective,
+                    values,
+                    reduced_costs,
+                    basis_key,
+                } => (objective, values, reduced_costs, basis_key),
+            },
         };
         // If the relaxation happens to be integral it is a feasible MILP
         // solution; use it to tighten the incumbent.
@@ -858,7 +1149,96 @@ impl<'a> BranchAndBound<'a> {
         }
         NodeBound::Bound {
             value: lp_objective.max(prop_bound),
-            lp_values: Some(lp_values),
+            lp: Some(NodeLp {
+                objective: lp_objective,
+                values: lp_values,
+                reduced_costs: lp_rc,
+                basis_key,
+            }),
+        }
+    }
+
+    /// Solves the LP relaxation of a node, warm-starting from the parent's
+    /// cached basis with the dual simplex when possible and falling back to
+    /// a cold (re)factorisation otherwise.
+    fn solve_node_lp(&mut self, node: &Node, stats: &mut SolveStats) -> SolvedNodeLp {
+        let max_pivots = self.config.max_lp_pivots;
+        if self.config.lp_warm_start {
+            if let Some(basis) = node.parent_basis.and_then(|key| self.cached_basis(key)) {
+                if basis.age() < BASIS_MAX_AGE {
+                    if let Some((lp, next)) = resolve_with_basis(&basis, &node.domains, max_pivots)
+                    {
+                        stats.lp_pivots += lp.pivots;
+                        stats.warm_lp_pivots += lp.pivots;
+                        match lp.status {
+                            LpStatus::Infeasible | LpStatus::Optimal => {
+                                stats.lp_solves += 1;
+                                stats.warm_lp_solves += 1;
+                                stats.node_lp_pivots.push(lp.pivots);
+                                if lp.status == LpStatus::Infeasible {
+                                    return SolvedNodeLp::Infeasible;
+                                }
+                                let basis_key = next.map(|b| self.store_basis(b));
+                                return SolvedNodeLp::Optimal {
+                                    objective: lp.objective,
+                                    values: lp.values,
+                                    reduced_costs: lp.reduced_costs,
+                                    basis_key,
+                                };
+                            }
+                            // A dual re-solve that hits its pivot budget is
+                            // abandoned (its pivots were counted above); the
+                            // node re-factorises cold below.
+                            LpStatus::Unbounded | LpStatus::IterationLimit => {}
+                        }
+                    }
+                }
+            }
+            let (lp, new_basis) = solve_lp_basis(
+                self.propagator.matrix(),
+                &self.objective,
+                self.objective_constant,
+                &node.domains,
+                max_pivots,
+            );
+            stats.lp_solves += 1;
+            stats.lp_pivots += lp.pivots;
+            stats.refactorizations += 1;
+            stats.node_lp_pivots.push(lp.pivots);
+            match lp.status {
+                LpStatus::Infeasible => SolvedNodeLp::Infeasible,
+                LpStatus::Optimal => {
+                    let basis_key = new_basis.map(|b| self.store_basis(b));
+                    SolvedNodeLp::Optimal {
+                        objective: lp.objective,
+                        values: lp.values,
+                        reduced_costs: lp.reduced_costs,
+                        basis_key,
+                    }
+                }
+                LpStatus::Unbounded | LpStatus::IterationLimit => SolvedNodeLp::NoBound,
+            }
+        } else {
+            let lp = solve_lp(
+                self.propagator.matrix(),
+                &self.objective,
+                self.objective_constant,
+                &node.domains,
+                max_pivots,
+            );
+            stats.lp_solves += 1;
+            stats.lp_pivots += lp.pivots;
+            stats.node_lp_pivots.push(lp.pivots);
+            match lp.status {
+                LpStatus::Infeasible => SolvedNodeLp::Infeasible,
+                LpStatus::Optimal => SolvedNodeLp::Optimal {
+                    objective: lp.objective,
+                    values: lp.values,
+                    reduced_costs: lp.reduced_costs,
+                    basis_key: None,
+                },
+                LpStatus::Unbounded | LpStatus::IterationLimit => SolvedNodeLp::NoBound,
+            }
         }
     }
 
@@ -885,20 +1265,30 @@ impl<'a> BranchAndBound<'a> {
         }
     }
 
-    fn select_branch_var(&self, domains: &Domains, lp_values: Option<&[f64]>) -> Option<usize> {
+    fn select_branch_var(
+        &mut self,
+        node: &Node,
+        lp: Option<&NodeLp>,
+        stats: &mut SolveStats,
+    ) -> Option<usize> {
+        let domains = &node.domains;
         let candidates: Vec<usize> = (0..domains.len())
             .filter(|&j| domains.is_integral(j) && !domains.is_fixed(j))
             .collect();
         if candidates.is_empty() {
             return None;
         }
-        match self.config.branching {
-            Branching::InputOrder => candidates.first().copied(),
-            Branching::MostConstrained => candidates
+        let most_constrained = |cands: &[usize]| {
+            cands
                 .iter()
                 .copied()
-                .max_by_key(|&j| (self.occurrence[j], usize::MAX - j)),
-            Branching::MostFractional => {
+                .max_by_key(|&j| (self.occurrence[j], usize::MAX - j))
+        };
+        let lp_values = lp.map(|l| l.values.as_slice());
+        match self.config.branching {
+            BranchRule::InputOrder => candidates.first().copied(),
+            BranchRule::MostConstrained => most_constrained(&candidates),
+            BranchRule::MostFractional => {
                 if let Some(values) = lp_values {
                     let most = candidates
                         .iter()
@@ -913,30 +1303,118 @@ impl<'a> BranchAndBound<'a> {
                         return Some(j);
                     }
                 }
-                candidates
+                most_constrained(&candidates)
+            }
+            BranchRule::PseudoCost => {
+                let Some(lp) = lp else {
+                    // Propagation-only nodes carry no LP point to learn
+                    // from; use the static structural rule.
+                    return most_constrained(&candidates);
+                };
+                let fractional: Vec<(usize, f64)> = candidates
                     .iter()
                     .copied()
-                    .max_by_key(|&j| (self.occurrence[j], usize::MAX - j))
+                    .filter(|&j| (lp.values[j] - lp.values[j].round()).abs() > INT_EPS)
+                    .map(|j| (j, lp.values[j]))
+                    .collect();
+                if fractional.is_empty() {
+                    return most_constrained(&candidates);
+                }
+                // Reliability pass: at shallow depth, seed the pseudo-costs
+                // of unobserved fractional candidates by strong branching
+                // (both child LPs, warm from this node's basis).
+                if node.depth <= STRONG_DEPTH {
+                    if let Some(basis) = lp.basis_key.and_then(|key| self.cached_basis(key)) {
+                        let mut unreliable: Vec<usize> = fractional
+                            .iter()
+                            .map(|&(j, _)| j)
+                            .filter(|&j| self.pseudo.observations(j) < RELIABILITY)
+                            .collect();
+                        unreliable.sort_by_key(|&j| (usize::MAX - self.occurrence[j], j));
+                        unreliable.truncate(STRONG_CANDIDATES);
+                        for j in unreliable {
+                            self.strong_branch(&basis, &node.domains, j, lp, stats);
+                        }
+                    }
+                }
+                fractional
+                    .into_iter()
+                    .map(|(j, v)| {
+                        let f = v - v.floor();
+                        let down = self.pseudo.estimate(j, false) * f.max(INT_EPS);
+                        let up = self.pseudo.estimate(j, true) * (1.0 - f).max(INT_EPS);
+                        (j, down.max(1e-9) * up.max(1e-9))
+                    })
+                    .max_by(|a, b| {
+                        a.1.partial_cmp(&b.1)
+                            .unwrap_or(std::cmp::Ordering::Equal)
+                            // Ties break towards the smaller variable index.
+                            .then_with(|| b.0.cmp(&a.0))
+                    })
+                    .map(|(j, _)| j)
             }
         }
     }
 
-    fn push_children(
-        &self,
-        frontier: &mut Frontier,
-        node: &Node,
+    /// Strong-branches variable `j` at an LP node: solves both child LPs
+    /// warm from the node's basis under a small pivot budget and records
+    /// the observed per-unit degradations as pseudo-cost observations.
+    fn strong_branch(
+        &mut self,
+        basis: &Basis,
+        domains: &Domains,
         j: usize,
-        lp_values: Option<&[f64]>,
+        lp: &NodeLp,
+        stats: &mut SolveStats,
     ) {
+        let v = lp.values[j];
+        let floor = v.floor();
+        for up in [false, true] {
+            let mut child = domains.clone();
+            let tightened = if up {
+                child.tighten_lower(j, floor + 1.0)
+            } else {
+                child.tighten_upper(j, floor)
+            };
+            if !tightened || child.is_infeasible() {
+                continue;
+            }
+            let Some((child_lp, _)) = resolve_with_basis(basis, &child, STRONG_PIVOTS) else {
+                continue;
+            };
+            stats.lp_solves += 1;
+            stats.lp_pivots += child_lp.pivots;
+            stats.strong_branch_solves += 1;
+            let step = if up {
+                (floor + 1.0 - v).max(INT_EPS)
+            } else {
+                (v - floor).max(INT_EPS)
+            };
+            match child_lp.status {
+                LpStatus::Optimal => {
+                    let degradation = ((child_lp.objective - lp.objective) / step).max(0.0);
+                    self.pseudo.record(j, up, degradation);
+                }
+                LpStatus::Infeasible => self.pseudo.record(j, up, INFEASIBLE_DEGRADATION),
+                LpStatus::Unbounded | LpStatus::IterationLimit => {}
+            }
+        }
+    }
+
+    fn push_children(&self, frontier: &mut Frontier, node: &Node, j: usize, lp: Option<&NodeLp>) {
         let lower = node.domains.lower(j);
         let upper = node.domains.upper(j);
         debug_assert!(upper > lower + EPS);
+        let lp_values = lp.map(|l| l.values.as_slice());
+        let parent_basis = lp.and_then(|l| l.basis_key);
+        let parent_bound_is_lp = lp.is_some();
+        let v_lp = lp_values.map(|v| v[j]);
 
         if upper - lower <= 1.0 + EPS {
             // Binary-style split: fix to each bound. Push the preferred value
             // last so depth-first search explores it first.
-            let preferred = if let Some(values) = lp_values {
-                if values[j] >= 0.5 * (lower + upper) {
+            let preferred = if let Some(v) = v_lp {
+                if v >= 0.5 * (lower + upper) {
                     upper
                 } else {
                     lower
@@ -952,6 +1430,10 @@ impl<'a> BranchAndBound<'a> {
                 lower
             };
             for value in [other, preferred] {
+                let branch_up = (value - upper).abs() < EPS;
+                let branch_step = v_lp
+                    .map(|v| if branch_up { upper - v } else { v - lower }.max(0.0))
+                    .unwrap_or(0.0);
                 let mut domains = node.domains.clone();
                 if domains.fix(j, value) {
                     frontier.push(Node {
@@ -959,26 +1441,41 @@ impl<'a> BranchAndBound<'a> {
                         depth: node.depth + 1,
                         bound: node.bound,
                         branched: Some(j),
+                        parent_basis,
+                        parent_bound_is_lp,
+                        branch_up,
+                        branch_step,
                     });
                 }
             }
         } else {
             // Interval split around the LP value or the midpoint.
-            let pivot = lp_values
-                .map(|v| v[j])
-                .unwrap_or_else(|| 0.5 * (lower + upper));
+            let pivot = v_lp.unwrap_or(0.5 * (lower + upper));
             let split = pivot.floor().clamp(lower, upper - 1.0);
             let mut down = node.domains.clone();
             down.tighten_upper(j, split);
             let mut up = node.domains.clone();
             up.tighten_lower(j, split + 1.0);
-            for domains in [up, down] {
+            for (domains, branch_up) in [(up, true), (down, false)] {
+                let branch_step = v_lp
+                    .map(|v| {
+                        if branch_up {
+                            (split + 1.0 - v).max(0.0)
+                        } else {
+                            (v - split).max(0.0)
+                        }
+                    })
+                    .unwrap_or(0.0);
                 if !domains.is_infeasible() {
                     frontier.push(Node {
                         domains,
                         depth: node.depth + 1,
                         bound: node.bound,
                         branched: Some(j),
+                        parent_basis,
+                        parent_bound_is_lp,
+                        branch_up,
+                        branch_step,
                     });
                 }
             }
@@ -986,11 +1483,85 @@ impl<'a> BranchAndBound<'a> {
     }
 }
 
+/// Reduced-cost bound fixing: with incumbent objective `incumbent_obj` and
+/// an optimal node LP of objective `lp_objective`, any solution moving
+/// variable `j` a further `t` integer steps off the bound it sits on costs
+/// at least `lp_objective + rc·t`; steps that push this above the
+/// improvement cutoff can be cut. Returns the tightened variable indices
+/// (to seed the propagation worklist).
+fn reduced_cost_fixing(
+    domains: &mut Domains,
+    lp_objective: f64,
+    rc: &ReducedCosts,
+    lp_values: &[f64],
+    incumbent_obj: f64,
+) -> Vec<usize> {
+    let mut changed = Vec::new();
+    // Matches the node pruning cutoff: only solutions strictly better than
+    // `incumbent_obj - EPS` are still searched for.
+    let budget = incumbent_obj - EPS - lp_objective;
+    if !budget.is_finite() || budget <= 0.0 {
+        return changed;
+    }
+    #[allow(clippy::needless_range_loop)]
+    for j in 0..domains.len() {
+        if !domains.is_integral(j) || domains.is_fixed(j) {
+            continue;
+        }
+        let lower = domains.lower(j);
+        let upper = domains.upper(j);
+        let up_cost = rc.up[j];
+        if up_cost > EPS && (lp_values[j] - lower).abs() <= 1e-6 {
+            let allowed_steps = (budget / up_cost + INT_EPS).floor();
+            let new_upper = lower + allowed_steps;
+            if new_upper < upper - 0.5 && domains.tighten_upper(j, new_upper) {
+                changed.push(j);
+                continue;
+            }
+        }
+        let down_cost = rc.down[j];
+        if down_cost > EPS && (lp_values[j] - upper).abs() <= 1e-6 {
+            let allowed_steps = (budget / down_cost + INT_EPS).floor();
+            let new_lower = upper - allowed_steps;
+            if new_lower > lower + 0.5 && domains.tighten_lower(j, new_lower) {
+                changed.push(j);
+            }
+        }
+    }
+    changed
+}
+
+/// The LP relaxation solved at a node, as consumed by reduced-cost fixing,
+/// cut separation, branching and child creation.
+struct NodeLp {
+    /// Optimal LP objective (minimisation sense).
+    objective: f64,
+    /// Optimal LP point over the original variables.
+    values: Vec<f64>,
+    /// Reduced costs at optimality (warm-capable path only).
+    reduced_costs: Option<ReducedCosts>,
+    /// Cache key of the stored optimal basis, if it was kept.
+    basis_key: Option<u64>,
+}
+
 enum NodeBound {
     Infeasible,
-    Bound {
-        value: f64,
-        lp_values: Option<Vec<f64>>,
+    Bound { value: f64, lp: Option<NodeLp> },
+}
+
+/// Outcome of [`BranchAndBound::solve_node_lp`].
+enum SolvedNodeLp {
+    /// The relaxation is infeasible (the node can be discarded).
+    Infeasible,
+    /// No usable LP bound (unbounded relaxation or pivot budget exhausted);
+    /// the caller falls back to the propagation bound.
+    NoBound,
+    /// The relaxation solved to optimality.
+    Optimal {
+        objective: f64,
+        values: Vec<f64>,
+        reduced_costs: Option<ReducedCosts>,
+        basis_key: Option<u64>,
     },
 }
 
@@ -1008,6 +1579,15 @@ mod tests {
                 .with_branching(Branching::MostFractional),
             SolverConfig::exact().with_search(SearchOrder::BestFirst),
             SolverConfig::exact().with_branching(Branching::InputOrder),
+            SolverConfig::exact().with_branching(BranchRule::PseudoCost),
+            SolverConfig::exact()
+                .with_branching(BranchRule::PseudoCost)
+                .with_lp_warm_start(false)
+                .with_rc_fixing(false),
+            SolverConfig::exact()
+                .with_branching(BranchRule::MostConstrained)
+                .with_lp_warm_start(false)
+                .with_rc_fixing(false),
         ]
     }
 
@@ -1049,6 +1629,58 @@ mod tests {
             assert!((sol.objective() - 5.0).abs() < 1e-6);
             assert!(sol.is_one(d));
         }
+    }
+
+    #[test]
+    fn search_layer_counters_are_recorded() {
+        // A model that needs real branching at LP bound mode, solved with
+        // the warm default: every new counter must be populated coherently.
+        let mut m = Model::new("counters");
+        let vars: Vec<_> = (0..10).map(|i| m.add_binary(format!("x{i}"))).collect();
+        for w in vars.windows(3).step_by(2) {
+            m.add_geq(w.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(), 2.0, "need");
+        }
+        m.add_leq(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 3) as f64))
+                .collect::<Vec<_>>(),
+            11.0,
+            "cap",
+        );
+        m.set_objective(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 4) as f64))
+                .collect::<Vec<_>>(),
+            Sense::Minimize,
+        );
+        let config = SolverConfig::exact().with_presolve(false).with_cuts(false);
+        let sol = m.solve(&config).expect("solve");
+        assert!(sol.is_optimal());
+        let stats = sol.stats();
+        // One per-node iteration record per node-relaxation LP, never more
+        // than the LP solve count, and their sum never exceeds the global
+        // pivot total (which also counts strong-branching probes).
+        assert!(!stats.node_lp_pivots.is_empty());
+        assert!(stats.node_lp_pivots.len() as u64 <= stats.lp_solves);
+        assert!(stats.node_lp_pivots.iter().sum::<u64>() <= stats.lp_pivots);
+        assert!(stats.warm_lp_pivots <= stats.lp_pivots);
+        assert!(stats.refactorizations >= 1, "the root factorises cold");
+        // The cold configuration records none of the warm-path counters.
+        let cold = config
+            .with_lp_warm_start(false)
+            .with_rc_fixing(false)
+            .with_branching(BranchRule::MostConstrained);
+        let cold_sol = m.solve(&cold).expect("solve");
+        assert!(cold_sol.is_optimal());
+        assert!((cold_sol.objective() - sol.objective()).abs() < 1e-6);
+        let cold_stats = cold_sol.stats();
+        assert_eq!(cold_stats.warm_lp_solves, 0);
+        assert_eq!(cold_stats.refactorizations, 0);
+        assert_eq!(cold_stats.strong_branch_solves, 0);
+        assert_eq!(cold_stats.rc_fixed_bounds, 0);
+        assert!(!cold_stats.node_lp_pivots.is_empty());
     }
 
     #[test]

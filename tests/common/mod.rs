@@ -5,6 +5,8 @@
 // subset of it.
 #![allow(dead_code)]
 
+pub mod corpus;
+
 use advbist::ilp::{Model, Sense};
 
 /// Deterministic xorshift* PRNG; the failing seed is printed by every

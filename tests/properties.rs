@@ -15,8 +15,11 @@ use advbist::datapath::{CostModel, Datapath};
 use advbist::dfg::allocate::left_edge;
 use advbist::dfg::benchmarks::{random_dfg, RandomDfgConfig};
 use advbist::dfg::lifetime::{InputTiming, LifetimeTable};
+use advbist::ilp::propagate::Domains;
 use advbist::ilp::reduce::{reduce, solve_reduced, ReduceOptions, VarDisposition};
-use advbist::ilp::{BoundMode, SolverConfig};
+use advbist::ilp::simplex::{resolve_with_basis, solve_lp, solve_lp_basis, LpStatus};
+use advbist::ilp::sparse::SparseModel;
+use advbist::ilp::{BoundMode, BranchRule, CmpOp, Model, SolverConfig};
 use common::{brute_force, random_binary_model, Rng};
 
 /// Draws a random DFG configuration from a seeded PRNG, mirroring the
@@ -195,6 +198,196 @@ fn reduce_and_lift_preserve_the_brute_force_optimum() {
                         "seed {seed}, mode {mode:?}: lifted assignment infeasible"
                     );
                 }
+            }
+        }
+    }
+}
+
+/// Builds the LP relaxation inputs of a model exactly the way the solver
+/// does.
+fn relaxation(model: &Model) -> (SparseModel, Vec<f64>, f64, Domains) {
+    let objective: Vec<f64> = model.vars().iter().map(|v| v.objective).collect();
+    let constant = model.objective().offset();
+    (
+        SparseModel::from_model(model),
+        objective,
+        constant,
+        Domains::from_model(model),
+    )
+}
+
+/// Whether `values` satisfies every row of `matrix` and the box of
+/// `domains` (LP feasibility — integrality is deliberately ignored).
+fn lp_feasible(matrix: &SparseModel, domains: &Domains, values: &[f64]) -> bool {
+    let in_box = (0..domains.len())
+        .all(|j| values[j] >= domains.lower(j) - 1e-6 && values[j] <= domains.upper(j) + 1e-6);
+    in_box
+        && matrix.rows().all(|row| {
+            let activity: f64 = row.terms().map(|(j, a)| a * values[j]).sum();
+            match row.op {
+                CmpOp::Le => activity <= row.rhs + 1e-6,
+                CmpOp::Ge => activity >= row.rhs - 1e-6,
+                CmpOp::Eq => (activity - row.rhs).abs() <= 1e-6,
+            }
+        })
+}
+
+/// Differential test of the search layer's LP path: on a PRNG corpus of
+/// ≥200 *reduced* models (the models branch-and-bound actually solves), the
+/// warm-started dual simplex must agree with the cold two-phase primal —
+/// same status, objectives within 1e-6 and a feasible optimal point — at
+/// the root and along random bound-tightening chains re-solved from the
+/// previous basis, exactly like a branch-and-bound descent.
+#[test]
+fn warm_dual_simplex_agrees_with_cold_primal_on_reduced_models() {
+    let mut rng = Rng::new(0xd0a1);
+    let mut corpus = 0usize;
+    let mut warm_resolves = 0usize;
+    let mut seed = 0u64;
+    while corpus < 220 {
+        seed += 1;
+        let model = random_binary_model(seed.wrapping_mul(9176) + 5, 8, 6);
+        let reduced = reduce(&model, &ReduceOptions::full());
+        if reduced.report.infeasible || reduced.model.num_vars() == 0 {
+            continue;
+        }
+        corpus += 1;
+        let (matrix, objective, constant, root_domains) = relaxation(&reduced.model);
+        let cold_root = solve_lp(&matrix, &objective, constant, &root_domains, 50_000);
+        let (warm_root, basis) =
+            solve_lp_basis(&matrix, &objective, constant, &root_domains, 50_000);
+        assert_eq!(warm_root.status, cold_root.status, "seed {seed} (root)");
+        if warm_root.status != LpStatus::Optimal {
+            continue;
+        }
+        assert!(
+            (warm_root.objective - cold_root.objective).abs() < 1e-6,
+            "seed {seed} (root): warm {} vs cold {}",
+            warm_root.objective,
+            cold_root.objective
+        );
+        assert!(
+            lp_feasible(&matrix, &root_domains, &warm_root.values),
+            "seed {seed} (root): warm point infeasible"
+        );
+        let mut basis = basis.expect("small models stay under the warm size cap");
+        let mut domains = root_domains;
+        // A random branch-and-bound descent: fix one free variable at a
+        // time and re-solve warm from the previous basis.
+        for step in 0..4 {
+            let free: Vec<usize> = (0..domains.len())
+                .filter(|&j| !domains.is_fixed(j))
+                .collect();
+            if free.is_empty() {
+                break;
+            }
+            let j = free[rng.range(0, free.len() as u64) as usize];
+            let value = f64::from(u8::from(rng.next_u64().is_multiple_of(2)));
+            assert!(domains.fix(j, value), "seed {seed} step {step}");
+            let cold = solve_lp(&matrix, &objective, constant, &domains, 50_000);
+            let (warm, next) = resolve_with_basis(&basis, &domains, 50_000)
+                .unwrap_or_else(|| panic!("seed {seed} step {step}: basis incompatible"));
+            warm_resolves += 1;
+            assert_eq!(warm.status, cold.status, "seed {seed} step {step}");
+            if warm.status != LpStatus::Optimal {
+                break;
+            }
+            assert!(
+                (warm.objective - cold.objective).abs() < 1e-6,
+                "seed {seed} step {step}: warm {} vs cold {}",
+                warm.objective,
+                cold.objective
+            );
+            assert!(
+                lp_feasible(&matrix, &domains, &warm.values),
+                "seed {seed} step {step}: warm point infeasible"
+            );
+            basis = next.expect("optimal dual re-solve returns a basis");
+        }
+    }
+    assert!(
+        warm_resolves >= 200,
+        "only {warm_resolves} warm re-solves exercised"
+    );
+}
+
+/// Every branching rule is an exact oracle: on random small 0-1 models all
+/// `BranchRule` variants reach the brute-force optimum under **all three**
+/// dual-bound modes (pseudo-cost branching falls back gracefully where no
+/// LP values exist).
+#[test]
+fn branch_rules_agree_with_brute_force_across_bound_modes() {
+    let rules = [
+        BranchRule::InputOrder,
+        BranchRule::MostConstrained,
+        BranchRule::MostFractional,
+        BranchRule::PseudoCost,
+    ];
+    let modes = [
+        BoundMode::Propagation,
+        BoundMode::LpRelaxation,
+        BoundMode::Hybrid { lp_depth: 2 },
+    ];
+    for seed in 0..25u64 {
+        let model = random_binary_model(seed.wrapping_mul(4243) + 9, 8, 6);
+        let expected = brute_force(&model);
+        for rule in rules {
+            for mode in modes {
+                let config = SolverConfig::exact()
+                    .with_bound_mode(mode)
+                    .with_branching(rule);
+                let solution = model.solve(&config).unwrap();
+                match expected {
+                    None => assert!(
+                        !solution.is_feasible(),
+                        "seed {seed}, rule {rule:?}, mode {mode:?}: expected infeasible"
+                    ),
+                    Some(best) => {
+                        assert!(
+                            solution.is_optimal(),
+                            "seed {seed}, rule {rule:?}, mode {mode:?}: not optimal"
+                        );
+                        assert!(
+                            (solution.objective() - best).abs() < 1e-6,
+                            "seed {seed}, rule {rule:?}, mode {mode:?}: solver {} vs brute force {best}",
+                            solution.objective(),
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// All branching rules reach the same proven optimum on the exactly
+/// solvable circuit (figure1), for every session count — the circuit-level
+/// counterpart of the brute-force oracle above.
+#[test]
+fn branch_rules_agree_on_the_exactly_solvable_circuit() {
+    use advbist::core::synthesis::synthesize_bist;
+    use advbist::dfg::benchmarks;
+    let input = benchmarks::figure1();
+    let rules = [
+        BranchRule::InputOrder,
+        BranchRule::MostConstrained,
+        BranchRule::MostFractional,
+        BranchRule::PseudoCost,
+    ];
+    for k in 1..=input.binding().num_modules() {
+        let mut reference: Option<f64> = None;
+        for rule in rules {
+            let mut config = SynthesisConfig::exact();
+            config.solver.branching = rule;
+            let design = synthesize_bist(&input, k, &config).unwrap();
+            assert!(design.optimal, "k={k}, rule {rule:?}");
+            match reference {
+                None => reference = Some(design.objective),
+                Some(expected) => assert!(
+                    (design.objective - expected).abs() < 1e-6,
+                    "k={k}, rule {rule:?}: objective {} vs {}",
+                    design.objective,
+                    expected
+                ),
             }
         }
     }
