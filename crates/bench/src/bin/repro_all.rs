@@ -1,14 +1,25 @@
 //! Runs the whole evaluation (Tables 1-3, Figures 1-3, the k-sweep engine
 //! comparison) and prints a JSON summary at the end, suitable for pasting
 //! into EXPERIMENTS.md. The sweep comparison is also written to
-//! `BENCH_sweep.json` so the perf trajectory can be tracked across PRs.
+//! `BENCH_sweep.json` so the perf trajectory can be tracked across PRs, and
+//! re-served through the `advbist::service` job queue as the front-door
+//! acceptance gate (identical objectives under the per-job budgets).
+//!
+//! The solve budget comes from one [`bist_ilp::Budget::from_env`] read:
+//! `BIST_TIME_LIMIT_SECS` (default 5 s) per table/figure ILP solve,
+//! `BIST_NODE_LIMIT` (legacy `BIST_SWEEP_NODES`, default 1000) per sweep
+//! solve.
 
 use bist_bench::report::ExperimentReport;
+use bist_bench::workload::DEFAULT_SWEEP_NODES;
 use bist_datapath::CostModel;
 
 fn main() {
-    let limit = bist_bench::time_limit_from_env();
-    let config = bist_bench::quick_config(limit);
+    // One env read covers the whole run: wall-clock (plus any absolute
+    // deadline) for the tables/figures, node budget for the sweep.
+    let table_budget = bist_bench::workload::table_budget();
+    let limit = table_budget.time_limit.expect("or_time fills the limit");
+    let config = bist_bench::workload::quick_config_budget(table_budget);
     eprintln!(
         "# per-instance ILP budget: {:.1}s (set BIST_TIME_LIMIT_SECS to change)",
         limit.as_secs_f64()
@@ -25,7 +36,7 @@ fn main() {
         Err(e) => eprintln!("figures 2/3 failed: {e}"),
     }
 
-    let table2 = match bist_bench::table2::run_all(limit) {
+    let table2 = match bist_bench::table2::run_all(table_budget) {
         Ok(rows) => {
             println!("{}", bist_bench::table2::render(&rows));
             rows
@@ -35,7 +46,7 @@ fn main() {
             Vec::new()
         }
     };
-    let table3 = match bist_bench::table3::run_all(limit) {
+    let table3 = match bist_bench::table3::run_all(table_budget) {
         Ok(rows) => {
             println!("{}", bist_bench::table3::render(&rows));
             let violations = bist_bench::table3::advbist_wins(&rows);
@@ -56,8 +67,11 @@ fn main() {
 
     // The rebuild-vs-engine sweep comparison, under a deterministic node
     // budget so the per-k objectives can be cross-checked.
-    let sweep_nodes = bist_bench::workload::sweep_nodes_from_env();
-    eprintln!("# sweep node budget: {sweep_nodes} nodes/solve (set BIST_SWEEP_NODES to change)");
+    let sweep_nodes = bist_bench::budget_from_env()
+        .or_nodes(DEFAULT_SWEEP_NODES)
+        .node_limit
+        .expect("or_nodes fills the limit");
+    eprintln!("# sweep node budget: {sweep_nodes} nodes/solve (set BIST_NODE_LIMIT to change)");
     let sweep_config = bist_bench::workload::sweep_config(sweep_nodes);
     let sweep_circuits = bist_bench::small_circuits();
     let sweep = match bist_bench::sweep::run_all(&sweep_circuits, &sweep_config) {
@@ -66,8 +80,10 @@ fn main() {
             sweeps
         }
         Err(e) => {
+            // The sweep feeds the service acceptance gate below; a sweep
+            // that cannot run must fail the harness, not skip the gate.
             eprintln!("sweep comparison failed: {e}");
-            Vec::new()
+            std::process::exit(1);
         }
     };
     if !sweep.is_empty() {
@@ -80,6 +96,19 @@ fn main() {
         match std::fs::write("BENCH_sweep.json", &json) {
             Ok(()) => eprintln!("# wrote BENCH_sweep.json"),
             Err(e) => eprintln!("could not write BENCH_sweep.json: {e}"),
+        }
+
+        // Front-door gate: a single service batch must reproduce the engine
+        // sweep rows with identical objectives under the per-job budgets.
+        match bist_bench::sweep::service_cross_check(&sweep_circuits, &sweep, sweep_nodes) {
+            Ok(()) => println!(
+                "service gate: one job-queue batch reproduced every engine sweep row \
+                 (identical objectives, per-job node budgets honoured)."
+            ),
+            Err(message) => {
+                eprintln!("service gate failed: {message}");
+                std::process::exit(1);
+            }
         }
     }
 

@@ -1,8 +1,7 @@
 //! Regenerates Figure 1 of the paper: the example DFG and its data path.
 
 fn main() {
-    let limit = bist_bench::time_limit_from_env();
-    let config = bist_bench::quick_config(limit);
+    let config = bist_bench::workload::quick_config_budget(bist_bench::workload::table_budget());
     match bist_bench::figures::render_figure1(&config) {
         Ok(text) => print!("{text}"),
         Err(e) => {

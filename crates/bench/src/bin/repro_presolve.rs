@@ -5,14 +5,11 @@
 //! layer.
 
 fn main() {
-    let node_limit = std::env::var("BIST_PRESOLVE_NODES")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(|n| n.max(1))
-        .unwrap_or(300);
+    // Canonical BIST_NODE_LIMIT first, legacy BIST_PRESOLVE_NODES second.
+    let node_limit = bist_bench::workload::ablation_nodes("BIST_PRESOLVE_NODES", 300);
     eprintln!(
         "# presolve ablation node budget: {node_limit} nodes/solve \
-         (set BIST_PRESOLVE_NODES to change)"
+         (set BIST_NODE_LIMIT to change)"
     );
 
     let circuits = bist_bench::small_circuits();

@@ -6,14 +6,11 @@
 //! the perf gate for the search layer.
 
 fn main() {
-    let node_limit = std::env::var("BIST_SEARCH_NODES")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(|n| n.max(1))
-        .unwrap_or(300);
+    // Canonical BIST_NODE_LIMIT first, legacy BIST_SEARCH_NODES second.
+    let node_limit = bist_bench::workload::ablation_nodes("BIST_SEARCH_NODES", 300);
     eprintln!(
         "# search ablation node budget: {node_limit} nodes/solve \
-         (set BIST_SEARCH_NODES to change)"
+         (set BIST_NODE_LIMIT to change)"
     );
 
     let circuits = bist_bench::small_circuits();

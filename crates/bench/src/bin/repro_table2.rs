@@ -4,12 +4,13 @@
 //! The per-instance ILP budget comes from `BIST_TIME_LIMIT_SECS` (default 5s).
 
 fn main() {
-    let limit = bist_bench::time_limit_from_env();
+    let budget = bist_bench::workload::table_budget();
+    let limit = budget.time_limit.expect("or_time fills the limit");
     eprintln!(
         "# per-instance ILP budget: {:.1}s (set BIST_TIME_LIMIT_SECS to change)",
         limit.as_secs_f64()
     );
-    match bist_bench::table2::run_all(limit) {
+    match bist_bench::table2::run_all(budget) {
         Ok(rows) => print!("{}", bist_bench::table2::render(&rows)),
         Err(e) => {
             eprintln!("table 2 reproduction failed: {e}");

@@ -13,8 +13,13 @@
 //! | Ablations (ours) | [`ablation`] | — | `ablation_solver`, `ilp_solver` |
 //! | k-sweep engine vs rebuild (ours, `BENCH_sweep.json`) | [`sweep`] | `repro_all` | — |
 //!
-//! The ILP solve budget is controlled by the `BIST_TIME_LIMIT_SECS`
-//! environment variable (default: 5 seconds per instance); the paper used a
+//! Every `repro_*` binary reads its solve budget through one
+//! [`bist_ilp::Budget::from_env`] call ([`workload::budget_from_env`]):
+//! `BIST_TIME_LIMIT_SECS` caps each table/figure ILP solve (default: 5
+//! seconds per instance), `BIST_NODE_LIMIT` caps the deterministic
+//! node-budgeted comparisons, and `BIST_DEADLINE_SECS` puts an absolute
+//! deadline on the table/figure solves of a run (the node-budgeted
+//! comparisons ignore it — they must stay deterministic). The paper used a
 //! 24-CPU-hour cap on CPLEX 6.0, so absolute runtimes are not comparable —
 //! see EXPERIMENTS.md.
 #![forbid(unsafe_code)]
@@ -33,4 +38,4 @@ pub mod workload;
 
 pub use report::{ExperimentReport, MethodRow, SessionRow};
 pub use sweep::CircuitSweep;
-pub use workload::{circuits, quick_config, small_circuits, time_limit_from_env};
+pub use workload::{budget_from_env, circuits, quick_config, small_circuits, table_time_budget};

@@ -51,8 +51,7 @@ pub fn ablation_config(
 ) -> SynthesisConfig {
     SynthesisConfig {
         solver: SolverConfig {
-            time_limit: None,
-            node_limit: Some(node_limit),
+            budget: bist_ilp::Budget::nodes(node_limit),
             bound_mode: mode,
             presolve,
             cuts,

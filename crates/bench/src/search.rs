@@ -53,8 +53,7 @@ pub fn search_config(
 ) -> SynthesisConfig {
     SynthesisConfig {
         solver: SolverConfig {
-            time_limit: None,
-            node_limit: Some(node_limit),
+            budget: bist_ilp::Budget::nodes(node_limit),
             bound_mode: mode,
             lp_warm_start: warm,
             rc_fixing: warm,

@@ -296,6 +296,82 @@ pub fn run_all(
         .collect()
 }
 
+/// Re-runs the sweep through the `advbist::service` job queue — one
+/// node-budgeted [`SynthesisJob`](advbist::service::SynthesisJob) per
+/// circuit — and verifies the reported rows against the engine sweep:
+/// identical objectives and areas per k, every solve within the per-job
+/// node budget, every job completed. This is the front-door acceptance
+/// gate: the service must *serve* exactly what the engine computes.
+///
+/// # Errors
+///
+/// Returns a human-readable description of the first divergence.
+pub fn service_cross_check(
+    circuits: &[(&str, SynthesisInput)],
+    sweeps: &[CircuitSweep],
+    node_limit: u64,
+) -> Result<(), String> {
+    use advbist::service::{JobService, SynthesisJob};
+    use bist_ilp::Budget;
+
+    if circuits.len() != sweeps.len() {
+        return Err(format!(
+            "{} circuits but {} sweep records",
+            circuits.len(),
+            sweeps.len()
+        ));
+    }
+    let mut service = JobService::new();
+    for (name, input) in circuits {
+        service.submit(
+            SynthesisJob::new(*name, input.clone())
+                .with_config(crate::workload::sweep_config(node_limit))
+                .with_budget(Budget::nodes(node_limit)),
+        );
+    }
+    let reports = service.run();
+    for (report, sweep) in reports.iter().zip(sweeps) {
+        if report.name != sweep.circuit {
+            return Err(format!(
+                "report order diverged: job {} vs sweep {}",
+                report.name, sweep.circuit
+            ));
+        }
+        if !report.outcome.is_completed() {
+            return Err(format!(
+                "job {} did not complete: {:?}",
+                report.name, report.outcome
+            ));
+        }
+        if report.rows.len() != sweep.parallel.len() {
+            return Err(format!(
+                "job {}: {} rows vs {} engine rows",
+                report.name,
+                report.rows.len(),
+                sweep.parallel.len()
+            ));
+        }
+        for (row, engine) in report.rows.iter().zip(&sweep.parallel) {
+            if row.k != engine.sessions
+                || (row.objective - engine.objective).abs() > 1e-9
+                || row.area != engine.area
+            {
+                return Err(format!(
+                    "job {} k={}: service objective {} / area {} vs engine objective {} / area {}",
+                    report.name, row.k, row.objective, row.area, engine.objective, engine.area
+                ));
+            }
+            if row.nodes > node_limit {
+                return Err(format!(
+                    "job {} k={}: {} nodes exceed the per-job budget of {}",
+                    report.name, row.k, row.nodes, node_limit
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Renders a human-readable summary of the sweep comparison.
 pub fn render(sweeps: &[CircuitSweep]) -> String {
     let mut out = String::new();
@@ -367,6 +443,18 @@ mod tests {
         assert!(json.contains("\"objectives_match\": true"));
         let text = render(&[sweep]);
         assert!(text.contains("figure1"));
+    }
+
+    #[test]
+    fn service_batch_matches_the_engine_sweep_rows() {
+        let circuits = vec![("figure1", benchmarks::figure1())];
+        let config = workload::sweep_config(80);
+        let sweeps = run_all(&circuits, &config).unwrap();
+        service_cross_check(&circuits, &sweeps, 80).unwrap();
+        // A diverging expectation must be caught, not silently accepted.
+        let mut broken = sweeps.clone();
+        broken[0].parallel[0].objective += 1.0;
+        assert!(service_cross_check(&circuits, &broken, 80).is_err());
     }
 
     #[test]

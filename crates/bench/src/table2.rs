@@ -1,8 +1,6 @@
 //! Reproduction of Table 2: ADVBIST area overhead and solve time for every
 //! k-test session of every circuit.
 
-use std::time::Duration;
-
 use bist_core::{SynthesisConfig, SynthesisEngine};
 use bist_dfg::SynthesisInput;
 
@@ -55,8 +53,8 @@ pub fn run_circuit(
 /// # Errors
 ///
 /// Propagates the first synthesis error (in circuit order).
-pub fn run_all(limit: Duration) -> Result<Vec<SessionRow>, bist_core::CoreError> {
-    let config = workload::quick_config(limit);
+pub fn run_all(budget: bist_ilp::Budget) -> Result<Vec<SessionRow>, bist_core::CoreError> {
+    let config = workload::quick_config_budget(budget);
     let circuits = workload::circuits();
     let results =
         workload::par_map_circuits(&circuits, |name, input| run_circuit(name, input, &config));
@@ -102,6 +100,7 @@ pub fn render(rows: &[SessionRow]) -> String {
 mod tests {
     use super::*;
     use bist_dfg::benchmarks;
+    use std::time::Duration;
 
     #[test]
     fn figure1_rows_have_nonnegative_overhead() {

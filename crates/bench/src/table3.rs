@@ -1,8 +1,6 @@
 //! Reproduction of Table 3: ADVBIST vs ADVAN vs RALLOC vs BITS at the
 //! maximal test-session count of each circuit.
 
-use std::time::Duration;
-
 use bist_baselines::{synthesize_advan, synthesize_bits, synthesize_ralloc};
 use bist_core::{reference, synthesis, SynthesisConfig};
 use bist_datapath::report::DesignReport;
@@ -86,9 +84,9 @@ pub fn run_circuit(
 ///
 /// Propagates the first synthesis error (in circuit order).
 pub fn run_all(
-    limit: Duration,
+    budget: bist_ilp::Budget,
 ) -> Result<Vec<MethodRow>, Box<dyn std::error::Error + Send + Sync>> {
-    let config = workload::quick_config(limit);
+    let config = workload::quick_config_budget(budget);
     let circuits = workload::circuits();
     let results =
         workload::par_map_circuits(&circuits, |name, input| run_circuit(name, input, &config));
@@ -168,6 +166,7 @@ pub fn advbist_wins(rows: &[MethodRow]) -> Vec<String> {
 mod tests {
     use super::*;
     use bist_dfg::benchmarks;
+    use std::time::Duration;
 
     #[test]
     fn figure1_comparison_produces_five_rows() {

@@ -4,7 +4,12 @@ use std::time::Duration;
 
 use bist_core::SynthesisConfig;
 use bist_dfg::{benchmarks, SynthesisInput};
-use bist_ilp::{BoundMode, SolverConfig};
+use bist_ilp::{BoundMode, Budget, SolverConfig};
+
+/// Default per-instance wall-clock budget of the table/figure harnesses.
+pub const DEFAULT_TABLE_SECS: u64 = 5;
+/// Default per-solve node budget of the deterministic sweep comparison.
+pub const DEFAULT_SWEEP_NODES: u64 = 1000;
 
 /// The six evaluation circuits of the paper, in table order.
 pub fn circuits() -> Vec<(&'static str, SynthesisInput)> {
@@ -17,20 +22,82 @@ pub fn small_circuits() -> Vec<(&'static str, SynthesisInput)> {
     benchmarks::small()
 }
 
-/// Reads the per-instance ILP budget from `BIST_TIME_LIMIT_SECS`
-/// (default 5 seconds, minimum 1 millisecond).
+/// Reads the harness [`Budget`] from the environment (`BIST_NODE_LIMIT`,
+/// `BIST_TIME_LIMIT_SECS`, `BIST_DEADLINE_SECS`, legacy `BIST_SWEEP_NODES`
+/// — see [`Budget::from_env`] for precedence), exiting with a diagnostic on
+/// malformed values so CI never silently runs with the wrong budget.
+pub fn budget_from_env() -> Budget {
+    match Budget::from_env() {
+        Ok(budget) => budget,
+        Err(e) => {
+            eprintln!("solver budget: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// The per-solve [`Budget`] of the table/figure harnesses: the
+/// environment's wall-clock limit (default [`DEFAULT_TABLE_SECS`]) plus
+/// any `BIST_DEADLINE_SECS` cap on the whole run. Node limits are *not*
+/// carried over — those configure the deterministic comparisons (sweep and
+/// ablations), not the wall-clock tables.
+pub fn table_budget() -> Budget {
+    let mut budget = budget_from_env().or_time(Duration::from_secs(DEFAULT_TABLE_SECS));
+    budget.node_limit = None;
+    budget
+}
+
+/// Wall-clock budget per table/figure ILP solve (the time component of
+/// [`table_budget`]).
+pub fn table_time_budget() -> Duration {
+    table_budget().time_limit.expect("or_time fills the limit")
+}
+
+/// Node budget for an ablation binary: the canonical `BIST_NODE_LIMIT`
+/// first, then the binary's legacy variable (`legacy_var`), then `default`.
+/// The sweep-specific legacy `BIST_SWEEP_NODES` deliberately does *not*
+/// apply here — the single [`Budget`] parser runs with the binary's own
+/// legacy variable routed into its legacy slot instead. Malformed values
+/// exit with a diagnostic.
+pub fn ablation_nodes(legacy_var: &str, default: u64) -> u64 {
+    let parsed = Budget::from_lookup(|key| {
+        let var = if key == "BIST_SWEEP_NODES" {
+            legacy_var
+        } else {
+            key
+        };
+        std::env::var(var).ok()
+    });
+    match parsed {
+        Ok(budget) => budget.node_limit.unwrap_or(default),
+        Err(mut e) => {
+            // The parser saw the binary's variable under the legacy slot's
+            // name; report the variable the operator actually set.
+            if e.var == "BIST_SWEEP_NODES" {
+                e.var = legacy_var.to_string();
+            }
+            eprintln!("solver budget: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Reads the per-instance ILP budget from `BIST_TIME_LIMIT_SECS`.
+#[deprecated(note = "use `budget_from_env` / `table_time_budget` and `Budget`")]
 pub fn time_limit_from_env() -> Duration {
-    std::env::var("BIST_TIME_LIMIT_SECS")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .map(|secs| Duration::from_secs_f64(secs.max(0.001)))
-        .unwrap_or(Duration::from_secs(5))
+    table_time_budget()
 }
 
 /// The synthesis configuration used by the harness: the paper's 8-bit cost
 /// model with the given time budget per ILP solve.
 pub fn quick_config(limit: Duration) -> SynthesisConfig {
     SynthesisConfig::time_boxed(limit)
+}
+
+/// [`quick_config`] under a full [`Budget`] (time limit plus any absolute
+/// deadline), as the table/figure binaries build from [`table_budget`].
+pub fn quick_config_budget(budget: Budget) -> SynthesisConfig {
+    SynthesisConfig::budgeted(budget)
 }
 
 /// A *deterministic* synthesis configuration for the k-sweep comparison:
@@ -40,8 +107,7 @@ pub fn quick_config(limit: Duration) -> SynthesisConfig {
 pub fn sweep_config(node_limit: u64) -> SynthesisConfig {
     SynthesisConfig {
         solver: SolverConfig {
-            time_limit: None,
-            node_limit: Some(node_limit),
+            budget: Budget::nodes(node_limit),
             bound_mode: BoundMode::LpRelaxation,
             ..SolverConfig::default()
         },
@@ -49,14 +115,14 @@ pub fn sweep_config(node_limit: u64) -> SynthesisConfig {
     }
 }
 
-/// Reads the per-solve node budget of the sweep comparison from
-/// `BIST_SWEEP_NODES` (default 1000, minimum 1).
+/// Reads the per-solve node budget of the sweep comparison from the
+/// environment (default [`DEFAULT_SWEEP_NODES`]).
+#[deprecated(note = "use `budget_from_env` and `Budget`")]
 pub fn sweep_nodes_from_env() -> u64 {
-    std::env::var("BIST_SWEEP_NODES")
-        .ok()
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(|n| n.max(1))
-        .unwrap_or(1000)
+    budget_from_env()
+        .or_nodes(DEFAULT_SWEEP_NODES)
+        .node_limit
+        .expect("or_nodes fills the limit")
 }
 
 /// Maps a closure over circuits on a scoped thread pool and returns the
@@ -96,10 +162,18 @@ mod tests {
     #[test]
     fn env_budget_parsing() {
         // Do not mutate the environment (tests run in parallel); just check
-        // the default path and the config construction.
-        let limit = time_limit_from_env();
+        // the default path and the config construction. The precedence and
+        // parse-failure matrix lives in `bist_ilp::session`'s unit tests
+        // against `Budget::from_lookup`.
+        let limit = table_time_budget();
         assert!(limit >= Duration::from_millis(1));
         let config = quick_config(Duration::from_millis(250));
-        assert_eq!(config.solver.time_limit, Some(Duration::from_millis(250)));
+        assert_eq!(
+            config.solver.budget.time_limit,
+            Some(Duration::from_millis(250))
+        );
+        let sweep = sweep_config(42);
+        assert_eq!(sweep.solver.budget.node_limit, Some(42));
+        assert!(sweep.solver.budget.time_limit.is_none());
     }
 }

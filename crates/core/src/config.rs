@@ -4,7 +4,7 @@ use std::time::Duration;
 
 use bist_datapath::CostModel;
 use bist_dfg::InputTiming;
-use bist_ilp::{BoundMode, SolverConfig};
+use bist_ilp::{BoundMode, Budget, SolverConfig};
 
 /// How the operation→module binding enters the formulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,7 +53,7 @@ impl Default for SynthesisConfig {
             binding_mode: ModuleBindingMode::Fixed,
             warm_start: true,
             solver: SolverConfig {
-                time_limit: Some(Duration::from_secs(30)),
+                budget: Budget::time(Duration::from_secs(30)),
                 bound_mode: BoundMode::Hybrid { lp_depth: 2 },
                 ..SolverConfig::default()
             },
@@ -75,9 +75,17 @@ impl SynthesisConfig {
     /// A configuration with the given wall-clock budget per ILP solve; this
     /// mirrors the paper's 24-CPU-hour cap, scaled to interactive runs.
     pub fn time_boxed(limit: Duration) -> Self {
+        Self::budgeted(Budget::time(limit))
+    }
+
+    /// A configuration under an arbitrary [`Budget`] per ILP solve — the
+    /// preset the job service builds on (node limits for deterministic
+    /// sweeps, wall-clock limits for interactive runs, deadlines for
+    /// batches).
+    pub fn budgeted(budget: Budget) -> Self {
         Self {
             solver: SolverConfig {
-                time_limit: Some(limit),
+                budget,
                 bound_mode: BoundMode::Hybrid { lp_depth: 1 },
                 ..SolverConfig::default()
             },
@@ -138,8 +146,11 @@ mod tests {
         assert_eq!(config.num_registers, Some(6));
         assert!(!config.search_space_reduction);
         assert!(config.commutative_swapping);
-        assert!(config.solver.time_limit.is_none());
+        assert!(config.solver.budget.is_unlimited());
         let boxed = SynthesisConfig::time_boxed(Duration::from_secs(5));
-        assert_eq!(boxed.solver.time_limit, Some(Duration::from_secs(5)));
+        assert_eq!(boxed.solver.budget.time_limit, Some(Duration::from_secs(5)));
+        let budgeted = SynthesisConfig::budgeted(Budget::nodes(50));
+        assert_eq!(budgeted.solver.budget.node_limit, Some(50));
+        assert!(budgeted.solver.budget.time_limit.is_none());
     }
 }

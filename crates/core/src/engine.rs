@@ -54,6 +54,7 @@ use std::time::Instant;
 use bist_dfg::allocate::RegisterAssignment;
 use bist_dfg::SynthesisInput;
 use bist_ilp::reduce::{reduce_prefix, ReduceOptions, ReduceReport, ReducedModel};
+use bist_ilp::SolveEvent;
 
 use crate::config::SynthesisConfig;
 use crate::error::CoreError;
@@ -77,12 +78,30 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
+    par_map_ordered_bounded(items, usize::MAX, f)
+}
+
+/// [`par_map_ordered`] with an explicit worker-pool bound: at most
+/// `max_workers` scoped threads run at once (still additionally capped at
+/// the machine's available parallelism and the item count). The job
+/// service uses this to keep a batch from monopolising the host.
+///
+/// # Panics
+///
+/// Panics if `f` panics on a worker thread.
+pub fn par_map_ordered_bounded<T, R, F>(items: &[T], max_workers: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Mutex;
 
     let workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+        .min(max_workers)
         .min(items.len())
         .max(1);
     if workers <= 1 {
@@ -272,6 +291,34 @@ impl<'a> SynthesisEngine<'a> {
         k: usize,
         previous: Option<&RegisterAssignment>,
     ) -> Result<SweepOutcome, CoreError> {
+        self.synthesize_inner(k, previous, None)
+    }
+
+    /// [`SynthesisEngine::synthesize_seeded`] with a live [`SolveEvent`]
+    /// stream from the underlying ILP search — incumbents, bound progress,
+    /// node milestones and the final `Done`. The observer runs on the
+    /// solving thread; an observer that raises the solver config's
+    /// [`bist_ilp::CancelToken`] stops the solve with the best design found
+    /// so far.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::synthesis::synthesize_bist`].
+    pub fn synthesize_observed(
+        &self,
+        k: usize,
+        previous: Option<&RegisterAssignment>,
+        observer: &mut dyn FnMut(&SolveEvent),
+    ) -> Result<SweepOutcome, CoreError> {
+        self.synthesize_inner(k, previous, Some(observer))
+    }
+
+    fn synthesize_inner(
+        &self,
+        k: usize,
+        previous: Option<&RegisterAssignment>,
+        observer: Option<&mut dyn FnMut(&SolveEvent)>,
+    ) -> Result<SweepOutcome, CoreError> {
         let start = Instant::now();
         let mut formulation = self.base.clone();
         formulation.add_bist(k)?;
@@ -298,6 +345,7 @@ impl<'a> SynthesisEngine<'a> {
             &solver_config,
             k,
             self.reduced_base.as_ref(),
+            observer,
         )?;
         Ok(SweepOutcome {
             design,
@@ -492,6 +540,50 @@ mod tests {
         // no refactorisation accounting.
         assert_eq!(cold.warm_lp_solves, 0, "{cold:?}");
         assert_eq!(cold.refactorizations, 0, "{cold:?}");
+    }
+
+    #[test]
+    fn observed_synthesis_streams_events_and_matches_the_blind_solve() {
+        use bist_ilp::SolveEvent;
+        let input = benchmarks::figure1();
+        let config = SynthesisConfig::exact();
+        let engine = SynthesisEngine::new(&input, &config).unwrap();
+        let blind = engine.synthesize(1).unwrap();
+        let mut events: Vec<SolveEvent> = Vec::new();
+        let observed = engine
+            .synthesize_observed(1, None, &mut |event| events.push(event.clone()))
+            .unwrap();
+        assert_eq!(observed.design.area.total(), blind.area.total());
+        assert!((observed.design.objective - blind.objective).abs() < 1e-9);
+        // The stream ends with Done and carried at least one incumbent
+        // (the warm start at minimum), whose final value is the objective.
+        assert!(matches!(events.last(), Some(SolveEvent::Done { .. })));
+        let last_incumbent = events
+            .iter()
+            .rev()
+            .find_map(|e| match e {
+                SolveEvent::Incumbent { objective, .. } => Some(*objective),
+                _ => None,
+            })
+            .expect("at least one incumbent event");
+        assert!((last_incumbent - blind.objective).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cancelled_sweep_solve_returns_the_warm_incumbent() {
+        use bist_ilp::CancelToken;
+        let input = benchmarks::tseng();
+        let token = CancelToken::new();
+        token.cancel();
+        let mut config = SynthesisConfig::exact();
+        config.solver.cancel = Some(token);
+        let engine = SynthesisEngine::new(&input, &config).unwrap();
+        // The warm-start baseline is installed before the (immediately
+        // cancelled) tree search, so a valid non-optimal design comes back.
+        let outcome = engine.synthesize_seeded(1, None).unwrap();
+        assert!(!outcome.design.optimal);
+        assert_eq!(outcome.design.stats.nodes, 0);
+        assert!(outcome.design.area.total() > 0);
     }
 
     #[test]

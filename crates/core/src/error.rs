@@ -25,6 +25,11 @@ pub enum CoreError {
     },
     /// The solver hit its limits before finding any feasible design.
     NoSolutionWithinLimits,
+    /// The solve was cancelled (via a [`bist_ilp::CancelToken`]) before any
+    /// feasible design was found. A cancellation *after* an incumbent was
+    /// found is not an error — the best design found so far is returned,
+    /// marked non-optimal.
+    Interrupted,
     /// The requested number of sub-test sessions is outside `1..=N`.
     InvalidSessionCount {
         /// Requested k.
@@ -55,6 +60,9 @@ impl fmt::Display for CoreError {
                     f,
                     "solver limits expired before a feasible design was found"
                 )
+            }
+            CoreError::Interrupted => {
+                write!(f, "solve cancelled before a feasible design was found")
             }
             CoreError::InvalidSessionCount { requested, modules } => write!(
                 f,

@@ -70,11 +70,14 @@ pub(crate) fn solve_reference_formulation(
     solver_config: &SolverConfig,
     reduced_base: Option<&bist_ilp::ReducedModel>,
 ) -> Result<ReferenceDesign, CoreError> {
-    let solution = crate::synthesis::solve_formulation(formulation, solver_config, reduced_base)?;
+    let solution =
+        crate::synthesis::solve_formulation(formulation, solver_config, reduced_base, None)?;
 
     let (chosen, optimal) = match solution.status() {
         Status::Optimal => (solution, true),
         Status::Feasible => (solution, false),
+        Status::Interrupted if solution.is_feasible() => (solution, false),
+        Status::Interrupted => return Err(CoreError::Interrupted),
         Status::Infeasible => return Err(CoreError::Infeasible { sessions: 0 }),
         _ => return Err(CoreError::NoSolutionWithinLimits),
     };

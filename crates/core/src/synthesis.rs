@@ -7,7 +7,7 @@ use bist_dfg::allocate::RegisterAssignment;
 use bist_dfg::lifetime::LifetimeTable;
 use bist_dfg::SynthesisInput;
 use bist_ilp::reduce::{self, ReduceOptions, ReducedModel};
-use bist_ilp::{Solution, SolveStats, SolverConfig, Status};
+use bist_ilp::{Solution, SolveEvent, SolveSession, SolveStats, SolverConfig, Status};
 
 use crate::config::SynthesisConfig;
 use crate::engine::SynthesisEngine;
@@ -89,10 +89,12 @@ pub fn synthesize_bist(
             solver_config.initial_solution = Some(values);
         }
     }
-    solve_bist_formulation(input, config, &formulation, &solver_config, k, None).map(|(d, _)| d)
+    solve_bist_formulation(input, config, &formulation, &solver_config, k, None, None)
+        .map(|(d, _)| d)
 }
 
-/// Solves a fully-built formulation through the reducing presolve.
+/// Solves a fully-built formulation through the reducing presolve, as one
+/// observable solve session.
 ///
 /// With [`SolverConfig::presolve`] enabled (the default) the circuit-level
 /// base prefix of the model (everything before the BIST delta, see
@@ -104,6 +106,11 @@ pub fn synthesize_bist(
 /// reduction is computed here from the same prefix, so the rebuild-per-k
 /// path and the engine run bit-identical searches.
 ///
+/// The solver's budget and cancellation token travel inside
+/// `solver_config`; `observer`, when given, receives the live
+/// [`SolveEvent`] stream of the underlying search (including the final
+/// [`SolveEvent::Done`]).
+///
 /// # Errors
 ///
 /// Propagates solver errors.
@@ -111,9 +118,15 @@ pub(crate) fn solve_formulation(
     formulation: &BistFormulation<'_>,
     solver_config: &SolverConfig,
     reduced_base: Option<&ReducedModel>,
+    mut observer: Option<&mut dyn FnMut(&SolveEvent)>,
 ) -> Result<Solution, CoreError> {
     if !solver_config.presolve {
-        return Ok(formulation.model.solve(solver_config)?);
+        // The plain path *is* a solve session (which emits `Done` itself).
+        let session = SolveSession::with_config(&formulation.model, solver_config.clone());
+        return Ok(match observer.as_mut() {
+            Some(observer) => session.on_event(|event| observer(event)).solve()?,
+            None => session.solve()?,
+        });
     }
     let computed;
     let base = match reduced_base {
@@ -130,17 +143,32 @@ pub(crate) fn solve_formulation(
     // aggregated OR/BILBO structure) get reduced and disaggregated too.
     let extended = base.extend(&formulation.model)?;
     let full = extended.compose(reduce::reduce(&extended.model, &ReduceOptions::full()));
-    Ok(reduce::solve_reduced(
-        &formulation.model,
-        &full,
-        solver_config,
-    )?)
+    let solution = match observer.as_mut() {
+        Some(observer) => {
+            let mut forward = |event: &SolveEvent| observer(event);
+            reduce::solve_reduced_with_events(
+                &formulation.model,
+                &full,
+                solver_config,
+                Some(&mut forward),
+            )?
+        }
+        None => reduce::solve_reduced(&formulation.model, &full, solver_config)?,
+    };
+    if let Some(observer) = observer.as_mut() {
+        observer(&SolveEvent::Done {
+            status: solution.status(),
+            nodes: solution.stats().nodes,
+        });
+    }
+    Ok(solution)
 }
 
 /// Solves a fully-built BIST formulation, extracts the design and validates
 /// it. Shared by the per-k rebuild path above and the layered
 /// [`SynthesisEngine`]; also returns the register assignment so sweeps can
 /// chain it into the next solve.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_bist_formulation(
     input: &SynthesisInput,
     config: &SynthesisConfig,
@@ -148,12 +176,18 @@ pub(crate) fn solve_bist_formulation(
     solver_config: &SolverConfig,
     k: usize,
     reduced_base: Option<&ReducedModel>,
+    observer: Option<&mut dyn FnMut(&SolveEvent)>,
 ) -> Result<(BistDesign, RegisterAssignment), CoreError> {
-    let solution = solve_formulation(formulation, solver_config, reduced_base)?;
+    let solution = solve_formulation(formulation, solver_config, reduced_base, observer)?;
 
     let (chosen, optimal) = match solution.status() {
         Status::Optimal => (solution, true),
         Status::Feasible => (solution, false),
+        // A cancelled solve that already holds an incumbent still yields a
+        // valid (non-optimal) design; with no incumbent there is nothing to
+        // extract.
+        Status::Interrupted if solution.is_feasible() => (solution, false),
+        Status::Interrupted => return Err(CoreError::Interrupted),
         Status::Infeasible => return Err(CoreError::Infeasible { sessions: k }),
         _ => return Err(CoreError::NoSolutionWithinLimits),
     };
@@ -188,7 +222,7 @@ pub(crate) fn solve_bist_formulation(
 /// model is built once and every `k` applies its BIST delta onto a clone,
 /// with the solves spread across a scoped thread pool capped at the
 /// machine's available parallelism (on a single core this is exactly the
-/// sequential loop). Note that with a wall-clock [`SolverConfig::time_limit`]
+/// sequential loop). Note that with a wall-clock limit ([`SolverConfig::budget`])
 /// concurrent solves share the machine, trading some per-solve search depth
 /// for sweep wall-clock; under deterministic budgets (node limits) the per-k
 /// results are identical to independent solves. Results are returned in

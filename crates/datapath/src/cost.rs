@@ -4,7 +4,7 @@
 //! multiplexers only (the data path logic is excluded; Section 4.1). The
 //! 8-bit numbers below are Table 1 verbatim; other widths scale linearly per
 //! bit, which matches the structure of the reference register/BILBO designs
-//! cited by the paper ([11], [12]).
+//! cited by the paper (refs. 11 and 12).
 
 use crate::test_register::TestRegisterKind;
 

@@ -30,7 +30,11 @@
 //!   search strategies, a greedy diving primal heuristic and wall-clock
 //!   limits,
 //! * a CPLEX-style `.lp` file writer ([`lpfile`]) for debugging and for
-//!   feeding the very same model to an external solver if one is available.
+//!   feeding the very same model to an external solver if one is available,
+//! * a [`session`] layer — [`SolveSession`] with a unified [`Budget`]
+//!   (nodes + wall-clock + absolute deadline), a shareable [`CancelToken`]
+//!   checked inside the search loop, and a live [`SolveEvent`] stream —
+//!   the API the `advbist` job service is built on.
 //!
 //! # Quick example
 //!
@@ -62,6 +66,7 @@ pub mod model;
 pub mod presolve;
 pub mod propagate;
 pub mod reduce;
+pub mod session;
 pub mod simplex;
 pub mod solution;
 pub mod solver;
@@ -72,10 +77,16 @@ pub use error::IlpError;
 pub use expr::LinExpr;
 pub use model::{CmpOp, Constraint, Model, Sense, VarId, VarKind};
 pub use reduce::{ReduceOptions, ReduceReport, ReducedModel, VarDisposition};
+pub use session::{Budget, BudgetError, CancelToken, SolveEvent, SolveSession};
 pub use simplex::{Basis, LpSolution, LpStatus, ReducedCosts};
 pub use solution::{Improvement, Solution, SolveStats, Status};
-pub use solver::{BoundMode, BranchRule, Branching, SearchOrder, SolverConfig};
+pub use solver::{BoundMode, BranchRule, SearchOrder, SolverConfig, SolverConfigBuilder};
 pub use sparse::{RowRef, SparseModel};
+
+/// Backwards-compatible alias: the branching enum was named `Branching`
+/// before the pseudo-cost rule landed in the search layer.
+#[deprecated(since = "0.2.0", note = "use `BranchRule` instead")]
+pub type Branching = BranchRule;
 
 /// Numerical tolerance used throughout the crate when comparing floating
 /// point activities, bounds and objective values.

@@ -163,7 +163,7 @@ impl ParsedLp {
 ///
 /// # Errors
 ///
-/// Returns [`IlpError::Parse`] with the offending line on malformed input.
+/// Returns [`crate::error::IlpError::Parse`] with the offending line on malformed input.
 pub fn parse_lp(text: &str) -> Result<ParsedLp, crate::error::IlpError> {
     use crate::error::IlpError;
 

@@ -3,7 +3,7 @@
 use crate::error::IlpError;
 use crate::expr::LinExpr;
 use crate::solution::Solution;
-use crate::solver::{BranchAndBound, SolverConfig};
+use crate::solver::SolverConfig;
 
 /// Opaque handle to a model variable.
 ///
@@ -401,12 +401,7 @@ impl Model {
     /// Returns an error if the model is malformed; infeasibility and time
     /// limits are reported through [`Solution::status`], not as errors.
     pub fn solve(&self, config: &SolverConfig) -> Result<Solution, IlpError> {
-        self.validate()?;
-        if config.presolve {
-            let reduced = crate::reduce::reduce(self, &crate::reduce::ReduceOptions::full());
-            return crate::reduce::solve_reduced(self, &reduced, config);
-        }
-        BranchAndBound::new(self, config.clone()).run()
+        crate::session::solve_with_events(self, config, None)
     }
 }
 

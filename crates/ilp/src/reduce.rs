@@ -36,6 +36,7 @@ use crate::error::IlpError;
 use crate::expr::LinExpr;
 use crate::model::{CmpOp, Model, Sense, VarKind};
 use crate::propagate::{Domains, PropagationResult, Propagator};
+use crate::session::SolveEvent;
 use crate::solution::{Improvement, Solution, Status};
 use crate::solver::{BranchAndBound, SolverConfig};
 use crate::sparse::SparseModel;
@@ -1255,6 +1256,24 @@ pub fn solve_reduced(
     reduced: &ReducedModel,
     config: &SolverConfig,
 ) -> Result<Solution, IlpError> {
+    solve_reduced_with_events(original, reduced, config, None)
+}
+
+/// [`solve_reduced`] with a live [`SolveEvent`] sink threaded into the
+/// branch and bound over the reduced model. Incumbent objectives streamed
+/// from the reduced search match the lifted original-space objectives (the
+/// reduction folds eliminated terms into the objective constant), so
+/// observers never see reduced-space values.
+///
+/// # Errors
+///
+/// Same contract as [`solve_reduced`].
+pub fn solve_reduced_with_events(
+    original: &Model,
+    reduced: &ReducedModel,
+    config: &SolverConfig,
+    mut sink: Option<&mut dyn FnMut(&SolveEvent)>,
+) -> Result<Solution, IlpError> {
     let vars_removed = reduced
         .original_vars()
         .saturating_sub(reduced.model.num_vars()) as u64;
@@ -1292,6 +1311,12 @@ pub fn solve_reduced(
             }],
             ..Default::default()
         };
+        if let Some(sink) = sink.as_mut() {
+            sink(&SolveEvent::Incumbent {
+                nodes: 0,
+                objective,
+            });
+        }
         return Ok(Solution::new(Status::Optimal, lifted, objective, stats));
     }
 
@@ -1306,12 +1331,23 @@ pub fn solve_reduced(
         .filter_map(|v| reduced.project(v))
         .collect();
 
-    let inner = BranchAndBound::new(&reduced.model, inner_config).run()?;
+    let inner = match sink.as_mut() {
+        Some(sink) => {
+            // Fresh forwarding closure: see `session::solve_with_events`.
+            let mut forward = |event: &SolveEvent| sink(event);
+            BranchAndBound::new(&reduced.model, inner_config)
+                .with_event_sink(&mut forward)
+                .run()?
+        }
+        None => BranchAndBound::new(&reduced.model, inner_config).run()?,
+    };
     let mut stats = inner.stats().clone();
     stats.presolve_vars_removed = vars_removed;
     stats.presolve_rows_removed = rows_removed;
     let status = inner.status();
-    if status.has_solution() {
+    // `is_feasible` (not `has_solution`): an interrupted inner search still
+    // carries its best incumbent, which must survive the lift.
+    if inner.is_feasible() {
         let lifted = reduced.lift(inner.values());
         let objective = original.objective_value(&lifted);
         Ok(Solution::new(status, lifted, objective, stats))

@@ -18,12 +18,23 @@ pub enum Status {
     /// The limits expired before any feasible solution was found; nothing is
     /// known about feasibility.
     Unknown,
+    /// The solve was cancelled through a [`crate::CancelToken`] before it
+    /// finished. The solution carries the best incumbent found up to that
+    /// point, if any (check [`Solution::is_feasible`]).
+    Interrupted,
 }
 
 impl Status {
-    /// Whether a usable (feasible) assignment is available.
+    /// Whether the status *proves* a usable (feasible) assignment. An
+    /// interrupted solve may still carry one — [`Solution::is_feasible`]
+    /// accounts for that.
     pub fn has_solution(self) -> bool {
         matches!(self, Status::Optimal | Status::Feasible)
+    }
+
+    /// Whether the solve was stopped by cancellation.
+    pub fn is_interrupted(self) -> bool {
+        self == Status::Interrupted
     }
 }
 
@@ -169,9 +180,12 @@ impl Solution {
         self.status == Status::Optimal
     }
 
-    /// Whether a feasible assignment is available (optimal or not).
+    /// Whether a feasible assignment is available (optimal or not). This is
+    /// also true for an [interrupted](Status::Interrupted) solve that was
+    /// cancelled after an incumbent had been found.
     pub fn is_feasible(&self) -> bool {
         self.status.has_solution()
+            || (self.status == Status::Interrupted && !self.values.is_empty())
     }
 
     /// Objective value of the reported assignment.
@@ -230,6 +244,23 @@ mod tests {
         assert!(!Status::Infeasible.has_solution());
         assert!(!Status::Unknown.has_solution());
         assert!(!Status::Unbounded.has_solution());
+        assert!(!Status::Interrupted.has_solution());
+        assert!(Status::Interrupted.is_interrupted());
+        assert!(!Status::Feasible.is_interrupted());
+    }
+
+    #[test]
+    fn interrupted_solution_is_feasible_exactly_when_it_carries_values() {
+        let with_values = Solution::new(
+            Status::Interrupted,
+            vec![1.0, 0.0],
+            3.0,
+            SolveStats::default(),
+        );
+        assert!(with_values.is_feasible());
+        assert!(!with_values.is_optimal());
+        let bare = Solution::without_values(Status::Interrupted, SolveStats::default());
+        assert!(!bare.is_feasible());
     }
 
     #[test]

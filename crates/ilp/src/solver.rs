@@ -14,7 +14,7 @@
 //!   (bounded to the most recent nodes: the active DFS spine, or the top of
 //!   the best-first heap) and children re-solve with the dual simplex from
 //!   it instead of running two-phase primal from scratch; chains
-//!   re-factorise cold after [`BASIS_MAX_AGE`] re-solves.
+//!   re-factorise cold after a bounded number of re-solves.
 //! * **Pseudo-cost / reliability branching** ([`BranchRule::PseudoCost`],
 //!   the default) with strong-branching initialisation at shallow depth,
 //!   learning per-variable dual-bound degradations from every branching.
@@ -32,6 +32,7 @@ use crate::error::IlpError;
 use crate::heuristics::{greedy_dive, round_and_repair};
 use crate::model::{CmpOp, Model, Sense};
 use crate::propagate::{Domains, PropagationResult, Propagator};
+use crate::session::{Budget, CancelToken, SolveEvent};
 use crate::simplex::{resolve_with_basis, solve_lp, solve_lp_basis, Basis, LpStatus, ReducedCosts};
 use crate::solution::{Solution, SolveStats, Status};
 use crate::sparse::SparseModel;
@@ -111,10 +112,6 @@ pub enum BranchRule {
     PseudoCost,
 }
 
-/// Backwards-compatible alias: the branching enum was named `Branching`
-/// before the pseudo-cost rule landed.
-pub type Branching = BranchRule;
-
 /// Node exploration order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SearchOrder {
@@ -129,10 +126,14 @@ pub enum SearchOrder {
 /// Configuration of a branch-and-bound run.
 #[derive(Debug, Clone)]
 pub struct SolverConfig {
-    /// Wall-clock limit. `None` means unlimited.
-    pub time_limit: Option<Duration>,
-    /// Maximum number of explored nodes. `None` means unlimited.
-    pub node_limit: Option<u64>,
+    /// The unified solve budget: node limit, wall-clock limit and absolute
+    /// deadline (see [`Budget`]). The search stops at whichever expires
+    /// first, with [`SolveStats::limit_reached`] set.
+    pub budget: Budget,
+    /// Optional cancellation flag, checked at every node pop. A cancelled
+    /// solve returns [`Status::Interrupted`] with the best incumbent found
+    /// so far preserved in the solution values.
+    pub cancel: Option<CancelToken>,
     /// Dual bound computation mode.
     pub bound_mode: BoundMode,
     /// Branching variable selection.
@@ -180,8 +181,8 @@ pub struct SolverConfig {
 impl Default for SolverConfig {
     fn default() -> Self {
         Self {
-            time_limit: Some(Duration::from_secs(60)),
-            node_limit: None,
+            budget: Budget::time(Duration::from_secs(60)),
+            cancel: None,
             bound_mode: BoundMode::Hybrid { lp_depth: 4 },
             branching: BranchRule::PseudoCost,
             search: SearchOrder::DepthFirst,
@@ -199,12 +200,27 @@ impl Default for SolverConfig {
 }
 
 impl SolverConfig {
+    /// Starts a typed builder from the default configuration. Presets:
+    /// [`SolverConfigBuilder::exact`], [`SolverConfigBuilder::budgeted`],
+    /// [`SolverConfigBuilder::prop_only`].
+    pub fn builder() -> SolverConfigBuilder {
+        SolverConfigBuilder::default()
+    }
+
     /// A configuration tuned for exhaustive solving of small models in tests:
-    /// no time limit, LP relaxation bound everywhere.
+    /// no limits at all, LP relaxation bound everywhere.
     pub fn exact() -> Self {
         Self {
-            time_limit: None,
+            budget: Budget::unlimited(),
             bound_mode: BoundMode::LpRelaxation,
+            ..Self::default()
+        }
+    }
+
+    /// The default configuration under the given [`Budget`].
+    pub fn budgeted(budget: Budget) -> Self {
+        Self {
+            budget,
             ..Self::default()
         }
     }
@@ -213,15 +229,28 @@ impl SolverConfig {
     /// the given wall-clock budget.
     pub fn time_boxed(limit: Duration) -> Self {
         Self {
-            time_limit: Some(limit),
+            budget: Budget::time(limit),
             bound_mode: BoundMode::Propagation,
             ..Self::default()
         }
     }
 
+    /// Builder-style setter for the whole budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Builder-style installation of a cancellation token.
+    pub fn with_cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
     /// Builder-style setter for the time limit.
+    #[deprecated(note = "set a `Budget` via `SolverConfig::builder()` or the `budget` field")]
     pub fn with_time_limit(mut self, limit: Option<Duration>) -> Self {
-        self.time_limit = limit;
+        self.budget.time_limit = limit;
         self
     }
 
@@ -278,6 +307,146 @@ impl SolverConfig {
     pub fn with_cuts(mut self, enabled: bool) -> Self {
         self.cuts = enabled;
         self
+    }
+}
+
+/// Typed builder for [`SolverConfig`], with presets for the three common
+/// shapes of a solve. Obtained from [`SolverConfig::builder`] or one of the
+/// preset constructors.
+///
+/// ```
+/// use std::time::Duration;
+/// use bist_ilp::{Budget, SearchOrder, SolverConfig, SolverConfigBuilder};
+///
+/// // A deterministic, node-limited best-first search with a 10 s cap.
+/// let config = SolverConfig::builder()
+///     .budget(Budget::nodes(500).with_time(Duration::from_secs(10)))
+///     .search(SearchOrder::BestFirst)
+///     .build();
+/// assert_eq!(config.budget.node_limit, Some(500));
+///
+/// // Presets: exhaustive, budgeted, and LP-free propagation-only solving.
+/// let exact = SolverConfigBuilder::exact().build();
+/// assert!(exact.budget.is_unlimited());
+/// let prop = SolverConfigBuilder::prop_only().build();
+/// assert!(!prop.cuts);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SolverConfigBuilder {
+    config: SolverConfig,
+}
+
+impl SolverConfigBuilder {
+    /// Preset: exhaustive solving (no limits, LP bounds everywhere), as
+    /// [`SolverConfig::exact`].
+    pub fn exact() -> Self {
+        Self {
+            config: SolverConfig::exact(),
+        }
+    }
+
+    /// Preset: the default configuration under `budget`.
+    pub fn budgeted(budget: Budget) -> Self {
+        Self {
+            config: SolverConfig::budgeted(budget),
+        }
+    }
+
+    /// Preset: propagation-only bounding — no LP relaxations anywhere, so
+    /// the LP-dependent layers (cut pool, warm starts, reduced-cost fixing)
+    /// are switched off rather than left as inert flags.
+    pub fn prop_only() -> Self {
+        let config = SolverConfig {
+            bound_mode: BoundMode::Propagation,
+            cuts: false,
+            lp_warm_start: false,
+            rc_fixing: false,
+            ..SolverConfig::default()
+        };
+        Self { config }
+    }
+
+    /// Sets the solve budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.config.budget = budget;
+        self
+    }
+
+    /// Installs a cancellation token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.config.cancel = Some(token);
+        self
+    }
+
+    /// Sets the dual bound mode.
+    pub fn bound_mode(mut self, mode: BoundMode) -> Self {
+        self.config.bound_mode = mode;
+        self
+    }
+
+    /// Sets the branching rule.
+    pub fn branch_rule(mut self, rule: BranchRule) -> Self {
+        self.config.branching = rule;
+        self
+    }
+
+    /// Sets the node exploration order.
+    pub fn search(mut self, order: SearchOrder) -> Self {
+        self.config.search = order;
+        self
+    }
+
+    /// Sets the relative gap tolerance.
+    pub fn gap_tolerance(mut self, tolerance: f64) -> Self {
+        self.config.gap_tolerance = tolerance;
+        self
+    }
+
+    /// Sets the pivot budget per LP solve.
+    pub fn max_lp_pivots(mut self, pivots: u64) -> Self {
+        self.config.max_lp_pivots = pivots;
+        self
+    }
+
+    /// Toggles the greedy dive heuristic.
+    pub fn dive_heuristic(mut self, enabled: bool) -> Self {
+        self.config.dive_heuristic = enabled;
+        self
+    }
+
+    /// Adds a warm-start candidate (may be called repeatedly).
+    pub fn warm_start(mut self, values: Vec<f64>) -> Self {
+        self.config.initial_solutions.push(values);
+        self
+    }
+
+    /// Toggles the reducing presolve.
+    pub fn presolve(mut self, enabled: bool) -> Self {
+        self.config.presolve = enabled;
+        self
+    }
+
+    /// Toggles the cut pool.
+    pub fn cuts(mut self, enabled: bool) -> Self {
+        self.config.cuts = enabled;
+        self
+    }
+
+    /// Toggles dual-simplex warm starts of node LPs.
+    pub fn lp_warm_start(mut self, enabled: bool) -> Self {
+        self.config.lp_warm_start = enabled;
+        self
+    }
+
+    /// Toggles reduced-cost bound fixing.
+    pub fn rc_fixing(mut self, enabled: bool) -> Self {
+        self.config.rc_fixing = enabled;
+        self
+    }
+
+    /// Finishes the builder.
+    pub fn build(self) -> SolverConfig {
+        self.config
     }
 }
 
@@ -483,6 +652,12 @@ pub struct BranchAndBound<'a> {
     next_basis_key: u64,
     /// Pseudo-cost state of the branching rule.
     pseudo: PseudoCosts,
+    /// Live event sink (see [`SolveEvent`]); `None` when nobody listens.
+    events: Option<&'a mut dyn FnMut(&SolveEvent)>,
+    /// Largest internal (minimisation-sense) dual bound already streamed as
+    /// a [`SolveEvent::BoundImproved`], so the event keeps its "the bound
+    /// tightened" contract across non-improving cut-round re-solves.
+    last_bound_emitted: f64,
 }
 
 impl<'a> BranchAndBound<'a> {
@@ -525,7 +700,43 @@ impl<'a> BranchAndBound<'a> {
             basis_cache: Vec::new(),
             next_basis_key: 0,
             pseudo: PseudoCosts::new(num_vars),
+            events: None,
+            last_bound_emitted: f64::NEG_INFINITY,
         }
+    }
+
+    /// Streams [`SolveEvent`]s into `sink` during the run. Most callers
+    /// attach observers through [`crate::SolveSession`] instead.
+    pub fn with_event_sink(mut self, sink: &'a mut dyn FnMut(&SolveEvent)) -> Self {
+        self.events = Some(sink);
+        self
+    }
+
+    /// Invokes the event sink, if any.
+    fn emit(&mut self, event: SolveEvent) {
+        if let Some(sink) = self.events.as_mut() {
+            sink(&event);
+        }
+    }
+
+    /// Streams a [`SolveEvent::BoundImproved`] only when `internal_bound`
+    /// strictly tightens the last streamed bound.
+    fn emit_bound_improved(&mut self, nodes: u64, internal_bound: f64) {
+        if self.events.is_some() && internal_bound > self.last_bound_emitted + EPS {
+            self.last_bound_emitted = internal_bound;
+            self.emit(SolveEvent::BoundImproved {
+                nodes,
+                bound: self.sense_factor * internal_bound,
+            });
+        }
+    }
+
+    /// Whether the installed cancellation token has been raised.
+    fn is_cancelled(&self) -> bool {
+        self.config
+            .cancel
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
     }
 
     /// Looks up a stored basis by its cache key.
@@ -595,6 +806,11 @@ impl<'a> BranchAndBound<'a> {
             return None;
         }
         stats.cuts += new_cuts.len() as u64;
+        self.emit(SolveEvent::CutRound {
+            nodes: stats.nodes,
+            added: new_cuts.len() as u64,
+            total: stats.cuts,
+        });
         self.cut_rows.extend(new_cuts);
         self.rebuild_matrix();
         stats.propagations += 1;
@@ -612,6 +828,12 @@ impl<'a> BranchAndBound<'a> {
         start: Instant,
     ) -> bool {
         for _ in 0..ROOT_CUT_ROUNDS {
+            // Separation is best-effort root tightening: stop the loop (but
+            // not the solve) as soon as the budget or a cancellation makes
+            // further rounds pointless.
+            if self.is_cancelled() || self.config.budget.time_expired(start) {
+                return true;
+            }
             let (lp, basis) = if self.config.lp_warm_start {
                 solve_lp_basis(
                     self.propagator.matrix(),
@@ -636,7 +858,10 @@ impl<'a> BranchAndBound<'a> {
             stats.lp_pivots += lp.pivots;
             match lp.status {
                 LpStatus::Infeasible => return false,
-                LpStatus::Optimal => {}
+                // Each cut round re-solves the root relaxation over a
+                // tighter row set; stream the optimum whenever it actually
+                // tightened the dual bound.
+                LpStatus::Optimal => self.emit_bound_improved(stats.nodes, lp.objective),
                 LpStatus::Unbounded | LpStatus::IterationLimit => return true,
             }
             // An integral root relaxation is a solved instance: log it as an
@@ -675,7 +900,7 @@ impl<'a> BranchAndBound<'a> {
     /// If `values` is integral over the box, round it, check feasibility and
     /// update the incumbent. Returns whether the point was integral.
     fn try_integral_incumbent(
-        &self,
+        &mut self,
         lp_values: &[f64],
         domains: &Domains,
         incumbent: &mut Option<(f64, Vec<f64>)>,
@@ -726,22 +951,31 @@ impl<'a> BranchAndBound<'a> {
         // warm-start candidates compete; the cheapest feasible one wins.
         let mut incumbent: Option<(f64, Vec<f64>)> = None;
 
-        for warm in self
+        let warm_candidates: Vec<Vec<f64>> = self
             .config
             .initial_solution
-            .iter()
-            .chain(self.config.initial_solutions.iter())
-        {
-            if self.model.is_feasible(warm, 1e-6) {
-                let obj = self.internal_objective(warm);
+            .take()
+            .into_iter()
+            .chain(std::mem::take(&mut self.config.initial_solutions))
+            .collect();
+        for warm in warm_candidates {
+            if self.model.is_feasible(&warm, 1e-6) {
+                let obj = self.internal_objective(&warm);
                 if incumbent.as_ref().map(|(b, _)| obj < *b).unwrap_or(true) {
-                    incumbent = Some((obj, warm.clone()));
+                    incumbent = Some((obj, warm));
                     self.record_improvement(&mut stats, start, obj);
                 }
             }
         }
 
-        if self.config.dive_heuristic {
+        // A budget that is already spent (an expired deadline handed to a
+        // batch job) or a token raised before the solve started must return
+        // promptly: warm candidates above still establish the incumbent,
+        // but the dive, the cut loop and the tree are all skipped — the
+        // solve never descends past the root.
+        let skip_root_work = self.config.budget.time_expired(start) || self.is_cancelled();
+
+        if self.config.dive_heuristic && !skip_root_work {
             if let Some(values) = greedy_dive(&self.propagator, &root, &self.objective) {
                 if self.model.is_feasible(&values, 1e-6) {
                     let obj = self.internal_objective(&values);
@@ -753,8 +987,35 @@ impl<'a> BranchAndBound<'a> {
             }
         }
 
-        // Pure LP case: no integral variables at all.
+        // Pure LP case: no integral variables at all. A raised token or an
+        // already-spent budget skips even the single LP solve — prompt
+        // return stays bounded by the warm-candidate scan above.
         if self.model.num_integral() == 0 {
+            if skip_root_work {
+                let interrupted = self.is_cancelled();
+                stats.time = start.elapsed();
+                stats.limit_reached = true;
+                stats.gap = f64::INFINITY;
+                stats.best_bound = self.sense_factor * f64::NEG_INFINITY;
+                return Ok(match incumbent {
+                    Some((obj, values)) => {
+                        let status = if interrupted {
+                            Status::Interrupted
+                        } else {
+                            Status::Feasible
+                        };
+                        Solution::new(status, values, self.sense_factor * obj, stats)
+                    }
+                    None => {
+                        let status = if interrupted {
+                            Status::Interrupted
+                        } else {
+                            Status::Unknown
+                        };
+                        Solution::without_values(status, stats)
+                    }
+                });
+            }
             return Ok(self.solve_pure_lp(&root, start, stats, incumbent));
         }
 
@@ -766,6 +1027,7 @@ impl<'a> BranchAndBound<'a> {
         let mut root_closed = false;
         if self.cut_source.is_some()
             && self.use_lp_at(0)
+            && !skip_root_work
             && !self.root_cuts(&mut root, &mut stats, &mut incumbent, start)
         {
             // Cuts preserve every integer point, so an empty root box means
@@ -789,17 +1051,27 @@ impl<'a> BranchAndBound<'a> {
         }
 
         let mut limit_reached = false;
+        let mut interrupted = false;
         let mut root_bound = f64::NEG_INFINITY;
         let mut pruned_bound_min = f64::INFINITY;
 
         while let Some(mut node) = frontier.pop() {
-            if self.limits_exceeded(start, &stats) {
-                limit_reached = true;
+            if self.is_cancelled() {
+                interrupted = true;
                 // The popped node is still open.
                 pruned_bound_min = pruned_bound_min.min(node.bound);
                 break;
             }
+            if self.limits_exceeded(start, &stats) {
+                limit_reached = true;
+                pruned_bound_min = pruned_bound_min.min(node.bound);
+                break;
+            }
             stats.nodes += 1;
+            self.emit(SolveEvent::NodeMilestone {
+                nodes: stats.nodes,
+                incumbent: incumbent.as_ref().map(|(b, _)| self.sense_factor * *b),
+            });
 
             stats.propagations += 1;
             // The parent's domains were propagated to fixpoint, so only the
@@ -831,6 +1103,7 @@ impl<'a> BranchAndBound<'a> {
                         node.bound = value;
                         if node.depth == 0 {
                             root_bound = value;
+                            self.emit_bound_improved(stats.nodes, value);
                         }
                         // Learn the observed dual-bound degradation of the
                         // branching that created this node.
@@ -916,13 +1189,15 @@ impl<'a> BranchAndBound<'a> {
             self.push_children(&mut frontier, &node, j, bound.as_ref());
         }
 
-        if !frontier.is_empty() {
+        if !frontier.is_empty() && !interrupted {
             limit_reached = true;
         }
 
-        // Final bound and gap bookkeeping.
+        // Final bound and gap bookkeeping. A cancelled search is an open
+        // search for bound purposes.
+        let stopped_early = limit_reached || interrupted;
         let open_min = frontier.min_bound().unwrap_or(f64::INFINITY);
-        let best_bound_internal = if limit_reached {
+        let best_bound_internal = if stopped_early {
             open_min
                 .min(pruned_bound_min)
                 .min(incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY))
@@ -932,12 +1207,14 @@ impl<'a> BranchAndBound<'a> {
         };
 
         stats.time = start.elapsed();
-        stats.limit_reached = limit_reached;
+        stats.limit_reached = stopped_early;
         stats.best_bound = self.sense_factor * best_bound_internal;
 
         match incumbent {
             Some((obj, values)) => {
-                let status = if limit_reached {
+                let status = if interrupted {
+                    Status::Interrupted
+                } else if limit_reached {
                     Status::Feasible
                 } else {
                     Status::Optimal
@@ -951,7 +1228,9 @@ impl<'a> BranchAndBound<'a> {
                 Ok(Solution::new(status, values, external_obj, stats))
             }
             None => {
-                let status = if limit_reached {
+                let status = if interrupted {
+                    Status::Interrupted
+                } else if limit_reached {
                     Status::Unknown
                 } else {
                     Status::Infeasible
@@ -963,7 +1242,7 @@ impl<'a> BranchAndBound<'a> {
     }
 
     fn solve_pure_lp(
-        &self,
+        &mut self,
         root: &Domains,
         start: Instant,
         mut stats: SolveStats,
@@ -1009,12 +1288,18 @@ impl<'a> BranchAndBound<'a> {
     }
 
     /// Logs an incumbent improvement (external objective sense) into the
-    /// stats so callers can compute time-to-target metrics.
-    fn record_improvement(&self, stats: &mut SolveStats, start: Instant, internal_obj: f64) {
+    /// stats so callers can compute time-to-target metrics, and streams it
+    /// to any attached event sink.
+    fn record_improvement(&mut self, stats: &mut SolveStats, start: Instant, internal_obj: f64) {
+        let objective = self.sense_factor * internal_obj;
         stats.improvements.push(crate::solution::Improvement {
             nodes: stats.nodes,
             seconds: start.elapsed().as_secs_f64(),
-            objective: self.sense_factor * internal_obj,
+            objective,
+        });
+        self.emit(SolveEvent::Incumbent {
+            nodes: stats.nodes,
+            objective,
         });
     }
 
@@ -1029,17 +1314,7 @@ impl<'a> BranchAndBound<'a> {
     }
 
     fn limits_exceeded(&self, start: Instant, stats: &SolveStats) -> bool {
-        if let Some(limit) = self.config.time_limit {
-            if start.elapsed() >= limit {
-                return true;
-            }
-        }
-        if let Some(limit) = self.config.node_limit {
-            if stats.nodes >= limit {
-                return true;
-            }
-        }
-        false
+        self.config.budget.nodes_exhausted(stats.nodes) || self.config.budget.time_expired(start)
     }
 
     /// Objective bound over the box: every variable at its cheapest bound.
@@ -1576,9 +1851,9 @@ mod tests {
             SolverConfig::exact().with_bound_mode(BoundMode::Propagation),
             SolverConfig::exact()
                 .with_bound_mode(BoundMode::Hybrid { lp_depth: 2 })
-                .with_branching(Branching::MostFractional),
+                .with_branching(BranchRule::MostFractional),
             SolverConfig::exact().with_search(SearchOrder::BestFirst),
-            SolverConfig::exact().with_branching(Branching::InputOrder),
+            SolverConfig::exact().with_branching(BranchRule::InputOrder),
             SolverConfig::exact().with_branching(BranchRule::PseudoCost),
             SolverConfig::exact()
                 .with_branching(BranchRule::PseudoCost)
@@ -1799,7 +2074,7 @@ mod tests {
             Sense::Minimize,
         );
         let config = SolverConfig {
-            node_limit: Some(1),
+            budget: Budget::nodes(1),
             dive_heuristic: false,
             bound_mode: BoundMode::Propagation,
             ..SolverConfig::default()
@@ -1825,6 +2100,127 @@ mod tests {
             "got {}",
             sol.objective()
         );
+    }
+
+    /// A minimisation model that needs a deep search under the exact
+    /// configuration, plus a known feasible all-ones warm start — the
+    /// fixture for the cancellation and deadline tests.
+    fn deep_model() -> (Model, Vec<f64>) {
+        let mut m = Model::new("deep");
+        let vars: Vec<_> = (0..18).map(|i| m.add_binary(format!("x{i}"))).collect();
+        for w in vars.windows(5).step_by(2) {
+            m.add_geq(w.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(), 2.0, "need");
+        }
+        for (c, w) in vars.chunks(6).enumerate() {
+            m.add_leq(
+                w.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, 1.0 + ((i + c) % 3) as f64))
+                    .collect::<Vec<_>>(),
+                7.0,
+                "cap",
+            );
+        }
+        m.set_objective(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + (i % 5) as f64 + 0.1 * (i % 7) as f64))
+                .collect::<Vec<_>>(),
+            Sense::Minimize,
+        );
+        // Every other variable set: each 5-window holds ≥ 2 ones and each
+        // capacity chunk stays within budget.
+        let warm: Vec<f64> = (0..vars.len())
+            .map(|i| if i % 2 == 0 { 1.0 } else { 0.0 })
+            .collect();
+        assert!(m.is_feasible(&warm, 1e-6));
+        (m, warm)
+    }
+
+    #[test]
+    fn node_triggered_cancellation_stops_deterministically_with_incumbent() {
+        use crate::session::SolveSession;
+        let (m, warm) = deep_model();
+        // Propagation bounds keep the tree deep enough to cancel into.
+        let config = SolverConfig::exact()
+            .with_bound_mode(BoundMode::Propagation)
+            .with_presolve(false)
+            .with_cuts(false)
+            .with_initial_solution(warm.clone());
+        let optimal = m.solve(&config).expect("reference solve");
+        assert!(optimal.is_optimal());
+        assert!(
+            optimal.stats().nodes > 3,
+            "fixture too easy: {} nodes",
+            optimal.stats().nodes
+        );
+
+        // The observer raises the token at the third node milestone; the
+        // loop notices at the next pop, so exactly 3 nodes are explored —
+        // no sleeps, no wall-clock, fully deterministic.
+        let mut session = SolveSession::with_config(&m, config);
+        let token = session.cancel_token();
+        let observer_token = token.clone();
+        let sol = session
+            .on_event(move |event| {
+                if let SolveEvent::NodeMilestone { nodes, .. } = event {
+                    if *nodes >= 3 {
+                        observer_token.cancel();
+                    }
+                }
+            })
+            .solve()
+            .expect("cancelled solve");
+        assert!(token.is_cancelled());
+        assert_eq!(sol.status(), Status::Interrupted);
+        assert_eq!(sol.stats().nodes, 3);
+        assert!(sol.stats().limit_reached);
+        // The best incumbent seen so far (at least the warm start) survives.
+        assert!(sol.is_feasible());
+        assert!(!sol.values().is_empty());
+        assert!(m.is_feasible(sol.values(), 1e-6));
+        assert!(sol.objective() >= optimal.objective() - 1e-9);
+    }
+
+    #[test]
+    fn pre_cancelled_token_interrupts_before_any_node() {
+        // Through the default (presolve) path: the token installed in the
+        // outer config must reach the reduced model's search.
+        let (m, _) = deep_model();
+        let token = CancelToken::new();
+        token.cancel();
+        let config = SolverConfig::exact().with_cancel(token);
+        let sol = m.solve(&config).expect("solve");
+        assert_eq!(sol.status(), Status::Interrupted);
+        assert_eq!(sol.stats().nodes, 0);
+    }
+
+    #[test]
+    fn expired_deadline_returns_without_descending_past_the_root() {
+        let (m, warm) = deep_model();
+        let config = SolverConfig::exact()
+            .with_presolve(false)
+            .with_cuts(false)
+            .with_budget(Budget::unlimited().with_deadline(Instant::now()))
+            .with_initial_solution(warm.clone());
+        let sol = m.solve(&config).expect("solve");
+        // The warm incumbent is kept, but the tree is never entered: no
+        // nodes, no LPs, no cut rounds.
+        assert_eq!(sol.stats().nodes, 0);
+        assert_eq!(sol.stats().lp_solves, 0);
+        assert_eq!(sol.stats().cuts, 0);
+        assert!(sol.stats().limit_reached);
+        assert_eq!(sol.status(), Status::Feasible);
+        assert_eq!(sol.values(), &warm[..]);
+
+        // Without a warm start nothing is known at all.
+        let bare = SolverConfig::exact()
+            .with_presolve(false)
+            .with_cuts(false)
+            .with_budget(Budget::unlimited().with_deadline(Instant::now()));
+        let sol = m.solve(&bare).expect("solve");
+        assert_eq!(sol.stats().nodes, 0);
+        assert_eq!(sol.status(), Status::Unknown);
     }
 
     #[test]

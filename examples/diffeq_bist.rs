@@ -16,18 +16,15 @@ use std::time::Duration;
 
 use advbist::core::{reference, synthesis, SynthesisConfig};
 use advbist::dfg::benchmarks;
+use advbist::Budget;
 
-fn budget() -> Duration {
-    std::env::var("BIST_TIME_LIMIT_SECS")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .map(Duration::from_secs_f64)
-        .unwrap_or(Duration::from_secs(5))
+fn budget() -> Result<Budget, Box<dyn Error>> {
+    Ok(Budget::from_env()?.or_time(Duration::from_secs(5)))
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
     let input = benchmarks::paulin();
-    let config = SynthesisConfig::time_boxed(budget());
+    let config = SynthesisConfig::budgeted(budget()?);
 
     println!(
         "paulin: {} operations on {} modules, {} control steps",

@@ -14,17 +14,14 @@ use advbist::baselines::{synthesize_advan, synthesize_bits, synthesize_ralloc};
 use advbist::core::{reference, synthesis, SynthesisConfig};
 use advbist::datapath::report::DesignReport;
 use advbist::dfg::benchmarks;
+use advbist::Budget;
 
-fn budget() -> Duration {
-    std::env::var("BIST_TIME_LIMIT_SECS")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .map(Duration::from_secs_f64)
-        .unwrap_or(Duration::from_secs(5))
+fn budget() -> Result<Budget, Box<dyn Error>> {
+    Ok(Budget::from_env()?.or_time(Duration::from_secs(5)))
 }
 
 fn main() -> Result<(), Box<dyn Error>> {
-    let config = SynthesisConfig::time_boxed(budget());
+    let config = SynthesisConfig::budgeted(budget()?);
     let circuits = vec![
         ("fir6", benchmarks::fir6()),
         ("iir3", benchmarks::iir3()),

@@ -1,0 +1,61 @@
+//! The job-service front door: a batch of synthesis jobs with per-job
+//! budgets, deadlines and cancellation, answered in submission order.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example service_batch
+//! ```
+
+use std::error::Error;
+use std::time::Duration;
+
+use advbist::core::SynthesisConfig;
+use advbist::dfg::benchmarks;
+use advbist::service::{JobService, SynthesisJob};
+use advbist::Budget;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    let mut service = JobService::new().with_workers(2);
+
+    // Deterministic node budget per solve for the small circuits...
+    for (name, input) in [
+        ("figure1", benchmarks::figure1()),
+        ("tseng", benchmarks::tseng()),
+    ] {
+        service.submit(
+            SynthesisJob::new(name, input)
+                .with_config(SynthesisConfig::default())
+                .with_budget(Budget::nodes(500)),
+        );
+    }
+    // ...a wall-clock budget and a k-range restriction for the larger one...
+    service.submit(
+        SynthesisJob::new("paulin k<=2", benchmarks::paulin())
+            .with_sessions(1..=2)
+            .with_budget(Budget::time(Duration::from_millis(500))),
+    );
+    // ...and one job cancelled before the batch even starts, to show that
+    // cancellation is per job and the rest of the batch is unaffected.
+    let doomed = service.submit(SynthesisJob::new("cancelled demo", benchmarks::fir6()));
+    doomed.cancel();
+
+    for report in service.run() {
+        println!(
+            "{:<14} {:?} ({} rows, {:.2}s)",
+            report.name,
+            report.outcome,
+            report.rows.len(),
+            report.seconds
+        );
+        for row in &report.rows {
+            println!(
+                "    k={}: area {:>5} transistors, {:>6} nodes{}",
+                row.k,
+                row.area,
+                row.nodes,
+                if row.optimal { ", optimal" } else { "" }
+            );
+        }
+    }
+    Ok(())
+}

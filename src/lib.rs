@@ -13,6 +13,12 @@
 //! | [`datapath`] | RTL/BIST structure model, Table 1 cost model, validator |
 //! | [`core`] | the ADVBIST ILP formulations and the reference-design ILP |
 //! | [`baselines`] | the ADVAN / RALLOC / BITS comparison heuristics |
+//! | [`service`] | the concurrent job-queue front door (batched synthesis with budgets, cancellation, deadlines) |
+//!
+//! The session-oriented solve surface — [`SolveSession`], [`Budget`],
+//! [`CancelToken`], [`SolveEvent`] — is re-exported at the crate root; the
+//! README's *"API: sessions, budgets, events"* section has the migration
+//! table from the pre-session entry points.
 //!
 //! # Quick start
 //!
@@ -43,11 +49,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod service;
+
 pub use bist_baselines as baselines;
 pub use bist_core as core;
 pub use bist_datapath as datapath;
 pub use bist_dfg as dfg;
 pub use bist_ilp as ilp;
+
+pub use bist_ilp::{Budget, BudgetError, CancelToken, SolveEvent, SolveSession};
 
 /// The paper this workspace reproduces.
 pub const PAPER: &str =

@@ -1,0 +1,377 @@
+//! A concurrent job-service front door for BIST synthesis.
+//!
+//! This is the first layer of the workspace that can actually *serve
+//! traffic*: a batch of [`SynthesisJob`]s (circuit × k-range × budget) is
+//! accepted by a [`JobService`], run over a bounded scoped-thread worker
+//! pool, and answered with structured [`JobReport`]s in **submission
+//! order**, independent of scheduling. Every job carries its own
+//! [`Budget`] and gets its own [`CancelToken`] (returned as a
+//! [`JobHandle`] at submission), so callers can bound, cancel or
+//! deadline-cap individual jobs without touching the rest of the batch.
+//!
+//! A job runs its k-range on one shared [`SynthesisEngine`] — the circuit
+//! base model is built and reduced once per job, exactly like
+//! [`synthesize_all_sessions`](bist_core::synthesis::synthesize_all_sessions)
+//! — so under a deterministic (node-limited) budget the reported
+//! objectives are identical to the engine sweep's.
+//!
+//! ```
+//! use advbist::dfg::benchmarks;
+//! use advbist::service::{JobService, SynthesisJob};
+//! use advbist::{core::SynthesisConfig, Budget};
+//!
+//! let mut service = JobService::new().with_workers(2);
+//! let handle = service.submit(
+//!     SynthesisJob::new("figure1", benchmarks::figure1())
+//!         .with_config(SynthesisConfig::exact())
+//!         .with_budget(Budget::nodes(500)),
+//! );
+//! assert_eq!(handle.index(), 0);
+//! let reports = service.run();
+//! assert_eq!(reports.len(), 1);
+//! assert!(reports[0].outcome.is_completed());
+//! // One row per k-test session, in ascending k order.
+//! assert_eq!(reports[0].rows.len(), 2);
+//! ```
+
+use std::ops::RangeInclusive;
+use std::time::Instant;
+
+use bist_core::engine::{par_map_ordered_bounded, SynthesisEngine};
+use bist_core::{CoreError, SynthesisConfig};
+use bist_dfg::SynthesisInput;
+use bist_ilp::{Budget, CancelToken};
+
+/// One unit of work for the service: a circuit, the k-test sessions to
+/// synthesise, a per-job [`Budget`] and the synthesis configuration.
+#[derive(Debug, Clone)]
+pub struct SynthesisJob {
+    /// Caller-chosen job name, echoed in the [`JobReport`].
+    pub name: String,
+    /// The scheduled, bound data-flow graph to synthesise for.
+    pub input: SynthesisInput,
+    /// The k-range to sweep; `None` means the full `1..=N` sweep (`N` =
+    /// number of modules).
+    pub sessions: Option<RangeInclusive<usize>>,
+    /// Per-job solve budget. The node and wall-clock limits apply to each
+    /// ILP solve of the job; the absolute deadline spans the whole job
+    /// (every solve shares it, and remaining k values are skipped once it
+    /// passes).
+    pub budget: Budget,
+    /// Synthesis configuration (cost model, warm starts, solver options).
+    /// Its solver budget and cancellation slots are overwritten by the
+    /// job's own budget and token when the job runs.
+    pub config: SynthesisConfig,
+}
+
+impl SynthesisJob {
+    /// A job synthesising every k-test session of `input` under the
+    /// default configuration's budget.
+    pub fn new(name: impl Into<String>, input: SynthesisInput) -> Self {
+        let config = SynthesisConfig::default();
+        Self {
+            name: name.into(),
+            input,
+            sessions: None,
+            budget: config.solver.budget,
+            config,
+        }
+    }
+
+    /// Restricts the job to the given k-range.
+    pub fn with_sessions(mut self, sessions: RangeInclusive<usize>) -> Self {
+        self.sessions = Some(sessions);
+        self
+    }
+
+    /// Sets the per-job budget.
+    pub fn with_budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Replaces the synthesis configuration *and* adopts its solver budget
+    /// (`config.solver.budget`), so a job configured with, say,
+    /// [`SynthesisConfig::exact`](bist_core::SynthesisConfig::exact) really
+    /// runs unlimited. Call [`SynthesisJob::with_budget`] *after* this to
+    /// override the budget independently.
+    pub fn with_config(mut self, config: SynthesisConfig) -> Self {
+        self.budget = config.solver.budget;
+        self.config = config;
+        self
+    }
+}
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Every requested k was synthesised.
+    Completed,
+    /// The job's [`CancelToken`] was raised; rows synthesised before the
+    /// cancellation are kept.
+    Cancelled,
+    /// The job's absolute deadline passed; rows synthesised before the
+    /// deadline are kept.
+    DeadlineExpired,
+    /// A synthesis failed (infeasible instance, invalid k, limits expired
+    /// with no design, ...). The message is the underlying error.
+    Failed(String),
+}
+
+impl JobOutcome {
+    /// Whether the job ran to completion.
+    pub fn is_completed(&self) -> bool {
+        *self == JobOutcome::Completed
+    }
+}
+
+/// One synthesised k-test session inside a [`JobReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobRow {
+    /// Number of sub-test sessions `k`.
+    pub k: usize,
+    /// Objective value reported by the solver.
+    pub objective: f64,
+    /// Total design area in transistors.
+    pub area: u64,
+    /// Whether the ILP proved the design optimal within the job's budget.
+    pub optimal: bool,
+    /// Branch-and-bound nodes explored by this solve.
+    pub nodes: u64,
+    /// Wall-clock seconds of this solve.
+    pub seconds: f64,
+}
+
+/// The structured answer for one [`SynthesisJob`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobReport {
+    /// The job's name, echoed back.
+    pub name: String,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// One row per synthesised k, ascending. Partial when the job was
+    /// cancelled, deadline-capped or failed midway.
+    pub rows: Vec<JobRow>,
+    /// Wall-clock seconds of the whole job.
+    pub seconds: f64,
+}
+
+/// A submitted job's control handle: its batch index and a clone of its
+/// [`CancelToken`]. Cancelling is safe from any thread, before or during
+/// the run.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    index: usize,
+    token: CancelToken,
+}
+
+impl JobHandle {
+    /// Position of the job in the batch (also its index in the report
+    /// vector returned by [`JobService::run`]).
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Cancels the job: the current solve stops at its next node (keeping
+    /// its best incumbent) and the remaining k values are skipped.
+    pub fn cancel(&self) {
+        self.token.cancel();
+    }
+
+    /// A clone of the job's cancellation token.
+    pub fn token(&self) -> CancelToken {
+        self.token.clone()
+    }
+}
+
+/// The job-queue front door: submit a batch, run it over a bounded worker
+/// pool, get deterministic per-job reports. See the [module
+/// documentation](self) for an example.
+#[derive(Debug, Default)]
+pub struct JobService {
+    jobs: Vec<(SynthesisJob, CancelToken)>,
+    max_workers: Option<usize>,
+}
+
+impl JobService {
+    /// An empty service with the worker pool capped at the machine's
+    /// available parallelism.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Caps the worker pool at `workers` threads (at least 1; the
+    /// machine's available parallelism still applies as a second cap).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.max_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Enqueues a job and returns its control handle.
+    pub fn submit(&mut self, job: SynthesisJob) -> JobHandle {
+        let token = CancelToken::new();
+        let handle = JobHandle {
+            index: self.jobs.len(),
+            token: token.clone(),
+        };
+        self.jobs.push((job, token));
+        handle
+    }
+
+    /// Number of jobs currently enqueued.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs the whole batch and returns one report per job, in submission
+    /// order regardless of thread scheduling. Jobs are independent: a
+    /// failed, cancelled or deadline-capped job never affects the others.
+    pub fn run(self) -> Vec<JobReport> {
+        let workers = self.max_workers.unwrap_or(usize::MAX);
+        par_map_ordered_bounded(&self.jobs, workers, |(job, token)| run_job(job, token))
+    }
+}
+
+/// Runs one job on the calling worker thread.
+fn run_job(job: &SynthesisJob, token: &CancelToken) -> JobReport {
+    let start = Instant::now();
+    let mut config = job.config.clone();
+    config.solver.budget = job.budget;
+    config.solver.cancel = Some(token.clone());
+
+    let finish = |outcome: JobOutcome, rows: Vec<JobRow>| JobReport {
+        name: job.name.clone(),
+        outcome,
+        rows,
+        seconds: start.elapsed().as_secs_f64(),
+    };
+
+    let engine = match SynthesisEngine::new(&job.input, &config) {
+        Ok(engine) => engine,
+        Err(e) => return finish(JobOutcome::Failed(e.to_string()), Vec::new()),
+    };
+    let sessions = job.sessions.clone().unwrap_or(1..=engine.max_sessions());
+
+    let mut rows = Vec::new();
+    for k in sessions {
+        // Deterministic front-door checks between solves: a pre-cancelled
+        // job or pre-expired deadline produces zero rows without touching
+        // the solver (no timing races).
+        if token.is_cancelled() {
+            return finish(JobOutcome::Cancelled, rows);
+        }
+        if job.budget.deadline_passed() {
+            return finish(JobOutcome::DeadlineExpired, rows);
+        }
+        match engine.synthesize_seeded(k, None) {
+            Ok(outcome) => {
+                rows.push(JobRow {
+                    k,
+                    objective: outcome.design.objective,
+                    area: outcome.design.area.total(),
+                    optimal: outcome.design.optimal,
+                    nodes: outcome.design.stats.nodes,
+                    seconds: outcome.seconds,
+                });
+            }
+            // Cancelled before any incumbent existed for this k: report
+            // the job as cancelled with the rows gathered so far.
+            Err(CoreError::Interrupted) => return finish(JobOutcome::Cancelled, rows),
+            // Limits expired with nothing in hand *because the job's
+            // deadline passed mid-solve*: that is the deadline outcome,
+            // not a hard failure.
+            Err(CoreError::NoSolutionWithinLimits) if job.budget.deadline_passed() => {
+                return finish(JobOutcome::DeadlineExpired, rows)
+            }
+            Err(e) => return finish(JobOutcome::Failed(e.to_string()), rows),
+        }
+    }
+    finish(JobOutcome::Completed, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_dfg::benchmarks;
+    use bist_ilp::Budget;
+    use std::time::Instant;
+
+    fn exact_job(name: &str, input: SynthesisInput) -> SynthesisJob {
+        SynthesisJob::new(name, input).with_config(bist_core::SynthesisConfig::exact())
+    }
+
+    #[test]
+    fn batch_reproduces_the_engine_sweep_in_submission_order() {
+        let input = benchmarks::figure1();
+        let config = bist_core::SynthesisConfig::exact();
+        let sweep = bist_core::synthesis::synthesize_all_sessions(&input, &config).unwrap();
+
+        let mut service = JobService::new().with_workers(2);
+        service.submit(exact_job("full", benchmarks::figure1()));
+        service.submit(exact_job("k1-only", benchmarks::figure1()).with_sessions(1..=1));
+        let reports = service.run();
+
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].name, "full");
+        assert_eq!(reports[1].name, "k1-only");
+        assert!(reports.iter().all(|r| r.outcome.is_completed()));
+
+        // The full job mirrors the engine sweep row for row.
+        assert_eq!(reports[0].rows.len(), sweep.len());
+        for (row, design) in reports[0].rows.iter().zip(&sweep) {
+            assert_eq!(row.k, design.sessions);
+            assert!((row.objective - design.objective).abs() < 1e-9);
+            assert_eq!(row.area, design.area.total());
+            assert!(row.optimal);
+        }
+        // The k-restricted job produced exactly its requested row.
+        assert_eq!(reports[1].rows.len(), 1);
+        assert_eq!(reports[1].rows[0].k, 1);
+        assert!((reports[1].rows[0].objective - sweep[0].objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_cancelled_job_yields_no_rows_and_spares_the_rest_of_the_batch() {
+        let mut service = JobService::new().with_workers(1);
+        let cancelled = service.submit(exact_job("cancelled", benchmarks::figure1()));
+        let kept = service
+            .submit(exact_job("kept", benchmarks::figure1()).with_budget(Budget::nodes(500)));
+        cancelled.cancel();
+        assert!(cancelled.token().is_cancelled());
+        let reports = service.run();
+        assert_eq!(reports[cancelled.index()].outcome, JobOutcome::Cancelled);
+        assert!(reports[cancelled.index()].rows.is_empty());
+        assert_eq!(reports[kept.index()].outcome, JobOutcome::Completed);
+        assert_eq!(reports[kept.index()].rows.len(), 2);
+    }
+
+    #[test]
+    fn expired_deadline_stops_a_job_before_any_solve() {
+        let mut service = JobService::new();
+        service.submit(
+            exact_job("late", benchmarks::figure1())
+                .with_budget(Budget::unlimited().with_deadline(Instant::now())),
+        );
+        let reports = service.run();
+        assert_eq!(reports[0].outcome, JobOutcome::DeadlineExpired);
+        assert!(reports[0].rows.is_empty());
+    }
+
+    #[test]
+    fn invalid_session_range_fails_only_that_job() {
+        let mut service = JobService::new();
+        service.submit(exact_job("bad-k", benchmarks::figure1()).with_sessions(7..=7));
+        service.submit(exact_job("good", benchmarks::figure1()).with_sessions(2..=2));
+        let reports = service.run();
+        match &reports[0].outcome {
+            JobOutcome::Failed(message) => assert!(message.contains("7")),
+            other => panic!("expected failure, got {other:?}"),
+        }
+        assert!(reports[1].outcome.is_completed());
+    }
+}

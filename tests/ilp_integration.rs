@@ -6,7 +6,7 @@
 mod common;
 
 use advbist::dfg::benchmarks;
-use advbist::ilp::{lpfile, BoundMode, Branching, SearchOrder, SolverConfig};
+use advbist::ilp::{lpfile, BoundMode, BranchRule, SearchOrder, SolverConfig};
 use common::{brute_force, random_binary_model};
 
 /// Branch and bound agrees with exhaustive enumeration on random small 0-1
@@ -22,7 +22,7 @@ fn solver_matches_brute_force() {
             SolverConfig::exact()
                 .with_bound_mode(BoundMode::Hybrid { lp_depth: 2 })
                 .with_search(SearchOrder::BestFirst),
-            SolverConfig::exact().with_branching(Branching::MostFractional),
+            SolverConfig::exact().with_branching(BranchRule::MostFractional),
         ] {
             let solution = model.solve(&config).unwrap();
             match expected {
