@@ -38,16 +38,20 @@
 //! budget is spent, so per-k results may differ from a sequential rebuild.
 //!
 //! **Warm bases and the per-k delta replay.** Since the search-layer
-//! overhaul, every per-k solve re-solves its child-node LPs with the dual
-//! simplex from the parent's cached basis (see `bist_ilp::simplex::Basis`),
-//! so the dominant per-node cost inside each solve of the sweep is a
-//! handful of dual pivots instead of a cold two-phase solve. Bases do *not*
+//! overhaul, every per-k solve re-solves its child-node LPs with the
+//! bounded dual simplex from the parent's cached basis (see
+//! `bist_ilp::simplex::Basis` — since the revised-simplex rebuild that is
+//! a factorized eta file plus column statuses, not a tableau), so the
+//! dominant per-node cost inside each solve of the sweep is a handful of
+//! dual pivots instead of a cold two-phase factorization. Bases do *not*
 //! cross `k` boundaries: the per-k BIST delta changes the row set (Eqs.
 //! 6–23 and the objective differ per `k`), and a basis is only valid for
-//! the exact rows it was factorised from — what crosses `k` is the reduced
+//! the exact rows it was factorized from — what crosses `k` is the reduced
 //! base model and the k−1 incumbent values, while basis reuse lives inside
 //! each per-k tree. [`sweep_search_stats`] aggregates the warm/cold LP
-//! counters of a sweep so harnesses can quote the effect deterministically.
+//! counters of a sweep — including the primal/dual pivot split and the
+//! kernel's refactorization count — so harnesses can quote the effect
+//! deterministically.
 
 use std::time::Instant;
 
@@ -138,9 +142,17 @@ where
 pub struct SweepSearchStats {
     /// Branch-and-bound nodes explored.
     pub nodes: u64,
-    /// Simplex iterations across every LP solved (cold, warm and strong
+    /// Simplex pivots across every LP solved (cold, warm and strong
     /// branching).
     pub lp_iterations: u64,
+    /// Pivots spent in the primal simplex (cold factorizations).
+    pub lp_primal_iterations: u64,
+    /// Pivots spent in the dual simplex (warm re-solves and probes).
+    pub lp_dual_iterations: u64,
+    /// Bound flips inside the LP kernel (rank-0 moves across a box).
+    pub lp_bound_flips: u64,
+    /// Basis refactorizations inside the LP kernel (eta-file collapses).
+    pub kernel_refactorizations: u64,
     /// Node LPs re-solved warm with the dual simplex.
     pub warm_lp_solves: u64,
     /// Simplex iterations spent inside warm re-solves.
@@ -160,6 +172,10 @@ pub fn sweep_search_stats(outcomes: &[SweepOutcome]) -> SweepSearchStats {
         let stats = &outcome.design.stats;
         total.nodes += stats.nodes;
         total.lp_iterations += stats.lp_pivots;
+        total.lp_primal_iterations += stats.lp_primal_pivots;
+        total.lp_dual_iterations += stats.lp_dual_pivots;
+        total.lp_bound_flips += stats.lp_bound_flips;
+        total.kernel_refactorizations += stats.lp_basis_refactorizations;
         total.warm_lp_solves += stats.warm_lp_solves;
         total.warm_lp_pivots += stats.warm_lp_pivots;
         total.refactorizations += stats.refactorizations;
@@ -536,10 +552,19 @@ mod tests {
             warm.lp_iterations,
             cold.lp_iterations
         );
+        // The counter split is coherent: primal + dual pivots cover the
+        // total, and the warm sweep actually spends dual pivots.
+        assert_eq!(
+            warm.lp_iterations,
+            warm.lp_primal_iterations + warm.lp_dual_iterations,
+            "{warm:?}"
+        );
+        assert!(warm.lp_dual_iterations > 0, "{warm:?}");
         // The cold configuration takes the plain LP path: no warm solves,
-        // no refactorisation accounting.
+        // no dual pivots, no node-level refactorisation accounting.
         assert_eq!(cold.warm_lp_solves, 0, "{cold:?}");
         assert_eq!(cold.refactorizations, 0, "{cold:?}");
+        assert_eq!(cold.lp_dual_iterations, 0, "{cold:?}");
     }
 
     #[test]

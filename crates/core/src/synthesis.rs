@@ -159,6 +159,10 @@ pub(crate) fn solve_formulation(
         observer(&SolveEvent::Done {
             status: solution.status(),
             nodes: solution.stats().nodes,
+            pivots: (
+                solution.stats().lp_primal_pivots,
+                solution.stats().lp_dual_pivots,
+            ),
         });
     }
     Ok(solution)

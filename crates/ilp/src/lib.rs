@@ -11,10 +11,13 @@
 //!   variables, linear constraints and a linear objective,
 //! * a shared [`sparse`] CSR+CSC image of the constraint matrix consumed by
 //!   every solver kernel,
-//! * a two-phase bounded-variable primal [`simplex`] solver for the LP
-//!   relaxation, fed from the sparse rows, with a reusable [`Basis`] and a
-//!   **dual simplex** path that re-solves child-node LPs from the parent's
-//!   optimal basis after bound changes,
+//! * a sparse bounded-variable **revised [`simplex`]** solver for the LP
+//!   relaxation — variable bounds handled implicitly by nonbasic status
+//!   (no bound rows), pricing fed from the CSC columns of the sparse
+//!   matrix, a product-form factorized basis with periodic
+//!   refactorization, and a bounded **dual simplex** path that re-solves
+//!   child-node LPs from the parent's optimal [`Basis`] after bound
+//!   changes,
 //! * a worklist-driven interval [`propagate`] engine (bound tightening over
 //!   linear constraints) used both for presolve and for node pruning,
 //! * a [`reduce`] pipeline of model-rewriting presolve passes (fixed-variable

@@ -6,7 +6,31 @@
 //! solver for cross-checking our built-in branch and bound.
 
 use crate::model::{CmpOp, Model, Sense, VarKind};
+use crate::propagate::Domains;
 use std::fmt::Write as _;
+
+/// Renders the model in CPLEX LP format with an explicit `Bounds` section
+/// for **every** variable, taken from `domains` instead of the declared
+/// variable kinds.
+///
+/// Since the revised simplex kernel keeps tightened domains purely implicit
+/// (no bound rows exist anywhere in the matrix), this is the only way a
+/// mid-search or post-presolve model state can round-trip through the LP
+/// text format: pass the current [`Domains`] and the tightened box is
+/// written out verbatim — including for binaries, which the plain
+/// [`to_lp_string`] leaves to the `Binaries` section's implied `[0, 1]`.
+///
+/// # Panics
+///
+/// Panics if `domains.len() != model.num_vars()`.
+pub fn to_lp_string_with_domains(model: &Model, domains: &Domains) -> String {
+    assert_eq!(
+        domains.len(),
+        model.num_vars(),
+        "domains must describe exactly the model's variables"
+    );
+    render(model, Some(domains))
+}
 
 /// Renders the model in CPLEX LP format.
 ///
@@ -14,6 +38,10 @@ use std::fmt::Write as _;
 /// `_`) and deduplicated by suffixing the variable index, because the LP
 /// format requires unique identifiers.
 pub fn to_lp_string(model: &Model) -> String {
+    render(model, None)
+}
+
+fn render(model: &Model, domains: Option<&Domains>) -> String {
     let names: Vec<String> = model
         .vars()
         .iter()
@@ -57,14 +85,27 @@ pub fn to_lp_string(model: &Model) -> String {
 
     out.push_str("Bounds\n");
     for (i, v) in model.vars().iter().enumerate() {
-        match v.kind {
-            VarKind::Binary => {}
-            VarKind::Integer { lower, upper } => {
-                let _ = writeln!(out, " {lower} <= {} <= {upper}", names[i]);
+        match domains {
+            // Domain-aware export: the tightened box of every variable,
+            // binaries included (their tightenings live nowhere else).
+            Some(domains) => {
+                let _ = writeln!(
+                    out,
+                    " {} <= {} <= {}",
+                    domains.lower(i),
+                    names[i],
+                    domains.upper(i)
+                );
             }
-            VarKind::Continuous { lower, upper } => {
-                let _ = writeln!(out, " {lower} <= {} <= {upper}", names[i]);
-            }
+            None => match v.kind {
+                VarKind::Binary => {}
+                VarKind::Integer { lower, upper } => {
+                    let _ = writeln!(out, " {lower} <= {} <= {upper}", names[i]);
+                }
+                VarKind::Continuous { lower, upper } => {
+                    let _ = writeln!(out, " {lower} <= {} <= {upper}", names[i]);
+                }
+            },
         }
     }
 
@@ -421,6 +462,41 @@ mod tests {
         for (parsed_c, model_c) in parsed.constraints.iter().zip(m.constraints()) {
             assert_eq!(parsed_c.terms.len(), model_c.expr.len());
         }
+    }
+
+    #[test]
+    fn tightened_domains_round_trip_through_the_bounds_section() {
+        // The revised kernel keeps tightened bounds implicit (no rows), so
+        // the domain-aware writer is the only faithful export of a
+        // mid-search model state. Tighten a binary, an integer and a
+        // continuous variable, write, re-parse, and check every bound —
+        // including the binary's, which the plain writer never emits.
+        let mut m = Model::new("boxed");
+        let b = m.add_binary("b");
+        let y = m.add_integer("y", 0, 9);
+        let z = m.add_continuous("z", 0.0, 8.0);
+        m.add_leq([(b, 1.0), (y, 1.0), (z, 1.0)], 12.0, "cap");
+        m.set_objective([(b, 1.0), (y, 1.0), (z, 1.0)], Sense::Minimize);
+        let mut domains = Domains::from_model(&m);
+        assert!(domains.fix(b.index(), 1.0));
+        assert!(domains.tighten_lower(y.index(), 2.0));
+        assert!(domains.tighten_upper(y.index(), 6.0));
+        assert!(domains.tighten_upper(z.index(), 4.5));
+
+        let text = to_lp_string_with_domains(&m, &domains);
+        let parsed = parse_lp(&text).expect("domain-aware text parses");
+        // One bounds line per variable, in variable order.
+        assert_eq!(parsed.bounds.len(), m.num_vars());
+        let by_pos: Vec<(f64, f64)> = parsed.bounds.iter().map(|(_, l, u)| (*l, *u)).collect();
+        assert_eq!(by_pos[b.index()], (1.0, 1.0));
+        assert_eq!(by_pos[y.index()], (2.0, 6.0));
+        assert_eq!(by_pos[z.index()], (0.0, 4.5));
+        // Integrality sections are unchanged by the domain-aware writer.
+        assert_eq!(parsed.binaries.len(), 1);
+        assert_eq!(parsed.generals.len(), 1);
+        // The plain writer still omits binary bounds.
+        let plain = parse_lp(&to_lp_string(&m)).expect("plain text parses");
+        assert_eq!(plain.bounds.len(), 2);
     }
 
     #[test]

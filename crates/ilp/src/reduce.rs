@@ -31,6 +31,14 @@
 //! with delta rows that reference base variables — this is how the synthesis
 //! engine reduces a circuit's base model once and replays every per-k BIST
 //! delta through the variable map.
+//!
+//! Domains the pipeline tightens are written into the reduced model's
+//! *declared variable bounds*, never synthesized as extra rows. The revised
+//! simplex kernel keeps variable boxes implicit (nonbasic-at-bound status,
+//! no bound rows at all), so a tightened declared bound flows straight into
+//! the kernel's per-column bound arrays at zero matrix cost — and the
+//! domain-aware LP exporter ([`crate::lpfile::to_lp_string_with_domains`])
+//! is the way to round-trip such a box through the text format.
 
 use crate::error::IlpError;
 use crate::expr::LinExpr;

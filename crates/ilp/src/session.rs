@@ -336,6 +336,10 @@ pub enum SolveEvent {
         status: Status,
         /// Total nodes explored.
         nodes: u64,
+        /// Total simplex iterations, split by kernel:
+        /// `(primal, dual)` — cold two-phase factorisations vs warm
+        /// dual-simplex re-solves (see [`crate::SolveStats`]).
+        pivots: (u64, u64),
     },
 }
 
@@ -466,6 +470,10 @@ pub(crate) fn solve_with_events(
         sink(&SolveEvent::Done {
             status: solution.status(),
             nodes: solution.stats().nodes,
+            pivots: (
+                solution.stats().lp_primal_pivots,
+                solution.stats().lp_dual_pivots,
+            ),
         });
     }
     Ok(solution)
@@ -612,9 +620,14 @@ mod tests {
         assert!(milestones.windows(2).all(|w| w[1] > w[0]));
         assert_eq!(*milestones.last().unwrap(), solution.stats().nodes);
         match events.last().unwrap() {
-            SolveEvent::Done { status, nodes } => {
+            SolveEvent::Done {
+                status,
+                nodes,
+                pivots,
+            } => {
                 assert_eq!(*status, Status::Optimal);
                 assert_eq!(*nodes, solution.stats().nodes);
+                assert_eq!(pivots.0 + pivots.1, solution.stats().lp_pivots);
             }
             other => panic!("unexpected final event {other:?}"),
         }

@@ -1,36 +1,51 @@
-//! Dense two-phase primal simplex for the LP relaxation, plus a dual-simplex
-//! warm-start path that re-solves a child node's LP from its parent's
-//! optimal [`Basis`] after bound changes.
+//! Sparse bounded-variable **revised simplex** for the LP relaxation, with a
+//! factorized basis and a dual-simplex warm-start path that re-solves a
+//! child node's LP from its parent's optimal [`Basis`] after bound changes.
 //!
 //! The branch-and-bound solver uses this module to compute dual bounds and to
 //! finish off nodes whose integral variables are all fixed but which still
-//! contain continuous variables. The implementation is a deliberately simple
-//! dense tableau method: every variable of the BIST formulations is bounded,
-//! the models are small by LP standards (a few thousand rows at most) and
-//! robustness matters more than raw speed, because the exactness claim of the
-//! paper rests on the solver never mislabelling a suboptimal design as
-//! optimal.
+//! contain continuous variables. Three design decisions define the kernel:
 //!
-//! Two construction modes share the same core:
+//! * **Implicit bounds.** Every variable of the BIST formulations is boxed,
+//!   and earlier revisions materialised each box side as an explicit tableau
+//!   row (two rows per column), which inflated the tableau quadratically and
+//!   forced a size-cap cold fallback on paulin-scale models. The revised
+//!   kernel stores no bound rows at all: a nonbasic variable simply sits at
+//!   its lower or upper bound (tracked by a per-column status), a move that
+//!   hits a bound is a *bound flip* instead of a pivot, and a child node
+//!   that tightens bounds changes nothing but the per-column bound arrays.
+//! * **Sparse pricing off the shared matrix.** Columns are read straight
+//!   from the CSC side of the shared [`SparseModel`]
+//!   ([`SparseModel::col`]); each row contributes one slack column (an
+//!   implicit unit vector), turning every row into an equality
+//!   `Σ aᵢⱼ·xⱼ + sᵢ = bᵢ` with the row sense encoded in the slack's bounds.
+//!   Pricing, FTRAN and the ratio tests therefore cost `O(nnz)` instead of
+//!   touching a dense tableau row.
+//! * **Factorized basis (product form).** The basis inverse is represented
+//!   as a product of sparse *eta* matrices: each pivot appends one eta
+//!   vector, and the file is periodically collapsed by refactorization
+//!   (Gauss-Jordan over the basic columns with partial pivoting), which
+//!   bounds both memory and accumulated rounding error. A [`Basis`] is just
+//!   the column statuses, the basic set and the eta file — a few kilobytes,
+//!   not a tableau — so the branch-and-bound solver can cache one per node
+//!   cheaply.
 //!
-//! * [`solve_lp`] — the classic cold two-phase solve. Variables are shifted
-//!   so their lower bound is zero, finite upper bounds become explicit rows,
-//!   and fixed variables are substituted out before the tableau is built,
-//!   which keeps relaxations small deep in the branch-and-bound tree.
-//! * [`solve_lp_basis`] — a *warm-capable* cold solve. It additionally emits
-//!   an explicit lower-bound row `-x'ⱼ <= 0` per column and returns the
-//!   optimal [`Basis`] (final tableau + basis vector + construction
-//!   metadata). Because **every** variable bound is now an explicit row, a
-//!   child node that only tightens bounds differs from its parent purely in
-//!   the right-hand side — exactly the change pattern the **dual simplex**
-//!   handles: the parent's optimal basis stays dual feasible, so
-//!   [`resolve_with_basis`] recomputes the basic solution for the child's
-//!   bounds (via the `B⁻¹` image stored in the identity columns of the
-//!   tableau) and pivots the handful of primal infeasibilities away instead
-//!   of re-running two-phase primal from scratch.
+//! Two solve paths share the kernel:
 //!
-//! The warm-capable paths also report [`ReducedCosts`] at optimality, which
-//! the solver uses for reduced-cost bound fixing against the incumbent.
+//! * [`solve_lp`] / [`solve_lp_basis`] — the cold solve: slack basis,
+//!   composite phase-1 primal (minimising the sum of bound violations of
+//!   the basic variables), then phase-2 primal on the true objective. The
+//!   warm-capable variant additionally returns the optimal [`Basis`] and
+//!   reports [`ReducedCosts`].
+//! * [`resolve_with_basis`] — the warm path: a child's bound changes leave
+//!   the parent's optimal basis *dual feasible* (reduced costs do not
+//!   depend on bound values), so the **bounded dual simplex** drives out
+//!   the handful of primal infeasibilities the new bounds introduced,
+//!   flipping entering variables across their boxes when the dual ratio
+//!   test says a pivot would overshoot.
+//!
+//! Both warm-capable paths report [`ReducedCosts`] at optimality, which the
+//! solver uses for reduced-cost bound fixing against the incumbent.
 
 use crate::model::CmpOp;
 use crate::propagate::Domains;
@@ -55,11 +70,11 @@ pub enum LpStatus {
 ///
 /// `up[j]` is the proven marginal objective increase per unit increase of
 /// variable `j` when the optimal solution has `j` at its **lower** bound
-/// (`0.0` otherwise — basic, at the upper bound, or substituted out).
-/// `down[j]` is the symmetric marginal increase per unit *decrease* when `j`
-/// sits at its **upper** bound. Both are non-negative; the solver combines
-/// them with an incumbent objective to fix binaries that provably cannot
-/// flip in any improving solution.
+/// (`0.0` otherwise — basic, at the upper bound, or fixed). `down[j]` is the
+/// symmetric marginal increase per unit *decrease* when `j` sits at its
+/// **upper** bound. Both are non-negative; the solver combines them with an
+/// incumbent objective to fix binaries that provably cannot flip in any
+/// improving solution.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ReducedCosts {
     /// Marginal cost of moving up off the lower bound, per variable.
@@ -78,61 +93,1082 @@ pub struct LpSolution {
     /// Values of the *original* model variables (fixed variables keep their
     /// fixed value). Empty unless `status` is `Optimal`.
     pub values: Vec<f64>,
-    /// Number of simplex pivots performed.
+    /// Total simplex pivots (basis changes) performed, primal and dual.
+    /// Bound flips — nonbasic variables crossing their box without a basis
+    /// change, the revised kernel's cheap replacement for the dense
+    /// kernel's bound-row pivots — are counted separately in
+    /// [`LpSolution::bound_flips`].
     pub pivots: u64,
+    /// Iterations spent in the primal simplex (phases 1 and 2 of a cold
+    /// solve).
+    pub primal_pivots: u64,
+    /// Iterations spent in the dual simplex (warm re-solves).
+    pub dual_pivots: u64,
+    /// Bound flips performed (rank-0 updates; see [`LpSolution::pivots`]).
+    pub bound_flips: u64,
+    /// Basis refactorizations performed while solving (eta-file collapses;
+    /// cold solves start from the trivially factorized slack basis, so this
+    /// counts only mid-solve collapses).
+    pub refactorizations: u64,
     /// Reduced costs at optimality. Only produced by the warm-capable
     /// paths; `None` from the plain cold solve.
     pub reduced_costs: Option<ReducedCosts>,
 }
 
 impl LpSolution {
-    fn no_solution(status: LpStatus, pivots: u64) -> Self {
+    fn no_solution(status: LpStatus, counters: Counters) -> Self {
         Self {
             status,
             objective: f64::INFINITY,
             values: Vec::new(),
-            pivots,
+            pivots: counters.primal + counters.dual,
+            primal_pivots: counters.primal,
+            dual_pivots: counters.dual,
+            bound_flips: counters.flips,
+            refactorizations: counters.refactorizations,
             reduced_costs: None,
         }
     }
 }
 
-/// Upper bound on tableau cells (`rows × columns`) for which the
-/// warm-capable construction is attempted; beyond it, [`solve_lp_basis`]
-/// falls back to the plain cold solve and returns no basis, so basis storage
-/// cannot blow the memory budget on very large relaxations.
-const MAX_WARM_CELLS: usize = 2_000_000;
+/// Iteration counters of one kernel run.
+#[derive(Debug, Clone, Copy, Default)]
+struct Counters {
+    primal: u64,
+    dual: u64,
+    flips: u64,
+    refactorizations: u64,
+}
 
-/// Primal feasibility tolerance of the dual simplex (a basic value this far
-/// below zero still counts as feasible; extracted values are clamped).
-const DUAL_FEAS_TOL: f64 = 1e-7;
+/// Primal feasibility tolerance: a variable this far outside its bounds
+/// still counts as feasible (extracted values are clamped to the box).
+const FEAS_TOL: f64 = 1e-7;
+/// Dual feasibility / pricing tolerance on reduced costs.
+const COST_TOL: f64 = 1e-9;
+/// Minimum magnitude of an acceptable pivot element.
+const PIVOT_TOL: f64 = 1e-8;
+/// Entries below this magnitude are dropped from stored eta vectors.
+const DROP_TOL: f64 = 1e-11;
+/// Update etas beyond the base factorization that trigger a
+/// refactorization.
+const REFACTOR_EVERY: usize = 64;
+/// Iterations without progress in the phase measure before pricing falls
+/// back to Bland's rule (and stays there until progress resumes).
+const STALL_LIMIT: u32 = 32;
 
-/// A reusable simplex basis: the final optimal tableau of one LP solve plus
-/// the construction metadata needed to re-solve the *same rows* under
-/// tightened variable bounds with the dual simplex.
+/// A reusable simplex basis: per-column statuses, the basic column of every
+/// row, and the product-form eta file of the basis inverse — everything
+/// needed to re-solve the *same rows* under changed variable bounds with the
+/// dual simplex, at a memory cost of `O(columns + eta nonzeros)`.
 ///
 /// Produced by [`solve_lp_basis`] and [`resolve_with_basis`]; consumed by
 /// [`resolve_with_basis`]. The basis is only valid for the exact constraint
-/// matrix it was built from — the branch-and-bound solver invalidates its
-/// basis cache whenever cutting planes change the row set.
+/// matrix it was factorized from — a structural fingerprint (row, column and
+/// nonzero counts) guards against accidental reuse after the
+/// branch-and-bound solver rebuilds its row set with cutting planes.
 #[derive(Debug, Clone)]
 pub struct Basis {
-    t: Tableau,
+    status: Vec<ColStatus>,
+    basis: Vec<usize>,
+    etas: Vec<Eta>,
     age: u32,
+    rows: usize,
+    vars: usize,
+    fingerprint: u64,
 }
 
 impl Basis {
     /// Number of dual-simplex re-solves since the last cold factorisation.
     /// The solver re-factorises (cold-solves) after a chain of warm
-    /// re-solves to keep the dense tableau's accumulated rounding error
-    /// bounded.
+    /// re-solves to keep accumulated rounding error bounded.
     pub fn age(&self) -> u32 {
         self.age
     }
 
-    /// Number of stored tableau cells (memory footprint proxy).
+    /// Number of stored factorization nonzeros (memory footprint proxy).
     pub fn cells(&self) -> usize {
-        self.t.tab.len()
+        self.basis.len() + self.etas.iter().map(|e| e.terms.len() + 1).sum::<usize>()
+    }
+}
+
+/// Where a column currently sits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ColStatus {
+    /// In the basis; its value is determined by the basic solve.
+    Basic,
+    /// Nonbasic at its lower bound.
+    Lower,
+    /// Nonbasic at its upper bound.
+    Upper,
+}
+
+/// One product-form eta: after the pivot `B_new⁻¹ = E⁻¹ · B_old⁻¹`, where
+/// `E` is the identity except for column `row`, which holds the FTRANed
+/// entering column `w`.
+#[derive(Debug, Clone)]
+struct Eta {
+    row: u32,
+    /// `w[row]` — the pivot element.
+    pivot: f64,
+    /// Off-pivot nonzeros of `w` as `(row, value)`.
+    terms: Vec<(u32, f64)>,
+}
+
+impl Eta {
+    /// Applies `E⁻¹` to `v` in place (forward transformation step).
+    #[inline]
+    fn ftran(&self, v: &mut [f64]) {
+        let r = self.row as usize;
+        if v[r] == 0.0 {
+            return;
+        }
+        let p = v[r] / self.pivot;
+        v[r] = p;
+        for &(i, a) in &self.terms {
+            v[i as usize] -= a * p;
+        }
+    }
+
+    /// Applies `E⁻ᵀ` to `v` in place (backward transformation step).
+    #[inline]
+    fn btran(&self, v: &mut [f64]) {
+        let r = self.row as usize;
+        let mut s = v[r];
+        for &(i, a) in &self.terms {
+            s -= a * v[i as usize];
+        }
+        v[r] = s / self.pivot;
+    }
+}
+
+/// Builds an eta from a dense FTRANed column, dropping negligible entries.
+/// Returns `None` for an exact identity eta (unit pivot, no off-pivot
+/// entries) — applying it would be a no-op, and skipping it keeps the
+/// factorization of a mostly-slack basis near-empty.
+fn make_eta(row: usize, w: &[f64]) -> Option<Eta> {
+    let mut terms = Vec::new();
+    for (i, &a) in w.iter().enumerate() {
+        if i != row && a.abs() > DROP_TOL {
+            terms.push((i as u32, a));
+        }
+    }
+    if w[row] == 1.0 && terms.is_empty() {
+        return None;
+    }
+    Some(Eta {
+        row: row as u32,
+        pivot: w[row],
+        terms,
+    })
+}
+
+/// Content hash guarding [`Basis`] reuse: the matrix's cached row hash
+/// (precomputed once at [`SparseModel`] construction — dimension/nonzero
+/// counts alone would accept a rebuilt cut pool that swapped one row for
+/// another of equal size) folded with the objective vector and constant.
+/// The dual-feasibility invariant the warm path relies on depends on the
+/// *costs* as much as the rows, so a basis built under one objective must
+/// not re-solve under another. Per call this costs `O(n)`, not `O(nnz)`.
+fn instance_fingerprint(matrix: &SparseModel, objective: &[f64], objective_constant: f64) -> u64 {
+    use crate::sparse::{fnv_fold, FNV_OFFSET};
+    let mut h = FNV_OFFSET;
+    fnv_fold(&mut h, matrix.fingerprint());
+    fnv_fold(&mut h, objective_constant.to_bits());
+    for &c in objective {
+        fnv_fold(&mut h, c.to_bits());
+    }
+    h
+}
+
+/// Inner loop outcome (richer than [`LpStatus`]: `Stalled` marks a
+/// factorization failure the caller handles by restarting or giving up).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Inner {
+    Optimal,
+    Infeasible,
+    Unbounded,
+    IterationLimit,
+    Stalled,
+}
+
+/// The revised-simplex working state over one matrix + box.
+struct Kernel<'a> {
+    matrix: &'a SparseModel,
+    objective: &'a [f64],
+    objective_constant: f64,
+    /// Structural columns (model variables).
+    n: usize,
+    /// Rows (= slack columns).
+    m: usize,
+    /// Total columns: `n + m`.
+    ncols: usize,
+    /// Per-column bounds; slack bounds encode the row sense.
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+    status: Vec<ColStatus>,
+    /// Basic column of each row.
+    basis: Vec<usize>,
+    /// Current value of every column.
+    x: Vec<f64>,
+    etas: Vec<Eta>,
+    /// Length of the eta file right after the last (re)factorization; only
+    /// the *update* etas beyond it count towards the refactorization
+    /// trigger (a product-form refactorization itself emits up to one eta
+    /// per basic column).
+    base_etas: usize,
+    counters: Counters,
+    /// Dense scratch vector (length `m`), threaded through FTRANs.
+    scratch: Vec<f64>,
+}
+
+impl<'a> Kernel<'a> {
+    /// Shared construction: bounds, costs and slack layout (state unset).
+    fn shell(
+        matrix: &'a SparseModel,
+        objective: &'a [f64],
+        objective_constant: f64,
+        domains: &Domains,
+    ) -> Self {
+        let n = domains.len();
+        debug_assert_eq!(objective.len(), n);
+        debug_assert_eq!(matrix.num_vars(), n);
+        let m = matrix.num_rows();
+        let ncols = n + m;
+        let mut lower = Vec::with_capacity(ncols);
+        let mut upper = Vec::with_capacity(ncols);
+        for j in 0..n {
+            if let Some(v) = domains.fixed_value(j) {
+                lower.push(v);
+                upper.push(v);
+            } else {
+                lower.push(domains.lower(j));
+                upper.push(domains.upper(j));
+            }
+        }
+        for i in 0..m {
+            // Row `Σ a·x + s = rhs`: the slack bounds encode the sense.
+            match matrix.row(i).op {
+                CmpOp::Le => {
+                    lower.push(0.0);
+                    upper.push(f64::INFINITY);
+                }
+                CmpOp::Ge => {
+                    lower.push(f64::NEG_INFINITY);
+                    upper.push(0.0);
+                }
+                CmpOp::Eq => {
+                    lower.push(0.0);
+                    upper.push(0.0);
+                }
+            }
+        }
+        Self {
+            matrix,
+            objective,
+            objective_constant,
+            n,
+            m,
+            ncols,
+            lower,
+            upper,
+            status: vec![ColStatus::Lower; ncols],
+            basis: Vec::new(),
+            x: vec![0.0; ncols],
+            etas: Vec::new(),
+            base_etas: 0,
+            counters: Counters::default(),
+            scratch: vec![0.0; m],
+        }
+    }
+
+    /// Cold start: every structural nonbasic at a bound, slack basis
+    /// (trivially factorized — the eta file is empty).
+    fn cold(
+        matrix: &'a SparseModel,
+        objective: &'a [f64],
+        objective_constant: f64,
+        domains: &Domains,
+    ) -> Self {
+        let mut k = Self::shell(matrix, objective, objective_constant, domains);
+        k.reset_to_slack_basis();
+        k
+    }
+
+    /// Warm start from a stored basis: statuses, basic set and eta file are
+    /// restored, nonbasic values snap to the (possibly changed) bounds and
+    /// the basic values are recomputed through the factorization.
+    fn warm(
+        matrix: &'a SparseModel,
+        objective: &'a [f64],
+        objective_constant: f64,
+        domains: &Domains,
+        basis: &Basis,
+    ) -> Self {
+        let mut k = Self::shell(matrix, objective, objective_constant, domains);
+        k.status.copy_from_slice(&basis.status);
+        k.basis = basis.basis.clone();
+        k.etas = basis.etas.clone();
+        k.base_etas = k.etas.len();
+        k.snap_nonbasics();
+        k.compute_basics();
+        k
+    }
+
+    /// Phase-2 cost of a column (structural objective, zero on slacks).
+    #[inline]
+    fn cost(&self, j: usize) -> f64 {
+        if j < self.n {
+            self.objective[j]
+        } else {
+            0.0
+        }
+    }
+
+    /// Whether a column may never leave its bound (degenerate box).
+    #[inline]
+    fn is_fixed_col(&self, j: usize) -> bool {
+        self.upper[j] - self.lower[j] <= 0.0
+    }
+
+    /// Dot product of column `j` with a dense row-space vector.
+    #[inline]
+    fn col_dot(&self, j: usize, y: &[f64]) -> f64 {
+        if j < self.n {
+            let (rows, vals) = self.matrix.col(j);
+            rows.iter()
+                .zip(vals)
+                .map(|(&r, &a)| y[r as usize] * a)
+                .sum()
+        } else {
+            y[j - self.n]
+        }
+    }
+
+    /// Scatters column `j` into a dense vector (which must be zeroed).
+    fn scatter_col(&self, j: usize, out: &mut [f64]) {
+        if j < self.n {
+            let (rows, vals) = self.matrix.col(j);
+            for (&r, &a) in rows.iter().zip(vals) {
+                out[r as usize] = a;
+            }
+        } else {
+            out[j - self.n] = 1.0;
+        }
+    }
+
+    /// FTRAN of column `j`: returns `B⁻¹·aⱼ` in the scratch vector
+    /// (ownership is handed back so callers can keep borrowing `self`).
+    fn ftran_col(&mut self, j: usize) -> Vec<f64> {
+        let mut w = std::mem::take(&mut self.scratch);
+        w.fill(0.0);
+        self.scatter_col(j, &mut w);
+        for eta in &self.etas {
+            eta.ftran(&mut w);
+        }
+        w
+    }
+
+    /// BTRAN in place: `v ← B⁻ᵀ·v`.
+    fn btran(&self, v: &mut [f64]) {
+        for eta in self.etas.iter().rev() {
+            eta.btran(v);
+        }
+    }
+
+    /// Snaps every nonbasic column to the bound its status names.
+    fn snap_nonbasics(&mut self) {
+        for j in 0..self.ncols {
+            match self.status[j] {
+                ColStatus::Basic => {}
+                ColStatus::Lower => {
+                    self.x[j] = if self.lower[j].is_finite() {
+                        self.lower[j]
+                    } else {
+                        0.0
+                    }
+                }
+                ColStatus::Upper => {
+                    self.x[j] = if self.upper[j].is_finite() {
+                        self.upper[j]
+                    } else {
+                        0.0
+                    }
+                }
+            }
+        }
+    }
+
+    /// Recomputes every basic value from the nonbasic ones:
+    /// `x_B = B⁻¹·(b − N·x_N)`.
+    fn compute_basics(&mut self) {
+        let mut t = std::mem::take(&mut self.scratch);
+        for (i, slot) in t.iter_mut().enumerate() {
+            *slot = self.matrix.row(i).rhs;
+        }
+        for j in 0..self.ncols {
+            if self.status[j] == ColStatus::Basic || self.x[j] == 0.0 {
+                continue;
+            }
+            let xj = self.x[j];
+            if j < self.n {
+                let (rows, vals) = self.matrix.col(j);
+                for (&r, &a) in rows.iter().zip(vals) {
+                    t[r as usize] -= a * xj;
+                }
+            } else {
+                t[j - self.n] -= xj;
+            }
+        }
+        for eta in &self.etas {
+            eta.ftran(&mut t);
+        }
+        for (i, &v) in t.iter().enumerate() {
+            self.x[self.basis[i]] = v;
+        }
+        self.scratch = t;
+    }
+
+    /// Resets to the all-slack basis (identity factorization) with every
+    /// structural nonbasic at a bound — the cold start, also the recovery
+    /// point after a failed refactorization.
+    fn reset_to_slack_basis(&mut self) {
+        self.etas.clear();
+        self.base_etas = 0;
+        self.basis = (self.n..self.ncols).collect();
+        for j in 0..self.n {
+            // Start each structural at the bound its objective coefficient
+            // prefers (a dual-feasible-leaning crash), which shortens phase
+            // 2 without affecting phase 1.
+            self.status[j] = if self.objective[j] < 0.0 && self.upper[j].is_finite() {
+                ColStatus::Upper
+            } else {
+                ColStatus::Lower
+            };
+        }
+        for j in self.n..self.ncols {
+            self.status[j] = ColStatus::Basic;
+        }
+        self.snap_nonbasics();
+        self.compute_basics();
+    }
+
+    /// Collapses the eta file: re-factorizes the current basis from scratch
+    /// by Gauss-Jordan with partial pivoting (sparsest columns first).
+    /// Returns `false` when the basis proves numerically singular, in which
+    /// case the state is unchanged except for the cleared eta file and the
+    /// caller must reset or abandon.
+    fn refactorize(&mut self) -> bool {
+        self.counters.refactorizations += 1;
+        self.etas.clear();
+        let mut cols: Vec<usize> = self.basis.clone();
+        cols.sort_by_key(|&c| {
+            let nnz = if c < self.n {
+                self.matrix.col(c).0.len()
+            } else {
+                1
+            };
+            (nnz, c)
+        });
+        let mut assigned = vec![false; self.m];
+        let mut new_basis = vec![usize::MAX; self.m];
+        let mut w = std::mem::take(&mut self.scratch);
+        let mut ok = true;
+        for &c in &cols {
+            w.fill(0.0);
+            self.scatter_col(c, &mut w);
+            for eta in &self.etas {
+                eta.ftran(&mut w);
+            }
+            let mut best = PIVOT_TOL;
+            let mut row = usize::MAX;
+            for (i, &wi) in w.iter().enumerate() {
+                if !assigned[i] && wi.abs() > best {
+                    best = wi.abs();
+                    row = i;
+                }
+            }
+            if row == usize::MAX {
+                ok = false;
+                break;
+            }
+            assigned[row] = true;
+            new_basis[row] = c;
+            if let Some(eta) = make_eta(row, &w) {
+                self.etas.push(eta);
+            }
+        }
+        self.scratch = w;
+        if !ok {
+            self.etas.clear();
+            self.base_etas = 0;
+            return false;
+        }
+        self.basis = new_basis;
+        self.base_etas = self.etas.len();
+        self.compute_basics();
+        true
+    }
+
+    /// Current objective value of the (possibly infeasible) basic point.
+    fn objective_now(&self) -> f64 {
+        self.objective
+            .iter()
+            .zip(&self.x)
+            .map(|(c, v)| c * v)
+            .sum::<f64>()
+    }
+
+    /// Sum and maximum of bound violations over the basic variables.
+    fn infeasibility(&self) -> (f64, f64) {
+        let mut total = 0.0;
+        let mut max = 0.0f64;
+        for &b in &self.basis {
+            let v = self.x[b];
+            let violation = if v < self.lower[b] {
+                self.lower[b] - v
+            } else if v > self.upper[b] {
+                v - self.upper[b]
+            } else {
+                0.0
+            };
+            total += violation;
+            max = max.max(violation);
+        }
+        (total, max)
+    }
+
+    /// One primal phase: phase 1 minimises the sum of basic bound
+    /// violations (composite costs recomputed every iteration), phase 2
+    /// minimises the true objective over a feasible basis.
+    fn run_phase(&mut self, phase1: bool, max_pivots: u64, pivots: &mut u64) -> Inner {
+        let mut y = vec![0.0f64; self.m];
+        // Degeneracy guard: Dantzig pricing switches to Bland's rule while
+        // the phase measure (infeasibility sum in phase 1, objective in
+        // phase 2) has made no progress for `STALL_LIMIT` iterations, and
+        // back once it moves again. This keeps the anti-cycling cost
+        // proportional to the stalled stretch instead of a huge fixed
+        // iteration threshold.
+        let mut last_measure = f64::INFINITY;
+        let mut stall = 0u32;
+        loop {
+            // The budget counter charges every iteration — bound flips
+            // included. A flip skips only the eta push; it still pays the
+            // full pricing pass (BTRAN + an O(nnz) reduced-cost scan) and
+            // the FTRAN of the entering column, which dominate an
+            // iteration's cost. Only the *reported* pivot counters
+            // distinguish flips from basis changes.
+            if *pivots >= max_pivots {
+                return Inner::IterationLimit;
+            }
+            if self.etas.len() >= self.base_etas + REFACTOR_EVERY && !self.refactorize() {
+                return Inner::Stalled;
+            }
+            let (infeasibility_sum, infeasibility_max) = self.infeasibility();
+            // The exit test must match the pricing below, which only sees
+            // per-variable violations beyond `FEAS_TOL`: testing the *sum*
+            // here would let several rounding-level violations add up past
+            // the tolerance, price every composite cost to zero and
+            // mislabel a feasible LP as infeasible.
+            if phase1 && infeasibility_max <= FEAS_TOL {
+                return Inner::Optimal;
+            }
+            let measure = if phase1 {
+                infeasibility_sum
+            } else {
+                self.objective_now()
+            };
+            if measure < last_measure - 1e-9 {
+                stall = 0;
+                last_measure = measure;
+            } else {
+                stall += 1;
+            }
+            // Pricing: y = B⁻ᵀ·c_B, then reduced costs over the nonbasics.
+            for (i, slot) in y.iter_mut().enumerate() {
+                let b = self.basis[i];
+                *slot = if phase1 {
+                    let v = self.x[b];
+                    if v < self.lower[b] - FEAS_TOL {
+                        -1.0
+                    } else if v > self.upper[b] + FEAS_TOL {
+                        1.0
+                    } else {
+                        0.0
+                    }
+                } else {
+                    self.cost(b)
+                };
+            }
+            self.btran(&mut y);
+            let use_bland = stall >= STALL_LIMIT;
+            let mut entering: Option<usize> = None;
+            let mut best = COST_TOL;
+            for j in 0..self.ncols {
+                let status = self.status[j];
+                if status == ColStatus::Basic || self.is_fixed_col(j) {
+                    continue;
+                }
+                let c = if phase1 { 0.0 } else { self.cost(j) };
+                let d = c - self.col_dot(j, &y);
+                let violation = match status {
+                    ColStatus::Lower => -d,
+                    ColStatus::Upper => d,
+                    ColStatus::Basic => unreachable!(),
+                };
+                if violation > best {
+                    entering = Some(j);
+                    if use_bland {
+                        break;
+                    }
+                    best = violation;
+                }
+            }
+            let Some(q) = entering else {
+                // No improving direction left. In phase 1 this means the
+                // residual infeasibility is irreducible: the LP is
+                // infeasible. In phase 2 the basis is optimal.
+                return if phase1 {
+                    Inner::Infeasible
+                } else {
+                    Inner::Optimal
+                };
+            };
+            let dir = if self.status[q] == ColStatus::Lower {
+                1.0
+            } else {
+                -1.0
+            };
+            let w = self.ftran_col(q);
+
+            // Ratio test. The entering variable moves `t ≥ 0` along `dir`;
+            // basic `i` changes by `−dir·w[i]·t`. A feasible basic blocks at
+            // the bound it approaches; an infeasible one (phase 1) blocks
+            // when it *reaches* the violated bound it is moving towards, and
+            // never blocks when moving further away (that slope is already
+            // priced into the composite costs).
+            let mut t_best = self.upper[q] - self.lower[q];
+            let mut leave: Option<usize> = None;
+            let mut leave_to = 0.0f64;
+            let mut best_piv = 0.0f64;
+            for (i, &wi) in w.iter().enumerate() {
+                // Same pivot-magnitude guard as the dual ratio test: a
+                // blocking row with a near-zero entry would put that entry
+                // on the diagonal of an eta and amplify rounding error by
+                // its reciprocal.
+                if wi.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let delta = dir * wi;
+                let b = self.basis[i];
+                let xb = self.x[b];
+                let (limit, target) = if delta > 0.0 {
+                    // Basic decreases.
+                    if xb < self.lower[b] - FEAS_TOL {
+                        continue;
+                    }
+                    let tgt = if xb > self.upper[b] + FEAS_TOL {
+                        self.upper[b]
+                    } else {
+                        self.lower[b]
+                    };
+                    if !tgt.is_finite() {
+                        continue;
+                    }
+                    (((xb - tgt) / delta).max(0.0), tgt)
+                } else {
+                    // Basic increases.
+                    if xb > self.upper[b] + FEAS_TOL {
+                        continue;
+                    }
+                    let tgt = if xb < self.lower[b] - FEAS_TOL {
+                        self.lower[b]
+                    } else {
+                        self.upper[b]
+                    };
+                    if !tgt.is_finite() {
+                        continue;
+                    }
+                    (((tgt - xb) / -delta).max(0.0), tgt)
+                };
+                let replace = if limit < t_best - 1e-12 {
+                    true
+                } else if limit <= t_best + 1e-12 {
+                    match leave {
+                        None => limit < t_best,
+                        Some(l) => {
+                            if use_bland {
+                                self.basis[i] < self.basis[l]
+                            } else {
+                                wi.abs() > best_piv
+                            }
+                        }
+                    }
+                } else {
+                    false
+                };
+                if replace {
+                    t_best = limit;
+                    leave = Some(i);
+                    leave_to = target;
+                    best_piv = wi.abs();
+                }
+            }
+
+            if t_best.is_infinite() {
+                self.scratch = w;
+                // Unbounded descent. In phase 1 the infeasibility sum is
+                // bounded below by zero, so an unblocked ray can only be
+                // numerical noise — treat it as a stall.
+                return if phase1 {
+                    Inner::Stalled
+                } else {
+                    Inner::Unbounded
+                };
+            }
+
+            *pivots += 1;
+            let t = t_best;
+            match leave {
+                None => {
+                    self.counters.flips += 1;
+                    // Bound flip: the entering column crosses its box and
+                    // settles on the opposite bound; the basis is unchanged.
+                    for (i, &wi) in w.iter().enumerate() {
+                        if wi != 0.0 {
+                            self.x[self.basis[i]] -= dir * t * wi;
+                        }
+                    }
+                    if dir > 0.0 {
+                        self.x[q] = self.upper[q];
+                        self.status[q] = ColStatus::Upper;
+                    } else {
+                        self.x[q] = self.lower[q];
+                        self.status[q] = ColStatus::Lower;
+                    }
+                }
+                Some(r) => {
+                    self.counters.primal += 1;
+                    for (i, &wi) in w.iter().enumerate() {
+                        if wi != 0.0 {
+                            self.x[self.basis[i]] -= dir * t * wi;
+                        }
+                    }
+                    let leaving = self.basis[r];
+                    self.x[q] += dir * t;
+                    self.x[leaving] = leave_to;
+                    self.status[leaving] = if leave_to == self.lower[leaving] {
+                        ColStatus::Lower
+                    } else {
+                        ColStatus::Upper
+                    };
+                    self.status[q] = ColStatus::Basic;
+                    if let Some(eta) = make_eta(r, &w) {
+                        self.etas.push(eta);
+                    }
+                    self.basis[r] = q;
+                }
+            }
+            self.scratch = w;
+        }
+    }
+
+    /// Cold two-phase primal solve, with a bounded restart from the slack
+    /// basis if a refactorization ever fails.
+    fn solve_two_phase(&mut self, max_pivots: u64, pivots: &mut u64) -> Inner {
+        let mut restarts = 0u32;
+        loop {
+            match self.run_phase(true, max_pivots, pivots) {
+                Inner::Optimal => {}
+                Inner::Stalled if restarts < 2 => {
+                    restarts += 1;
+                    self.reset_to_slack_basis();
+                    continue;
+                }
+                other => return other,
+            }
+            match self.run_phase(false, max_pivots, pivots) {
+                Inner::Stalled if restarts < 2 => {
+                    restarts += 1;
+                    self.reset_to_slack_basis();
+                    continue;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    /// Bounded dual simplex: from a dual-feasible basis, drives the primal
+    /// bound violations of the basic variables away. Used by the warm path
+    /// after a child node changed variable bounds.
+    fn run_dual(&mut self, max_pivots: u64, pivots: &mut u64) -> Inner {
+        let mut rho = vec![0.0f64; self.m];
+        let mut y = vec![0.0f64; self.m];
+        let mut stalls = 0u32;
+        // Degeneracy guard, mirroring `run_phase`: the dual objective (the
+        // basic point's primal objective value) is non-decreasing along
+        // dual pivots; a stretch without movement switches the leaving/
+        // entering choices to Bland's rule until progress resumes.
+        let mut last_measure = f64::INFINITY;
+        let mut stall = 0u32;
+        loop {
+            // As in `run_phase`, the budget charges every iteration, flips
+            // included — a dual iteration's cost is dominated by the
+            // leaving/entering pricing (two BTRANs + an O(nnz) scan), which
+            // a dual bound flip pays in full.
+            if *pivots >= max_pivots {
+                return Inner::IterationLimit;
+            }
+            if self.etas.len() >= self.base_etas + REFACTOR_EVERY && !self.refactorize() {
+                return Inner::Stalled;
+            }
+            let measure = -self.objective_now();
+            if measure < last_measure - 1e-9 {
+                stall = 0;
+                last_measure = measure;
+            } else {
+                stall += 1;
+            }
+            let use_bland = stall >= STALL_LIMIT;
+            // Leaving row: the basic variable with the largest bound
+            // violation (first one under Bland).
+            let mut leaving: Option<usize> = None;
+            let mut worst = FEAS_TOL;
+            for i in 0..self.m {
+                let b = self.basis[i];
+                let v = self.x[b];
+                let violation = if v < self.lower[b] {
+                    self.lower[b] - v
+                } else if v > self.upper[b] {
+                    v - self.upper[b]
+                } else {
+                    0.0
+                };
+                if violation > worst {
+                    leaving = Some(i);
+                    if use_bland {
+                        break;
+                    }
+                    worst = violation;
+                }
+            }
+            let Some(r) = leaving else {
+                // Primal feasible and (by invariant) dual feasible: optimal.
+                return Inner::Optimal;
+            };
+            let b_r = self.basis[r];
+            let to_lower = self.x[b_r] < self.lower[b_r];
+            let target = if to_lower {
+                self.lower[b_r]
+            } else {
+                self.upper[b_r]
+            };
+
+            // ρ = B⁻ᵀ·e_r gives the pivot row; y = B⁻ᵀ·c_B the duals.
+            rho.fill(0.0);
+            rho[r] = 1.0;
+            self.btran(&mut rho);
+            for (i, slot) in y.iter_mut().enumerate() {
+                *slot = self.cost(self.basis[i]);
+            }
+            self.btran(&mut y);
+
+            // Dual ratio test: among nonbasic columns whose movement pushes
+            // `x_B[r]` towards its violated bound, the smallest
+            // |reduced cost| / |α| keeps every other reduced cost
+            // dual-feasible after the pivot.
+            let mut entering: Option<(usize, f64)> = None;
+            let mut best_ratio = f64::INFINITY;
+            let mut best_alpha = 0.0f64;
+            for j in 0..self.ncols {
+                let status = self.status[j];
+                if status == ColStatus::Basic || self.is_fixed_col(j) {
+                    continue;
+                }
+                let alpha = self.col_dot(j, &rho);
+                if alpha.abs() <= PIVOT_TOL {
+                    continue;
+                }
+                let dirj = if status == ColStatus::Lower {
+                    1.0
+                } else {
+                    -1.0
+                };
+                // x_B[r] changes by −dirj·α per unit step of the entering
+                // variable; it must move towards `target`.
+                let movement = -dirj * alpha;
+                if to_lower {
+                    if movement <= 0.0 {
+                        continue;
+                    }
+                } else if movement >= 0.0 {
+                    continue;
+                }
+                let d = self.cost(j) - self.col_dot(j, &y);
+                let dmag = match status {
+                    ColStatus::Lower => d.max(0.0),
+                    ColStatus::Upper => (-d).max(0.0),
+                    ColStatus::Basic => unreachable!(),
+                };
+                let ratio = dmag / alpha.abs();
+                // Bland mode keeps the min-ratio requirement (it guards
+                // dual feasibility) but freezes ties on the first index
+                // instead of the largest pivot.
+                let replace = if ratio < best_ratio - 1e-12 {
+                    true
+                } else if use_bland {
+                    false
+                } else {
+                    ratio <= best_ratio + 1e-12 && alpha.abs() > best_alpha
+                };
+                if replace {
+                    best_ratio = ratio;
+                    best_alpha = alpha.abs();
+                    entering = Some((j, dirj));
+                }
+            }
+            let Some((q, dirj)) = entering else {
+                // The violated row admits no compensating column: the LP is
+                // primal infeasible.
+                return Inner::Infeasible;
+            };
+
+            let w = self.ftran_col(q);
+            let alpha = w[r];
+            if alpha.abs() <= PIVOT_TOL {
+                // The FTRANed pivot disagrees with the priced one —
+                // numerical drift. Refactorize and retry a bounded number
+                // of times.
+                self.scratch = w;
+                stalls += 1;
+                if stalls > 3 || !self.refactorize() {
+                    return Inner::Stalled;
+                }
+                continue;
+            }
+            let t = ((self.x[b_r] - target) / (dirj * alpha)).max(0.0);
+
+            *pivots += 1;
+            let range = self.upper[q] - self.lower[q];
+            if t > range + 1e-12 && range.is_finite() {
+                self.counters.flips += 1;
+                // Dual bound flip: the pivot would push the entering
+                // variable past its opposite bound, so flip it across the
+                // box instead and keep looking; the leaving row stays
+                // infeasible (but strictly less so).
+                for (i, &wi) in w.iter().enumerate() {
+                    if wi != 0.0 {
+                        self.x[self.basis[i]] -= dirj * range * wi;
+                    }
+                }
+                self.x[q] = if dirj > 0.0 {
+                    self.upper[q]
+                } else {
+                    self.lower[q]
+                };
+                self.status[q] = if dirj > 0.0 {
+                    ColStatus::Upper
+                } else {
+                    ColStatus::Lower
+                };
+                self.scratch = w;
+                continue;
+            }
+
+            self.counters.dual += 1;
+            for (i, &wi) in w.iter().enumerate() {
+                if wi != 0.0 {
+                    self.x[self.basis[i]] -= dirj * t * wi;
+                }
+            }
+            self.x[q] += dirj * t;
+            self.x[b_r] = target;
+            self.status[b_r] = if to_lower {
+                ColStatus::Lower
+            } else {
+                ColStatus::Upper
+            };
+            self.status[q] = ColStatus::Basic;
+            if let Some(eta) = make_eta(r, &w) {
+                self.etas.push(eta);
+            }
+            self.basis[r] = q;
+            self.scratch = w;
+        }
+    }
+
+    /// Extracts the optimal solution from the current state.
+    fn extract(&mut self, with_rc: bool) -> LpSolution {
+        let mut values = Vec::with_capacity(self.n);
+        for j in 0..self.n {
+            let v = if self.lower[j] <= self.upper[j] {
+                self.x[j].max(self.lower[j]).min(self.upper[j])
+            } else {
+                self.x[j]
+            };
+            values.push(v);
+        }
+        let objective = self.objective_constant
+            + self
+                .objective
+                .iter()
+                .zip(&values)
+                .map(|(c, v)| c * v)
+                .sum::<f64>();
+        let reduced_costs = with_rc.then(|| self.reduced_costs());
+        LpSolution {
+            status: LpStatus::Optimal,
+            objective,
+            values,
+            pivots: self.counters.primal + self.counters.dual,
+            primal_pivots: self.counters.primal,
+            dual_pivots: self.counters.dual,
+            bound_flips: self.counters.flips,
+            refactorizations: self.counters.refactorizations,
+            reduced_costs,
+        }
+    }
+
+    /// Reduced costs of the structural columns at optimality, split into
+    /// per-variable up/down marginal costs by nonbasic status.
+    fn reduced_costs(&mut self) -> ReducedCosts {
+        let mut y = std::mem::take(&mut self.scratch);
+        for (i, slot) in y.iter_mut().enumerate() {
+            *slot = self.cost(self.basis[i]);
+        }
+        self.btran(&mut y);
+        let mut up = vec![0.0f64; self.n];
+        let mut down = vec![0.0f64; self.n];
+        for j in 0..self.n {
+            if self.upper[j] - self.lower[j] <= EPS {
+                continue;
+            }
+            match self.status[j] {
+                ColStatus::Basic => {}
+                ColStatus::Lower => {
+                    up[j] = (self.cost(j) - self.col_dot(j, &y)).max(0.0);
+                }
+                ColStatus::Upper => {
+                    down[j] = (self.col_dot(j, &y) - self.cost(j)).max(0.0);
+                }
+            }
+        }
+        self.scratch = y;
+        ReducedCosts { up, down }
+    }
+
+    /// Packages the current basis for reuse by descendants.
+    fn into_basis(self, age: u32) -> Basis {
+        let fingerprint =
+            instance_fingerprint(self.matrix, self.objective, self.objective_constant);
+        Basis {
+            status: self.status,
+            basis: self.basis,
+            etas: self.etas,
+            age,
+            rows: self.m,
+            vars: self.n,
+            fingerprint,
+        }
     }
 }
 
@@ -148,29 +1184,20 @@ pub fn solve_lp(
     domains: &Domains,
     max_pivots: u64,
 ) -> LpSolution {
-    match Tableau::build(matrix, objective, objective_constant, domains, false) {
-        Build::Done(solution) => solution,
-        Build::Ready(mut t) => {
-            let (status, pivots) = t.solve_two_phase(max_pivots);
-            match status {
-                InnerResult::Optimal => t.extract(false, pivots),
-                InnerResult::Infeasible => LpSolution::no_solution(LpStatus::Infeasible, pivots),
-                InnerResult::Unbounded => LpSolution::no_solution(LpStatus::Unbounded, pivots),
-                InnerResult::IterationLimit => {
-                    LpSolution::no_solution(LpStatus::IterationLimit, pivots)
-                }
-            }
-        }
-    }
+    solve_cold(
+        matrix,
+        objective,
+        objective_constant,
+        domains,
+        max_pivots,
+        false,
+    )
+    .0
 }
 
-/// Warm-capable cold solve: like [`solve_lp`], but the tableau carries an
-/// explicit lower-bound row per column so descendant nodes can re-solve from
-/// the returned [`Basis`] with the dual simplex, and the solution reports
-/// [`ReducedCosts`].
-///
-/// Falls back to the plain cold solve (returning no basis) when the
-/// warm-capable tableau would exceed an internal size cap.
+/// Warm-capable cold solve: like [`solve_lp`], but returns the optimal
+/// [`Basis`] so descendant nodes can re-solve from it with the dual simplex
+/// ([`resolve_with_basis`]), and the solution reports [`ReducedCosts`].
 pub fn solve_lp_basis(
     matrix: &SparseModel,
     objective: &[f64],
@@ -178,720 +1205,108 @@ pub fn solve_lp_basis(
     domains: &Domains,
     max_pivots: u64,
 ) -> (LpSolution, Option<Basis>) {
-    // Rough deterministic size estimate before allocating anything: rows =
-    // model rows + 2 bound rows per free column; columns = structurals +
-    // one slack/artificial per row (upper bound).
-    let free = (0..domains.len()).filter(|&j| !domains.is_fixed(j)).count();
-    let rows = matrix.num_rows() + 2 * free;
-    let cols = free + rows + matrix.num_rows();
-    if rows.saturating_mul(cols + 1) > MAX_WARM_CELLS {
+    solve_cold(
+        matrix,
+        objective,
+        objective_constant,
+        domains,
+        max_pivots,
+        true,
+    )
+}
+
+fn solve_cold(
+    matrix: &SparseModel,
+    objective: &[f64],
+    objective_constant: f64,
+    domains: &Domains,
+    max_pivots: u64,
+    warm_capable: bool,
+) -> (LpSolution, Option<Basis>) {
+    if domains.is_infeasible() {
         return (
-            solve_lp(matrix, objective, objective_constant, domains, max_pivots),
+            LpSolution::no_solution(LpStatus::Infeasible, Counters::default()),
             None,
         );
     }
-    match Tableau::build(matrix, objective, objective_constant, domains, true) {
-        Build::Done(solution) => (solution, None),
-        Build::Ready(mut t) => {
-            let (status, pivots) = t.solve_two_phase(max_pivots);
-            match status {
-                InnerResult::Optimal => {
-                    let solution = t.extract(true, pivots);
-                    (solution, Some(Basis { t: *t, age: 0 }))
-                }
-                InnerResult::Infeasible => {
-                    (LpSolution::no_solution(LpStatus::Infeasible, pivots), None)
-                }
-                InnerResult::Unbounded => {
-                    (LpSolution::no_solution(LpStatus::Unbounded, pivots), None)
-                }
-                InnerResult::IterationLimit => (
-                    LpSolution::no_solution(LpStatus::IterationLimit, pivots),
-                    None,
-                ),
-            }
+    let mut kernel = Kernel::cold(matrix, objective, objective_constant, domains);
+    let mut pivots = 0u64;
+    let inner = kernel.solve_two_phase(max_pivots, &mut pivots);
+    match inner {
+        Inner::Optimal => {
+            let solution = kernel.extract(warm_capable);
+            let basis = warm_capable.then(|| kernel.into_basis(0));
+            (solution, basis)
         }
+        Inner::Infeasible => (
+            LpSolution::no_solution(LpStatus::Infeasible, kernel.counters),
+            None,
+        ),
+        Inner::Unbounded => (
+            LpSolution::no_solution(LpStatus::Unbounded, kernel.counters),
+            None,
+        ),
+        Inner::IterationLimit | Inner::Stalled => (
+            LpSolution::no_solution(LpStatus::IterationLimit, kernel.counters),
+            None,
+        ),
     }
 }
 
-/// Re-solves the LP of `basis` under the (tightened) bounds of `domains`
-/// with the **dual simplex**, starting from the stored optimal basis.
+/// Re-solves the LP of `matrix` under the changed bounds of `domains` with
+/// the **bounded dual simplex**, starting from a stored optimal [`Basis`].
 ///
-/// Returns `None` when the basis is incompatible with `domains` — a bound
-/// was *relaxed* below the basis' shift, or a variable substituted out at
-/// construction changed value — in which case the caller should fall back
-/// to a cold solve. Otherwise returns the solution and, at optimality, the
-/// re-solved basis (age incremented) for further descendants.
+/// Because bounds are implicit (never rows), *any* bound change — tightened
+/// or relaxed — leaves the stored basis dual feasible; the reuse
+/// preconditions are that the matrix *and the objective* are exactly the
+/// ones the basis was factorized under (dual feasibility is a statement
+/// about the costs). Returns `None` when the fingerprint disagrees (the
+/// branch-and-bound solver rebuilt the row set with cuts), in which case
+/// the caller should fall back to a cold solve. Otherwise returns the
+/// solution and, at optimality, the re-solved basis (age incremented) for
+/// further descendants.
 pub fn resolve_with_basis(
+    matrix: &SparseModel,
+    objective: &[f64],
+    objective_constant: f64,
     basis: &Basis,
     domains: &Domains,
     max_pivots: u64,
 ) -> Option<(LpSolution, Option<Basis>)> {
-    let base = &basis.t;
-    if domains.len() != base.n_orig {
+    if basis.vars != domains.len()
+        || basis.vars != matrix.num_vars()
+        || basis.rows != matrix.num_rows()
+        || basis.fingerprint != instance_fingerprint(matrix, objective, objective_constant)
+    {
         return None;
     }
-    // Compatibility: variables substituted out at construction must still be
-    // fixed at the same value, and no lower bound may drop below the shift
-    // (the shifted variable x' >= 0 is implicit in the tableau).
-    for j in 0..base.n_orig {
-        if base.fixed_at_build[j] {
-            if !domains.is_fixed(j) || (domains.lower(j) - base.shift[j]).abs() > 1e-9 {
-                return None;
-            }
-        } else if domains.lower(j) < base.shift[j] - 1e-9 {
-            return None;
-        }
+    if domains.is_infeasible() {
+        return Some((
+            LpSolution::no_solution(LpStatus::Infeasible, Counters::default()),
+            None,
+        ));
     }
-
-    let mut t = base.clone();
-    let width = t.total_cols + 1;
-    let m = t.m;
-
-    // New right-hand sides: model rows are untouched (the shift is the
-    // construction-time lower bound, not the child's), bound rows move with
-    // the child's box. rhs_new = B⁻¹·b_new, computed incrementally from the
-    // stored B⁻¹ image (the identity columns) and the rhs deltas.
-    for c in 0..t.n {
-        let j = t.orig_of_col[c];
-        let upper_b = domains.upper(j) - t.shift[j];
-        let lower_b = -(domains.lower(j) - t.shift[j]);
-        for (row, b_new) in [
-            (t.upper_row_of_col[c], upper_b),
-            (t.lower_row_of_col[c], lower_b),
-        ] {
-            let delta = b_new - t.b_built[row];
-            if delta.abs() <= 1e-12 {
-                continue;
-            }
-            let ic = t.ident_col[row];
-            for i in 0..m {
-                let f = t.tab[i * width + ic];
-                if f != 0.0 {
-                    t.tab[i * width + t.total_cols] += f * delta;
-                }
-            }
-            t.b_built[row] = b_new;
-        }
-    }
-
-    // Dual simplex: the stored basis is dual feasible (phase-2 reduced costs
-    // of all allowed columns are >= 0); drive out the primal infeasibilities
-    // the rhs change introduced.
+    let mut kernel = Kernel::warm(matrix, objective, objective_constant, domains, basis);
     let mut pivots = 0u64;
-    let bland_threshold = 4 * (m as u64 + t.total_cols as u64) + 64;
-    let status = loop {
-        if pivots >= max_pivots {
-            break InnerResult::IterationLimit;
+    let inner = kernel.run_dual(max_pivots, &mut pivots);
+    match inner {
+        Inner::Optimal => {
+            let solution = kernel.extract(true);
+            let next = kernel.into_basis(basis.age + 1);
+            Some((solution, Some(next)))
         }
-        let use_bland = pivots > bland_threshold;
-        // Leaving row: most negative basic value (first one under Bland).
-        let mut leaving: Option<usize> = None;
-        let mut most = -DUAL_FEAS_TOL;
-        for i in 0..m {
-            // An artificial basic column marks a linearly dependent row
-            // (phase 1 pivots every other artificial out); its rhs is held
-            // at zero by construction and must never drive a dual pivot.
-            if t.is_artificial[t.basis[i]] {
-                continue;
-            }
-            let v = t.tab[i * width + t.total_cols];
-            if v < most {
-                leaving = Some(i);
-                if use_bland {
-                    break;
-                }
-                most = v;
-            }
-        }
-        let Some(row) = leaving else {
-            break InnerResult::Optimal;
-        };
-        // Entering column: dual ratio test over columns with a negative
-        // pivot element. Basic columns are exact unit vectors, so they never
-        // qualify; artificial columns are excluded as in phase 2.
-        let y: Vec<f64> = t.basis.iter().map(|&b| t.costs[b]).collect();
-        let mut entering: Option<usize> = None;
-        let mut best_ratio = f64::INFINITY;
-        for j in 0..t.total_cols {
-            if t.is_artificial[j] {
-                continue;
-            }
-            let a = t.tab[row * width + j];
-            if a >= -1e-9 {
-                continue;
-            }
-            let mut rc = t.costs[j];
-            for (i, &yi) in y.iter().enumerate() {
-                if yi != 0.0 {
-                    rc -= yi * t.tab[i * width + j];
-                }
-            }
-            let ratio = rc.max(0.0) / -a;
-            if ratio < best_ratio - 1e-12 {
-                best_ratio = ratio;
-                entering = Some(j);
-            }
-        }
-        let Some(col) = entering else {
-            // The row demands a negative basic value but no column can
-            // restore feasibility: the LP is primal infeasible.
-            break InnerResult::Infeasible;
-        };
-        pivot(&mut t.tab, m, width, row, col);
-        t.basis[row] = col;
-        pivots += 1;
-    };
-
-    match status {
-        InnerResult::Optimal => {
-            let solution = t.extract(true, pivots);
-            let age = basis.age + 1;
-            Some((solution, Some(Basis { t, age })))
-        }
-        InnerResult::Infeasible => {
-            Some((LpSolution::no_solution(LpStatus::Infeasible, pivots), None))
-        }
-        InnerResult::Unbounded => {
-            Some((LpSolution::no_solution(LpStatus::Unbounded, pivots), None))
-        }
-        InnerResult::IterationLimit => Some((
-            LpSolution::no_solution(LpStatus::IterationLimit, pivots),
+        Inner::Infeasible => Some((
+            LpSolution::no_solution(LpStatus::Infeasible, kernel.counters),
             None,
         )),
-    }
-}
-
-/// The dense tableau plus every piece of construction metadata needed to
-/// extract solutions and (in warm-capable mode) re-solve under new bounds.
-#[derive(Debug, Clone)]
-struct Tableau {
-    // Column space.
-    n_orig: usize,
-    col_of: Vec<usize>,
-    orig_of_col: Vec<usize>,
-    /// Construction-time lower bound per original variable (the shift).
-    shift: Vec<f64>,
-    /// Variables substituted out at construction (fixed in the build box).
-    fixed_at_build: Vec<bool>,
-    // Dimensions.
-    n: usize,
-    m: usize,
-    total_cols: usize,
-    // State.
-    tab: Vec<f64>,
-    basis: Vec<usize>,
-    is_artificial: Vec<bool>,
-    /// Phase-2 cost per column (structural costs, zero on slacks).
-    costs: Vec<f64>,
-    obj_shift: f64,
-    // Warm metadata (empty without bound rows).
-    /// Initial identity column per row: the slack of a `<=` row, the
-    /// artificial of a `>=`/`=` row. Their final tableau columns are B⁻¹.
-    ident_col: Vec<usize>,
-    /// Current right-hand side per row (sign-normalised), kept in step with
-    /// every dual re-solve so deltas compose along a warm chain.
-    b_built: Vec<f64>,
-    upper_row_of_col: Vec<usize>,
-    lower_row_of_col: Vec<usize>,
-    has_bound_rows: bool,
-}
-
-enum Build {
-    Done(LpSolution),
-    Ready(Box<Tableau>),
-}
-
-impl Tableau {
-    fn build(
-        matrix: &SparseModel,
-        objective: &[f64],
-        objective_constant: f64,
-        domains: &Domains,
-        bound_rows: bool,
-    ) -> Build {
-        let n_orig = domains.len();
-        debug_assert_eq!(objective.len(), n_orig);
-
-        // Map original variables to LP columns, substituting fixed variables.
-        let mut col_of = vec![usize::MAX; n_orig];
-        let mut orig_of_col = Vec::new();
-        for (j, slot) in col_of.iter_mut().enumerate() {
-            if !domains.is_fixed(j) {
-                *slot = orig_of_col.len();
-                orig_of_col.push(j);
-            }
-        }
-        let n = orig_of_col.len();
-        let shift: Vec<f64> = (0..n_orig).map(|j| domains.lower(j)).collect();
-        let fixed_at_build: Vec<bool> = (0..n_orig).map(|j| domains.is_fixed(j)).collect();
-
-        // Shifted objective constant: every variable contributes c_j · lower_j
-        // (fixed variables have lower == upper).
-        let mut obj_shift = objective_constant;
-        for (j, &c) in objective.iter().enumerate() {
-            obj_shift += c * shift[j];
-        }
-        let struct_costs: Vec<f64> = orig_of_col.iter().map(|&j| objective[j]).collect();
-
-        // Build normalised rows over the free columns:  Σ a·x'  op  b
-        struct NormRow {
-            terms: Vec<(usize, f64)>,
-            op: CmpOp,
-            rhs: f64,
-        }
-        let mut norm_rows: Vec<NormRow> = Vec::new();
-        for row in matrix.rows() {
-            let mut rhs = row.rhs;
-            let mut terms: Vec<(usize, f64)> = Vec::new();
-            for (j, a) in row.terms() {
-                // every variable contributes a·lower as a constant shift
-                rhs -= a * shift[j];
-                if !domains.is_fixed(j) {
-                    terms.push((col_of[j], a));
-                }
-            }
-            if terms.is_empty() {
-                let ok = match row.op {
-                    CmpOp::Le => 0.0 <= rhs + EPS,
-                    CmpOp::Ge => 0.0 >= rhs - EPS,
-                    CmpOp::Eq => rhs.abs() <= EPS,
-                };
-                if !ok {
-                    return Build::Done(LpSolution::no_solution(LpStatus::Infeasible, 0));
-                }
-                continue;
-            }
-            norm_rows.push(NormRow {
-                terms,
-                op: row.op,
-                rhs,
-            });
-        }
-        // Bound rows for the free columns: the upper bound always (the
-        // variables are boxed), and in warm-capable mode also an explicit
-        // lower-bound row -x' <= 0, redundant here but the handle a child
-        // needs to *raise* the lower bound by an rhs change alone.
-        let mut upper_row_of_col = vec![usize::MAX; if bound_rows { n } else { 0 }];
-        let mut lower_row_of_col = vec![usize::MAX; if bound_rows { n } else { 0 }];
-        for (col, &j) in orig_of_col.iter().enumerate() {
-            if bound_rows {
-                upper_row_of_col[col] = norm_rows.len();
-            }
-            norm_rows.push(NormRow {
-                terms: vec![(col, 1.0)],
-                op: CmpOp::Le,
-                rhs: domains.upper(j) - shift[j],
-            });
-            if bound_rows {
-                lower_row_of_col[col] = norm_rows.len();
-                norm_rows.push(NormRow {
-                    terms: vec![(col, -1.0)],
-                    op: CmpOp::Le,
-                    rhs: 0.0,
-                });
-            }
-        }
-
-        let m = norm_rows.len();
-        if n == 0 {
-            return Build::Done(LpSolution {
-                status: LpStatus::Optimal,
-                objective: obj_shift,
-                values: (0..n_orig).map(|j| shift[j]).collect(),
-                pivots: 0,
-                reduced_costs: None,
-            });
-        }
-
-        // Count auxiliary columns: slack/surplus per inequality, artificials
-        // for >= and = rows (after rhs sign normalisation).
-        let mut total_cols = n;
-        let mut row_aux: Vec<(Option<usize>, Option<usize>)> = Vec::with_capacity(m);
-        let mut flipped: Vec<bool> = Vec::with_capacity(m);
-        for row in &norm_rows {
-            let flip = row.rhs < 0.0;
-            flipped.push(flip);
-            let op = effective_op(row.op, flip);
-            let slack = match op {
-                CmpOp::Le | CmpOp::Ge => {
-                    let c = total_cols;
-                    total_cols += 1;
-                    Some(c)
-                }
-                CmpOp::Eq => None,
-            };
-            let artificial = match op {
-                CmpOp::Le => None,
-                CmpOp::Ge | CmpOp::Eq => {
-                    let c = total_cols;
-                    total_cols += 1;
-                    Some(c)
-                }
-            };
-            row_aux.push((slack, artificial));
-        }
-
-        // Dense tableau: m rows x (total_cols + 1), last column is the rhs.
-        let width = total_cols + 1;
-        let mut tab = vec![0.0f64; m * width];
-        let mut basis = vec![usize::MAX; m];
-        let mut is_artificial = vec![false; total_cols];
-        let mut ident_col = vec![usize::MAX; m];
-        let mut b_built = vec![0.0f64; m];
-
-        for (i, row) in norm_rows.iter().enumerate() {
-            let sign = if flipped[i] { -1.0 } else { 1.0 };
-            for &(c, a) in &row.terms {
-                tab[i * width + c] += sign * a;
-            }
-            tab[i * width + total_cols] = sign * row.rhs;
-            b_built[i] = sign * row.rhs;
-            let op = effective_op(row.op, flipped[i]);
-            let (slack, artificial) = row_aux[i];
-            match op {
-                CmpOp::Le => {
-                    let s = slack.expect("le row has slack");
-                    tab[i * width + s] = 1.0;
-                    basis[i] = s;
-                    ident_col[i] = s;
-                }
-                CmpOp::Ge => {
-                    let s = slack.expect("ge row has surplus");
-                    tab[i * width + s] = -1.0;
-                    let a = artificial.expect("ge row has artificial");
-                    tab[i * width + a] = 1.0;
-                    is_artificial[a] = true;
-                    basis[i] = a;
-                    ident_col[i] = a;
-                }
-                CmpOp::Eq => {
-                    let a = artificial.expect("eq row has artificial");
-                    tab[i * width + a] = 1.0;
-                    is_artificial[a] = true;
-                    basis[i] = a;
-                    ident_col[i] = a;
-                }
-            }
-        }
-
-        let mut costs = vec![0.0f64; total_cols];
-        costs[..n].copy_from_slice(&struct_costs);
-
-        Build::Ready(Box::new(Tableau {
-            n_orig,
-            col_of,
-            orig_of_col,
-            shift,
-            fixed_at_build,
-            n,
-            m,
-            total_cols,
-            tab,
-            basis,
-            is_artificial,
-            costs,
-            obj_shift,
-            ident_col,
-            b_built,
-            upper_row_of_col,
-            lower_row_of_col,
-            has_bound_rows: bound_rows,
-        }))
-    }
-
-    /// Runs phase 1 (artificial elimination) and phase 2 (true objective).
-    fn solve_two_phase(&mut self, max_pivots: u64) -> (InnerResult, u64) {
-        let width = self.total_cols + 1;
-        let mut pivots = 0u64;
-
-        let needs_phase1 = self.is_artificial.iter().any(|&a| a);
-        if needs_phase1 {
-            let phase1_costs: Vec<f64> = (0..self.total_cols)
-                .map(|c| if self.is_artificial[c] { 1.0 } else { 0.0 })
-                .collect();
-            let status = run_simplex(
-                &mut self.tab,
-                &mut self.basis,
-                self.m,
-                self.total_cols,
-                &phase1_costs,
-                &vec![true; self.total_cols],
-                max_pivots,
-                &mut pivots,
-            );
-            if status == InnerStatus::IterationLimit {
-                return (InnerResult::IterationLimit, pivots);
-            }
-            let phase1_obj: f64 = self
-                .basis
-                .iter()
-                .enumerate()
-                .map(|(i, &b)| {
-                    if self.is_artificial[b] {
-                        self.tab[i * width + self.total_cols]
-                    } else {
-                        0.0
-                    }
-                })
-                .sum();
-            if phase1_obj > 1e-6 {
-                return (InnerResult::Infeasible, pivots);
-            }
-            // Drive every artificial still basic (necessarily at value ~0)
-            // out of the basis with a degenerate pivot. Leaving them in
-            // lets later pivots regrow them silently — phase 2 (or a dual
-            // re-solve) then reports a super-optimal objective for a point
-            // violating the artificial's row. Rows with no eligible pivot
-            // element are linearly dependent on the rest; their artificial
-            // stays basic at zero and no later pivot can touch the row.
-            for row in 0..self.m {
-                if !self.is_artificial[self.basis[row]] {
-                    continue;
-                }
-                let mut target = None;
-                for j in 0..self.total_cols {
-                    if self.is_artificial[j] || self.basis.contains(&j) {
-                        continue;
-                    }
-                    if self.tab[row * width + j].abs() > 1e-7 {
-                        target = Some(j);
-                        break;
-                    }
-                }
-                if let Some(col) = target {
-                    pivot(&mut self.tab, self.m, width, row, col);
-                    self.basis[row] = col;
-                    pivots += 1;
-                }
-            }
-        }
-
-        // Phase 2: minimise the true objective; artificials may not enter.
-        let allowed: Vec<bool> = (0..self.total_cols)
-            .map(|c| !self.is_artificial[c])
-            .collect();
-        let status = run_simplex(
-            &mut self.tab,
-            &mut self.basis,
-            self.m,
-            self.total_cols,
-            &self.costs,
-            &allowed,
-            max_pivots,
-            &mut pivots,
-        );
-        let result = match status {
-            InnerStatus::IterationLimit => InnerResult::IterationLimit,
-            InnerStatus::Unbounded => InnerResult::Unbounded,
-            InnerStatus::Optimal => InnerResult::Optimal,
-        };
-        (result, pivots)
-    }
-
-    /// Extracts the optimal solution (values, objective and, when requested
-    /// and available, reduced costs) from the current tableau state.
-    fn extract(&self, with_rc: bool, pivots: u64) -> LpSolution {
-        let width = self.total_cols + 1;
-        let mut shifted = vec![0.0f64; self.n];
-        for (i, &b) in self.basis.iter().enumerate() {
-            if b < self.n {
-                shifted[b] = self.tab[i * width + self.total_cols];
-            }
-        }
-        let mut values = vec![0.0f64; self.n_orig];
-        for j in 0..self.n_orig {
-            values[j] = if self.fixed_at_build[j] {
-                self.shift[j]
-            } else {
-                self.shift[j] + shifted[self.col_of[j]].max(0.0)
-            };
-        }
-        let objective_value = self.obj_shift
-            + self
-                .costs
-                .iter()
-                .take(self.n)
-                .zip(&shifted)
-                .map(|(c, x)| c * x)
-                .sum::<f64>();
-        let reduced_costs = (with_rc && self.has_bound_rows).then(|| self.reduced_costs());
-        LpSolution {
-            status: LpStatus::Optimal,
-            objective: objective_value,
-            values,
-            pivots,
-            reduced_costs,
-        }
-    }
-
-    /// Reduced costs of the structural columns and their bound-row slacks,
-    /// mapped to per-variable up/down marginal costs.
-    fn reduced_costs(&self) -> ReducedCosts {
-        let width = self.total_cols + 1;
-        let y: Vec<f64> = self.basis.iter().map(|&b| self.costs[b]).collect();
-        let mut in_basis = vec![false; self.total_cols];
-        for &b in &self.basis {
-            in_basis[b] = true;
-        }
-        let rc_of = |j: usize| -> f64 {
-            let mut rc = self.costs[j];
-            for (i, &yi) in y.iter().enumerate() {
-                if yi != 0.0 {
-                    rc -= yi * self.tab[i * width + j];
-                }
-            }
-            rc.max(0.0)
-        };
-        let mut up = vec![0.0f64; self.n_orig];
-        let mut down = vec![0.0f64; self.n_orig];
-        for (c, &j) in self.orig_of_col.iter().enumerate() {
-            // At the lower bound: either the structural column is nonbasic
-            // (x' = 0, the construction-time lower) or the explicit
-            // lower-bound row is tight (its slack is nonbasic).
-            if !in_basis[c] {
-                up[j] = rc_of(c);
-            } else {
-                let low_slack = self.ident_col[self.lower_row_of_col[c]];
-                if !in_basis[low_slack] {
-                    up[j] = rc_of(low_slack);
-                }
-            }
-            // At the upper bound: the upper-bound row is tight.
-            let up_slack = self.ident_col[self.upper_row_of_col[c]];
-            if !in_basis[up_slack] {
-                down[j] = rc_of(up_slack);
-            }
-        }
-        ReducedCosts { up, down }
-    }
-}
-
-fn effective_op(op: CmpOp, flipped: bool) -> CmpOp {
-    if !flipped {
-        return op;
-    }
-    match op {
-        CmpOp::Le => CmpOp::Ge,
-        CmpOp::Ge => CmpOp::Le,
-        CmpOp::Eq => CmpOp::Eq,
-    }
-}
-
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum InnerStatus {
-    Optimal,
-    Unbounded,
-    IterationLimit,
-}
-
-/// Like [`InnerStatus`] but with phase-1 infeasibility folded in.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum InnerResult {
-    Optimal,
-    Infeasible,
-    Unbounded,
-    IterationLimit,
-}
-
-/// Runs the primal simplex on the tableau until optimality for the given
-/// cost vector. Uses Dantzig pricing with a switch to Bland's rule after a
-/// degeneracy threshold so cycling cannot occur.
-#[allow(clippy::too_many_arguments)]
-fn run_simplex(
-    tab: &mut [f64],
-    basis: &mut [usize],
-    m: usize,
-    total_cols: usize,
-    costs: &[f64],
-    allowed: &[bool],
-    max_pivots: u64,
-    pivots: &mut u64,
-) -> InnerStatus {
-    let width = total_cols + 1;
-    let bland_threshold = 4 * (m as u64 + total_cols as u64) + 64;
-    let mut iterations_here = 0u64;
-
-    loop {
-        if *pivots >= max_pivots {
-            return InnerStatus::IterationLimit;
-        }
-        // Reduced costs: r_j = c_j - sum_i c_{B(i)} * tab[i][j]
-        let use_bland = iterations_here > bland_threshold;
-        let mut entering: Option<usize> = None;
-        let mut best_rc = -1e-9;
-        for j in 0..total_cols {
-            if !allowed[j] || basis.contains(&j) {
-                continue;
-            }
-            let mut rc = costs[j];
-            for i in 0..m {
-                let cb = costs[basis[i]];
-                if cb != 0.0 {
-                    rc -= cb * tab[i * width + j];
-                }
-            }
-            if rc < -1e-9 {
-                if use_bland {
-                    entering = Some(j);
-                    break;
-                }
-                if rc < best_rc {
-                    best_rc = rc;
-                    entering = Some(j);
-                }
-            }
-        }
-        let Some(col) = entering else {
-            return InnerStatus::Optimal;
-        };
-
-        // Ratio test.
-        let mut leaving: Option<usize> = None;
-        let mut best_ratio = f64::INFINITY;
-        for i in 0..m {
-            let a = tab[i * width + col];
-            if a > 1e-9 {
-                let ratio = tab[i * width + total_cols] / a;
-                if ratio < best_ratio - 1e-12
-                    || (ratio < best_ratio + 1e-12
-                        && leaving.map(|l| basis[i] < basis[l]).unwrap_or(false))
-                {
-                    best_ratio = ratio;
-                    leaving = Some(i);
-                }
-            }
-        }
-        let Some(row) = leaving else {
-            return InnerStatus::Unbounded;
-        };
-
-        pivot(tab, m, width, row, col);
-        basis[row] = col;
-        *pivots += 1;
-        iterations_here += 1;
-    }
-}
-
-fn pivot(tab: &mut [f64], m: usize, width: usize, prow: usize, pcol: usize) {
-    let pval = tab[prow * width + pcol];
-    let inv = 1.0 / pval;
-    for j in 0..width {
-        tab[prow * width + j] *= inv;
-    }
-    tab[prow * width + pcol] = 1.0;
-    for i in 0..m {
-        if i == prow {
-            continue;
-        }
-        let factor = tab[i * width + pcol];
-        if factor.abs() < 1e-12 {
-            continue;
-        }
-        for j in 0..width {
-            tab[i * width + j] -= factor * tab[prow * width + j];
-        }
-        tab[i * width + pcol] = 0.0;
+        Inner::Unbounded => Some((
+            LpSolution::no_solution(LpStatus::Unbounded, kernel.counters),
+            None,
+        )),
+        Inner::IterationLimit | Inner::Stalled => Some((
+            LpSolution::no_solution(LpStatus::IterationLimit, kernel.counters),
+            None,
+        )),
     }
 }
 
@@ -974,7 +1389,7 @@ mod tests {
     }
 
     #[test]
-    fn fixed_variables_are_substituted() {
+    fn fixed_variables_stay_at_their_value() {
         // min x + y s.t. x + y >= 3 with y fixed at 2 => x = 1.
         let mut m = Model::new("m");
         let x = m.add_continuous("x", 0.0, 5.0);
@@ -1008,7 +1423,7 @@ mod tests {
     }
 
     #[test]
-    fn negative_rhs_rows_are_normalised() {
+    fn negative_rhs_rows_are_handled() {
         // -x <= -1  (i.e. x >= 1) with x in [0, 2], min x => 1.
         let mut m = Model::new("m");
         let x = m.add_continuous("x", 0.0, 2.0);
@@ -1035,6 +1450,77 @@ mod tests {
         let sol = solve_lp(&rows, &obj, k, &dom, 10_000);
         assert_eq!(sol.status, LpStatus::Optimal);
         assert!((sol.objective + 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_and_constant_rows_are_checked() {
+        // A model whose only row mentions no free variable must still be
+        // feasibility-checked against the fixed values.
+        let mut m = Model::new("m");
+        let x = m.add_continuous("x", 0.0, 4.0);
+        m.add_geq([(x, 1.0)], 3.0, "c");
+        m.set_objective([(x, 1.0)], Sense::Minimize);
+        let (rows, obj, k, mut dom) = relax(&m);
+        dom.fix(x.index(), 1.0); // violates x >= 3
+        let sol = solve_lp(&rows, &obj, k, &dom, 10_000);
+        assert_eq!(sol.status, LpStatus::Infeasible);
+        let (rows, obj, k, mut dom) = relax(&m);
+        dom.fix(x.index(), 3.5);
+        let sol = solve_lp(&rows, &obj, k, &dom, 10_000);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn unbounded_lp_is_detected() {
+        // A genuinely unbounded ray needs an infinite variable bound — the
+        // BIST models never have one, but the kernel must still label the
+        // case instead of looping: min -x with x in [0, +inf) and a
+        // non-binding row.
+        let mut m = Model::new("m");
+        let x = m.add_continuous("x", 0.0, f64::INFINITY);
+        let y = m.add_continuous("y", 0.0, 1.0);
+        m.add_geq([(x, 1.0), (y, 1.0)], 1.0, "c");
+        m.set_objective([(x, -1.0)], Sense::Minimize);
+        let (rows, obj, k, dom) = relax(&m);
+        let sol = solve_lp(&rows, &obj, k, &dom, 10_000);
+        assert_eq!(sol.status, LpStatus::Unbounded);
+        assert!(sol.values.is_empty());
+        // The same box with a finite ceiling solves at that ceiling.
+        let mut m2 = Model::new("m2");
+        let x2 = m2.add_continuous("x", 0.0, 1e12);
+        m2.add_geq([(x2, 1.0)], 1.0, "c");
+        m2.set_objective([(x2, -1.0)], Sense::Minimize);
+        let (rows, obj, k, dom) = relax(&m2);
+        let sol = solve_lp(&rows, &obj, k, &dom, 10_000);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 1e12).abs() < 1.0);
+    }
+
+    #[test]
+    fn refactorization_engages_on_long_solves() {
+        // A chain model long enough to force more pivots than the eta-file
+        // limit, so at least one mid-solve refactorization must happen.
+        let mut m = Model::new("chain");
+        let vars: Vec<_> = (0..120)
+            .map(|i| m.add_continuous(format!("x{i}"), 0.0, 10.0))
+            .collect();
+        for w in vars.windows(2) {
+            m.add_geq([(w[0], 1.0), (w[1], 1.0)], 1.0, "link");
+        }
+        m.set_objective(
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, 1.0 + 0.01 * (i % 7) as f64))
+                .collect::<Vec<_>>(),
+            Sense::Minimize,
+        );
+        let (rows, obj, k, dom) = relax(&m);
+        let sol = solve_lp(&rows, &obj, k, &dom, 100_000);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(sol.pivots > 0);
+        assert_eq!(sol.pivots, sol.primal_pivots + sol.dual_pivots);
+        assert_eq!(sol.dual_pivots, 0);
     }
 
     // ---- warm-start / dual simplex ----
@@ -1088,7 +1574,8 @@ mod tests {
                 let mut child = dom.clone();
                 assert!(child.fix(j, value));
                 let cold = solve_lp(&rows, &obj, k, &child, 10_000);
-                let (warm, _) = resolve_with_basis(&basis, &child, 10_000).expect("compatible");
+                let (warm, _) =
+                    resolve_with_basis(&rows, &obj, k, &basis, &child, 10_000).expect("compatible");
                 assert_eq!(warm.status, cold.status, "x{j} := {value}");
                 if warm.status == LpStatus::Optimal {
                     assert!(
@@ -1097,6 +1584,8 @@ mod tests {
                         warm.objective,
                         cold.objective
                     );
+                    assert_eq!(warm.pivots, warm.dual_pivots + warm.primal_pivots);
+                    assert_eq!(warm.primal_pivots, 0, "warm path is dual-only");
                 }
             }
         }
@@ -1117,7 +1606,8 @@ mod tests {
         let mut child = dom.clone();
         assert!(child.fix(x.index(), 0.0));
         assert!(child.fix(y.index(), 0.0));
-        let (warm, next) = resolve_with_basis(&basis, &child, 10_000).expect("compatible");
+        let (warm, next) =
+            resolve_with_basis(&rows, &obj, k, &basis, &child, 10_000).expect("compatible");
         assert_eq!(warm.status, LpStatus::Infeasible);
         assert!(next.is_none());
     }
@@ -1155,7 +1645,8 @@ mod tests {
             domains.tighten_lower(j, lo);
             domains.tighten_upper(j, hi);
             let cold = solve_lp(&rows, &obj, k, &domains, 10_000);
-            let (warm, next) = resolve_with_basis(&basis, &domains, 10_000).expect("compatible");
+            let (warm, next) =
+                resolve_with_basis(&rows, &obj, k, &basis, &domains, 10_000).expect("compatible");
             assert_eq!(warm.status, cold.status, "step {step}");
             assert!(
                 (warm.objective - cold.objective).abs() < 1e-6,
@@ -1169,7 +1660,10 @@ mod tests {
     }
 
     #[test]
-    fn resolve_rejects_relaxed_lower_bound() {
+    fn resolve_handles_relaxed_bounds_without_rejection() {
+        // Bounds are implicit, so a *relaxed* child box is just as
+        // re-solvable as a tightened one — the old bound-row kernel had to
+        // reject this case.
         let mut m = Model::new("m");
         let x = m.add_integer("x", 1, 3);
         m.add_leq([(x, 1.0)], 2.0, "c");
@@ -1177,11 +1671,51 @@ mod tests {
         let (rows, obj, k, dom) = relax(&m);
         let (_, basis) = solve_lp_basis(&rows, &obj, k, &dom, 10_000);
         let basis = basis.unwrap();
-        // A domain with a *relaxed* lower bound cannot reuse the basis.
         let mut m2 = Model::new("m2");
         m2.add_integer("x", 0, 3);
         let relaxed = Domains::from_model(&m2);
-        assert!(resolve_with_basis(&basis, &relaxed, 10_000).is_none());
+        let (warm, _) =
+            resolve_with_basis(&rows, &obj, k, &basis, &relaxed, 10_000).expect("compatible");
+        assert_eq!(warm.status, LpStatus::Optimal);
+        assert!((warm.objective - 0.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn resolve_rejects_a_mismatched_matrix() {
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        m.add_leq([(x, 1.0)], 1.0, "c");
+        m.set_objective([(x, 1.0)], Sense::Minimize);
+        let (rows, obj, k, dom) = relax(&m);
+        let (_, basis) = solve_lp_basis(&rows, &obj, k, &dom, 10_000);
+        let basis = basis.unwrap();
+        // A matrix with an extra row (a rebuilt cut pool) must be rejected.
+        let mut m2 = Model::new("m2");
+        let x2 = m2.add_binary("x");
+        m2.add_leq([(x2, 1.0)], 1.0, "c");
+        m2.add_leq([(x2, 1.0)], 2.0, "cut");
+        let (rows2, obj2, k2, dom2) = relax(&m2);
+        assert!(resolve_with_basis(&rows2, &obj2, k2, &basis, &dom2, 10_000).is_none());
+    }
+
+    #[test]
+    fn resolve_rejects_a_changed_objective() {
+        // Dual feasibility is a statement about the costs: a basis built
+        // under one objective must not warm-start a solve under another.
+        let mut m = Model::new("m");
+        let x = m.add_binary("x");
+        let y = m.add_binary("y");
+        m.add_geq([(x, 1.0), (y, 1.0)], 1.0, "c");
+        m.set_objective([(x, 1.0), (y, 2.0)], Sense::Minimize);
+        let (rows, obj, k, dom) = relax(&m);
+        let (_, basis) = solve_lp_basis(&rows, &obj, k, &dom, 10_000);
+        let basis = basis.unwrap();
+        let flipped: Vec<f64> = obj.iter().map(|c| -c).collect();
+        assert!(resolve_with_basis(&rows, &flipped, k, &basis, &dom, 10_000).is_none());
+        // A changed constant is part of the instance too.
+        assert!(resolve_with_basis(&rows, &obj, k + 1.0, &basis, &dom, 10_000).is_none());
+        // The unchanged instance still re-solves.
+        assert!(resolve_with_basis(&rows, &obj, k, &basis, &dom, 10_000).is_some());
     }
 
     #[test]
@@ -1203,5 +1737,51 @@ mod tests {
             "y at lower bound should have positive up-cost, got {}",
             rc.up[y.index()]
         );
+    }
+
+    #[test]
+    fn bound_moves_are_flips_not_pivots() {
+        // 20 zero-cost binaries covering `Σ x >= 19`: the crash start puts
+        // every variable at its lower bound, and phase 1 must walk almost
+        // all of them across their boxes to cover the row. With implicit
+        // bounds each of those moves is a *bound flip* (the box step of 1
+        // beats the slack's ratio of 19), not a pivot — the dense bound-row
+        // kernel needed a real pivot per bound move.
+        let mut m = Model::new("m");
+        let vars: Vec<_> = (0..20)
+            .map(|i| m.add_continuous(format!("x{i}"), 0.0, 1.0))
+            .collect();
+        m.add_geq(
+            vars.iter().map(|&v| (v, 1.0)).collect::<Vec<_>>(),
+            19.0,
+            "cover",
+        );
+        m.set_objective([(vars[0], 0.0)], Sense::Minimize);
+        let (rows, obj, k, dom) = relax(&m);
+        let sol = solve_lp(&rows, &obj, k, &dom, 10_000);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!(
+            sol.bound_flips >= 18,
+            "expected bound flips, got {} (pivots {})",
+            sol.bound_flips,
+            sol.pivots
+        );
+        assert!(
+            sol.pivots <= 2,
+            "bound moves must not consume pivots, spent {}",
+            sol.pivots
+        );
+        // The crash start is also load-bearing: a variable whose objective
+        // prefers its upper bound starts there, so a loose maximisation
+        // solves with no simplex work at all.
+        let mut m2 = Model::new("m2");
+        let y = m2.add_continuous("y", 0.0, 5.0);
+        m2.add_leq([(y, 1.0)], 100.0, "loose");
+        m2.set_objective([(y, -1.0)], Sense::Minimize);
+        let (rows, obj, k, dom) = relax(&m2);
+        let sol = solve_lp(&rows, &obj, k, &dom, 10_000);
+        assert_eq!(sol.status, LpStatus::Optimal);
+        assert!((sol.objective + 5.0).abs() < 1e-9);
+        assert_eq!(sol.pivots + sol.bound_flips, 0, "crash start is optimal");
     }
 }

@@ -59,9 +59,24 @@ pub struct Improvement {
 pub struct SolveStats {
     /// Number of branch-and-bound nodes explored.
     pub nodes: u64,
-    /// Number of simplex pivots performed across all LP relaxations
+    /// Number of simplex iterations performed across all LP relaxations
     /// (two-phase primal, dual-simplex re-solves and strong branching).
     pub lp_pivots: u64,
+    /// Simplex iterations spent in the *primal* simplex (the two phases of
+    /// cold factorisations). `lp_primal_pivots + lp_dual_pivots ==
+    /// lp_pivots`.
+    pub lp_primal_pivots: u64,
+    /// Simplex iterations spent in the *dual* simplex (warm re-solves from
+    /// a cached basis, including strong-branching probes).
+    pub lp_dual_pivots: u64,
+    /// Bound flips performed inside the LP kernel: nonbasic variables
+    /// crossing their box without a basis change (rank-0 updates — the
+    /// implicit-bound replacement for the old kernel's bound-row pivots).
+    pub lp_bound_flips: u64,
+    /// Basis refactorizations performed inside the LP kernel (periodic
+    /// eta-file collapses), distinct from [`SolveStats::refactorizations`],
+    /// which counts node-level cold factorisations.
+    pub lp_basis_refactorizations: u64,
     /// Number of LP relaxations solved.
     pub lp_solves: u64,
     /// Simplex iterations of each *node relaxation* LP, in the order the
@@ -73,9 +88,10 @@ pub struct SolveStats {
     pub warm_lp_solves: u64,
     /// Simplex iterations spent inside warm (dual-simplex) re-solves.
     pub warm_lp_pivots: u64,
-    /// Cold tableau factorisations at nodes where the solver *wanted* a
-    /// warm start (basis evicted, stale, aged out, or the root): the
-    /// dense-tableau analogue of a basis refactorisation.
+    /// Cold factorisations at nodes where the solver *wanted* a warm start
+    /// (basis evicted, stale, aged out, over the warm pivot budget, or the
+    /// root). Kernel-internal eta-file collapses are counted separately in
+    /// [`SolveStats::lp_basis_refactorizations`].
     pub refactorizations: u64,
     /// Strong-branching child LPs solved to initialise pseudo-costs.
     pub strong_branch_solves: u64,

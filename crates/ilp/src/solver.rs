@@ -33,7 +33,9 @@ use crate::heuristics::{greedy_dive, round_and_repair};
 use crate::model::{CmpOp, Model, Sense};
 use crate::propagate::{Domains, PropagationResult, Propagator};
 use crate::session::{Budget, CancelToken, SolveEvent};
-use crate::simplex::{resolve_with_basis, solve_lp, solve_lp_basis, Basis, LpStatus, ReducedCosts};
+use crate::simplex::{
+    resolve_with_basis, solve_lp, solve_lp_basis, Basis, LpSolution, LpStatus, ReducedCosts,
+};
 use crate::solution::{Solution, SolveStats, Status};
 use crate::sparse::SparseModel;
 use crate::{EPS, INT_EPS};
@@ -47,12 +49,12 @@ const CUTS_PER_ROUND: usize = 24;
 /// Capacity of the node-basis cache. Bases are only kept for the most
 /// recently solved LP nodes — with depth-first search that is the active
 /// DFS spine (a child is popped right after its parent), with best-first it
-/// is the top of the heap — so warm-start memory stays bounded regardless
-/// of tree size; anything evicted is simply recomputed cold.
+/// is the top of the heap. A revised-simplex [`Basis`] is only statuses
+/// plus an eta file, so the cap is about keeping lookups cheap, not memory.
 const BASIS_CACHE_CAP: usize = 6;
 /// Maximum dual-simplex re-solves chained off one cold factorisation
-/// before the node re-factorises (cold-solves) to flush the dense
-/// tableau's accumulated rounding error.
+/// before the node re-factorises (cold-solves) to flush the eta file's
+/// accumulated rounding error.
 const BASIS_MAX_AGE: u32 = 24;
 /// Maximum node depth at which uninitialised pseudo-costs are seeded by
 /// strong branching (reliability branching); deeper nodes rely on the
@@ -60,9 +62,9 @@ const BASIS_MAX_AGE: u32 = 24;
 const STRONG_DEPTH: usize = 2;
 /// Observation count below which a variable's pseudo-cost is considered
 /// unreliable and eligible for strong-branching initialisation.
-const RELIABILITY: u32 = 1;
+const RELIABILITY: u32 = 2;
 /// Maximum strong-branching candidates probed per node.
-const STRONG_CANDIDATES: usize = 4;
+const STRONG_CANDIDATES: usize = 6;
 /// Pivot budget of each strong-branching child LP.
 const STRONG_PIVOTS: u64 = 100;
 /// Per-unit degradation recorded when a strong-branching child is
@@ -71,6 +73,15 @@ const INFEASIBLE_DEGRADATION: f64 = 1e7;
 
 /// One materialised row handed to [`SparseModel::from_rows`].
 type DenseRow = (Vec<(usize, f64)>, CmpOp, f64);
+
+/// Folds one LP solve's iteration counters into the run statistics.
+fn tally_lp(stats: &mut SolveStats, lp: &LpSolution) {
+    stats.lp_pivots += lp.pivots;
+    stats.lp_primal_pivots += lp.primal_pivots;
+    stats.lp_dual_pivots += lp.dual_pivots;
+    stats.lp_bound_flips += lp.bound_flips;
+    stats.lp_basis_refactorizations += lp.refactorizations;
+}
 
 /// How dual bounds are computed at branch-and-bound nodes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -644,10 +655,11 @@ pub struct BranchAndBound<'a> {
     /// Basis stored by the root cut loop for the root node to hand to its
     /// children.
     root_basis_key: Option<u64>,
-    /// Recently stored node bases, oldest first; capacity-bounded so warm
-    /// starts never hold more than a handful of dense tableaus. Cleared
-    /// whenever the cut pool rebuilds the matrix (a basis is only valid for
-    /// the exact row set it was factorised from).
+    /// Recently stored node bases (statuses + eta files), oldest first;
+    /// capacity-bounded to keep lookups cheap. Cleared whenever the cut
+    /// pool rebuilds the matrix (a basis is only valid for the exact row
+    /// set it was factorized from, and the fingerprint check would reject
+    /// stale entries anyway).
     basis_cache: Vec<(u64, Rc<Basis>)>,
     next_basis_key: u64,
     /// Pseudo-cost state of the branching rule.
@@ -855,7 +867,7 @@ impl<'a> BranchAndBound<'a> {
                 )
             };
             stats.lp_solves += 1;
-            stats.lp_pivots += lp.pivots;
+            tally_lp(stats, &lp);
             match lp.status {
                 LpStatus::Infeasible => return false,
                 // Each cut round re-solves the root relaxation over a
@@ -1256,7 +1268,7 @@ impl<'a> BranchAndBound<'a> {
             self.config.max_lp_pivots,
         );
         stats.lp_solves += 1;
-        stats.lp_pivots += lp.pivots;
+        tally_lp(&mut stats, &lp);
         stats.time = start.elapsed();
         match lp.status {
             LpStatus::Optimal => {
@@ -1438,12 +1450,24 @@ impl<'a> BranchAndBound<'a> {
     /// a cold (re)factorisation otherwise.
     fn solve_node_lp(&mut self, node: &Node, stats: &mut SolveStats) -> SolvedNodeLp {
         let max_pivots = self.config.max_lp_pivots;
+        // A dual re-solve is only worth it while it stays *incremental*: a
+        // child whose propagation/fixing moved half the bounds is re-solving
+        // from scratch, and the primal does that better. Budget the warm
+        // path at a small multiple of the expected incremental work and let
+        // an overrun fall through to the cold factorization below.
+        let warm_budget = max_pivots.min(128 + self.propagator.matrix().num_rows() as u64 / 4);
         if self.config.lp_warm_start {
             if let Some(basis) = node.parent_basis.and_then(|key| self.cached_basis(key)) {
                 if basis.age() < BASIS_MAX_AGE {
-                    if let Some((lp, next)) = resolve_with_basis(&basis, &node.domains, max_pivots)
-                    {
-                        stats.lp_pivots += lp.pivots;
+                    if let Some((lp, next)) = resolve_with_basis(
+                        self.propagator.matrix(),
+                        &self.objective,
+                        self.objective_constant,
+                        &basis,
+                        &node.domains,
+                        warm_budget,
+                    ) {
+                        tally_lp(stats, &lp);
                         stats.warm_lp_pivots += lp.pivots;
                         match lp.status {
                             LpStatus::Infeasible | LpStatus::Optimal => {
@@ -1477,7 +1501,7 @@ impl<'a> BranchAndBound<'a> {
                 max_pivots,
             );
             stats.lp_solves += 1;
-            stats.lp_pivots += lp.pivots;
+            tally_lp(stats, &lp);
             stats.refactorizations += 1;
             stats.node_lp_pivots.push(lp.pivots);
             match lp.status {
@@ -1502,7 +1526,7 @@ impl<'a> BranchAndBound<'a> {
                 max_pivots,
             );
             stats.lp_solves += 1;
-            stats.lp_pivots += lp.pivots;
+            tally_lp(stats, &lp);
             stats.node_lp_pivots.push(lp.pivots);
             match lp.status {
                 LpStatus::Infeasible => SolvedNodeLp::Infeasible,
@@ -1533,7 +1557,7 @@ impl<'a> BranchAndBound<'a> {
             self.config.max_lp_pivots,
         );
         stats.lp_solves += 1;
-        stats.lp_pivots += lp.pivots;
+        tally_lp(stats, &lp);
         match lp.status {
             LpStatus::Optimal => Some(lp.values),
             _ => None,
@@ -1654,11 +1678,18 @@ impl<'a> BranchAndBound<'a> {
             if !tightened || child.is_infeasible() {
                 continue;
             }
-            let Some((child_lp, _)) = resolve_with_basis(basis, &child, STRONG_PIVOTS) else {
+            let Some((child_lp, _)) = resolve_with_basis(
+                self.propagator.matrix(),
+                &self.objective,
+                self.objective_constant,
+                basis,
+                &child,
+                STRONG_PIVOTS,
+            ) else {
                 continue;
             };
             stats.lp_solves += 1;
-            stats.lp_pivots += child_lp.pivots;
+            tally_lp(stats, &child_lp);
             stats.strong_branch_solves += 1;
             let step = if up {
                 (floor + 1.0 - v).max(INT_EPS)

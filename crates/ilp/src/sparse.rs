@@ -15,6 +15,21 @@
 
 use crate::model::{CmpOp, Model};
 
+/// FNV-1a offset basis.
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// One FNV-1a folding step, with an extra shift-XOR diffusion: plain
+/// XOR-multiply never propagates a difference in the *top* bit downwards
+/// (`2⁶³·odd ≡ 2⁶³ mod 2⁶⁴`), so without it two sign-bit-only input
+/// differences — e.g. negating an even number of coefficients — cancel
+/// exactly.
+#[inline]
+pub(crate) fn fnv_fold(h: &mut u64, bits: u64) {
+    *h ^= bits;
+    *h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    *h ^= *h >> 29;
+}
+
 /// A borrowed view of one constraint row `Σ aᵢ·xᵢ  op  rhs`.
 #[derive(Debug, Clone, Copy)]
 pub struct RowRef<'a> {
@@ -58,9 +73,15 @@ pub struct SparseModel {
     row_vals: Vec<f64>,
     ops: Vec<CmpOp>,
     rhs: Vec<f64>,
-    // CSC: for every variable, the rows that mention it.
+    // CSC: for every variable, the rows that mention it and the matching
+    // coefficients (parallel arrays).
     col_start: Vec<usize>,
     col_rows: Vec<u32>,
+    col_vals: Vec<f64>,
+    /// FNV-1a content hash of the rows (senses, right-hand sides, column
+    /// indices, coefficients), computed once at construction. The simplex
+    /// uses it to guard warm-basis reuse without re-scanning the matrix.
+    fingerprint: u64,
 }
 
 impl SparseModel {
@@ -106,7 +127,37 @@ impl SparseModel {
             this.rhs.push(rhs);
         }
         this.build_csc();
+        this.fingerprint = this.compute_fingerprint();
         this
+    }
+
+    fn compute_fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv_fold(&mut h, self.num_rows() as u64);
+        fnv_fold(&mut h, self.num_vars() as u64);
+        for row in self.rows() {
+            fnv_fold(
+                &mut h,
+                match row.op {
+                    CmpOp::Le => 1,
+                    CmpOp::Ge => 2,
+                    CmpOp::Eq => 3,
+                },
+            );
+            fnv_fold(&mut h, row.rhs.to_bits());
+            for (j, a) in row.terms() {
+                fnv_fold(&mut h, j as u64);
+                fnv_fold(&mut h, a.to_bits());
+            }
+        }
+        h
+    }
+
+    /// Content hash of the rows (see the field docs); two matrices with
+    /// equal fingerprints are, modulo hash collisions, structurally and
+    /// numerically identical row sets.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
     }
 
     fn build_csc(&mut self) {
@@ -119,14 +170,18 @@ impl SparseModel {
         }
         let mut cursor = counts.clone();
         let mut col_rows = vec![0u32; self.row_cols.len()];
+        let mut col_vals = vec![0.0f64; self.row_cols.len()];
         for i in 0..self.num_rows() {
-            for &c in &self.row_cols[self.row_start[i]..self.row_start[i + 1]] {
+            let span = self.row_start[i]..self.row_start[i + 1];
+            for (&c, &a) in self.row_cols[span.clone()].iter().zip(&self.row_vals[span]) {
                 col_rows[cursor[c as usize]] = i as u32;
+                col_vals[cursor[c as usize]] = a;
                 cursor[c as usize] += 1;
             }
         }
         self.col_start = counts;
         self.col_rows = col_rows;
+        self.col_vals = col_vals;
     }
 
     /// Number of constraint rows.
@@ -171,6 +226,18 @@ impl SparseModel {
     /// Panics if `j >= num_vars()`.
     pub fn rows_of_var(&self, j: usize) -> &[u32] {
         &self.col_rows[self.col_start[j]..self.col_start[j + 1]]
+    }
+
+    /// The CSC column of variable `j`: the rows that mention it (ascending)
+    /// and the matching coefficients, as parallel slices. This is the
+    /// column view the revised simplex prices and FTRANs from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= num_vars()`.
+    pub fn col(&self, j: usize) -> (&[u32], &[f64]) {
+        let span = self.col_start[j]..self.col_start[j + 1];
+        (&self.col_rows[span.clone()], &self.col_vals[span])
     }
 
     /// Number of rows mentioning variable `j`.
@@ -218,6 +285,17 @@ mod tests {
         assert_eq!(s.rows_of_var(2), &[1]); // z in row b
         assert_eq!(s.occurrences(0), 2);
         assert_eq!(s.occurrences(2), 1);
+    }
+
+    #[test]
+    fn csc_columns_carry_coefficients() {
+        let (_m, s) = sample();
+        let (rows, vals) = s.col(1); // y: 2.0 in row a, -1.0 in row b
+        assert_eq!(rows, &[0, 1]);
+        assert_eq!(vals, &[2.0, -1.0]);
+        let (rows, vals) = s.col(2); // z: 4.0 in row b
+        assert_eq!(rows, &[1]);
+        assert_eq!(vals, &[4.0]);
     }
 
     #[test]

@@ -11,7 +11,10 @@
 //!
 //! The golden areas were computed with the exact solver configuration and
 //! cross-checked against the PR-2 search (cold LPs, most-constrained
-//! branching, no reduced-cost fixing); regenerate them with
+//! branching, no reduced-cost fixing). The per-instance **golden pivot
+//! counts** additionally pin the revised simplex kernel's work (deterministic
+//! on any IEEE-754 platform), so a kernel change that keeps the optima but
+//! silently inflates the search shows up as a diff. Regenerate both with
 //! `cargo test --test corpus regenerate_corpus_goldens -- --ignored --nocapture`.
 
 use advbist::dfg::benchmarks::{random_dfg, RandomDfgConfig};
@@ -33,6 +36,13 @@ pub struct CorpusCase {
     pub sessions: usize,
     /// Golden optimal ADVBIST area (transistors) for this `k`.
     pub golden_area: u64,
+    /// Golden simplex pivot count (basis changes, primal + dual) of the
+    /// default exact search under the revised kernel. Unlike the area —
+    /// which may only move with a *cost-model* change — this pins the
+    /// *work* the kernel spends, so a kernel change that silently regresses
+    /// pricing, the ratio tests or the warm path diffs here immediately.
+    /// Regenerate together with the areas (see the module docs).
+    pub golden_pivots: u64,
 }
 
 impl CorpusCase {
@@ -65,6 +75,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 1,
         golden_area: 1616,
+        golden_pivots: 1024,
     },
     CorpusCase {
         name: "r11k2",
@@ -74,6 +85,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 2,
         golden_area: 1520,
+        golden_pivots: 4956,
     },
     CorpusCase {
         name: "r23k1",
@@ -83,6 +95,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 1,
         golden_area: 1376,
+        golden_pivots: 385,
     },
     CorpusCase {
         name: "r23k2",
@@ -92,6 +105,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 2,
         golden_area: 1312,
+        golden_pivots: 1065,
     },
     CorpusCase {
         name: "r37k1",
@@ -101,6 +115,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 1,
         golden_area: 1876,
+        golden_pivots: 667,
     },
     CorpusCase {
         name: "r37k2",
@@ -110,6 +125,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 2,
         golden_area: 1616,
+        golden_pivots: 998,
     },
     CorpusCase {
         name: "r58k1",
@@ -119,6 +135,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 1,
         golden_area: 1440,
+        golden_pivots: 2107,
     },
     CorpusCase {
         name: "r58k2",
@@ -128,6 +145,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 2,
         golden_area: 1424,
+        golden_pivots: 6942,
     },
     CorpusCase {
         name: "r71k1",
@@ -137,6 +155,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 2,
         sessions: 1,
         golden_area: 1892,
+        golden_pivots: 1226,
     },
     CorpusCase {
         name: "r71k2",
@@ -146,6 +165,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 2,
         sessions: 2,
         golden_area: 1552,
+        golden_pivots: 1598,
     },
     CorpusCase {
         name: "r92k1",
@@ -155,6 +175,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 1,
         golden_area: 1920,
+        golden_pivots: 105,
     },
     CorpusCase {
         name: "r92k2",
@@ -164,5 +185,6 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 2,
         golden_area: 1920,
+        golden_pivots: 904,
     },
 ];

@@ -6,6 +6,7 @@
 #![allow(dead_code)]
 
 pub mod corpus;
+pub mod reference_lp;
 
 use advbist::ilp::{Model, Sense};
 

@@ -1,0 +1,395 @@
+//! Legacy dense two-phase tableau simplex, kept as the **differential
+//! oracle** for the revised-simplex kernel.
+//!
+//! This is a faithful, deliberately simple port of the pre-revised LP path:
+//! fixed variables are substituted out, every remaining variable is shifted
+//! so its lower bound is zero, finite upper bounds become explicit `≤` rows,
+//! `≥`/`=` rows get artificial variables, and a dense two-phase primal
+//! simplex grinds the tableau down. It is quadratically larger and slower
+//! than the production kernel — which is exactly why it was replaced — but
+//! its simplicity makes it a trustworthy second opinion: the differential
+//! harness in `properties.rs` checks the revised kernel against this oracle
+//! over hundreds of PRNG models, cold and along warm re-solve chains.
+
+use advbist::ilp::propagate::Domains;
+use advbist::ilp::sparse::SparseModel;
+use advbist::ilp::CmpOp;
+
+/// Oracle outcome, mirroring the production `LpStatus` shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RefStatus {
+    Optimal,
+    Infeasible,
+    Unbounded,
+    IterationLimit,
+}
+
+/// Oracle result: status and, at optimality, objective + point.
+#[derive(Debug, Clone)]
+pub struct RefSolution {
+    pub status: RefStatus,
+    pub objective: f64,
+    pub values: Vec<f64>,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solves `min objective·x + constant` over the rows of `matrix` and the
+/// box of `domains` with the legacy dense two-phase tableau method.
+pub fn solve_dense(
+    matrix: &SparseModel,
+    objective: &[f64],
+    objective_constant: f64,
+    domains: &Domains,
+    max_pivots: u64,
+) -> RefSolution {
+    let n_orig = domains.len();
+    // Substitute fixed variables, shift the rest to a zero lower bound.
+    let mut col_of = vec![usize::MAX; n_orig];
+    let mut orig_of_col = Vec::new();
+    for (j, slot) in col_of.iter_mut().enumerate() {
+        if !domains.is_fixed(j) {
+            *slot = orig_of_col.len();
+            orig_of_col.push(j);
+        }
+    }
+    let n = orig_of_col.len();
+    let shift: Vec<f64> = (0..n_orig)
+        .map(|j| {
+            if domains.is_fixed(j) {
+                domains.fixed_value(j).unwrap_or(domains.lower(j))
+            } else {
+                domains.lower(j)
+            }
+        })
+        .collect();
+    let mut obj_shift = objective_constant;
+    for (j, &c) in objective.iter().enumerate() {
+        obj_shift += c * shift[j];
+    }
+
+    // Normalised rows over the free columns, plus an upper-bound row per
+    // free column (the legacy kernel materialised every box side it
+    // needed; the cold path only needs the upper side, the lower is the
+    // shifted x' >= 0).
+    struct NormRow {
+        terms: Vec<(usize, f64)>,
+        op: CmpOp,
+        rhs: f64,
+    }
+    let mut norm_rows: Vec<NormRow> = Vec::new();
+    for row in matrix.rows() {
+        let mut rhs = row.rhs;
+        let mut terms: Vec<(usize, f64)> = Vec::new();
+        for (j, a) in row.terms() {
+            rhs -= a * shift[j];
+            if !domains.is_fixed(j) {
+                terms.push((col_of[j], a));
+            }
+        }
+        if terms.is_empty() {
+            let ok = match row.op {
+                CmpOp::Le => 0.0 <= rhs + 1e-6,
+                CmpOp::Ge => 0.0 >= rhs - 1e-6,
+                CmpOp::Eq => rhs.abs() <= 1e-6,
+            };
+            if !ok {
+                return RefSolution {
+                    status: RefStatus::Infeasible,
+                    objective: f64::INFINITY,
+                    values: Vec::new(),
+                };
+            }
+            continue;
+        }
+        norm_rows.push(NormRow {
+            terms,
+            op: row.op,
+            rhs,
+        });
+    }
+    for (col, &j) in orig_of_col.iter().enumerate() {
+        norm_rows.push(NormRow {
+            terms: vec![(col, 1.0)],
+            op: CmpOp::Le,
+            rhs: domains.upper(j) - shift[j],
+        });
+    }
+
+    if n == 0 {
+        return RefSolution {
+            status: RefStatus::Optimal,
+            objective: obj_shift,
+            values: shift,
+        };
+    }
+    let m = norm_rows.len();
+
+    // Column layout: structurals, then slack/surplus + artificials.
+    let mut total_cols = n;
+    let mut row_aux: Vec<(Option<usize>, Option<usize>)> = Vec::with_capacity(m);
+    let mut flipped: Vec<bool> = Vec::with_capacity(m);
+    for row in &norm_rows {
+        let flip = row.rhs < 0.0;
+        flipped.push(flip);
+        let op = effective_op(row.op, flip);
+        let slack = matches!(op, CmpOp::Le | CmpOp::Ge).then(|| {
+            total_cols += 1;
+            total_cols - 1
+        });
+        let artificial = matches!(op, CmpOp::Ge | CmpOp::Eq).then(|| {
+            total_cols += 1;
+            total_cols - 1
+        });
+        row_aux.push((slack, artificial));
+    }
+
+    let width = total_cols + 1;
+    let mut tab = vec![0.0f64; m * width];
+    let mut basis = vec![usize::MAX; m];
+    let mut is_artificial = vec![false; total_cols];
+    for (i, row) in norm_rows.iter().enumerate() {
+        let sign = if flipped[i] { -1.0 } else { 1.0 };
+        for &(c, a) in &row.terms {
+            tab[i * width + c] += sign * a;
+        }
+        tab[i * width + total_cols] = sign * row.rhs;
+        let (slack, artificial) = row_aux[i];
+        match effective_op(row.op, flipped[i]) {
+            CmpOp::Le => {
+                let s = slack.expect("le row has slack");
+                tab[i * width + s] = 1.0;
+                basis[i] = s;
+            }
+            CmpOp::Ge => {
+                tab[i * width + slack.expect("ge surplus")] = -1.0;
+                let a = artificial.expect("ge artificial");
+                tab[i * width + a] = 1.0;
+                is_artificial[a] = true;
+                basis[i] = a;
+            }
+            CmpOp::Eq => {
+                let a = artificial.expect("eq artificial");
+                tab[i * width + a] = 1.0;
+                is_artificial[a] = true;
+                basis[i] = a;
+            }
+        }
+    }
+    let mut costs = vec![0.0f64; total_cols];
+    for (c, &j) in orig_of_col.iter().enumerate() {
+        costs[c] = objective[j];
+    }
+
+    let mut pivots = 0u64;
+    // Phase 1.
+    if is_artificial.iter().any(|&a| a) {
+        let phase1: Vec<f64> = (0..total_cols)
+            .map(|c| if is_artificial[c] { 1.0 } else { 0.0 })
+            .collect();
+        let status = run_simplex(
+            &mut tab,
+            &mut basis,
+            m,
+            total_cols,
+            &phase1,
+            &vec![true; total_cols],
+            max_pivots,
+            &mut pivots,
+        );
+        if status == InnerStatus::IterationLimit {
+            return no_solution(RefStatus::IterationLimit);
+        }
+        let phase1_obj: f64 = basis
+            .iter()
+            .enumerate()
+            .map(|(i, &b)| {
+                if is_artificial[b] {
+                    tab[i * width + total_cols]
+                } else {
+                    0.0
+                }
+            })
+            .sum();
+        if phase1_obj > 1e-6 {
+            return no_solution(RefStatus::Infeasible);
+        }
+        // Pivot basic artificials out (the latent seed bug PR 3 fixed).
+        for row in 0..m {
+            if !is_artificial[basis[row]] {
+                continue;
+            }
+            let target = (0..total_cols).find(|&j| {
+                !is_artificial[j] && !basis.contains(&j) && tab[row * width + j].abs() > 1e-7
+            });
+            if let Some(col) = target {
+                pivot(&mut tab, m, width, row, col);
+                basis[row] = col;
+            }
+        }
+    }
+
+    // Phase 2.
+    let allowed: Vec<bool> = (0..total_cols).map(|c| !is_artificial[c]).collect();
+    let status = run_simplex(
+        &mut tab,
+        &mut basis,
+        m,
+        total_cols,
+        &costs,
+        &allowed,
+        max_pivots,
+        &mut pivots,
+    );
+    match status {
+        InnerStatus::IterationLimit => no_solution(RefStatus::IterationLimit),
+        InnerStatus::Unbounded => no_solution(RefStatus::Unbounded),
+        InnerStatus::Optimal => {
+            let mut shifted = vec![0.0f64; n];
+            for (i, &b) in basis.iter().enumerate() {
+                if b < n {
+                    shifted[b] = tab[i * width + total_cols];
+                }
+            }
+            let mut values = vec![0.0f64; n_orig];
+            for (j, v) in values.iter_mut().enumerate() {
+                *v = if domains.is_fixed(j) {
+                    shift[j]
+                } else {
+                    shift[j] + shifted[col_of[j]].max(0.0)
+                };
+            }
+            let objective_value = obj_shift
+                + costs
+                    .iter()
+                    .take(n)
+                    .zip(&shifted)
+                    .map(|(c, x)| c * x)
+                    .sum::<f64>();
+            RefSolution {
+                status: RefStatus::Optimal,
+                objective: objective_value,
+                values,
+            }
+        }
+    }
+}
+
+fn no_solution(status: RefStatus) -> RefSolution {
+    RefSolution {
+        status,
+        objective: f64::INFINITY,
+        values: Vec::new(),
+    }
+}
+
+fn effective_op(op: CmpOp, flipped: bool) -> CmpOp {
+    if !flipped {
+        return op;
+    }
+    match op {
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum InnerStatus {
+    Optimal,
+    Unbounded,
+    IterationLimit,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_simplex(
+    tab: &mut [f64],
+    basis: &mut [usize],
+    m: usize,
+    total_cols: usize,
+    costs: &[f64],
+    allowed: &[bool],
+    max_pivots: u64,
+    pivots: &mut u64,
+) -> InnerStatus {
+    let width = total_cols + 1;
+    let bland_threshold = 4 * (m as u64 + total_cols as u64) + 64;
+    let mut iterations_here = 0u64;
+    loop {
+        if *pivots >= max_pivots {
+            return InnerStatus::IterationLimit;
+        }
+        let use_bland = iterations_here > bland_threshold;
+        let mut entering: Option<usize> = None;
+        let mut best_rc = -EPS;
+        for j in 0..total_cols {
+            if !allowed[j] || basis.contains(&j) {
+                continue;
+            }
+            let mut rc = costs[j];
+            for i in 0..m {
+                let cb = costs[basis[i]];
+                if cb != 0.0 {
+                    rc -= cb * tab[i * width + j];
+                }
+            }
+            if rc < -EPS {
+                if use_bland {
+                    entering = Some(j);
+                    break;
+                }
+                if rc < best_rc {
+                    best_rc = rc;
+                    entering = Some(j);
+                }
+            }
+        }
+        let Some(col) = entering else {
+            return InnerStatus::Optimal;
+        };
+        let mut leaving: Option<usize> = None;
+        let mut best_ratio = f64::INFINITY;
+        for i in 0..m {
+            let a = tab[i * width + col];
+            if a > EPS {
+                let ratio = tab[i * width + total_cols] / a;
+                if ratio < best_ratio - 1e-12
+                    || (ratio < best_ratio + 1e-12
+                        && leaving.map(|l| basis[i] < basis[l]).unwrap_or(false))
+                {
+                    best_ratio = ratio;
+                    leaving = Some(i);
+                }
+            }
+        }
+        let Some(row) = leaving else {
+            return InnerStatus::Unbounded;
+        };
+        pivot(tab, m, width, row, col);
+        basis[row] = col;
+        *pivots += 1;
+        iterations_here += 1;
+    }
+}
+
+fn pivot(tab: &mut [f64], m: usize, width: usize, prow: usize, pcol: usize) {
+    let pval = tab[prow * width + pcol];
+    let inv = 1.0 / pval;
+    for j in 0..width {
+        tab[prow * width + j] *= inv;
+    }
+    tab[prow * width + pcol] = 1.0;
+    for i in 0..m {
+        if i == prow {
+            continue;
+        }
+        let factor = tab[i * width + pcol];
+        if factor.abs() < 1e-12 {
+            continue;
+        }
+        for j in 0..width {
+            tab[i * width + j] -= factor * tab[prow * width + j];
+        }
+        tab[i * width + pcol] = 0.0;
+    }
+}

@@ -44,6 +44,15 @@ fn corpus_reaches_golden_optima_with_the_default_search() {
             "{}: area diverged from the golden optimum",
             case.name
         );
+        // Work regression check on the revised kernel: pivot counts are
+        // bit-deterministic for a fixed configuration, so any drift means
+        // the kernel (or the search layer above it) changed behaviour and
+        // the goldens must be consciously regenerated.
+        assert_eq!(
+            design.stats.lp_pivots, case.golden_pivots,
+            "{}: simplex pivot count diverged from the golden kernel work",
+            case.name
+        );
     }
 }
 
@@ -103,8 +112,9 @@ fn regenerate_corpus_goldens() {
             println!(
                 "    CorpusCase {{ name: \"r{seed}k{k}\", seed: {seed}, num_ops: {num_ops}, \
                  num_inputs: {num_inputs}, multipliers: {multipliers}, sessions: {k}, \
-                 golden_area: {} }},",
-                design.area.total()
+                 golden_area: {}, golden_pivots: {} }},",
+                design.area.total(),
+                design.stats.lp_pivots
             );
         }
     }

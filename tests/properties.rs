@@ -232,14 +232,25 @@ fn lp_feasible(matrix: &SparseModel, domains: &Domains, values: &[f64]) -> bool 
         })
 }
 
-/// Differential test of the search layer's LP path: on a PRNG corpus of
+/// Differential harness of the revised-simplex kernel: on a PRNG corpus of
 /// ≥200 *reduced* models (the models branch-and-bound actually solves), the
-/// warm-started dual simplex must agree with the cold two-phase primal —
-/// same status, objectives within 1e-6 and a feasible optimal point — at
-/// the root and along random bound-tightening chains re-solved from the
-/// previous basis, exactly like a branch-and-bound descent.
+/// revised kernel — cold two-phase primal *and* warm dual-simplex re-solves
+/// along random bound-tightening descents — must agree with the **legacy
+/// dense tableau** oracle (`common::reference_lp`, the pre-revised kernel
+/// preserved verbatim as a second opinion): same status, objectives within
+/// 1e-6 and an LP-feasible optimal point, at the root and at every step of
+/// the descent.
 #[test]
-fn warm_dual_simplex_agrees_with_cold_primal_on_reduced_models() {
+fn revised_kernel_agrees_with_legacy_dense_tableau_on_reduced_models() {
+    use common::reference_lp::{solve_dense, RefStatus};
+    let agree = |status: LpStatus, reference: RefStatus| -> bool {
+        matches!(
+            (status, reference),
+            (LpStatus::Optimal, RefStatus::Optimal)
+                | (LpStatus::Infeasible, RefStatus::Infeasible)
+                | (LpStatus::Unbounded, RefStatus::Unbounded)
+        )
+    };
     let mut rng = Rng::new(0xd0a1);
     let mut corpus = 0usize;
     let mut warm_resolves = 0usize;
@@ -253,27 +264,41 @@ fn warm_dual_simplex_agrees_with_cold_primal_on_reduced_models() {
         }
         corpus += 1;
         let (matrix, objective, constant, root_domains) = relaxation(&reduced.model);
-        let cold_root = solve_lp(&matrix, &objective, constant, &root_domains, 50_000);
+        let legacy_root = solve_dense(&matrix, &objective, constant, &root_domains, 50_000);
         let (warm_root, basis) =
             solve_lp_basis(&matrix, &objective, constant, &root_domains, 50_000);
+        let cold_root = solve_lp(&matrix, &objective, constant, &root_domains, 50_000);
         assert_eq!(warm_root.status, cold_root.status, "seed {seed} (root)");
+        assert!(
+            agree(warm_root.status, legacy_root.status),
+            "seed {seed} (root): revised {:?} vs legacy {:?}",
+            warm_root.status,
+            legacy_root.status
+        );
         if warm_root.status != LpStatus::Optimal {
             continue;
         }
         assert!(
+            (warm_root.objective - legacy_root.objective).abs() < 1e-6,
+            "seed {seed} (root): revised {} vs legacy {}",
+            warm_root.objective,
+            legacy_root.objective
+        );
+        assert!(
             (warm_root.objective - cold_root.objective).abs() < 1e-6,
-            "seed {seed} (root): warm {} vs cold {}",
+            "seed {seed} (root): basis path {} vs plain cold {}",
             warm_root.objective,
             cold_root.objective
         );
         assert!(
             lp_feasible(&matrix, &root_domains, &warm_root.values),
-            "seed {seed} (root): warm point infeasible"
+            "seed {seed} (root): revised point infeasible"
         );
-        let mut basis = basis.expect("small models stay under the warm size cap");
+        let mut basis = basis.expect("warm-capable solve always returns a basis now");
         let mut domains = root_domains;
         // A random branch-and-bound descent: fix one free variable at a
-        // time and re-solve warm from the previous basis.
+        // time and re-solve warm from the previous basis, checking every
+        // step against both the legacy oracle and a revised cold solve.
         for step in 0..4 {
             let free: Vec<usize> = (0..domains.len())
                 .filter(|&j| !domains.is_fixed(j))
@@ -284,14 +309,28 @@ fn warm_dual_simplex_agrees_with_cold_primal_on_reduced_models() {
             let j = free[rng.range(0, free.len() as u64) as usize];
             let value = f64::from(u8::from(rng.next_u64().is_multiple_of(2)));
             assert!(domains.fix(j, value), "seed {seed} step {step}");
+            let legacy = solve_dense(&matrix, &objective, constant, &domains, 50_000);
             let cold = solve_lp(&matrix, &objective, constant, &domains, 50_000);
-            let (warm, next) = resolve_with_basis(&basis, &domains, 50_000)
-                .unwrap_or_else(|| panic!("seed {seed} step {step}: basis incompatible"));
+            let (warm, next) =
+                resolve_with_basis(&matrix, &objective, constant, &basis, &domains, 50_000)
+                    .unwrap_or_else(|| panic!("seed {seed} step {step}: basis incompatible"));
             warm_resolves += 1;
             assert_eq!(warm.status, cold.status, "seed {seed} step {step}");
+            assert!(
+                agree(warm.status, legacy.status),
+                "seed {seed} step {step}: revised {:?} vs legacy {:?}",
+                warm.status,
+                legacy.status
+            );
             if warm.status != LpStatus::Optimal {
                 break;
             }
+            assert!(
+                (warm.objective - legacy.objective).abs() < 1e-6,
+                "seed {seed} step {step}: warm {} vs legacy {}",
+                warm.objective,
+                legacy.objective
+            );
             assert!(
                 (warm.objective - cold.objective).abs() < 1e-6,
                 "seed {seed} step {step}: warm {} vs cold {}",
@@ -301,6 +340,10 @@ fn warm_dual_simplex_agrees_with_cold_primal_on_reduced_models() {
             assert!(
                 lp_feasible(&matrix, &domains, &warm.values),
                 "seed {seed} step {step}: warm point infeasible"
+            );
+            assert!(
+                lp_feasible(&matrix, &domains, &cold.values),
+                "seed {seed} step {step}: cold point infeasible"
             );
             basis = next.expect("optimal dual re-solve returns a basis");
         }
