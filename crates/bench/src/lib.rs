@@ -12,6 +12,7 @@
 //! | Figures 2–3 (SR / TPG assignment) | [`figures`] | `repro_fig2_fig3` | — |
 //! | Ablations (ours) | [`ablation`] | — | `ablation_solver`, `ilp_solver` |
 //! | k-sweep engine vs rebuild (ours, `BENCH_sweep.json`) | [`sweep`] | `repro_all` | — |
+//! | Service cache + resume (ours, `BENCH_service.json`) | [`service`] | `repro_service` | — |
 //!
 //! Every `repro_*` binary reads its solve budget through one
 //! [`bist_ilp::Budget::from_env`] call ([`workload::budget_from_env`]):
@@ -30,6 +31,7 @@ pub mod figures;
 pub mod presolve;
 pub mod report;
 pub mod search;
+pub mod service;
 pub mod sweep;
 pub mod table1;
 pub mod table2;

@@ -204,6 +204,11 @@ pub mod json {
             self.push(key, value.to_string())
         }
 
+        /// Adds a field from a pre-serialised JSON value (nested objects).
+        pub fn raw(self, key: &str, value: String) -> Self {
+            self.push(key, value)
+        }
+
         /// Adds an array field from pre-serialised JSON elements.
         pub fn array(self, key: &str, items: impl Iterator<Item = String>) -> Self {
             let body = items.collect::<Vec<_>>().join(", ");

@@ -53,12 +53,13 @@
 //! kernel's refactorization count — so harnesses can quote the effect
 //! deterministically.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use bist_dfg::allocate::RegisterAssignment;
 use bist_dfg::SynthesisInput;
 use bist_ilp::reduce::{reduce_prefix, ReduceOptions, ReduceReport, ReducedModel};
-use bist_ilp::SolveEvent;
+use bist_ilp::{SolveEvent, SolveSnapshot};
 
 use crate::config::SynthesisConfig;
 use crate::error::CoreError;
@@ -307,7 +308,54 @@ impl<'a> SynthesisEngine<'a> {
         k: usize,
         previous: Option<&RegisterAssignment>,
     ) -> Result<SweepOutcome, CoreError> {
-        self.synthesize_inner(k, previous, None)
+        self.synthesize_inner(k, previous, None, false, None)
+    }
+
+    /// [`SynthesisEngine::synthesize_seeded`] with solve-state snapshots:
+    /// capture is switched on (an early-stopped solve carries a resumable
+    /// [`SolveSnapshot`] on [`BistDesign::snapshot`]) and, when `resume` is
+    /// given, the search continues the snapshotted tree instead of starting
+    /// a fresh one. A resumed solve that runs to completion reaches exactly
+    /// the objective and total node count of an uninterrupted solve — the
+    /// snapshot restores the frontier, incumbent, pseudo-costs, cut pool and
+    /// warm bases, so no node is explored twice.
+    ///
+    /// The snapshot must come from a solve of the *same* per-k instance
+    /// (same circuit, same `k`, same configuration); the solver rejects
+    /// mismatched snapshots with a loud error instead of silently starting
+    /// over.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::synthesis::synthesize_bist`], plus
+    /// [`bist_ilp::IlpError::Snapshot`] (as [`CoreError::Ilp`]) when the
+    /// snapshot does not belong to this instance.
+    pub fn synthesize_resumable(
+        &self,
+        k: usize,
+        previous: Option<&RegisterAssignment>,
+        resume: Option<Arc<SolveSnapshot>>,
+    ) -> Result<SweepOutcome, CoreError> {
+        self.synthesize_inner(k, previous, None, true, resume)
+    }
+
+    /// Content fingerprint of the full per-k model (constraint matrix,
+    /// objective, variable bounds and integrality), before any presolve.
+    /// Two engines produce the same fingerprint for a given `k` exactly
+    /// when they were built from the same circuit and configuration — this
+    /// is the key the job service's cross-job [`SolveCache`] shares results
+    /// under.
+    ///
+    /// [`SolveCache`]: https://docs.rs/advbist
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidSessionCount`] if `k` is not in `1..=N`.
+    pub fn model_fingerprint(&self, k: usize) -> Result<u64, CoreError> {
+        let mut formulation = self.base.clone();
+        formulation.add_bist(k)?;
+        formulation.set_bist_objective();
+        Ok(bist_ilp::model_fingerprint(&formulation.model))
     }
 
     /// [`SynthesisEngine::synthesize_seeded`] with a live [`SolveEvent`]
@@ -326,7 +374,7 @@ impl<'a> SynthesisEngine<'a> {
         previous: Option<&RegisterAssignment>,
         observer: &mut dyn FnMut(&SolveEvent),
     ) -> Result<SweepOutcome, CoreError> {
-        self.synthesize_inner(k, previous, Some(observer))
+        self.synthesize_inner(k, previous, Some(observer), false, None)
     }
 
     fn synthesize_inner(
@@ -334,6 +382,8 @@ impl<'a> SynthesisEngine<'a> {
         k: usize,
         previous: Option<&RegisterAssignment>,
         observer: Option<&mut dyn FnMut(&SolveEvent)>,
+        snapshots: bool,
+        resume: Option<Arc<SolveSnapshot>>,
     ) -> Result<SweepOutcome, CoreError> {
         let start = Instant::now();
         let mut formulation = self.base.clone();
@@ -341,6 +391,10 @@ impl<'a> SynthesisEngine<'a> {
         formulation.set_bist_objective();
 
         let mut solver_config = self.config.solver.clone();
+        if snapshots || solver_config.budget.snapshot == Some(true) {
+            solver_config.snapshot = true;
+        }
+        solver_config.resume = resume;
         if self.config.warm_start {
             if let Some(values) = formulation.baseline_warm_values() {
                 solver_config.initial_solutions.push(values);

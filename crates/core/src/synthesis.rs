@@ -34,6 +34,13 @@ pub struct BistDesign {
     pub objective: f64,
     /// Solver statistics of the main solve.
     pub stats: SolveStats,
+    /// Resumable solve state, present when the solve stopped early (node
+    /// budget, cancellation, deadline) *and* snapshot capture was enabled
+    /// (see [`SynthesisEngine::synthesize_resumable`] and
+    /// [`bist_ilp::Budget::snapshot`]). Feed it back through
+    /// [`SynthesisEngine::synthesize_resumable`] to continue the very same
+    /// branch-and-bound tree. `None` for completed solves.
+    pub snapshot: Option<std::sync::Arc<bist_ilp::SolveSnapshot>>,
 }
 
 impl BistDesign {
@@ -205,6 +212,7 @@ pub(crate) fn solve_bist_formulation(
     validate_design(&datapath, &plan, input, &lifetimes)?;
 
     let area = datapath.area(&config.cost);
+    let snapshot = chosen.shared_snapshot();
     Ok((
         BistDesign {
             datapath,
@@ -214,6 +222,7 @@ pub(crate) fn solve_bist_formulation(
             optimal,
             objective: chosen.objective(),
             stats: chosen.stats().clone(),
+            snapshot,
         },
         registers,
     ))

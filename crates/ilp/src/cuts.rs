@@ -137,6 +137,20 @@ impl CutGenerator {
         self.emitted.len()
     }
 
+    /// Re-registers previously emitted cuts in the dedup set, so a
+    /// snapshot-resumed search (which reinstalls the serialized cut pool
+    /// into the row set) never separates a duplicate of a cut it already
+    /// carries. The keys are rebuilt exactly as `push_cut` builds them:
+    /// sorted unit-coefficient support plus the rounded right-hand side.
+    pub fn restore_emitted(&mut self, cuts: &[CutRow]) {
+        for cut in cuts {
+            let mut support: Vec<u32> = cut.terms.iter().map(|&(j, _)| j as u32).collect();
+            support.sort_unstable();
+            support.dedup();
+            self.emitted.insert((support, cut.rhs.round() as i64));
+        }
+    }
+
     /// Separates cuts violated by the fractional point `x`, at most `max_new`
     /// of them, most violated families first. Already-emitted cuts are never
     /// returned again.

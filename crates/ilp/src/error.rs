@@ -44,6 +44,13 @@ pub enum IlpError {
         /// Description of the problem.
         message: String,
     },
+    /// A solve-state snapshot could not be applied: it is malformed, from
+    /// an incompatible format version, or belongs to a different instance
+    /// than the one being resumed (see [`crate::snapshot::SolveSnapshot`]).
+    Snapshot {
+        /// Description of the mismatch.
+        message: String,
+    },
 }
 
 impl fmt::Display for IlpError {
@@ -67,6 +74,9 @@ impl fmt::Display for IlpError {
             IlpError::Numerical { message } => write!(f, "numerical failure: {message}"),
             IlpError::Parse { line, message } => {
                 write!(f, "lp parse error at line {line}: {message}")
+            }
+            IlpError::Snapshot { message } => {
+                write!(f, "cannot resume from snapshot: {message}")
             }
         }
     }

@@ -64,6 +64,7 @@ pub mod cuts;
 pub mod error;
 pub mod expr;
 pub mod heuristics;
+pub mod json;
 pub mod lpfile;
 pub mod model;
 pub mod presolve;
@@ -71,6 +72,7 @@ pub mod propagate;
 pub mod reduce;
 pub mod session;
 pub mod simplex;
+pub mod snapshot;
 pub mod solution;
 pub mod solver;
 pub mod sparse;
@@ -82,6 +84,7 @@ pub use model::{CmpOp, Constraint, Model, Sense, VarId, VarKind};
 pub use reduce::{ReduceOptions, ReduceReport, ReducedModel, VarDisposition};
 pub use session::{Budget, BudgetError, CancelToken, SolveEvent, SolveSession};
 pub use simplex::{Basis, LpSolution, LpStatus, ReducedCosts};
+pub use snapshot::{model_fingerprint, SnapshotError, SolveSnapshot};
 pub use solution::{Improvement, Solution, SolveStats, Status};
 pub use solver::{BoundMode, BranchRule, SearchOrder, SolverConfig, SolverConfigBuilder};
 pub use sparse::{RowRef, SparseModel};

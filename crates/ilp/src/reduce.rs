@@ -1353,14 +1353,18 @@ pub fn solve_reduced_with_events(
     stats.presolve_vars_removed = vars_removed;
     stats.presolve_rows_removed = rows_removed;
     let status = inner.status();
+    // The snapshot (if any) describes the *reduced* instance and survives
+    // the lift as-is: resuming re-runs the same deterministic reduction,
+    // so the snapshot meets the very tree it was captured from.
+    let snapshot = inner.shared_snapshot();
     // `is_feasible` (not `has_solution`): an interrupted inner search still
     // carries its best incumbent, which must survive the lift.
     if inner.is_feasible() {
         let lifted = reduced.lift(inner.values());
         let objective = original.objective_value(&lifted);
-        Ok(Solution::new(status, lifted, objective, stats))
+        Ok(Solution::new(status, lifted, objective, stats).with_snapshot(snapshot))
     } else {
-        Ok(Solution::without_values(status, stats))
+        Ok(Solution::without_values(status, stats).with_snapshot(snapshot))
     }
 }
 

@@ -76,6 +76,16 @@ pub struct Budget {
     pub time_limit: Option<Duration>,
     /// Absolute point in time after which the search stops.
     pub deadline: Option<Instant>,
+    /// Capacity of the job service's cross-job solve cache in MiB
+    /// (`Some(0)` disables the cache, `None` = service default). Not a
+    /// solve limit — it travels on the budget because the budget is the
+    /// one environment-configured value every service entry point already
+    /// threads through (`BIST_CACHE_MB`).
+    pub cache_mb: Option<u64>,
+    /// Whether early-stopped solves capture a resumable
+    /// [`crate::SolveSnapshot`] (`None` = caller default: off for plain
+    /// sessions, on in the job service). Set from `BIST_SNAPSHOT`.
+    pub snapshot: Option<bool>,
 }
 
 impl Budget {
@@ -130,9 +140,31 @@ impl Budget {
         self
     }
 
-    /// Whether no limit of any kind is configured.
+    /// Sets the service solve-cache capacity in MiB (0 disables it).
+    pub fn with_cache_mb(mut self, mb: u64) -> Self {
+        self.cache_mb = Some(mb);
+        self
+    }
+
+    /// Sets whether early-stopped solves capture a resumable snapshot.
+    pub fn with_snapshot(mut self, enabled: bool) -> Self {
+        self.snapshot = Some(enabled);
+        self
+    }
+
+    /// Whether no limit of any kind is configured. The cache and snapshot
+    /// knobs are policy, not limits, and do not count.
     pub fn is_unlimited(&self) -> bool {
         self.node_limit.is_none() && self.time_limit.is_none() && self.deadline.is_none()
+    }
+
+    /// Whether the budget is deterministic: free of wall-clock limits and
+    /// deadlines, so two runs under it explore identical trees. The job
+    /// service only reuses finished solutions across jobs whose budgets
+    /// are deterministic — a time-limited solve's result depends on the
+    /// machine's speed at that moment and must not be replayed.
+    pub fn is_deterministic(&self) -> bool {
+        self.time_limit.is_none() && self.deadline.is_none()
     }
 
     /// Whether `nodes` exhausts the node limit.
@@ -168,6 +200,8 @@ impl Budget {
     /// | `BIST_SWEEP_NODES` | legacy alias for the node limit; `BIST_NODE_LIMIT` takes precedence |
     /// | `BIST_TIME_LIMIT_SECS` | wall-clock limit per solve in seconds (fractions allowed, clamped to ≥ 1 ms) |
     /// | `BIST_DEADLINE_SECS` | absolute deadline, given as seconds from now |
+    /// | `BIST_CACHE_MB` | job-service solve-cache capacity in MiB (integer; `0` disables the cache) |
+    /// | `BIST_SNAPSHOT` | snapshot capture on early stop: `1`/`true`/`on` or `0`/`false`/`off` |
     ///
     /// Unset variables leave the corresponding limit unset. Malformed values
     /// are an error — they are *not* silently replaced by defaults, so a
@@ -210,6 +244,25 @@ impl Budget {
         if let Some(raw) = get("BIST_DEADLINE_SECS") {
             let secs = parse_seconds("BIST_DEADLINE_SECS", &raw)?;
             budget.deadline = Some(Instant::now() + Duration::from_secs_f64(secs));
+        }
+        if let Some(raw) = get("BIST_CACHE_MB") {
+            let mb: u64 = raw.trim().parse().map_err(|_| {
+                BudgetError::new("BIST_CACHE_MB", &raw, "expected an integer number of MiB")
+            })?;
+            budget.cache_mb = Some(mb);
+        }
+        if let Some(raw) = get("BIST_SNAPSHOT") {
+            budget.snapshot = Some(match raw.trim() {
+                "1" | "true" | "on" => true,
+                "0" | "false" | "off" => false,
+                _ => {
+                    return Err(BudgetError::new(
+                        "BIST_SNAPSHOT",
+                        &raw,
+                        "expected 0/1, true/false or on/off",
+                    ))
+                }
+            });
         }
         Ok(budget)
     }
@@ -371,9 +424,36 @@ impl<'m> SolveSession<'m> {
         }
     }
 
-    /// Replaces the session's budget.
+    /// Replaces the session's budget. A budget carrying an explicit
+    /// [`Budget::snapshot`] policy (e.g. from `BIST_SNAPSHOT`) also toggles
+    /// snapshot capture on the session; `None` leaves the session setting
+    /// untouched.
     pub fn budget(mut self, budget: Budget) -> Self {
+        if let Some(enabled) = budget.snapshot {
+            self.config.snapshot = enabled;
+        }
         self.config.budget = budget;
+        self
+    }
+
+    /// Toggles capture of a resumable [`crate::SolveSnapshot`] when the
+    /// solve stops early (cancellation, node budget, time budget or
+    /// deadline). Off by default; the captured snapshot is returned on the
+    /// solution (see [`Solution::snapshot`]).
+    pub fn snapshots(mut self, enabled: bool) -> Self {
+        self.config.snapshot = enabled;
+        self
+    }
+
+    /// Resumes a previous solve from its snapshot instead of starting a
+    /// fresh tree. The session must target the same model content and use
+    /// the same search order the snapshot was captured under, or the solve
+    /// fails with [`IlpError::Snapshot`]. Presolve must also match: a
+    /// snapshot captured with presolve on fingerprints the *reduced*
+    /// instance, so resume it from a presolve-enabled session (the
+    /// default).
+    pub fn resume(mut self, snapshot: Arc<crate::snapshot::SolveSnapshot>) -> Self {
+        self.config.resume = Some(snapshot);
         self
     }
 
@@ -532,6 +612,56 @@ mod tests {
         assert!(err.reason.contains("maximum"));
         let err = Budget::from_lookup(lookup(&[("BIST_DEADLINE_SECS", "1e20")])).unwrap_err();
         assert!(err.reason.contains("maximum"));
+    }
+
+    #[test]
+    fn budget_cache_and_snapshot_knobs_parse_strictly() {
+        let unset = Budget::from_lookup(lookup(&[])).unwrap();
+        assert_eq!(unset.cache_mb, None);
+        assert_eq!(unset.snapshot, None);
+
+        let set = Budget::from_lookup(lookup(&[("BIST_CACHE_MB", "64"), ("BIST_SNAPSHOT", "1")]))
+            .unwrap();
+        assert_eq!(set.cache_mb, Some(64));
+        assert_eq!(set.snapshot, Some(true));
+        // 0 MiB is a valid value meaning "cache disabled", not an error.
+        let off = Budget::from_lookup(lookup(&[("BIST_CACHE_MB", "0"), ("BIST_SNAPSHOT", "off")]))
+            .unwrap();
+        assert_eq!(off.cache_mb, Some(0));
+        assert_eq!(off.snapshot, Some(false));
+        for raw in ["true", "on"] {
+            let b = Budget::from_lookup(lookup(&[("BIST_SNAPSHOT", raw)])).unwrap();
+            assert_eq!(b.snapshot, Some(true), "{raw}");
+        }
+        for raw in ["false", "0"] {
+            let b = Budget::from_lookup(lookup(&[("BIST_SNAPSHOT", raw)])).unwrap();
+            assert_eq!(b.snapshot, Some(false), "{raw}");
+        }
+
+        // Malformed values fail loudly, naming the variable.
+        let err = Budget::from_lookup(lookup(&[("BIST_CACHE_MB", "plenty")])).unwrap_err();
+        assert_eq!(err.var, "BIST_CACHE_MB");
+        assert!(err.to_string().contains("plenty"));
+        let err = Budget::from_lookup(lookup(&[("BIST_CACHE_MB", "-1")])).unwrap_err();
+        assert_eq!(err.var, "BIST_CACHE_MB");
+        let err = Budget::from_lookup(lookup(&[("BIST_SNAPSHOT", "yes")])).unwrap_err();
+        assert_eq!(err.var, "BIST_SNAPSHOT");
+        assert!(err.reason.contains("true/false"));
+    }
+
+    #[test]
+    fn budget_determinism_ignores_policy_knobs() {
+        assert!(Budget::nodes(10).is_deterministic());
+        assert!(Budget::nodes(10).with_cache_mb(64).is_deterministic());
+        assert!(!Budget::time(Duration::from_secs(1)).is_deterministic());
+        assert!(!Budget::nodes(10)
+            .with_deadline_in(Duration::from_secs(1))
+            .is_deterministic());
+        // Policy knobs do not make an unlimited budget "limited".
+        assert!(Budget::unlimited()
+            .with_cache_mb(1)
+            .with_snapshot(true)
+            .is_unlimited());
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Solve results: status, variable values and statistics.
 
 use crate::model::VarId;
+use crate::snapshot::SolveSnapshot;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Outcome of a solve.
@@ -117,6 +119,14 @@ pub struct SolveStats {
     pub presolve_vars_removed: u64,
     /// Rows removed by the reducing presolve before the search.
     pub presolve_rows_removed: u64,
+    /// True when this solve continued a [`SolveSnapshot`] instead of
+    /// starting a fresh tree; [`SolveStats::nodes`] then counts the whole
+    /// tree (capture point included), while every other counter covers
+    /// only the post-resume work.
+    pub resumed: bool,
+    /// True when the solve stopped early and captured a resumable snapshot
+    /// (see [`Solution::snapshot`]).
+    pub snapshot_captured: bool,
     /// Every incumbent improvement, in chronological order.
     pub improvements: Vec<Improvement>,
 }
@@ -156,12 +166,27 @@ impl SolveStats {
 }
 
 /// A solution returned by [`crate::Model::solve`].
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Solution {
     status: Status,
     values: Vec<f64>,
     objective: f64,
     stats: SolveStats,
+    /// Resumable solve state, present only when the search stopped early
+    /// with [`crate::SolverConfig::snapshot`] on.
+    snapshot: Option<Arc<SolveSnapshot>>,
+}
+
+/// Equality compares the *result* (status, assignment, objective, stats);
+/// the attached snapshot is transport, not outcome — two solves that reach
+/// the same answer compare equal whether or not one carries a checkpoint.
+impl PartialEq for Solution {
+    fn eq(&self, other: &Self) -> bool {
+        self.status == other.status
+            && self.values == other.values
+            && self.objective == other.objective
+            && self.stats == other.stats
+    }
 }
 
 impl Solution {
@@ -173,6 +198,7 @@ impl Solution {
             values,
             objective,
             stats,
+            snapshot: None,
         }
     }
 
@@ -183,7 +209,15 @@ impl Solution {
             values: Vec::new(),
             objective: f64::INFINITY,
             stats,
+            snapshot: None,
         }
+    }
+
+    /// Attaches (or clears) the resumable snapshot of an early-stopped
+    /// solve.
+    pub(crate) fn with_snapshot(mut self, snapshot: Option<Arc<SolveSnapshot>>) -> Self {
+        self.snapshot = snapshot;
+        self
     }
 
     /// The solve status.
@@ -246,6 +280,19 @@ impl Solution {
     /// Solver effort statistics.
     pub fn stats(&self) -> &SolveStats {
         &self.stats
+    }
+
+    /// The resumable snapshot captured when this solve stopped early, if
+    /// any. Feed it to [`crate::SolveSession::resume`] (or
+    /// [`crate::SolverConfig::resume`]) to continue the same tree.
+    pub fn snapshot(&self) -> Option<&SolveSnapshot> {
+        self.snapshot.as_deref()
+    }
+
+    /// The snapshot as a cheaply clonable shared handle (`None` when the
+    /// solve ran to completion or capture was off).
+    pub fn shared_snapshot(&self) -> Option<Arc<SolveSnapshot>> {
+        self.snapshot.clone()
     }
 }
 

@@ -25,6 +25,7 @@
 
 use std::collections::BinaryHeap;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use crate::cuts::{CutGenerator, CutRow};
@@ -34,8 +35,10 @@ use crate::model::{CmpOp, Model, Sense};
 use crate::propagate::{Domains, PropagationResult, Propagator};
 use crate::session::{Budget, CancelToken, SolveEvent};
 use crate::simplex::{
-    resolve_with_basis, solve_lp, solve_lp_basis, Basis, LpSolution, LpStatus, ReducedCosts,
+    instance_fingerprint, resolve_with_basis, solve_lp, solve_lp_basis, Basis, LpSolution,
+    LpStatus, ReducedCosts,
 };
+use crate::snapshot::{PseudoSnapshot, RootLpSnapshot, SnapshotNode, SolveSnapshot};
 use crate::solution::{Solution, SolveStats, Status};
 use crate::sparse::SparseModel;
 use crate::{EPS, INT_EPS};
@@ -187,6 +190,20 @@ pub struct SolverConfig {
     /// bounds to the propagation worklist. On by default. Requires the
     /// warm-capable LP path (`lp_warm_start`) for the reduced costs.
     pub rc_fixing: bool,
+    /// Capture a resumable [`SolveSnapshot`] of the open tree whenever the
+    /// search stops early (cancellation, node budget, time budget or
+    /// deadline). Off by default: capture clones the open frontier, the
+    /// basis cache and the pseudo-cost tables, so plain solves should not
+    /// pay for it. When a snapshot was captured it travels on the returned
+    /// [`Solution`] (see [`Solution::snapshot`]).
+    pub snapshot: bool,
+    /// Resume a previous solve from a [`SolveSnapshot`] instead of starting
+    /// a fresh tree. The snapshot must belong to the same instance (content
+    /// fingerprint over matrix and objective) and use the same
+    /// [`SearchOrder`]; mismatches fail loudly with
+    /// [`IlpError::Snapshot`]. Root preprocessing (warm candidates, dive,
+    /// root cuts) is skipped — the restored state already reflects it.
+    pub resume: Option<Arc<SolveSnapshot>>,
 }
 
 impl Default for SolverConfig {
@@ -206,6 +223,8 @@ impl Default for SolverConfig {
             cuts: true,
             lp_warm_start: true,
             rc_fixing: true,
+            snapshot: false,
+            resume: None,
         }
     }
 }
@@ -317,6 +336,18 @@ impl SolverConfig {
     /// Builder-style toggle for the cut pool.
     pub fn with_cuts(mut self, enabled: bool) -> Self {
         self.cuts = enabled;
+        self
+    }
+
+    /// Builder-style toggle for snapshot capture on early stop.
+    pub fn with_snapshot(mut self, enabled: bool) -> Self {
+        self.snapshot = enabled;
+        self
+    }
+
+    /// Builder-style installation of a snapshot to resume from.
+    pub fn with_resume(mut self, snapshot: Arc<SolveSnapshot>) -> Self {
+        self.resume = Some(snapshot);
         self
     }
 }
@@ -455,6 +486,18 @@ impl SolverConfigBuilder {
         self
     }
 
+    /// Toggles snapshot capture on early stop.
+    pub fn snapshot(mut self, enabled: bool) -> Self {
+        self.config.snapshot = enabled;
+        self
+    }
+
+    /// Installs a snapshot to resume from.
+    pub fn resume(mut self, snapshot: Arc<SolveSnapshot>) -> Self {
+        self.config.resume = Some(snapshot);
+        self
+    }
+
     /// Finishes the builder.
     pub fn build(self) -> SolverConfig {
         self.config
@@ -550,6 +593,60 @@ impl Frontier {
             Frontier::Heap(h) => h.is_empty(),
         }
     }
+    /// Drains the frontier into a vector whose *last* element is the node
+    /// `pop` would have returned next, so pushing the elements back in order
+    /// reconstructs an equivalent frontier. A stack drains verbatim; a heap
+    /// drains in descending-bound order (ties in heap-internal order, which
+    /// a rebuilt heap is free to permute — see [`crate::snapshot`]).
+    fn into_nodes(self) -> Vec<Node> {
+        match self {
+            Frontier::Stack(s) => s,
+            Frontier::Heap(h) => h.into_sorted_vec().into_iter().map(|n| n.0).collect(),
+        }
+    }
+}
+
+/// Serializes an open node as bound deltas against the model's root box.
+/// Bit-pattern comparison (not `==`) so a signed-zero tightening still
+/// round-trips exactly.
+fn snapshot_node(node: &Node, base: &Domains) -> SnapshotNode {
+    let deltas = (0..base.len())
+        .filter_map(|j| {
+            let (lo, hi) = (node.domains.lower(j), node.domains.upper(j));
+            (lo.to_bits() != base.lower(j).to_bits() || hi.to_bits() != base.upper(j).to_bits())
+                .then_some((j, lo, hi))
+        })
+        .collect();
+    SnapshotNode {
+        deltas,
+        depth: node.depth,
+        bound: node.bound,
+        branched: node.branched,
+        parent_basis: node.parent_basis,
+        parent_bound_is_lp: node.parent_bound_is_lp,
+        branch_up: node.branch_up,
+        branch_step: node.branch_step,
+    }
+}
+
+/// Rebuilds an open node from its serialized bound deltas. Bounds are
+/// restored verbatim (no re-tightening), so the resumed node's domains are
+/// bit-identical to the captured ones.
+fn restore_node(snap: &SnapshotNode, base: &Domains) -> Node {
+    let mut domains = base.clone();
+    for &(j, lo, hi) in &snap.deltas {
+        domains.restore_bounds(j, lo, hi);
+    }
+    Node {
+        domains,
+        depth: snap.depth,
+        bound: snap.bound,
+        branched: snap.branched,
+        parent_basis: snap.parent_basis,
+        parent_bound_is_lp: snap.parent_bound_is_lp,
+        branch_up: snap.branch_up,
+        branch_step: snap.branch_step,
+    }
 }
 
 /// Per-variable pseudo-cost accumulators: average observed dual-bound
@@ -616,6 +713,28 @@ impl PseudoCosts {
             1.0
         }
     }
+
+    fn to_snapshot(&self) -> PseudoSnapshot {
+        PseudoSnapshot {
+            up_sum: self.up_sum.clone(),
+            up_cnt: self.up_cnt.clone(),
+            down_sum: self.down_sum.clone(),
+            down_cnt: self.down_cnt.clone(),
+            global_sum: self.global_sum,
+            global_cnt: self.global_cnt,
+        }
+    }
+
+    fn from_snapshot(snap: &PseudoSnapshot) -> Self {
+        Self {
+            up_sum: snap.up_sum.clone(),
+            up_cnt: snap.up_cnt.clone(),
+            down_sum: snap.down_sum.clone(),
+            down_cnt: snap.down_cnt.clone(),
+            global_sum: snap.global_sum,
+            global_cnt: snap.global_cnt,
+        }
+    }
 }
 
 /// The root relaxation the cut loop already solved for the current row set,
@@ -670,6 +789,11 @@ pub struct BranchAndBound<'a> {
     /// a [`SolveEvent::BoundImproved`], so the event keeps its "the bound
     /// tightened" contract across non-improving cut-round re-solves.
     last_bound_emitted: f64,
+    /// Content fingerprint of the *pre-cut* instance (model matrix +
+    /// internal objective): the identity a [`SolveSnapshot`] records and
+    /// the resume path checks. Cut rows are excluded on purpose — they are
+    /// part of the serialized state, not of the instance.
+    base_fingerprint: u64,
 }
 
 impl<'a> BranchAndBound<'a> {
@@ -696,6 +820,8 @@ impl<'a> BranchAndBound<'a> {
             None
         };
         let num_vars = model.num_vars();
+        let base_fingerprint =
+            instance_fingerprint(propagator.matrix(), &objective, objective_constant);
         Self {
             model,
             config,
@@ -714,6 +840,7 @@ impl<'a> BranchAndBound<'a> {
             pseudo: PseudoCosts::new(num_vars),
             events: None,
             last_bound_emitted: f64::NEG_INFINITY,
+            base_fingerprint,
         }
     }
 
@@ -951,6 +1078,10 @@ impl<'a> BranchAndBound<'a> {
         let start = Instant::now();
         let mut stats = SolveStats::default();
 
+        if let Some(snapshot) = self.config.resume.take() {
+            return self.run_resumed(&snapshot, start, stats);
+        }
+
         let mut root = Domains::from_model(self.model);
         stats.propagations += 1;
         if self.propagator.propagate(&mut root) == PropagationResult::Infeasible {
@@ -1062,21 +1193,124 @@ impl<'a> BranchAndBound<'a> {
             });
         }
 
+        self.search(
+            frontier,
+            incumbent,
+            f64::NEG_INFINITY,
+            f64::INFINITY,
+            start,
+            stats,
+        )
+    }
+
+    /// Resumes a snapshotted search: checks the snapshot belongs to this
+    /// exact instance, reinstalls the serialized cut pool, pseudo-cost
+    /// tables and warm basis cache, rebuilds the open frontier from the
+    /// per-node bound deltas, and re-enters the main loop. Root
+    /// preprocessing (warm candidates, dive, root cut loop) is skipped on
+    /// purpose — the restored state already reflects it.
+    fn run_resumed(
+        mut self,
+        snap: &SolveSnapshot,
+        start: Instant,
+        mut stats: SolveStats,
+    ) -> Result<Solution, IlpError> {
+        let fail = |message: String| IlpError::Snapshot { message };
+        if self.model.num_integral() == 0 {
+            return Err(fail("pure LP solves are never snapshotted".into()));
+        }
+        if snap.num_vars != self.model.num_vars() {
+            return Err(fail(format!(
+                "snapshot has {} variables, model has {}",
+                snap.num_vars,
+                self.model.num_vars()
+            )));
+        }
+        if snap.fingerprint != self.base_fingerprint {
+            return Err(fail(format!(
+                "snapshot fingerprint {:#018x} does not match instance fingerprint {:#018x}",
+                snap.fingerprint, self.base_fingerprint
+            )));
+        }
+        if snap.search != self.config.search {
+            return Err(fail(
+                "snapshot was captured under a different search order".into(),
+            ));
+        }
+
+        if !snap.cuts.is_empty() {
+            self.cut_rows = snap.cuts.clone();
+            self.rebuild_matrix();
+        }
+        if let Some(generator) = self.cut_source.as_mut() {
+            generator.restore_emitted(&snap.cuts);
+        }
+        self.tree_separations_left = snap.tree_separations_left;
+        self.last_bound_emitted = snap.last_bound_emitted;
+        self.pseudo = PseudoCosts::from_snapshot(&snap.pseudo);
+        self.basis_cache = snap
+            .bases
+            .iter()
+            .map(|(key, basis)| (*key, Rc::new(basis.clone())))
+            .collect();
+        self.next_basis_key = snap.next_basis_key;
+        self.root_basis_key = snap.root_basis_key;
+        self.root_lp_cache = snap.root_lp.as_ref().map(|lp| CachedRootLp {
+            objective: lp.objective,
+            values: lp.values.clone(),
+            reduced_costs: lp.reduced_costs.as_ref().map(|(up, down)| ReducedCosts {
+                up: up.clone(),
+                down: down.clone(),
+            }),
+            pivots: lp.pivots,
+        });
+
+        let base = Domains::from_model(self.model);
+        let mut frontier = Frontier::new(self.config.search);
+        for node in &snap.frontier {
+            frontier.push(restore_node(node, &base));
+        }
+        // The node counter continues from the capture point, so node
+        // budgets keep their whole-tree meaning across interrupts.
+        stats.nodes = snap.nodes;
+        stats.resumed = true;
+        let incumbent = snap.incumbent.clone();
+        self.search(
+            frontier,
+            incumbent,
+            snap.root_bound,
+            snap.pruned_bound_min,
+            start,
+            stats,
+        )
+    }
+
+    /// The main tree loop plus final bookkeeping, shared by the fresh and
+    /// the resumed entry points.
+    fn search(
+        mut self,
+        mut frontier: Frontier,
+        mut incumbent: Option<(f64, Vec<f64>)>,
+        mut root_bound: f64,
+        mut pruned_bound_min: f64,
+        start: Instant,
+        mut stats: SolveStats,
+    ) -> Result<Solution, IlpError> {
         let mut limit_reached = false;
         let mut interrupted = false;
-        let mut root_bound = f64::NEG_INFINITY;
-        let mut pruned_bound_min = f64::INFINITY;
+        // The node popped when a stop is detected is still open; it is kept
+        // aside so a snapshot can return it to the frontier.
+        let mut pending: Option<Node> = None;
 
         while let Some(mut node) = frontier.pop() {
             if self.is_cancelled() {
                 interrupted = true;
-                // The popped node is still open.
-                pruned_bound_min = pruned_bound_min.min(node.bound);
+                pending = Some(node);
                 break;
             }
             if self.limits_exceeded(start, &stats) {
                 limit_reached = true;
-                pruned_bound_min = pruned_bound_min.min(node.bound);
+                pending = Some(node);
                 break;
             }
             stats.nodes += 1;
@@ -1206,9 +1440,16 @@ impl<'a> BranchAndBound<'a> {
         }
 
         // Final bound and gap bookkeeping. A cancelled search is an open
-        // search for bound purposes.
+        // search for bound purposes. The node held at the break folds into
+        // the pruned minimum exactly as it always did; the snapshot keeps
+        // the pre-fold value, because on resume that node is re-processed,
+        // not pruned.
         let stopped_early = limit_reached || interrupted;
         let open_min = frontier.min_bound().unwrap_or(f64::INFINITY);
+        let snapshot_pruned = pruned_bound_min;
+        if let Some(node) = &pending {
+            pruned_bound_min = pruned_bound_min.min(node.bound);
+        }
         let best_bound_internal = if stopped_early {
             open_min
                 .min(pruned_bound_min)
@@ -1221,6 +1462,26 @@ impl<'a> BranchAndBound<'a> {
         stats.time = start.elapsed();
         stats.limit_reached = stopped_early;
         stats.best_bound = self.sense_factor * best_bound_internal;
+
+        let snapshot = if self.config.snapshot && stopped_early {
+            if let Some(node) = pending {
+                frontier.push(node);
+            }
+            if frontier.is_empty() {
+                None
+            } else {
+                Some(Arc::new(self.capture_snapshot(
+                    frontier,
+                    &incumbent,
+                    stats.nodes,
+                    root_bound,
+                    snapshot_pruned,
+                )))
+            }
+        } else {
+            None
+        };
+        stats.snapshot_captured = snapshot.is_some();
 
         match incumbent {
             Some((obj, values)) => {
@@ -1237,7 +1498,7 @@ impl<'a> BranchAndBound<'a> {
                     ((obj - best_bound_internal).max(0.0)) / obj.abs().max(1.0)
                 };
                 let external_obj = self.sense_factor * obj;
-                Ok(Solution::new(status, values, external_obj, stats))
+                Ok(Solution::new(status, values, external_obj, stats).with_snapshot(snapshot))
             }
             None => {
                 let status = if interrupted {
@@ -1248,8 +1509,56 @@ impl<'a> BranchAndBound<'a> {
                     Status::Infeasible
                 };
                 stats.gap = f64::INFINITY;
-                Ok(Solution::without_values(status, stats))
+                Ok(Solution::without_values(status, stats).with_snapshot(snapshot))
             }
+        }
+    }
+
+    /// Serializes the open search state into a [`SolveSnapshot`].
+    /// `frontier` already contains the node that was in hand when the stop
+    /// was detected, so the restored frontier pops it first.
+    fn capture_snapshot(
+        &self,
+        frontier: Frontier,
+        incumbent: &Option<(f64, Vec<f64>)>,
+        nodes: u64,
+        root_bound: f64,
+        pruned_bound_min: f64,
+    ) -> SolveSnapshot {
+        let base = Domains::from_model(self.model);
+        SolveSnapshot {
+            fingerprint: self.base_fingerprint,
+            num_vars: self.model.num_vars(),
+            search: self.config.search,
+            nodes,
+            frontier: frontier
+                .into_nodes()
+                .iter()
+                .map(|node| snapshot_node(node, &base))
+                .collect(),
+            incumbent: incumbent.clone(),
+            root_bound,
+            pruned_bound_min,
+            last_bound_emitted: self.last_bound_emitted,
+            tree_separations_left: self.tree_separations_left,
+            cuts: self.cut_rows.clone(),
+            pseudo: self.pseudo.to_snapshot(),
+            bases: self
+                .basis_cache
+                .iter()
+                .map(|(key, basis)| (*key, (**basis).clone()))
+                .collect(),
+            next_basis_key: self.next_basis_key,
+            root_lp: self.root_lp_cache.as_ref().map(|lp| RootLpSnapshot {
+                objective: lp.objective,
+                values: lp.values.clone(),
+                reduced_costs: lp
+                    .reduced_costs
+                    .as_ref()
+                    .map(|rc| (rc.up.clone(), rc.down.clone())),
+                pivots: lp.pivots,
+            }),
+            root_basis_key: self.root_basis_key,
         }
     }
 

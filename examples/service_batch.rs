@@ -1,5 +1,7 @@
 //! The job-service front door: a batch of synthesis jobs with per-job
-//! budgets, deadlines and cancellation, answered in submission order.
+//! budgets, deadlines and cancellation, answered in submission order —
+//! followed by an interrupt → resume round trip through the service's
+//! fingerprint-keyed solve cache.
 //!
 //! Run with:
 //! ```text
@@ -7,11 +9,12 @@
 //! ```
 
 use std::error::Error;
+use std::sync::Arc;
 use std::time::Duration;
 
 use advbist::core::SynthesisConfig;
 use advbist::dfg::benchmarks;
-use advbist::service::{JobService, SynthesisJob};
+use advbist::service::{JobService, SolveCache, SynthesisJob};
 use advbist::Budget;
 
 fn main() -> Result<(), Box<dyn Error>> {
@@ -57,5 +60,40 @@ fn main() -> Result<(), Box<dyn Error>> {
             );
         }
     }
+
+    // Interrupt → resume through the shared solve cache: a node-budgeted
+    // solve with snapshot capture on stops mid-tree and parks its frontier
+    // in the cache; resubmitting the same instance under an open budget
+    // resumes that tree instead of starting cold.
+    println!("\ninterrupt -> resume (tseng k=1):");
+    let cache = Arc::new(SolveCache::new(SolveCache::DEFAULT_CAPACITY_MB));
+
+    let mut first = JobService::new().with_cache(cache.clone());
+    first.submit(
+        SynthesisJob::new("interrupted", benchmarks::tseng())
+            .with_config(SynthesisConfig::exact())
+            .with_sessions(1..=1)
+            .with_budget(Budget::nodes(200).with_snapshot(true)),
+    );
+    let interrupted = &first.run()[0];
+    println!(
+        "    interrupted after {:>4} nodes, snapshot captured: {}",
+        interrupted.rows[0].nodes, interrupted.snapshot_captured
+    );
+
+    let mut second = JobService::new().with_cache(cache);
+    second.submit(
+        SynthesisJob::new("resumed", benchmarks::tseng())
+            .with_config(SynthesisConfig::exact())
+            .with_sessions(1..=1),
+    );
+    let resumed = &second.run()[0];
+    let row = &resumed.rows[0];
+    println!(
+        "    resumed from the cache ({} hit), finished at {:>4} total nodes{}",
+        resumed.cache_hits,
+        row.nodes,
+        if row.optimal { ", optimal" } else { "" }
+    );
     Ok(())
 }

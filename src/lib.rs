@@ -57,7 +57,10 @@ pub use bist_datapath as datapath;
 pub use bist_dfg as dfg;
 pub use bist_ilp as ilp;
 
-pub use bist_ilp::{Budget, BudgetError, CancelToken, SolveEvent, SolveSession};
+pub use bist_ilp::{
+    model_fingerprint, Budget, BudgetError, CancelToken, SnapshotError, SolveEvent, SolveSession,
+    SolveSnapshot,
+};
 
 /// The paper this workspace reproduces.
 pub const PAPER: &str =

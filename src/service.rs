@@ -15,6 +15,34 @@
 //! — so under a deterministic (node-limited) budget the reported
 //! objectives are identical to the engine sweep's.
 //!
+//! # The cross-job solve cache
+//!
+//! The service keeps a fingerprint-keyed [`SolveCache`] shared by every
+//! worker of a batch (and, via [`JobService::with_cache`], across batches).
+//! Each per-k instance is keyed by a content hash of its full model —
+//! constraint matrix, objective, variable bounds and integrality — plus a
+//! digest of the solver configuration, so two jobs that happen to submit
+//! the same circuit × k × config pay for one solve. The cache stores two
+//! kinds of entries:
+//!
+//! * **finished rows** — the deterministic result of a completed (or
+//!   node-budget-exhausted) solve, keyed additionally by the node limit;
+//!   a hit replays the row verbatim without touching the solver,
+//! * **solve snapshots** — the resumable frontier of an interrupted solve
+//!   (see [`bist_ilp::SolveSnapshot`]); a hit *continues* the snapshotted
+//!   branch-and-bound tree instead of starting over, so no node is ever
+//!   explored twice.
+//!
+//! The cache changes performance, never results: entries are only consulted
+//! for **deterministic** budgets ([`Budget::is_deterministic`] — no
+//! wall-clock limit, no deadline), a hit is bit-identical to the solve it
+//! replaced, and memory is bounded by an LRU budget
+//! (`BIST_CACHE_MB` / [`Budget::cache_mb`], default
+//! [`SolveCache::DEFAULT_CAPACITY_MB`]; `0` disables caching for that job).
+//! Snapshot capture is opt-in per job via `BIST_SNAPSHOT` /
+//! [`Budget::snapshot`]. Hit/miss/eviction counters are reported per job on
+//! the [`JobReport`] and globally via [`SolveCache::stats`].
+//!
 //! ```
 //! use advbist::dfg::benchmarks;
 //! use advbist::service::{JobService, SynthesisJob};
@@ -35,12 +63,13 @@
 //! ```
 
 use std::ops::RangeInclusive;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use bist_core::engine::{par_map_ordered_bounded, SynthesisEngine};
 use bist_core::{CoreError, SynthesisConfig};
 use bist_dfg::SynthesisInput;
-use bist_ilp::{Budget, CancelToken};
+use bist_ilp::{Budget, CancelToken, SolveSnapshot};
 
 /// One unit of work for the service: a circuit, the k-test sessions to
 /// synthesise, a per-job [`Budget`] and the synthesis configuration.
@@ -154,6 +183,19 @@ pub struct JobReport {
     pub rows: Vec<JobRow>,
     /// Wall-clock seconds of the whole job.
     pub seconds: f64,
+    /// Whether any solve of this job captured a resumable
+    /// [`SolveSnapshot`] when it stopped early. An interrupted job with
+    /// snapshots enabled ([`Budget::snapshot`]) but `snapshot_captured ==
+    /// false` lost no state — there was simply nothing to capture (for
+    /// example the solve completed, or no incumbent existed yet).
+    pub snapshot_captured: bool,
+    /// Solve-cache probes this job answered from the shared [`SolveCache`]
+    /// (replayed rows and resumed snapshots).
+    pub cache_hits: u64,
+    /// Solve-cache probes by this job that fell through to a cold solve.
+    pub cache_misses: u64,
+    /// Cache entries evicted while this job stored its results.
+    pub cache_evictions: u64,
 }
 
 /// A submitted job's control handle: its batch index and a clone of its
@@ -184,6 +226,256 @@ impl JobHandle {
     }
 }
 
+/// Aggregate counters of a [`SolveCache`]. All counters are monotone over
+/// the cache's lifetime except `bytes` and `entries`, which describe the
+/// current contents.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Probes answered from the cache (finished rows and snapshots).
+    pub hits: u64,
+    /// Probes that found nothing and fell through to a solve.
+    pub misses: u64,
+    /// Entries dropped to keep the cache under its byte budget.
+    pub evictions: u64,
+    /// Entries stored (including re-stores of an existing key).
+    pub insertions: u64,
+    /// Approximate bytes currently held.
+    pub bytes: u64,
+    /// Number of entries currently held.
+    pub entries: u64,
+}
+
+/// What a cache entry holds: a finished, replayable result row, or the
+/// resumable frontier of an interrupted solve.
+#[derive(Debug, Clone)]
+enum CachePayload {
+    Row(JobRow),
+    Snapshot(Arc<SolveSnapshot>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EntryKind {
+    Row,
+    Snapshot,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CacheKey {
+    /// Content fingerprint of the full per-k model
+    /// ([`SynthesisEngine::model_fingerprint`]).
+    fingerprint: u64,
+    /// Digest of the solver configuration (branching, bounding, cuts, …)
+    /// minus its budget/cancellation/warm-start slots — two jobs only share
+    /// results when they would run the identical search.
+    digest: u64,
+    /// The per-solve node budget, for row entries: a node-limited result is
+    /// only valid for the same limit. Snapshots carry `None` — a frontier
+    /// is resumable under any budget.
+    node_limit: Option<u64>,
+    kind: EntryKind,
+}
+
+#[derive(Debug)]
+struct CacheEntry {
+    key: CacheKey,
+    payload: CachePayload,
+    bytes: u64,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    /// LRU order: front = least recently used, back = most recent.
+    entries: Vec<CacheEntry>,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    insertions: u64,
+}
+
+/// Approximate heap footprint charged per finished-row entry.
+const ROW_ENTRY_BYTES: u64 = 96;
+
+/// A bounded, fingerprint-keyed cache of solve results and resumable solve
+/// snapshots, shared by every worker of a [`JobService`] batch. Clone the
+/// [`Arc`] and pass it to several services ([`JobService::with_cache`]) to
+/// share solves across batches — for example between repeated submissions
+/// of overlapping k-ranges. See the [module documentation](self) for the
+/// soundness rules (deterministic budgets only; hits are bit-identical).
+#[derive(Debug)]
+pub struct SolveCache {
+    capacity: u64,
+    inner: Mutex<CacheInner>,
+}
+
+impl SolveCache {
+    /// Default byte budget in MiB when no job specifies
+    /// [`Budget::cache_mb`].
+    pub const DEFAULT_CAPACITY_MB: u64 = 64;
+
+    /// A cache bounded at `capacity_mb` MiB of approximate entry footprint.
+    /// A capacity of `0` disables storage entirely (every probe misses).
+    pub fn new(capacity_mb: u64) -> Self {
+        Self {
+            capacity: capacity_mb.saturating_mul(1024 * 1024),
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// The byte budget this cache was built with.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.capacity
+    }
+
+    /// A snapshot of the cache's counters and current footprint.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.lock();
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            insertions: inner.insertions,
+            bytes: inner.bytes,
+            entries: inner.entries.len() as u64,
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, CacheInner> {
+        self.inner.lock().expect("solve cache poisoned")
+    }
+
+    /// Looks up the given instance: a finished row under this exact node
+    /// limit first, then a resumable snapshot. A hit refreshes the entry's
+    /// LRU position; hit/miss counters update either way.
+    fn probe(
+        &self,
+        fingerprint: u64,
+        digest: u64,
+        node_limit: Option<u64>,
+    ) -> Option<CachePayload> {
+        let mut inner = self.lock();
+        for kind in [EntryKind::Row, EntryKind::Snapshot] {
+            let key = CacheKey {
+                fingerprint,
+                digest,
+                node_limit: match kind {
+                    EntryKind::Row => node_limit,
+                    EntryKind::Snapshot => None,
+                },
+                kind,
+            };
+            if let Some(idx) = inner.entries.iter().position(|e| e.key == key) {
+                let entry = inner.entries.remove(idx);
+                let payload = entry.payload.clone();
+                inner.entries.push(entry);
+                inner.hits += 1;
+                return Some(payload);
+            }
+        }
+        inner.misses += 1;
+        None
+    }
+
+    /// Stores (or replaces) an entry and evicts from the cold end until the
+    /// cache fits its byte budget again. Returns how many entries were
+    /// evicted.
+    fn insert(&self, key: CacheKey, payload: CachePayload, bytes: u64) -> u64 {
+        if self.capacity == 0 {
+            return 0;
+        }
+        let mut inner = self.lock();
+        if let Some(idx) = inner.entries.iter().position(|e| e.key == key) {
+            let old = inner.entries.remove(idx);
+            inner.bytes -= old.bytes;
+        }
+        inner.entries.push(CacheEntry {
+            key,
+            payload,
+            bytes,
+        });
+        inner.bytes += bytes;
+        inner.insertions += 1;
+        let mut evicted = 0;
+        while inner.bytes > self.capacity && !inner.entries.is_empty() {
+            let victim = inner.entries.remove(0);
+            inner.bytes -= victim.bytes;
+            inner.evictions += 1;
+            evicted += 1;
+        }
+        evicted
+    }
+
+    fn insert_row(
+        &self,
+        fingerprint: u64,
+        digest: u64,
+        node_limit: Option<u64>,
+        row: &JobRow,
+    ) -> u64 {
+        let key = CacheKey {
+            fingerprint,
+            digest,
+            node_limit,
+            kind: EntryKind::Row,
+        };
+        self.insert(key, CachePayload::Row(row.clone()), ROW_ENTRY_BYTES)
+    }
+
+    fn insert_snapshot(&self, fingerprint: u64, digest: u64, snapshot: Arc<SolveSnapshot>) -> u64 {
+        let key = CacheKey {
+            fingerprint,
+            digest,
+            node_limit: None,
+            kind: EntryKind::Snapshot,
+        };
+        let bytes = snapshot.approx_bytes() as u64 + 64;
+        self.insert(key, CachePayload::Snapshot(snapshot), bytes)
+    }
+
+    /// Drops the snapshot for an instance once its solve has run to
+    /// completion (the finished row supersedes the frontier).
+    fn remove_snapshot(&self, fingerprint: u64, digest: u64) {
+        let key = CacheKey {
+            fingerprint,
+            digest,
+            node_limit: None,
+            kind: EntryKind::Snapshot,
+        };
+        let mut inner = self.lock();
+        if let Some(idx) = inner.entries.iter().position(|e| e.key == key) {
+            let old = inner.entries.remove(idx);
+            inner.bytes -= old.bytes;
+        }
+    }
+}
+
+/// 64-bit FNV-1a over a byte string, for the configuration digest.
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Digest of everything in the job's configuration that shapes the search
+/// but is *not* covered by the model fingerprint: branching and bounding
+/// rules, cut settings, presolve toggles, warm-start policy. Budget,
+/// cancellation and per-call warm-start values are normalised out — the
+/// budget's node limit is keyed separately, and the service never chains
+/// per-call seeds.
+fn config_digest(config: &SynthesisConfig) -> u64 {
+    let mut solver = config.solver.clone();
+    solver.budget = Budget::unlimited();
+    solver.cancel = None;
+    solver.initial_solution = None;
+    solver.initial_solutions = Vec::new();
+    solver.snapshot = false;
+    solver.resume = None;
+    fnv64(format!("{:?}|warm_start={}", solver, config.warm_start).as_bytes())
+}
+
 /// The job-queue front door: submit a batch, run it over a bounded worker
 /// pool, get deterministic per-job reports. See the [module
 /// documentation](self) for an example.
@@ -191,6 +483,7 @@ impl JobHandle {
 pub struct JobService {
     jobs: Vec<(SynthesisJob, CancelToken)>,
     max_workers: Option<usize>,
+    cache: Option<Arc<SolveCache>>,
 }
 
 impl JobService {
@@ -204,6 +497,14 @@ impl JobService {
     /// machine's available parallelism still applies as a second cap).
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.max_workers = Some(workers.max(1));
+        self
+    }
+
+    /// Shares an existing [`SolveCache`] with this batch instead of the
+    /// per-run default, so repeated submissions across several
+    /// [`JobService::run`] calls reuse each other's solves and snapshots.
+    pub fn with_cache(mut self, cache: Arc<SolveCache>) -> Self {
+        self.cache = Some(cache);
         self
     }
 
@@ -231,29 +532,69 @@ impl JobService {
     /// Runs the whole batch and returns one report per job, in submission
     /// order regardless of thread scheduling. Jobs are independent: a
     /// failed, cancelled or deadline-capped job never affects the others.
+    ///
+    /// Without an explicit [`JobService::with_cache`], a fresh
+    /// [`SolveCache`] is created for the batch, sized at the largest
+    /// [`Budget::cache_mb`] any job requests (default
+    /// [`SolveCache::DEFAULT_CAPACITY_MB`]).
     pub fn run(self) -> Vec<JobReport> {
         let workers = self.max_workers.unwrap_or(usize::MAX);
-        par_map_ordered_bounded(&self.jobs, workers, |(job, token)| run_job(job, token))
+        let cache = self.cache.clone().unwrap_or_else(|| {
+            let mb = self
+                .jobs
+                .iter()
+                .filter_map(|(job, _)| job.budget.cache_mb)
+                .max()
+                .unwrap_or(SolveCache::DEFAULT_CAPACITY_MB);
+            Arc::new(SolveCache::new(mb))
+        });
+        par_map_ordered_bounded(&self.jobs, workers, |(job, token)| {
+            run_job(job, token, &cache)
+        })
     }
 }
 
+/// Per-job bookkeeping threaded into the [`JobReport`].
+#[derive(Debug, Clone, Copy, Default)]
+struct JobCounters {
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    snapshot_captured: bool,
+}
+
 /// Runs one job on the calling worker thread.
-fn run_job(job: &SynthesisJob, token: &CancelToken) -> JobReport {
+fn run_job(job: &SynthesisJob, token: &CancelToken, cache: &SolveCache) -> JobReport {
     let start = Instant::now();
     let mut config = job.config.clone();
     config.solver.budget = job.budget;
     config.solver.cancel = Some(token.clone());
 
-    let finish = |outcome: JobOutcome, rows: Vec<JobRow>| JobReport {
+    let mut counters = JobCounters::default();
+    // The cache is consulted only when a replayed result is provably
+    // identical to a fresh solve: the budget must be deterministic (node
+    // limits are part of the key; wall-clock limits and deadlines are not
+    // reproducible), and the job must not have opted out.
+    let cache_enabled = cache.capacity_bytes() > 0
+        && job.budget.is_deterministic()
+        && job.budget.cache_mb != Some(0);
+    let snapshots_wanted = job.budget.snapshot == Some(true);
+    let digest = config_digest(&job.config);
+
+    let finish = |outcome: JobOutcome, rows: Vec<JobRow>, counters: JobCounters| JobReport {
         name: job.name.clone(),
         outcome,
         rows,
         seconds: start.elapsed().as_secs_f64(),
+        snapshot_captured: counters.snapshot_captured,
+        cache_hits: counters.hits,
+        cache_misses: counters.misses,
+        cache_evictions: counters.evictions,
     };
 
     let engine = match SynthesisEngine::new(&job.input, &config) {
         Ok(engine) => engine,
-        Err(e) => return finish(JobOutcome::Failed(e.to_string()), Vec::new()),
+        Err(e) => return finish(JobOutcome::Failed(e.to_string()), Vec::new(), counters),
     };
     let sessions = job.sessions.clone().unwrap_or(1..=engine.max_sessions());
 
@@ -263,35 +604,110 @@ fn run_job(job: &SynthesisJob, token: &CancelToken) -> JobReport {
         // job or pre-expired deadline produces zero rows without touching
         // the solver (no timing races).
         if token.is_cancelled() {
-            return finish(JobOutcome::Cancelled, rows);
+            return finish(JobOutcome::Cancelled, rows, counters);
         }
         if job.budget.deadline_passed() {
-            return finish(JobOutcome::DeadlineExpired, rows);
+            return finish(JobOutcome::DeadlineExpired, rows, counters);
         }
-        match engine.synthesize_seeded(k, None) {
+
+        let probe_start = Instant::now();
+        let mut resume = None;
+        let mut key = None;
+        if cache_enabled {
+            let fingerprint = match engine.model_fingerprint(k) {
+                Ok(fingerprint) => fingerprint,
+                Err(e) => return finish(JobOutcome::Failed(e.to_string()), rows, counters),
+            };
+            match cache.probe(fingerprint, digest, job.budget.node_limit) {
+                Some(CachePayload::Row(row)) => {
+                    counters.hits += 1;
+                    rows.push(JobRow {
+                        seconds: probe_start.elapsed().as_secs_f64(),
+                        ..row
+                    });
+                    continue;
+                }
+                Some(CachePayload::Snapshot(snapshot)) => {
+                    counters.hits += 1;
+                    resume = Some(snapshot);
+                }
+                None => counters.misses += 1,
+            }
+            key = Some(fingerprint);
+        }
+
+        let resumed = resume.is_some();
+        let result = if snapshots_wanted || resumed {
+            engine.synthesize_resumable(k, None, resume)
+        } else {
+            engine.synthesize_seeded(k, None)
+        };
+        match result {
             Ok(outcome) => {
-                rows.push(JobRow {
+                let row = JobRow {
                     k,
                     objective: outcome.design.objective,
                     area: outcome.design.area.total(),
                     optimal: outcome.design.optimal,
                     nodes: outcome.design.stats.nodes,
                     seconds: outcome.seconds,
-                });
+                };
+                match outcome.design.snapshot {
+                    // The solve stopped early with a resumable frontier:
+                    // prove the snapshot round-trips through its JSON wire
+                    // form *now* — a snapshot that cannot be serialized is
+                    // a loud failure, not silently dropped state.
+                    Some(snapshot) => match snapshot
+                        .to_json()
+                        .and_then(|text| SolveSnapshot::from_json(&text))
+                    {
+                        Ok(reparsed) => {
+                            counters.snapshot_captured = true;
+                            if let Some(fingerprint) = key {
+                                counters.evictions +=
+                                    cache.insert_snapshot(fingerprint, digest, Arc::new(reparsed));
+                            }
+                            rows.push(row);
+                        }
+                        Err(e) => {
+                            rows.push(row);
+                            return finish(
+                                JobOutcome::Failed(format!(
+                                    "snapshot serialization failed for k={k}: {e}"
+                                )),
+                                rows,
+                                counters,
+                            );
+                        }
+                    },
+                    // Ran to the end of its (deterministic) budget: the row
+                    // is replayable, and any now-stale snapshot of this
+                    // instance can go.
+                    None => {
+                        if let Some(fingerprint) = key {
+                            counters.evictions +=
+                                cache.insert_row(fingerprint, digest, job.budget.node_limit, &row);
+                            if resumed {
+                                cache.remove_snapshot(fingerprint, digest);
+                            }
+                        }
+                        rows.push(row);
+                    }
+                }
             }
             // Cancelled before any incumbent existed for this k: report
             // the job as cancelled with the rows gathered so far.
-            Err(CoreError::Interrupted) => return finish(JobOutcome::Cancelled, rows),
+            Err(CoreError::Interrupted) => return finish(JobOutcome::Cancelled, rows, counters),
             // Limits expired with nothing in hand *because the job's
             // deadline passed mid-solve*: that is the deadline outcome,
             // not a hard failure.
             Err(CoreError::NoSolutionWithinLimits) if job.budget.deadline_passed() => {
-                return finish(JobOutcome::DeadlineExpired, rows)
+                return finish(JobOutcome::DeadlineExpired, rows, counters)
             }
-            Err(e) => return finish(JobOutcome::Failed(e.to_string()), rows),
+            Err(e) => return finish(JobOutcome::Failed(e.to_string()), rows, counters),
         }
     }
-    finish(JobOutcome::Completed, rows)
+    finish(JobOutcome::Completed, rows, counters)
 }
 
 #[cfg(test)]
@@ -360,6 +776,174 @@ mod tests {
         let reports = service.run();
         assert_eq!(reports[0].outcome, JobOutcome::DeadlineExpired);
         assert!(reports[0].rows.is_empty());
+    }
+
+    #[test]
+    fn warm_resubmission_replays_rows_bit_identically() {
+        let cache = Arc::new(SolveCache::new(64));
+        let submit = |cache: &Arc<SolveCache>| {
+            let mut service = JobService::new().with_cache(cache.clone());
+            service.submit(exact_job("sweep", benchmarks::figure1()));
+            service.run()
+        };
+        let cold = submit(&cache);
+        let warm = submit(&cache);
+
+        assert_eq!(cold[0].cache_hits, 0);
+        assert_eq!(cold[0].cache_misses, cold[0].rows.len() as u64);
+        assert_eq!(warm[0].cache_hits, warm[0].rows.len() as u64);
+        assert_eq!(warm[0].cache_misses, 0);
+        assert_eq!(cold[0].rows.len(), warm[0].rows.len());
+        for (a, b) in cold[0].rows.iter().zip(&warm[0].rows) {
+            assert_eq!(a.k, b.k);
+            assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+            assert_eq!(a.area, b.area);
+            assert_eq!(a.optimal, b.optimal);
+            assert_eq!(a.nodes, b.nodes);
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, warm[0].cache_hits);
+        assert_eq!(stats.misses, cold[0].cache_misses);
+    }
+
+    #[test]
+    fn one_coefficient_change_misses_the_cache() {
+        // The cache key is the full-model content fingerprint: two models
+        // colliding on every dimension but a single coefficient must not
+        // share entries. Checked at the fingerprint level (the exact key)…
+        use bist_ilp::{model_fingerprint, Model, Sense};
+        let build = |c: f64| {
+            let mut model = Model::new("probe");
+            let x = model.add_binary("x");
+            let y = model.add_binary("y");
+            model.add_leq(vec![(x, 1.0), (y, c)], 1.0, "cap");
+            model.set_objective(vec![(x, 1.0), (y, 2.0)], Sense::Maximize);
+            model
+        };
+        assert_eq!(
+            model_fingerprint(&build(1.0)),
+            model_fingerprint(&build(1.0))
+        );
+        assert_ne!(
+            model_fingerprint(&build(1.0)),
+            model_fingerprint(&build(1.5))
+        );
+
+        // …and end to end: the same circuit under a different cost model
+        // (different objective coefficients, identical model shape) must
+        // miss a warm cache instead of replaying the other model's rows.
+        use bist_datapath::CostModel;
+        let cache = Arc::new(SolveCache::new(64));
+        let mut first = JobService::new().with_cache(cache.clone());
+        first.submit(exact_job("8bit", benchmarks::figure1()));
+        first.run();
+        let mut second = JobService::new().with_cache(cache.clone());
+        second.submit(
+            SynthesisJob::new("16bit", benchmarks::figure1()).with_config(
+                bist_core::SynthesisConfig::exact().with_cost(CostModel::for_width(16)),
+            ),
+        );
+        let reports = second.run();
+        assert!(reports[0].outcome.is_completed());
+        assert_eq!(reports[0].cache_hits, 0);
+        assert_eq!(reports[0].cache_misses, reports[0].rows.len() as u64);
+    }
+
+    #[test]
+    fn interrupted_job_snapshots_and_resubmission_resumes_exactly() {
+        let input = benchmarks::figure1();
+        let config = bist_core::SynthesisConfig::exact();
+        let cold = bist_core::synthesis::synthesize_bist(&input, 1, &config).unwrap();
+        assert!(cold.stats.nodes > 10, "instance must branch");
+
+        let cache = Arc::new(SolveCache::new(64));
+        let mut first = JobService::new().with_cache(cache.clone());
+        first.submit(
+            exact_job("cut", benchmarks::figure1())
+                .with_sessions(1..=1)
+                .with_budget(Budget::nodes(10).with_snapshot(true)),
+        );
+        let interrupted = first.run();
+        assert!(interrupted[0].outcome.is_completed());
+        assert!(interrupted[0].snapshot_captured);
+        assert!(!interrupted[0].rows[0].optimal);
+        assert_eq!(interrupted[0].rows[0].nodes, 10);
+
+        // Resubmission under an open budget finds the snapshot and
+        // *continues* the tree: the finished solve lands on exactly the
+        // uninterrupted node count and objective.
+        let mut second = JobService::new().with_cache(cache.clone());
+        second.submit(exact_job("resume", benchmarks::figure1()).with_sessions(1..=1));
+        let resumed = second.run();
+        assert!(resumed[0].outcome.is_completed());
+        assert_eq!(resumed[0].cache_hits, 1);
+        assert!(!resumed[0].snapshot_captured);
+        let row = &resumed[0].rows[0];
+        assert!(row.optimal);
+        assert_eq!(row.nodes, cold.stats.nodes);
+        assert_eq!(row.objective.to_bits(), cold.objective.to_bits());
+        assert_eq!(row.area, cold.area.total());
+    }
+
+    #[test]
+    fn non_deterministic_budgets_bypass_the_cache() {
+        let cache = Arc::new(SolveCache::new(64));
+        for _ in 0..2 {
+            let mut service = JobService::new().with_cache(cache.clone());
+            service.submit(
+                exact_job("timed", benchmarks::figure1())
+                    .with_budget(Budget::time(std::time::Duration::from_secs(30))),
+            );
+            let reports = service.run();
+            assert!(reports[0].outcome.is_completed());
+            assert_eq!(reports[0].cache_hits, 0);
+            assert_eq!(reports[0].cache_misses, 0);
+        }
+        assert_eq!(cache.stats().entries, 0);
+
+        // A per-job opt-out (`BIST_CACHE_MB=0`) has the same effect even
+        // under a deterministic budget.
+        let mut service = JobService::new().with_cache(cache.clone());
+        service.submit(
+            exact_job("optout", benchmarks::figure1())
+                .with_budget(Budget::unlimited().with_cache_mb(0)),
+        );
+        let reports = service.run();
+        assert_eq!(reports[0].cache_hits + reports[0].cache_misses, 0);
+        assert_eq!(cache.stats().entries, 0);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_the_cache_under_its_byte_budget() {
+        let cache = SolveCache {
+            capacity: 3 * ROW_ENTRY_BYTES,
+            inner: Mutex::new(CacheInner::default()),
+        };
+        let row = |k: usize| JobRow {
+            k,
+            objective: k as f64,
+            area: k as u64,
+            optimal: true,
+            nodes: 1,
+            seconds: 0.0,
+        };
+        for fingerprint in 0..3u64 {
+            assert_eq!(cache.insert_row(fingerprint, 7, None, &row(1)), 0);
+        }
+        // Touch fingerprint 0 so 1 becomes the coldest entry…
+        assert!(cache.probe(0, 7, None).is_some());
+        // …then overflow: exactly one eviction, and it takes fingerprint 1.
+        assert_eq!(cache.insert_row(3, 7, None, &row(1)), 1);
+        assert!(cache.probe(1, 7, None).is_none());
+        assert!(cache.probe(0, 7, None).is_some());
+        assert!(cache.probe(3, 7, None).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.entries, 3);
+        assert!(stats.bytes <= cache.capacity_bytes());
+        // Re-storing an existing key replaces it instead of growing.
+        cache.insert_row(3, 7, None, &row(2));
+        assert_eq!(cache.stats().entries, 3);
     }
 
     #[test]
