@@ -98,6 +98,16 @@ fn main() {
             Err(e) => eprintln!("could not write BENCH_sweep.json: {e}"),
         }
 
+        // The tseng/paulin exactness gate (active only at the canonical
+        // 1000-node budget the committed baselines were recorded under).
+        let violations = bist_bench::sweep::exactness_violations(&sweep, sweep_nodes);
+        if !violations.is_empty() {
+            for violation in &violations {
+                eprintln!("exactness regression: {violation}");
+            }
+            std::process::exit(1);
+        }
+
         // Front-door gate: a single service batch must reproduce the engine
         // sweep rows with identical objectives under the per-job budgets.
         match bist_bench::sweep::service_cross_check(&sweep_circuits, &sweep, sweep_nodes) {

@@ -96,6 +96,18 @@ impl MethodRow {
     }
 }
 
+/// Serialises a per-kind cut counter block ([`bist_ilp::CutCounts`]) as a
+/// nested JSON object — shared by the sweep and search artifact rows.
+pub fn cut_counts_json(counts: &bist_ilp::CutCounts) -> String {
+    json::Obj::new()
+        .u64("cover", counts.cover)
+        .u64("clique", counts.clique)
+        .u64("gomory", counts.gomory)
+        .u64("lifted_cover", counts.lifted_cover)
+        .u64("nogood", counts.nogood)
+        .finish()
+}
+
 /// A complete harness run, serialisable to JSON for EXPERIMENTS.md.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExperimentReport {

@@ -102,6 +102,16 @@ pub struct SearchRow {
     /// container's wall clock is noisy; nodes and pivots are the
     /// bit-reproducible signals).
     pub wall_ms: f64,
+    /// Pivots of the `search` variant charged under devex pricing.
+    pub devex_pivots: u64,
+    /// Pivots of the `search` variant charged under Dantzig pricing.
+    pub dantzig_pivots: u64,
+    /// Pivots of the `search` variant charged under the Bland fallback.
+    pub bland_pivots: u64,
+    /// Cuts the `search` variant emitted into the pool, by kind.
+    pub cuts_emitted: bist_ilp::CutCounts,
+    /// Cuts still active in the `search` variant's final row set, by kind.
+    pub cuts_active: bist_ilp::CutCounts,
     /// Strong-branching probes of the `search` variant.
     pub strong_branch_solves: u64,
     /// Bounds tightened by reduced-cost fixing in the `search` variant.
@@ -137,6 +147,17 @@ impl SearchRow {
             .u64("refactorizations", self.refactorizations)
             .u64("kernel_refactorizations", self.kernel_refactorizations)
             .f64("wall_ms", self.wall_ms)
+            .u64("devex_pivots", self.devex_pivots)
+            .u64("dantzig_pivots", self.dantzig_pivots)
+            .u64("bland_pivots", self.bland_pivots)
+            .raw(
+                "cuts_emitted",
+                crate::report::cut_counts_json(&self.cuts_emitted),
+            )
+            .raw(
+                "cuts_active",
+                crate::report::cut_counts_json(&self.cuts_active),
+            )
             .u64("strong_branch_solves", self.strong_branch_solves)
             .u64("rc_fixed_bounds", self.rc_fixed_bounds)
             .f64("baseline_objective", self.baseline_objective)
@@ -273,6 +294,11 @@ pub fn run_circuit(
                 refactorizations: full.stats.refactorizations,
                 kernel_refactorizations: full.stats.lp_basis_refactorizations,
                 wall_ms,
+                devex_pivots: full.stats.devex_pivots,
+                dantzig_pivots: full.stats.dantzig_pivots,
+                bland_pivots: full.stats.bland_pivots,
+                cuts_emitted: full.stats.cuts_emitted,
+                cuts_active: full.stats.cuts_active,
                 strong_branch_solves: full.stats.strong_branch_solves,
                 rc_fixed_bounds: full.stats.rc_fixed_bounds,
                 baseline_objective: baseline.objective,
@@ -387,11 +413,23 @@ mod tests {
                 "{row:?}"
             );
         }
+        // Every pivot of the `search` variant is attributed to exactly one
+        // pricing rule (the default configuration prices with devex).
+        for row in &ablation.rows {
+            assert_eq!(
+                row.devex_pivots + row.dantzig_pivots + row.bland_pivots,
+                row.search_pivots,
+                "{row:?}"
+            );
+        }
         let json = ablation.to_json();
         assert!(json.contains("\"figure1\""));
         assert!(json.contains("\"node_limit\": 20000"));
         assert!(json.contains("\"kernel_refactorizations\""));
         assert!(json.contains("\"wall_ms\""));
+        assert!(json.contains("\"devex_pivots\""));
+        assert!(json.contains("\"cuts_emitted\""));
+        assert!(json.contains("\"nogood\""));
         let text = render(&ablation);
         assert!(text.contains("figure1"));
     }

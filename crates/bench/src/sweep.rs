@@ -62,6 +62,19 @@ pub struct SweepKRow {
     pub nodes: u64,
     /// Simplex pivots across all LP relaxations.
     pub lp_pivots: u64,
+    /// Pivots charged under devex pricing (the default rule).
+    pub devex_pivots: u64,
+    /// Pivots charged under Dantzig pricing (the differential baseline).
+    pub dantzig_pivots: u64,
+    /// Pivots charged under the Bland anti-cycling fallback.
+    pub bland_pivots: u64,
+    /// Cutting planes emitted into the pool, by kind.
+    pub cuts_emitted: bist_ilp::CutCounts,
+    /// Cutting planes still active in the final row set, by kind.
+    pub cuts_active: bist_ilp::CutCounts,
+    /// Where the final incumbent came from (`""` when there was none):
+    /// warm start, tree search, or one of the scheduled heuristics.
+    pub incumbent_source: String,
     /// Whether the k−1 incumbent was chained in as a warm start.
     pub chained: bool,
     /// Whether optimality was proven.
@@ -81,6 +94,17 @@ impl SweepKRow {
             nodes_to_baseline: None,
             nodes: design.stats.nodes,
             lp_pivots: design.stats.lp_pivots,
+            devex_pivots: design.stats.devex_pivots,
+            dantzig_pivots: design.stats.dantzig_pivots,
+            bland_pivots: design.stats.bland_pivots,
+            cuts_emitted: design.stats.cuts_emitted,
+            cuts_active: design.stats.cuts_active,
+            incumbent_source: design
+                .stats
+                .improvements
+                .last()
+                .map(|i| i.source.to_string())
+                .unwrap_or_default(),
             chained,
             optimal: design.optimal,
         }
@@ -102,6 +126,18 @@ impl SweepKRow {
             .opt_u64("nodes_to_baseline", self.nodes_to_baseline)
             .u64("nodes", self.nodes)
             .u64("lp_pivots", self.lp_pivots)
+            .u64("devex_pivots", self.devex_pivots)
+            .u64("dantzig_pivots", self.dantzig_pivots)
+            .u64("bland_pivots", self.bland_pivots)
+            .raw(
+                "cuts_emitted",
+                crate::report::cut_counts_json(&self.cuts_emitted),
+            )
+            .raw(
+                "cuts_active",
+                crate::report::cut_counts_json(&self.cuts_active),
+            )
+            .str("incumbent_source", &self.incumbent_source)
             .bool("chained", self.chained)
             .bool("optimal", self.optimal)
             .finish()
@@ -159,6 +195,11 @@ impl CircuitSweep {
             .f64("chained_quality_seconds", self.chained_quality_seconds)
             .u64("rebuild_quality_nodes", self.rebuild_quality_nodes)
             .u64("chained_quality_nodes", self.chained_quality_nodes)
+            // Reported for the artifact trail only — never gated, matching
+            // the `wall_ms` precedent in the search ablation: it is a ratio
+            // of two wall-clock sums, and wall-clock is noisy on shared
+            // runners. The deterministic twin the gates may read is the
+            // `*_quality_nodes` pair above.
             .f64(
                 "quality_speedup",
                 self.rebuild_quality_seconds / self.chained_quality_seconds.max(1e-9),
@@ -294,6 +335,64 @@ pub fn run_all(
         .iter()
         .map(|(name, input)| run_circuit(name, input, config))
         .collect()
+}
+
+/// The committed capped objectives of every chained sweep row that the
+/// 1000-node LP budget could **not** solve to proven optimality before the
+/// pricing/cuts/heuristics layer landed (from `BENCH_sweep.json` as of
+/// PR 6). The exactness gate measures progress against exactly these rows.
+const CAPPED_BASELINES: &[(&str, usize, f64)] = &[
+    ("tseng", 2, 1936.0),
+    ("tseng", 3, 1936.0),
+    ("paulin", 1, 2864.0),
+    ("paulin", 2, 2768.0),
+    ("paulin", 3, 2768.0),
+    ("paulin", 4, 2768.0),
+];
+
+/// The tseng/paulin exactness-gap gate, evaluated on the chained sweep rows
+/// at the canonical 1000-node LP budget (any other budget returns no
+/// violations — the committed baselines are only meaningful at the budget
+/// they were recorded under). The gate passes when either
+///
+/// * `tseng k=2` is solved to **proven optimality** for the first time, or
+/// * every previously-capped row ends **strictly below** its committed
+///   capped objective (the search got measurably closer everywhere).
+///
+/// Empty means the gate passes.
+pub fn exactness_violations(sweeps: &[CircuitSweep], node_limit: u64) -> Vec<String> {
+    if node_limit != crate::workload::DEFAULT_SWEEP_NODES {
+        return Vec::new();
+    }
+    let chained_row = |circuit: &str, k: usize| -> Option<&SweepKRow> {
+        sweeps
+            .iter()
+            .find(|s| s.circuit == circuit)
+            .and_then(|s| s.chained.iter().find(|r| r.sessions == k))
+    };
+    if let Some(row) = chained_row("tseng", 2) {
+        if row.optimal {
+            return Vec::new();
+        }
+    }
+    let mut violations = Vec::new();
+    for &(circuit, k, capped) in CAPPED_BASELINES {
+        let Some(row) = chained_row(circuit, k) else {
+            violations.push(format!("{circuit} k={k}: missing from the sweep"));
+            continue;
+        };
+        if row.optimal {
+            continue;
+        }
+        if row.objective >= capped - 1e-6 {
+            violations.push(format!(
+                "{circuit} k={k}: capped objective {} did not improve on the \
+                 committed baseline {capped} (and tseng k=2 was not proven optimal)",
+                row.objective
+            ));
+        }
+    }
+    violations
 }
 
 /// Re-runs the sweep through the `advbist::service` job queue — one

@@ -405,6 +405,9 @@ impl<'a> SynthesisEngine<'a> {
             if let Some(values) = formulation.warm_values_for_assignment(previous) {
                 solver_config.initial_solutions.push(values);
                 chained = true;
+                // A chained incumbent anchors the search well enough that
+                // shallow Gomory rounds help from the first descent.
+                solver_config.eager_tree_cuts = true;
             }
         }
 

@@ -170,6 +170,13 @@ pub(crate) fn solve_formulation(
                 solution.stats().lp_primal_pivots,
                 solution.stats().lp_dual_pivots,
             ),
+            pricing_pivots: (
+                solution.stats().devex_pivots,
+                solution.stats().dantzig_pivots,
+                solution.stats().bland_pivots,
+            ),
+            cuts_emitted: solution.stats().cuts_emitted,
+            cuts_active: solution.stats().cuts_active,
         });
     }
     Ok(solution)

@@ -43,6 +43,17 @@ pub enum CutKind {
     Cover,
     /// A conflict-graph clique inequality.
     Clique,
+    /// A Gomory mixed-integer cut read off a fractional row of an optimal
+    /// simplex basis (see [`crate::simplex::gomory_cuts`]).
+    Gomory,
+    /// A cover inequality strengthened with sequence-independent lifting
+    /// coefficients `π_j = max{h : μ_h ≤ a_j}` for heavy out-of-cover
+    /// items, where `μ_h` is the sum of the `h` largest cover weights.
+    LiftedCover,
+    /// A conflict no-good `Σ_{S⁺} x − Σ_{S⁻} x ≤ |S⁺| − 1` learned from an
+    /// infeasibility-refuted subtree with fixings `S⁺` (at 1) and `S⁻`
+    /// (at 0).
+    NoGood,
 }
 
 /// One knapsack source row, normalised to `Σ aᵢ·xᵢ ≤ b` with `aᵢ > 0`.
@@ -140,15 +151,19 @@ impl CutGenerator {
     /// Re-registers previously emitted cuts in the dedup set, so a
     /// snapshot-resumed search (which reinstalls the serialized cut pool
     /// into the row set) never separates a duplicate of a cut it already
-    /// carries. The keys are rebuilt exactly as `push_cut` builds them:
-    /// sorted unit-coefficient support plus the rounded right-hand side.
+    /// carries. The keys are rebuilt by the same [`cut_key`] every emission
+    /// path uses: sorted support plus a coefficient/rhs bit signature.
     pub fn restore_emitted(&mut self, cuts: &[CutRow]) {
         for cut in cuts {
-            let mut support: Vec<u32> = cut.terms.iter().map(|&(j, _)| j as u32).collect();
-            support.sort_unstable();
-            support.dedup();
-            self.emitted.insert((support, cut.rhs.round() as i64));
+            self.emitted.insert(cut_key(&cut.terms, cut.rhs));
         }
+    }
+
+    /// Registers an externally derived cut (Gomory, no-good) in the dedup
+    /// set. Returns `false` — and the caller must not install the cut —
+    /// when an identical row was already emitted in an earlier round.
+    pub fn admit(&mut self, cut: &CutRow) -> bool {
+        self.emitted.insert(cut_key(&cut.terms, cut.rhs))
     }
 
     /// Separates cuts violated by the fractional point `x`, at most `max_new`
@@ -160,6 +175,9 @@ impl CutGenerator {
         if cuts.len() < max_new {
             self.separate_cliques(x, max_new, &mut cuts);
         }
+        if cuts.len() < max_new {
+            self.separate_lifted_covers(x, max_new, &mut cuts);
+        }
         cuts
     }
 
@@ -170,34 +188,66 @@ impl CutGenerator {
             if cuts.len() >= max_new {
                 return;
             }
-            let mut order: Vec<usize> = (0..knap.terms.len()).collect();
-            order.sort_by(|&i, &j| {
-                let (vi, ai) = (x[knap.terms[i].0], knap.terms[i].1);
-                let (vj, aj) = (x[knap.terms[j].0], knap.terms[j].1);
-                let ki = (1.0 - vi) / ai;
-                let kj = (1.0 - vj) / aj;
-                ki.partial_cmp(&kj)
-                    .unwrap_or(std::cmp::Ordering::Equal)
-                    .then(knap.terms[i].0.cmp(&knap.terms[j].0))
-            });
-            let mut cover = Vec::new();
-            let mut weight = 0.0;
-            for &t in &order {
-                cover.push(knap.terms[t].0);
-                weight += knap.terms[t].1;
-                if weight > knap.rhs + EPS {
-                    break;
-                }
-            }
-            if weight <= knap.rhs + EPS {
+            let Some(cover) = greedy_cover(knap, x) else {
                 continue;
-            }
+            };
             let lp_sum: f64 = cover.iter().map(|&j| x[j]).sum();
             let rhs = cover.len() as f64 - 1.0;
             if lp_sum <= rhs + MIN_VIOLATION {
                 continue;
             }
             push_cut(&mut self.emitted, cover, rhs, CutKind::Cover, cuts);
+        }
+    }
+
+    /// Lifted cover separation: the greedy cover of `separate_covers`
+    /// strengthened with sequence-independent lifting coefficients for
+    /// heavy out-of-cover items. With `μ_h` the sum of the `h` largest
+    /// cover weights and `π_j = max{h : μ_h ≤ a_j}`, the inequality
+    /// `Σ_{i∈C} x_i + Σ_{j∉C} π_j·x_j ≤ |C| − 1` is valid for the
+    /// knapsack: any 0-1 point with lifted LHS ≥ |C| carries at least the
+    /// cover's total weight (each lifted item `j` stands in for `π_j` of
+    /// the largest cover items, the chosen cover items for the smallest),
+    /// which exceeds `b`. Only emitted when some `π_j ≥ 1` — otherwise the
+    /// plain cover already says it.
+    fn separate_lifted_covers(&mut self, x: &[f64], max_new: usize, cuts: &mut Vec<CutRow>) {
+        for knap in &self.knapsacks {
+            if cuts.len() >= max_new {
+                return;
+            }
+            let Some(cover) = greedy_cover(knap, x) else {
+                continue;
+            };
+            // μ prefix sums over the cover weights, largest first.
+            let mut weights: Vec<f64> = cover.iter().map(|&j| knap.weight_of(j)).collect();
+            weights.sort_by(|a, b| b.total_cmp(a));
+            let mut mu = vec![0.0];
+            for &w in &weights {
+                mu.push(mu.last().unwrap() + w);
+            }
+            let in_cover: BTreeSet<usize> = cover.iter().copied().collect();
+            let mut terms: Vec<(usize, f64)> = cover.iter().map(|&j| (j, 1.0)).collect();
+            let mut lifted_any = false;
+            for &(j, a) in &knap.terms {
+                if in_cover.contains(&j) {
+                    continue;
+                }
+                let pi = mu[1..].iter().take_while(|&&m| m <= a + EPS).count();
+                if pi >= 1 {
+                    terms.push((j, pi as f64));
+                    lifted_any = true;
+                }
+            }
+            if !lifted_any {
+                continue;
+            }
+            let rhs = cover.len() as f64 - 1.0;
+            let lhs: f64 = terms.iter().map(|&(j, w)| w * x[j]).sum();
+            if lhs <= rhs + MIN_VIOLATION {
+                continue;
+            }
+            terms.sort_by_key(|&(j, _)| j);
+            push_cut_row(&mut self.emitted, terms, rhs, CutKind::LiftedCover, cuts);
         }
     }
 
@@ -240,6 +290,78 @@ impl CutGenerator {
     }
 }
 
+impl Knapsack {
+    /// Coefficient of variable `j` in the normalised row (0 if absent).
+    fn weight_of(&self, j: usize) -> f64 {
+        self.terms
+            .iter()
+            .find(|&&(v, _)| v == j)
+            .map_or(0.0, |&(_, a)| a)
+    }
+}
+
+/// The greedy cover of a knapsack at the LP point `x`: items closest to 1
+/// first (weighted by coefficient) until the weight exceeds the capacity.
+/// `None` when no cover forms.
+fn greedy_cover(knap: &Knapsack, x: &[f64]) -> Option<Vec<usize>> {
+    let mut order: Vec<usize> = (0..knap.terms.len()).collect();
+    order.sort_by(|&i, &j| {
+        let (vi, ai) = (x[knap.terms[i].0], knap.terms[i].1);
+        let (vj, aj) = (x[knap.terms[j].0], knap.terms[j].1);
+        let ki = (1.0 - vi) / ai;
+        let kj = (1.0 - vj) / aj;
+        ki.partial_cmp(&kj)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(knap.terms[i].0.cmp(&knap.terms[j].0))
+    });
+    let mut cover = Vec::new();
+    let mut weight = 0.0;
+    for &t in &order {
+        cover.push(knap.terms[t].0);
+        weight += knap.terms[t].1;
+        if weight > knap.rhs + EPS {
+            return Some(cover);
+        }
+    }
+    None
+}
+
+/// Builds the conflict no-good of a refuted subtree: with `ones` the
+/// binaries fixed to 1 and `zeros` those fixed to 0 on the subtree's path,
+/// `Σ_{ones} x − Σ_{zeros} x ≤ |ones| − 1` excludes exactly the assignments
+/// that agree with every fixing, and nothing else — any feasible point must
+/// flip at least one of them.
+pub fn nogood_from_fixings(ones: &[usize], zeros: &[usize]) -> CutRow {
+    let mut terms: Vec<(usize, f64)> = ones
+        .iter()
+        .map(|&j| (j, 1.0))
+        .chain(zeros.iter().map(|&j| (j, -1.0)))
+        .collect();
+    terms.sort_by_key(|&(j, _)| j);
+    CutRow {
+        terms,
+        rhs: ones.len() as f64 - 1.0,
+        kind: CutKind::NoGood,
+    }
+}
+
+/// Coefficient-aware dedup key: the sorted support plus an FNV fold of the
+/// coefficient and rhs bit patterns. A pure function of the canonical cut
+/// row, so [`CutGenerator::restore_emitted`] rebuilds identical keys from a
+/// deserialized pool and a resumed search stays deterministic.
+fn cut_key(terms: &[(usize, f64)], rhs: f64) -> (Vec<u32>, i64) {
+    use crate::sparse::{fnv_fold, FNV_OFFSET};
+    let mut sorted: Vec<(usize, f64)> = terms.to_vec();
+    sorted.sort_by_key(|&(j, _)| j);
+    let support: Vec<u32> = sorted.iter().map(|&(j, _)| j as u32).collect();
+    let mut h = FNV_OFFSET;
+    for &(_, c) in &sorted {
+        fnv_fold(&mut h, c.to_bits());
+    }
+    fnv_fold(&mut h, rhs.to_bits());
+    (support, h as i64)
+}
+
 /// Installs a unit-coefficient cut over `support` unless an identical cut was
 /// already emitted.
 fn push_cut(
@@ -251,15 +373,23 @@ fn push_cut(
 ) {
     support.sort_unstable();
     support.dedup();
-    let key: Vec<u32> = support.iter().map(|&j| j as u32).collect();
-    if !emitted.insert((key, rhs.round() as i64)) {
+    let terms: Vec<(usize, f64)> = support.into_iter().map(|j| (j, 1.0)).collect();
+    push_cut_row(emitted, terms, rhs, kind, cuts);
+}
+
+/// Installs a general-coefficient cut unless an identical row was already
+/// emitted. `terms` must be sorted by variable index.
+fn push_cut_row(
+    emitted: &mut BTreeSet<(Vec<u32>, i64)>,
+    terms: Vec<(usize, f64)>,
+    rhs: f64,
+    kind: CutKind,
+    cuts: &mut Vec<CutRow>,
+) {
+    if !emitted.insert(cut_key(&terms, rhs)) {
         return;
     }
-    cuts.push(CutRow {
-        terms: support.into_iter().map(|j| (j, 1.0)).collect(),
-        rhs,
-        kind,
-    });
+    cuts.push(CutRow { terms, rhs, kind });
 }
 
 #[cfg(test)]

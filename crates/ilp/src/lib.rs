@@ -83,9 +83,9 @@ pub use expr::LinExpr;
 pub use model::{CmpOp, Constraint, Model, Sense, VarId, VarKind};
 pub use reduce::{ReduceOptions, ReduceReport, ReducedModel, VarDisposition};
 pub use session::{Budget, BudgetError, CancelToken, SolveEvent, SolveSession};
-pub use simplex::{Basis, LpSolution, LpStatus, ReducedCosts};
+pub use simplex::{Basis, LpSolution, LpStatus, Pricing, ReducedCosts};
 pub use snapshot::{model_fingerprint, SnapshotError, SolveSnapshot};
-pub use solution::{Improvement, Solution, SolveStats, Status};
+pub use solution::{CutCounts, Improvement, Solution, SolveStats, Status};
 pub use solver::{BoundMode, BranchRule, SearchOrder, SolverConfig, SolverConfigBuilder};
 pub use sparse::{RowRef, SparseModel};
 

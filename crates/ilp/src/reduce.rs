@@ -1316,6 +1316,7 @@ pub fn solve_reduced_with_events(
                 nodes: 0,
                 seconds: 0.0,
                 objective,
+                source: "presolve",
             }],
             ..Default::default()
         };

@@ -393,6 +393,15 @@ pub enum SolveEvent {
         /// `(primal, dual)` — cold two-phase factorisations vs warm
         /// dual-simplex re-solves (see [`crate::SolveStats`]).
         pivots: (u64, u64),
+        /// Simplex iterations split by pricing rule actually charged:
+        /// `(devex, dantzig, bland)`. The first two reflect the configured
+        /// [`crate::Pricing`]; Bland pivots are anti-cycling fallbacks.
+        pricing_pivots: (u64, u64, u64),
+        /// Cutting planes emitted into the pool over the whole solve,
+        /// by kind.
+        cuts_emitted: crate::CutCounts,
+        /// Cutting planes still active in the row set at the end, by kind.
+        cuts_active: crate::CutCounts,
     },
 }
 
@@ -554,6 +563,13 @@ pub(crate) fn solve_with_events(
                 solution.stats().lp_primal_pivots,
                 solution.stats().lp_dual_pivots,
             ),
+            pricing_pivots: (
+                solution.stats().devex_pivots,
+                solution.stats().dantzig_pivots,
+                solution.stats().bland_pivots,
+            ),
+            cuts_emitted: solution.stats().cuts_emitted,
+            cuts_active: solution.stats().cuts_active,
         });
     }
     Ok(solution)
@@ -754,10 +770,21 @@ mod tests {
                 status,
                 nodes,
                 pivots,
+                pricing_pivots,
+                cuts_emitted,
+                cuts_active,
             } => {
                 assert_eq!(*status, Status::Optimal);
                 assert_eq!(*nodes, solution.stats().nodes);
                 assert_eq!(pivots.0 + pivots.1, solution.stats().lp_pivots);
+                // Every pivot is attributed to exactly one pricing rule.
+                assert_eq!(
+                    pricing_pivots.0 + pricing_pivots.1 + pricing_pivots.2,
+                    solution.stats().lp_pivots
+                );
+                assert_eq!(*cuts_emitted, solution.stats().cuts_emitted);
+                assert_eq!(*cuts_active, solution.stats().cuts_active);
+                assert!(cuts_active.total() <= cuts_emitted.total());
             }
             other => panic!("unexpected final event {other:?}"),
         }

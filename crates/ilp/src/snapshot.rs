@@ -75,8 +75,15 @@ pub fn model_fingerprint(model: &Model) -> u64 {
 }
 
 /// Snapshot format version; bumped on any layout change so a stale file
-/// fails loudly instead of deserializing garbage.
-pub const FORMAT_VERSION: u64 = 1;
+/// fails loudly instead of deserializing garbage. Version 2 added the
+/// Gomory / lifted-cover / no-good cut kinds, the `pending_cuts` batch, the
+/// per-node `ng` (no-good learning allowed) flag and the `eager_separation`
+/// schedule flag; version-1 documents (which cannot contain any of those)
+/// still load, with an empty pending batch and the conservative defaults.
+pub const FORMAT_VERSION: u64 = 2;
+
+/// Oldest snapshot version the parser still accepts.
+pub const MIN_FORMAT_VERSION: u64 = 1;
 
 /// A malformed, inconsistent or incompatible snapshot.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -179,6 +186,73 @@ fn get_bool(v: &Value, key: &str) -> Result<bool, SnapshotError> {
         .ok_or_else(|| SnapshotError::field(key))
 }
 
+/// Encodes a cut pool (terms with bit-exact coefficients, rhs, kind tag).
+fn cuts_value(cuts: &[CutRow]) -> Value {
+    Value::Array(
+        cuts.iter()
+            .map(|cut| {
+                Value::Object(vec![
+                    (
+                        "terms".into(),
+                        Value::Array(
+                            cut.terms
+                                .iter()
+                                .map(|&(j, a)| Value::Array(vec![Value::Int(j as u64), bits(a)]))
+                                .collect(),
+                        ),
+                    ),
+                    ("rhs".into(), bits(cut.rhs)),
+                    (
+                        "kind".into(),
+                        Value::Str(
+                            match cut.kind {
+                                CutKind::Cover => "cover",
+                                CutKind::Clique => "clique",
+                                CutKind::Gomory => "gomory",
+                                CutKind::LiftedCover => "lifted_cover",
+                                CutKind::NoGood => "nogood",
+                            }
+                            .into(),
+                        ),
+                    ),
+                ])
+            })
+            .collect(),
+    )
+}
+
+/// Decodes a cut pool serialized by [`cuts_value`].
+fn cuts_from(items: &[Value]) -> Result<Vec<CutRow>, SnapshotError> {
+    let mut cuts = Vec::new();
+    for cut in items {
+        let mut terms = Vec::new();
+        for term in get_array(cut, "terms")? {
+            match term.as_array() {
+                Some([j, a]) => terms.push((
+                    usize::try_from(j.as_u64().ok_or_else(|| SnapshotError::field("terms"))?)
+                        .map_err(|_| SnapshotError::field("terms"))?,
+                    f64::from_bits(a.as_u64().ok_or_else(|| SnapshotError::field("terms"))?),
+                )),
+                _ => return Err(SnapshotError::field("terms")),
+            }
+        }
+        let kind = match cut.get("kind").and_then(Value::as_str) {
+            Some("cover") => CutKind::Cover,
+            Some("clique") => CutKind::Clique,
+            Some("gomory") => CutKind::Gomory,
+            Some("lifted_cover") => CutKind::LiftedCover,
+            Some("nogood") => CutKind::NoGood,
+            _ => return Err(SnapshotError::field("kind")),
+        };
+        cuts.push(CutRow {
+            terms,
+            rhs: get_f64_bits(cut, "rhs")?,
+            kind,
+        });
+    }
+    Ok(cuts)
+}
+
 // ---------------------------------------------------------------------------
 // Snapshot data
 // ---------------------------------------------------------------------------
@@ -199,6 +273,12 @@ pub(crate) struct SnapshotNode {
     pub(crate) parent_bound_is_lp: bool,
     pub(crate) branch_up: bool,
     pub(crate) branch_step: f64,
+    /// Whether the node's whole decision path consists of binary fixings
+    /// untainted by incumbent-dependent (reduced-cost) tightenings — the
+    /// eligibility condition for learning a globally valid no-good from an
+    /// infeasibility refutation. Wire key `"ng"`; absent in v1 snapshots,
+    /// which parse as `false` so restored v1 nodes never learn.
+    pub(crate) nogood_ok: bool,
 }
 
 impl SnapshotNode {
@@ -234,6 +314,7 @@ impl SnapshotNode {
             ("lp".into(), Value::Bool(self.parent_bound_is_lp)),
             ("up".into(), Value::Bool(self.branch_up)),
             ("step".into(), bits(self.branch_step)),
+            ("ng".into(), Value::Bool(self.nogood_ok)),
         ])
     }
 
@@ -264,6 +345,7 @@ impl SnapshotNode {
             parent_bound_is_lp: get_bool(v, "lp")?,
             branch_up: get_bool(v, "up")?,
             branch_step: get_f64_bits(v, "step")?,
+            nogood_ok: v.get("ng").and_then(Value::as_bool).unwrap_or(false),
         })
     }
 }
@@ -398,9 +480,17 @@ pub struct SolveSnapshot {
     pub(crate) pruned_bound_min: f64,
     pub(crate) last_bound_emitted: f64,
     pub(crate) tree_separations_left: usize,
+    /// Whether the captured search was separating shallow Gomory rounds
+    /// eagerly (chained warm-started solves). Absent in v1 snapshots, where
+    /// it defaults to `false` — the conservative late-separation schedule.
+    pub(crate) eager_separation: bool,
     /// Accepted cut pool; reinstalled into the row set before the frontier
     /// is restored.
     pub(crate) cuts: Vec<CutRow>,
+    /// Learned cuts (conflict no-goods) batched but not yet flushed into
+    /// the row set when the solve stopped; the resumed search flushes them
+    /// at the same deterministic trigger the uninterrupted run would have.
+    pub(crate) pending_cuts: Vec<CutRow>,
     pub(crate) pseudo: PseudoSnapshot,
     /// Warm basis cache entries as `(cache key, basis)`, oldest first.
     pub(crate) bases: Vec<(u64, Basis)>,
@@ -440,7 +530,12 @@ impl SolveSnapshot {
             .incumbent
             .as_ref()
             .map_or(0, |(_, values)| 16 + 8 * values.len());
-        let cut_bytes: usize = self.cuts.iter().map(|c| 24 + 16 * c.terms.len()).sum();
+        let cut_bytes: usize = self
+            .cuts
+            .iter()
+            .chain(&self.pending_cuts)
+            .map(|c| 24 + 16 * c.terms.len())
+            .sum();
         let pseudo_bytes = 12 * self.pseudo.up_sum.len() + 12 * self.pseudo.down_sum.len();
         let basis_bytes: usize = self.bases.iter().map(|(_, b)| 16 + 12 * b.cells()).sum();
         let root_lp_bytes = self.root_lp.as_ref().map_or(0, |lp| {
@@ -480,7 +575,7 @@ impl SolveSnapshot {
         {
             return Err(SnapshotError::new("pseudo-cost table length mismatch"));
         }
-        for cut in &self.cuts {
+        for cut in self.cuts.iter().chain(&self.pending_cuts) {
             if cut.terms.iter().any(|&(j, _)| j >= n) {
                 return Err(SnapshotError::new("cut term variable out of range"));
             }
@@ -520,6 +615,10 @@ impl SolveSnapshot {
                 Value::Int(self.tree_separations_left as u64),
             ),
             (
+                "eager_separation".into(),
+                Value::Bool(self.eager_separation),
+            ),
+            (
                 "incumbent".into(),
                 match &self.incumbent {
                     Some((objective, values)) => Value::Object(vec![
@@ -533,40 +632,8 @@ impl SolveSnapshot {
                 "frontier".into(),
                 Value::Array(self.frontier.iter().map(SnapshotNode::to_value).collect()),
             ),
-            (
-                "cuts".into(),
-                Value::Array(
-                    self.cuts
-                        .iter()
-                        .map(|cut| {
-                            Value::Object(vec![
-                                (
-                                    "terms".into(),
-                                    Value::Array(
-                                        cut.terms
-                                            .iter()
-                                            .map(|&(j, a)| {
-                                                Value::Array(vec![Value::Int(j as u64), bits(a)])
-                                            })
-                                            .collect(),
-                                    ),
-                                ),
-                                ("rhs".into(), bits(cut.rhs)),
-                                (
-                                    "kind".into(),
-                                    Value::Str(
-                                        match cut.kind {
-                                            CutKind::Cover => "cover",
-                                            CutKind::Clique => "clique",
-                                        }
-                                        .into(),
-                                    ),
-                                ),
-                            ])
-                        })
-                        .collect(),
-                ),
-            ),
+            ("cuts".into(), cuts_value(&self.cuts)),
+            ("pending_cuts".into(), cuts_value(&self.pending_cuts)),
             ("pseudo".into(), self.pseudo.to_value()),
             (
                 "bases".into(),
@@ -610,9 +677,9 @@ impl SolveSnapshot {
     pub fn from_json(text: &str) -> Result<Self, SnapshotError> {
         let doc = Value::parse(text).map_err(|e| SnapshotError::new(e.to_string()))?;
         let version = get_u64(&doc, "version")?;
-        if version != FORMAT_VERSION {
+        if !(MIN_FORMAT_VERSION..=FORMAT_VERSION).contains(&version) {
             return Err(SnapshotError::new(format!(
-                "unsupported snapshot version {version} (expected {FORMAT_VERSION})"
+                "unsupported snapshot version {version} (expected {MIN_FORMAT_VERSION}..={FORMAT_VERSION})"
             )));
         }
         let search = match doc.get("search").and_then(Value::as_str) {
@@ -632,30 +699,16 @@ impl SolveSnapshot {
             .iter()
             .map(SnapshotNode::from_value)
             .collect::<Result<Vec<_>, _>>()?;
-        let mut cuts = Vec::new();
-        for cut in get_array(&doc, "cuts")? {
-            let mut terms = Vec::new();
-            for term in get_array(cut, "terms")? {
-                match term.as_array() {
-                    Some([j, a]) => terms.push((
-                        usize::try_from(j.as_u64().ok_or_else(|| SnapshotError::field("terms"))?)
-                            .map_err(|_| SnapshotError::field("terms"))?,
-                        f64::from_bits(a.as_u64().ok_or_else(|| SnapshotError::field("terms"))?),
-                    )),
-                    _ => return Err(SnapshotError::field("terms")),
-                }
-            }
-            let kind = match cut.get("kind").and_then(Value::as_str) {
-                Some("cover") => CutKind::Cover,
-                Some("clique") => CutKind::Clique,
-                _ => return Err(SnapshotError::field("kind")),
-            };
-            cuts.push(CutRow {
-                terms,
-                rhs: get_f64_bits(cut, "rhs")?,
-                kind,
-            });
-        }
+        let cuts = cuts_from(get_array(&doc, "cuts")?)?;
+        // Version 1 predates the pending batch: absent means empty.
+        let pending_cuts = match doc.get("pending_cuts") {
+            Some(value) => cuts_from(
+                value
+                    .as_array()
+                    .ok_or_else(|| SnapshotError::field("pending_cuts"))?,
+            )?,
+            None => Vec::new(),
+        };
         let mut bases = Vec::new();
         for entry in get_array(&doc, "bases")? {
             let key = get_u64(entry, "key")?;
@@ -682,7 +735,11 @@ impl SolveSnapshot {
             pruned_bound_min: get_f64_bits(&doc, "pruned_bound_min")?,
             last_bound_emitted: get_f64_bits(&doc, "last_bound_emitted")?,
             tree_separations_left: get_usize(&doc, "tree_separations_left")?,
+            // Version 1 predates the eager flag: absent means the
+            // conservative late-separation schedule.
+            eager_separation: matches!(doc.get("eager_separation"), Some(Value::Bool(true))),
             cuts,
+            pending_cuts,
             pseudo: PseudoSnapshot::from_value(
                 doc.get("pseudo")
                     .ok_or_else(|| SnapshotError::field("pseudo"))?,
@@ -717,6 +774,7 @@ mod tests {
                     parent_bound_is_lp: true,
                     branch_up: true,
                     branch_step: 0.375,
+                    nogood_ok: true,
                 },
                 SnapshotNode {
                     deltas: vec![],
@@ -727,6 +785,7 @@ mod tests {
                     parent_bound_is_lp: false,
                     branch_up: false,
                     branch_step: 0.0,
+                    nogood_ok: false,
                 },
             ],
             incumbent: Some((-10.0, vec![1.0, 0.0, 1.0])),
@@ -734,10 +793,28 @@ mod tests {
             pruned_bound_min: f64::INFINITY,
             last_bound_emitted: -15.5,
             tree_separations_left: 6,
-            cuts: vec![CutRow {
-                terms: vec![(0, 1.0), (1, 1.0)],
-                rhs: 1.0,
-                kind: CutKind::Clique,
+            eager_separation: true,
+            cuts: vec![
+                CutRow {
+                    terms: vec![(0, 1.0), (1, 1.0)],
+                    rhs: 1.0,
+                    kind: CutKind::Clique,
+                },
+                CutRow {
+                    terms: vec![(0, 0.25), (2, -1.5)],
+                    rhs: 0.75,
+                    kind: CutKind::Gomory,
+                },
+                CutRow {
+                    terms: vec![(0, 1.0), (1, 2.0), (2, 1.0)],
+                    rhs: 1.0,
+                    kind: CutKind::LiftedCover,
+                },
+            ],
+            pending_cuts: vec![CutRow {
+                terms: vec![(0, 1.0), (1, -1.0)],
+                rhs: 0.0,
+                kind: CutKind::NoGood,
             }],
             pseudo: PseudoSnapshot {
                 up_sum: vec![0.1, 0.0, 2.5],
@@ -779,7 +856,7 @@ mod tests {
     fn version_and_shape_mismatches_are_loud() {
         let snap = sample();
         let text = snap.to_json().unwrap();
-        let wrong_version = text.replacen("\"version\":1", "\"version\":99", 1);
+        let wrong_version = text.replacen("\"version\":2", "\"version\":99", 1);
         let err = SolveSnapshot::from_json(&wrong_version).unwrap_err();
         assert!(err.to_string().contains("version 99"), "{err}");
         assert!(SolveSnapshot::from_json("{}").is_err());

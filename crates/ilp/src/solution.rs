@@ -1,5 +1,6 @@
 //! Solve results: status, variable values and statistics.
 
+use crate::cuts::{CutKind, CutRow};
 use crate::model::VarId;
 use crate::snapshot::SolveSnapshot;
 use std::sync::Arc;
@@ -54,6 +55,45 @@ pub struct Improvement {
     pub seconds: f64,
     /// The new incumbent objective, in the model's external sense.
     pub objective: f64,
+    /// Which layer produced the incumbent: `"warm-start"`, `"dive"`,
+    /// `"root-lp"`, `"node-lp"`, `"rounding"`, `"lp-dive"`, `"pump"`,
+    /// `"rins"` or `"lp"` (pure LP models).
+    pub source: &'static str,
+}
+
+/// Cuts counted separately per [`CutKind`] — the observability half of the
+/// cut pool: how many of each kind were emitted during a solve and how many
+/// sit in the active row set at the end.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CutCounts {
+    /// Knapsack cover cuts.
+    pub cover: u64,
+    /// Clique cuts from the pairwise-conflict graph.
+    pub clique: u64,
+    /// Gomory mixed-integer cuts read off fractional basis rows.
+    pub gomory: u64,
+    /// Cover cuts lifted with non-cover knapsack items.
+    pub lifted_cover: u64,
+    /// Conflict no-goods learned from infeasibility-refuted subtrees.
+    pub nogood: u64,
+}
+
+impl CutCounts {
+    /// Sum over every kind.
+    pub fn total(&self) -> u64 {
+        self.cover + self.clique + self.gomory + self.lifted_cover + self.nogood
+    }
+
+    /// Increments the counter for `kind`.
+    pub(crate) fn bump(&mut self, kind: CutKind) {
+        match kind {
+            CutKind::Cover => self.cover += 1,
+            CutKind::Clique => self.clique += 1,
+            CutKind::Gomory => self.gomory += 1,
+            CutKind::LiftedCover => self.lifted_cover += 1,
+            CutKind::NoGood => self.nogood += 1,
+        }
+    }
 }
 
 /// Counters describing the effort spent by the solver.
@@ -71,6 +111,15 @@ pub struct SolveStats {
     /// Simplex iterations spent in the *dual* simplex (warm re-solves from
     /// a cached basis, including strong-branching probes).
     pub lp_dual_pivots: u64,
+    /// Simplex iterations priced by the devex reference framework.
+    /// `devex_pivots + dantzig_pivots + bland_pivots == lp_pivots`.
+    pub devex_pivots: u64,
+    /// Simplex iterations priced by the classic Dantzig rule (most-negative
+    /// reduced cost / most-violated basic).
+    pub dantzig_pivots: u64,
+    /// Simplex iterations taken under the Bland anti-cycling fallback,
+    /// whichever pricing mode was configured.
+    pub bland_pivots: u64,
     /// Bound flips performed inside the LP kernel: nonbasic variables
     /// crossing their box without a basis change (rank-0 updates — the
     /// implicit-bound replacement for the old kernel's bound-row pivots).
@@ -114,6 +163,17 @@ pub struct SolveStats {
     /// Cutting planes added to the row set (root separation plus the
     /// re-checks at improved incumbents).
     pub cuts: u64,
+    /// Cuts emitted during this solve, counted per kind (learned no-goods
+    /// count when they enter the pending pool, which may be after the
+    /// install that flushes them).
+    pub cuts_emitted: CutCounts,
+    /// Cuts sitting in the active row set when the solve finished, per
+    /// kind. After a resume this covers the restored pool too.
+    pub cuts_active: CutCounts,
+    /// Verbatim copies of every cut emitted during the solve, recorded only
+    /// when [`crate::SolverConfig::record_cuts`] is on (used by the cut
+    /// validity test suite; empty otherwise).
+    pub emitted_cuts: Vec<CutRow>,
     /// Variables eliminated by the reducing presolve before the search
     /// (0 when presolve is off).
     pub presolve_vars_removed: u64,

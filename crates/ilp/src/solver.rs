@@ -28,15 +28,15 @@ use std::rc::Rc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::cuts::{CutGenerator, CutRow};
+use crate::cuts::{nogood_from_fixings, CutGenerator, CutKind, CutRow};
 use crate::error::IlpError;
-use crate::heuristics::{greedy_dive, round_and_repair};
+use crate::heuristics::{greedy_dive, lp_guided_dive, pump_target, rins_dive, round_and_repair};
 use crate::model::{CmpOp, Model, Sense};
 use crate::propagate::{Domains, PropagationResult, Propagator};
 use crate::session::{Budget, CancelToken, SolveEvent};
 use crate::simplex::{
-    instance_fingerprint, resolve_with_basis, solve_lp, solve_lp_basis, Basis, LpSolution,
-    LpStatus, ReducedCosts,
+    gomory_cuts, instance_fingerprint, resolve_with_basis_priced, solve_lp_basis_priced,
+    solve_lp_priced, Basis, LpSolution, LpStatus, Pricing, ReducedCosts,
 };
 use crate::snapshot::{PseudoSnapshot, RootLpSnapshot, SnapshotNode, SolveSnapshot};
 use crate::solution::{Solution, SolveStats, Status};
@@ -47,6 +47,9 @@ use crate::{EPS, INT_EPS};
 const ROOT_CUT_ROUNDS: usize = 4;
 /// Maximum in-tree separation passes (re-checks at improved incumbents).
 const TREE_SEPARATIONS: usize = 6;
+/// In-tree separation budget for eager (chained warm-started) solves: the
+/// anchoring incumbent makes extra shallow rounds pay for themselves.
+const TREE_SEPARATIONS_EAGER: usize = 12;
 /// Maximum cuts accepted per separation call.
 const CUTS_PER_ROUND: usize = 24;
 /// Capacity of the node-basis cache. Bases are only kept for the most
@@ -73,6 +76,41 @@ const STRONG_PIVOTS: u64 = 100;
 /// Per-unit degradation recorded when a strong-branching child is
 /// infeasible (branching there closes a whole subtree, so prefer it).
 const INFEASIBLE_DEGRADATION: f64 = 1e7;
+/// Maximum node depth at which in-tree cut rounds may read Gomory cuts off
+/// the node's optimal basis (separation at the very top of the tree, where
+/// a tightened relaxation still prunes almost everything below).
+const TREE_CUT_DEPTH: usize = 2;
+/// Nodes a *cold* solve must have explored before in-tree Gomory rounds
+/// engage. Easy instances finish well under this and keep their lean trees
+/// (extra rows perturb degenerate vertex selection and with it pseudo-cost
+/// learning); on hard instances the depth-first search backtracks to the
+/// shallow levels long after this point with mature pseudo-costs, and the
+/// extra tightening there is what closes the remaining gap. Solves seeded
+/// with a warm-start incumbent skip the delay: the incumbent anchors the
+/// search, so early tightening only prunes.
+const TREE_CUT_MIN_NODES: u64 = 256;
+/// Maximum Gomory cuts read off one optimal basis per separation round.
+const GOMORY_PER_ROUND: usize = 8;
+/// Minimum violation of the separating LP point for a Gomory cut to be
+/// installed (the derivation's safety margin already ate ~1e-7 of it).
+const GOMORY_MIN_VIOLATION: f64 = 1e-4;
+/// Minimum efficacy (violation divided by the cut's coefficient norm —
+/// the Euclidean distance from the LP point to the cut hyperplane) for a
+/// Gomory cut to be installed. Low-efficacy cuts barely move the
+/// relaxation but still perturb degenerate vertex selection, which
+/// derails pseudo-cost learning on small instances.
+const GOMORY_MIN_EFFICACY: f64 = 1e-2;
+/// Longest no-good (term count) worth learning: a conflict touching half
+/// the model excludes a vanishing fraction of the search space.
+const NOGOOD_MAX_TERMS: usize = 24;
+/// Learned no-goods are batched and installed together once this many are
+/// pending, so one matrix rebuild (which invalidates every cached basis)
+/// amortises over several conflicts.
+const NOGOOD_FLUSH: usize = 8;
+/// Node-count period of the scheduled heuristic layer; the slot rotation is
+/// a pure function of the node counter, so the schedule survives
+/// snapshot/resume and engine-vs-rebuild comparisons unchanged.
+const HEUR_PERIOD: u64 = 128;
 
 /// One materialised row handed to [`SparseModel::from_rows`].
 type DenseRow = (Vec<(usize, f64)>, CmpOp, f64);
@@ -82,6 +120,9 @@ fn tally_lp(stats: &mut SolveStats, lp: &LpSolution) {
     stats.lp_pivots += lp.pivots;
     stats.lp_primal_pivots += lp.primal_pivots;
     stats.lp_dual_pivots += lp.dual_pivots;
+    stats.devex_pivots += lp.devex_pivots;
+    stats.dantzig_pivots += lp.dantzig_pivots;
+    stats.bland_pivots += lp.bland_pivots;
     stats.lp_bound_flips += lp.bound_flips;
     stats.lp_basis_refactorizations += lp.refactorizations;
 }
@@ -158,6 +199,16 @@ pub struct SolverConfig {
     pub gap_tolerance: f64,
     /// Pivot budget per LP relaxation solve.
     pub max_lp_pivots: u64,
+    /// Simplex pricing rule for every LP solved during the search (node
+    /// relaxations, root cut loop, strong branching, heuristic LPs).
+    /// Defaults to [`Pricing::Devex`]; [`Pricing::Dantzig`] is kept as the
+    /// differential baseline.
+    pub pricing: Pricing,
+    /// Record a verbatim copy of every emitted cut in
+    /// [`SolveStats::emitted_cuts`]. Off by default — it exists for the cut
+    /// validity test suite, which re-checks every cut against known integer
+    /// optima.
+    pub record_cuts: bool,
     /// Run the greedy dive heuristic before the tree search.
     pub dive_heuristic: bool,
     /// Optional warm-start assignment; used as the initial incumbent when it
@@ -190,6 +241,13 @@ pub struct SolverConfig {
     /// bounds to the propagation worklist. On by default. Requires the
     /// warm-capable LP path (`lp_warm_start`) for the reduced costs.
     pub rc_fixing: bool,
+    /// Run shallow in-tree Gomory rounds from the first descent instead of
+    /// waiting for the node counter to mature. Off by default: early extra
+    /// rows perturb degenerate vertex selection and with it pseudo-cost
+    /// learning, which blows up the trees of quickly-solved instances. The
+    /// synthesis engine enables it for chained sweep solves, where the k−1
+    /// incumbent anchors the search and early tightening only prunes.
+    pub eager_tree_cuts: bool,
     /// Capture a resumable [`SolveSnapshot`] of the open tree whenever the
     /// search stops early (cancellation, node budget, time budget or
     /// deadline). Off by default: capture clones the open frontier, the
@@ -216,6 +274,8 @@ impl Default for SolverConfig {
             search: SearchOrder::DepthFirst,
             gap_tolerance: 1e-9,
             max_lp_pivots: 50_000,
+            pricing: Pricing::default(),
+            record_cuts: false,
             dive_heuristic: true,
             initial_solution: None,
             initial_solutions: Vec::new(),
@@ -223,6 +283,7 @@ impl Default for SolverConfig {
             cuts: true,
             lp_warm_start: true,
             rc_fixing: true,
+            eager_tree_cuts: false,
             snapshot: false,
             resume: None,
         }
@@ -293,6 +354,18 @@ impl SolverConfig {
     /// Builder-style setter for the branching rule.
     pub fn with_branching(mut self, branching: BranchRule) -> Self {
         self.branching = branching;
+        self
+    }
+
+    /// Builder-style setter for the simplex pricing rule.
+    pub fn with_pricing(mut self, pricing: Pricing) -> Self {
+        self.pricing = pricing;
+        self
+    }
+
+    /// Builder-style toggle for recording emitted cuts in the stats.
+    pub fn with_record_cuts(mut self, enabled: bool) -> Self {
+        self.record_cuts = enabled;
         self
     }
 
@@ -450,6 +523,18 @@ impl SolverConfigBuilder {
         self
     }
 
+    /// Sets the simplex pricing rule.
+    pub fn pricing(mut self, pricing: Pricing) -> Self {
+        self.config.pricing = pricing;
+        self
+    }
+
+    /// Toggles recording emitted cuts in the stats.
+    pub fn record_cuts(mut self, enabled: bool) -> Self {
+        self.config.record_cuts = enabled;
+        self
+    }
+
     /// Toggles the greedy dive heuristic.
     pub fn dive_heuristic(mut self, enabled: bool) -> Self {
         self.config.dive_heuristic = enabled;
@@ -483,6 +568,13 @@ impl SolverConfigBuilder {
     /// Toggles reduced-cost bound fixing.
     pub fn rc_fixing(mut self, enabled: bool) -> Self {
         self.config.rc_fixing = enabled;
+        self
+    }
+
+    /// Toggles eager shallow Gomory rounds (see
+    /// [`SolverConfig::eager_tree_cuts`]).
+    pub fn eager_tree_cuts(mut self, enabled: bool) -> Self {
+        self.config.eager_tree_cuts = enabled;
         self
     }
 
@@ -527,6 +619,12 @@ struct Node {
     /// variable (the pseudo-cost normalisation denominator); 0 when the
     /// parent had no LP value.
     branch_step: f64,
+    /// Whether the node's whole decision path consists of binary fixings
+    /// and carries no incumbent-dependent (reduced-cost) tightenings. Only
+    /// such nodes may learn a no-good when refuted by infeasibility: their
+    /// box is exactly the propagation closure of the recorded fixings, so
+    /// the conflict is valid for the whole tree.
+    nogood_ok: bool,
 }
 
 /// Wrapper giving the binary heap min-heap semantics on the node bound.
@@ -626,6 +724,7 @@ fn snapshot_node(node: &Node, base: &Domains) -> SnapshotNode {
         parent_bound_is_lp: node.parent_bound_is_lp,
         branch_up: node.branch_up,
         branch_step: node.branch_step,
+        nogood_ok: node.nogood_ok,
     }
 }
 
@@ -646,6 +745,7 @@ fn restore_node(snap: &SnapshotNode, base: &Domains) -> Node {
         parent_bound_is_lp: snap.parent_bound_is_lp,
         branch_up: snap.branch_up,
         branch_step: snap.branch_step,
+        nogood_ok: snap.nogood_ok,
     }
 }
 
@@ -764,9 +864,36 @@ pub struct BranchAndBound<'a> {
     /// like model rows.
     cut_source: Option<CutGenerator>,
     cut_rows: Vec<CutRow>,
+    /// Learned no-good cuts awaiting their batched install (see
+    /// [`NOGOOD_FLUSH`]); already registered in the generator's dedup pool,
+    /// and serialized with snapshots so a resume flushes the same batch.
+    pending_cuts: Vec<CutRow>,
     /// Remaining in-tree separation passes (re-checks at improved
-    /// incumbents).
+    /// incumbents and Gomory rounds at shallow nodes).
     tree_separations_left: usize,
+    /// Whether shallow Gomory rounds run from the first descent:
+    /// [`SolverConfig::eager_tree_cuts`] was requested *and* a warm-start
+    /// candidate actually established the incumbent before the tree opened.
+    /// Cold or unseeded solves defer the rounds until the node counter
+    /// passes [`TREE_CUT_MIN_NODES`], protecting the quick ones. Serialized
+    /// with snapshots so a resume separates on the same schedule.
+    eager_separation: bool,
+    /// The model's root box *before* propagation: the global bounds every
+    /// Gomory cut is unshifted to, so cuts derived at tree nodes stay valid
+    /// for the whole tree and for the shared pool.
+    root_box: Domains,
+    /// Per-variable integrality of the root box (Gomory candidate mask).
+    integral_mask: Vec<bool>,
+    /// Whether the internal objective can only take integer values (every
+    /// nonzero coefficient is an integer on an integral variable, and the
+    /// constant is an integer). When true, every dual bound rounds up to
+    /// the next integer — the classic integral-objective strengthening,
+    /// and on the paper's transistor-count objectives the step that turns
+    /// a 0.4-area LP gap into a closed node.
+    integral_objective: bool,
+    /// Variables that are binary in the root box (integral with bounds
+    /// {0, 1}) — the only fixings a learned no-good may mention.
+    binary_mask: Vec<bool>,
     /// The last root LP solved by the cut loop, valid for the *current*
     /// matrix; the root node consumes it instead of re-solving the most
     /// expensive LP of the tree.
@@ -813,13 +940,25 @@ impl<'a> BranchAndBound<'a> {
         let occurrence: Vec<usize> = (0..model.num_vars())
             .map(|j| propagator.matrix().occurrences(j))
             .collect();
-        let cut_source = if config.cuts && model.num_integral() > 0 {
-            let generator = CutGenerator::new(model);
-            generator.has_sources().then_some(generator)
-        } else {
-            None
-        };
+        // The generator is kept even without mined knapsack/clique sources:
+        // it owns the dedup pool that Gomory and no-good emission go
+        // through, and the paper circuits are exactly the models where the
+        // mined separators never fire but the basis-derived cuts do.
+        let cut_source =
+            (config.cuts && model.num_integral() > 0).then(|| CutGenerator::new(model));
         let num_vars = model.num_vars();
+        let root_box = Domains::from_model(model);
+        let integral_mask: Vec<bool> = (0..num_vars).map(|j| root_box.is_integral(j)).collect();
+        let binary_mask: Vec<bool> = (0..num_vars)
+            .map(|j| {
+                root_box.is_integral(j) && root_box.lower(j) == 0.0 && root_box.upper(j) == 1.0
+            })
+            .collect();
+        let integral_objective = objective_constant.fract() == 0.0
+            && objective
+                .iter()
+                .enumerate()
+                .all(|(j, &c)| c == 0.0 || (c.fract() == 0.0 && integral_mask[j]));
         let base_fingerprint =
             instance_fingerprint(propagator.matrix(), &objective, objective_constant);
         Self {
@@ -832,7 +971,13 @@ impl<'a> BranchAndBound<'a> {
             occurrence,
             cut_source,
             cut_rows: Vec::new(),
+            pending_cuts: Vec::new(),
             tree_separations_left: TREE_SEPARATIONS,
+            eager_separation: false,
+            root_box,
+            integral_mask,
+            integral_objective,
+            binary_mask,
             root_lp_cache: None,
             root_basis_key: None,
             basis_cache: Vec::new(),
@@ -944,6 +1089,12 @@ impl<'a> BranchAndBound<'a> {
         if new_cuts.is_empty() {
             return None;
         }
+        for cut in &new_cuts {
+            stats.cuts_emitted.bump(cut.kind);
+            if self.config.record_cuts {
+                stats.emitted_cuts.push(cut.clone());
+            }
+        }
         stats.cuts += new_cuts.len() as u64;
         self.emit(SolveEvent::CutRound {
             nodes: stats.nodes,
@@ -954,6 +1105,129 @@ impl<'a> BranchAndBound<'a> {
         self.rebuild_matrix();
         stats.propagations += 1;
         Some(self.propagator.propagate(domains) != PropagationResult::Infeasible)
+    }
+
+    /// Reads Gomory mixed-integer cuts off the fractional rows of `basis`,
+    /// installs the ones the LP point violates and re-propagates `domains`.
+    /// Cuts are unshifted to the *root* box (not the node's), so they are
+    /// valid for the whole tree even when derived at a branched node.
+    /// Returns `None` when nothing was installed, `Some(feasible)`
+    /// otherwise, mirroring [`BranchAndBound::install_cuts`].
+    fn install_gomory(
+        &mut self,
+        basis: &Basis,
+        lp_values: &[f64],
+        domains: &mut Domains,
+        stats: &mut SolveStats,
+    ) -> Option<bool> {
+        self.cut_source.as_ref()?;
+        let candidates = gomory_cuts(
+            self.propagator.matrix(),
+            &self.objective,
+            self.objective_constant,
+            basis,
+            domains,
+            &self.root_box,
+            &self.integral_mask,
+            GOMORY_PER_ROUND,
+        );
+        let mut accepted = Vec::new();
+        for (terms, rhs) in candidates {
+            let activity: f64 = terms.iter().map(|&(j, a)| a * lp_values[j]).sum();
+            if activity <= rhs + GOMORY_MIN_VIOLATION {
+                continue;
+            }
+            let norm = terms
+                .iter()
+                .map(|&(_, a)| a * a)
+                .sum::<f64>()
+                .sqrt()
+                .max(1e-12);
+            if (activity - rhs) / norm < GOMORY_MIN_EFFICACY {
+                continue;
+            }
+            let cut = CutRow {
+                terms,
+                rhs,
+                kind: CutKind::Gomory,
+            };
+            if self.cut_source.as_mut().is_some_and(|g| g.admit(&cut)) {
+                stats.cuts_emitted.bump(CutKind::Gomory);
+                if self.config.record_cuts {
+                    stats.emitted_cuts.push(cut.clone());
+                }
+                accepted.push(cut);
+            }
+        }
+        if accepted.is_empty() {
+            return None;
+        }
+        stats.cuts += accepted.len() as u64;
+        self.emit(SolveEvent::CutRound {
+            nodes: stats.nodes,
+            added: accepted.len() as u64,
+            total: stats.cuts,
+        });
+        self.cut_rows.extend(accepted);
+        self.rebuild_matrix();
+        stats.propagations += 1;
+        Some(self.propagator.propagate(domains) != PropagationResult::Infeasible)
+    }
+
+    /// Learns a conflict no-good from an infeasibility-refuted node: the
+    /// binary fixings that led here can never all hold together in a
+    /// feasible assignment, so `Σ₁ x − Σ₀ x ≤ |ones| − 1` is valid
+    /// globally. Only [`Node::nogood_ok`] nodes are eligible — a path
+    /// containing interval branchings or reduced-cost tightenings proves
+    /// something weaker ("no *improving* solution here"), and a cut from it
+    /// could slice off the optimum. Bound-pruned subtrees are never
+    /// learned from for the same reason.
+    fn learn_nogood(&mut self, node: &Node, stats: &mut SolveStats) {
+        if !node.nogood_ok || node.depth == 0 || self.cut_source.is_none() {
+            return;
+        }
+        let mut ones = Vec::new();
+        let mut zeros = Vec::new();
+        for j in 0..node.domains.len() {
+            if !self.binary_mask[j] || !node.domains.is_fixed(j) {
+                continue;
+            }
+            if node.domains.lower(j) > 0.5 {
+                ones.push(j);
+            } else {
+                zeros.push(j);
+            }
+        }
+        let terms = ones.len() + zeros.len();
+        if terms == 0 || terms > NOGOOD_MAX_TERMS {
+            return;
+        }
+        let cut = nogood_from_fixings(&ones, &zeros);
+        if self.cut_source.as_mut().is_some_and(|g| g.admit(&cut)) {
+            stats.cuts_emitted.bump(CutKind::NoGood);
+            if self.config.record_cuts {
+                stats.emitted_cuts.push(cut.clone());
+            }
+            self.pending_cuts.push(cut);
+        }
+    }
+
+    /// Installs the batched no-goods into the shared row set (one matrix
+    /// rebuild for the whole batch).
+    fn flush_pending_cuts(&mut self, stats: &mut SolveStats) {
+        if self.pending_cuts.is_empty() {
+            return;
+        }
+        let added = self.pending_cuts.len() as u64;
+        stats.cuts += added;
+        self.emit(SolveEvent::CutRound {
+            nodes: stats.nodes,
+            added,
+            total: stats.cuts,
+        });
+        let pending = std::mem::take(&mut self.pending_cuts);
+        self.cut_rows.extend(pending);
+        self.rebuild_matrix();
     }
 
     /// Root cut loop: solve the root LP, separate violated covers/cliques,
@@ -974,21 +1248,23 @@ impl<'a> BranchAndBound<'a> {
                 return true;
             }
             let (lp, basis) = if self.config.lp_warm_start {
-                solve_lp_basis(
+                solve_lp_basis_priced(
                     self.propagator.matrix(),
                     &self.objective,
                     self.objective_constant,
                     domains,
                     self.config.max_lp_pivots,
+                    self.config.pricing,
                 )
             } else {
                 (
-                    solve_lp(
+                    solve_lp_priced(
                         self.propagator.matrix(),
                         &self.objective,
                         self.objective_constant,
                         domains,
                         self.config.max_lp_pivots,
+                        self.config.pricing,
                     ),
                     None,
                 )
@@ -1011,6 +1287,17 @@ impl<'a> BranchAndBound<'a> {
             }
             match self.install_cuts(&lp.values, domains, stats) {
                 None => {
+                    // The mined cover/clique pool is dry; read Gomory cuts
+                    // off the optimal basis instead. The paper circuits'
+                    // root LPs violate no mined cut at all, so this is
+                    // where their root tightening actually happens.
+                    if let Some(b) = basis.as_ref() {
+                        match self.install_gomory(b, &lp.values, domains, stats) {
+                            Some(true) => continue,
+                            Some(false) => return false,
+                            None => {}
+                        }
+                    }
                     // No violated cuts: this LP is valid for the final row
                     // set, so hand it to the root node instead of having it
                     // re-solve the identical relaxation.
@@ -1062,7 +1349,7 @@ impl<'a> BranchAndBound<'a> {
             let obj = self.internal_objective(&values);
             if incumbent.as_ref().map(|(b, _)| obj < *b).unwrap_or(true) {
                 *incumbent = Some((obj, values));
-                self.record_improvement(stats, start, obj);
+                self.record_improvement(stats, start, obj, "root-lp");
             }
         }
         true
@@ -1106,9 +1393,22 @@ impl<'a> BranchAndBound<'a> {
                 let obj = self.internal_objective(&warm);
                 if incumbent.as_ref().map(|(b, _)| obj < *b).unwrap_or(true) {
                     incumbent = Some((obj, warm));
-                    self.record_improvement(&mut stats, start, obj);
+                    self.record_improvement(&mut stats, start, obj, "warm-start");
                 }
             }
+        }
+        // Eager in-tree separation only pays for itself when there is budget
+        // left to exploit the tightened bound: under a tiny node cap the
+        // rounds crowd out incumbent hunting instead.
+        let roomy_budget = self
+            .config
+            .budget
+            .node_limit
+            .map(|limit| limit >= TREE_CUT_MIN_NODES)
+            .unwrap_or(true);
+        self.eager_separation = self.config.eager_tree_cuts && incumbent.is_some() && roomy_budget;
+        if self.eager_separation {
+            self.tree_separations_left = TREE_SEPARATIONS_EAGER;
         }
 
         // A budget that is already spent (an expired deadline handed to a
@@ -1124,7 +1424,7 @@ impl<'a> BranchAndBound<'a> {
                     let obj = self.internal_objective(&values);
                     if incumbent.as_ref().map(|(b, _)| obj < *b).unwrap_or(true) {
                         incumbent = Some((obj, values));
-                        self.record_improvement(&mut stats, start, obj);
+                        self.record_improvement(&mut stats, start, obj, "dive");
                     }
                 }
             }
@@ -1190,6 +1490,7 @@ impl<'a> BranchAndBound<'a> {
                 parent_bound_is_lp: false,
                 branch_up: false,
                 branch_step: 0.0,
+                nogood_ok: true,
             });
         }
 
@@ -1242,10 +1543,16 @@ impl<'a> BranchAndBound<'a> {
             self.cut_rows = snap.cuts.clone();
             self.rebuild_matrix();
         }
+        // Pending no-goods were already deduplicated when learned, so both
+        // pools feed the emitted set; the pending batch flushes on the same
+        // node-count trigger the uninterrupted run would have hit.
+        self.pending_cuts = snap.pending_cuts.clone();
         if let Some(generator) = self.cut_source.as_mut() {
             generator.restore_emitted(&snap.cuts);
+            generator.restore_emitted(&snap.pending_cuts);
         }
         self.tree_separations_left = snap.tree_separations_left;
+        self.eager_separation = snap.eager_separation;
         self.last_bound_emitted = snap.last_bound_emitted;
         self.pseudo = PseudoCosts::from_snapshot(&snap.pseudo);
         self.basis_cache = snap
@@ -1313,20 +1620,39 @@ impl<'a> BranchAndBound<'a> {
                 pending = Some(node);
                 break;
             }
+            // Cheap prune at pop: the incumbent may have improved since this
+            // node was pushed with its parent's bound, and an integral
+            // objective rounds that bound up — either way a node that can no
+            // longer improve is dropped before it costs a propagation, an
+            // LP, or a slot in the node budget.
+            let popped_bound = self.strengthen_bound(node.bound);
+            if popped_bound >= incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY) - EPS {
+                pruned_bound_min = pruned_bound_min.min(popped_bound);
+                continue;
+            }
             stats.nodes += 1;
             self.emit(SolveEvent::NodeMilestone {
                 nodes: stats.nodes,
                 incumbent: incumbent.as_ref().map(|(b, _)| self.sense_factor * *b),
             });
 
+            // Install the batched no-goods before this node's work so its
+            // propagation and LP already see them.
+            let flushed = self.pending_cuts.len() >= NOGOOD_FLUSH;
+            if flushed {
+                self.flush_pending_cuts(&mut stats);
+            }
+
             stats.propagations += 1;
             // The parent's domains were propagated to fixpoint, so only the
-            // rows of the just-branched variable can fire initially.
+            // rows of the just-branched variable can fire initially — unless
+            // a flush just added rows the fixpoint never saw.
             let propagated = match node.branched {
-                Some(j) => self.propagator.propagate_seeded(&mut node.domains, &[j]),
-                None => self.propagator.propagate(&mut node.domains),
+                Some(j) if !flushed => self.propagator.propagate_seeded(&mut node.domains, &[j]),
+                _ => self.propagator.propagate(&mut node.domains),
             };
             if propagated == PropagationResult::Infeasible {
+                self.learn_nogood(&node, &mut stats);
                 continue;
             }
 
@@ -1343,6 +1669,7 @@ impl<'a> BranchAndBound<'a> {
                                     .record(j, node.branch_up, INFEASIBLE_DEGRADATION);
                             }
                         }
+                        self.learn_nogood(&node, &mut stats);
                         continue;
                     }
                     NodeBound::Bound { value, lp } => {
@@ -1363,8 +1690,15 @@ impl<'a> BranchAndBound<'a> {
                                 self.pseudo.record(j, node.branch_up, degradation);
                             }
                         }
-                        if value >= incumbent_obj - EPS {
-                            pruned_bound_min = pruned_bound_min.min(value);
+                        // Prune against the integrality-strengthened bound:
+                        // the raw value stays on the node (pseudo-cost
+                        // degradations want the smooth signal), but an
+                        // integer objective cannot land strictly between
+                        // consecutive integers, so the rounded-up bound is
+                        // the one the incumbent has to beat.
+                        let strengthened = self.strengthen_bound(value);
+                        if strengthened >= incumbent_obj - EPS {
+                            pruned_bound_min = pruned_bound_min.min(strengthened);
                             continue;
                         }
                         lp
@@ -1388,6 +1722,10 @@ impl<'a> BranchAndBound<'a> {
                         );
                         if !changed.is_empty() {
                             stats.rc_fixed_bounds += changed.len() as u64;
+                            // The box now encodes "improves on the
+                            // incumbent", not plain feasibility; conflicts
+                            // below this node must not become global cuts.
+                            node.nogood_ok = false;
                             stats.propagations += 1;
                             if self
                                 .propagator
@@ -1401,17 +1739,49 @@ impl<'a> BranchAndBound<'a> {
                 }
             }
 
-            // Re-check the cut pool whenever the incumbent improved at this
-            // node: the new incumbent's neighbourhood is where violated
-            // covers/cliques are most likely to tighten the remaining tree.
+            // In-tree separation: re-check the mined pool whenever the
+            // incumbent improved at this node (the new incumbent's
+            // neighbourhood is where violated covers/cliques are most
+            // likely), and at shallow nodes additionally read Gomory cuts
+            // off the node's optimal basis — tightening the relaxation near
+            // the top of the tree prunes almost everything below it.
             let improved =
                 incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY) < incumbent_obj - EPS;
-            if improved && self.tree_separations_left > 0 && self.cut_source.is_some() {
+            let shallow = node.depth <= TREE_CUT_DEPTH
+                && (self.eager_separation || stats.nodes >= TREE_CUT_MIN_NODES);
+            if (improved || shallow) && self.tree_separations_left > 0 && self.cut_source.is_some()
+            {
                 if let Some(lp) = bound.as_ref() {
                     self.tree_separations_left -= 1;
-                    if self.install_cuts(&lp.values, &mut node.domains, &mut stats) == Some(false) {
+                    let mined = self.install_cuts(&lp.values, &mut node.domains, &mut stats);
+                    if mined == Some(false) {
                         continue;
                     }
+                    // A mined install rebuilt the matrix and invalidated
+                    // the basis, so Gomory only runs when nothing was
+                    // mined (the usual case on the paper circuits).
+                    if mined.is_none() && shallow {
+                        if let Some(basis) = lp.basis_key.and_then(|key| self.cached_basis(key)) {
+                            if self.install_gomory(
+                                &basis,
+                                &lp.values,
+                                &mut node.domains,
+                                &mut stats,
+                            ) == Some(false)
+                            {
+                                continue;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // The scheduled heuristic layer: every HEUR_PERIOD nodes one of
+            // the LP-seeded improvement heuristics runs against this node's
+            // relaxation.
+            if stats.nodes.is_multiple_of(HEUR_PERIOD) {
+                if let Some(lp) = bound.as_ref() {
+                    self.scheduled_heuristics(&node, lp, &mut incumbent, &mut stats, start);
                 }
             }
 
@@ -1421,7 +1791,7 @@ impl<'a> BranchAndBound<'a> {
                         let obj = self.internal_objective(&values);
                         if obj < incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY) {
                             incumbent = Some((obj, values));
-                            self.record_improvement(&mut stats, start, obj);
+                            self.record_improvement(&mut stats, start, obj, "node-lp");
                         }
                     }
                 }
@@ -1462,6 +1832,9 @@ impl<'a> BranchAndBound<'a> {
         stats.time = start.elapsed();
         stats.limit_reached = stopped_early;
         stats.best_bound = self.sense_factor * best_bound_internal;
+        for cut in &self.cut_rows {
+            stats.cuts_active.bump(cut.kind);
+        }
 
         let snapshot = if self.config.snapshot && stopped_early {
             if let Some(node) = pending {
@@ -1541,7 +1914,9 @@ impl<'a> BranchAndBound<'a> {
             pruned_bound_min,
             last_bound_emitted: self.last_bound_emitted,
             tree_separations_left: self.tree_separations_left,
+            eager_separation: self.eager_separation,
             cuts: self.cut_rows.clone(),
+            pending_cuts: self.pending_cuts.clone(),
             pseudo: self.pseudo.to_snapshot(),
             bases: self
                 .basis_cache
@@ -1569,12 +1944,13 @@ impl<'a> BranchAndBound<'a> {
         mut stats: SolveStats,
         incumbent: Option<(f64, Vec<f64>)>,
     ) -> Solution {
-        let lp = solve_lp(
+        let lp = solve_lp_priced(
             self.propagator.matrix(),
             &self.objective,
             self.objective_constant,
             root,
             self.config.max_lp_pivots,
+            self.config.pricing,
         );
         stats.lp_solves += 1;
         tally_lp(&mut stats, &lp);
@@ -1590,7 +1966,7 @@ impl<'a> BranchAndBound<'a> {
                     .map(|(b, _)| lp.objective < *b - EPS)
                     .unwrap_or(true);
                 if beats_warm {
-                    self.record_improvement(&mut stats, start, lp.objective);
+                    self.record_improvement(&mut stats, start, lp.objective, "lp");
                 }
                 Solution::new(
                     Status::Optimal,
@@ -1609,19 +1985,132 @@ impl<'a> BranchAndBound<'a> {
     }
 
     /// Logs an incumbent improvement (external objective sense) into the
-    /// stats so callers can compute time-to-target metrics, and streams it
-    /// to any attached event sink.
-    fn record_improvement(&mut self, stats: &mut SolveStats, start: Instant, internal_obj: f64) {
+    /// stats so callers can compute time-to-target metrics and attribute
+    /// the incumbent to the layer that produced it, and streams it to any
+    /// attached event sink.
+    fn record_improvement(
+        &mut self,
+        stats: &mut SolveStats,
+        start: Instant,
+        internal_obj: f64,
+        source: &'static str,
+    ) {
         let objective = self.sense_factor * internal_obj;
         stats.improvements.push(crate::solution::Improvement {
             nodes: stats.nodes,
             seconds: start.elapsed().as_secs_f64(),
             objective,
+            source,
         });
         self.emit(SolveEvent::Incumbent {
             nodes: stats.nodes,
             objective,
         });
+    }
+
+    /// The node-count-scheduled heuristic layer: rotates deterministically
+    /// through LP-guided diving, the feasibility pump and RINS improvement
+    /// (a pure function of the node counter, so the schedule survives
+    /// snapshot/resume and engine-vs-rebuild comparisons unchanged). A
+    /// produced assignment only replaces the incumbent when it improves it.
+    fn scheduled_heuristics(
+        &mut self,
+        node: &Node,
+        lp: &NodeLp,
+        incumbent: &mut Option<(f64, Vec<f64>)>,
+        stats: &mut SolveStats,
+        start: Instant,
+    ) {
+        let found = match (stats.nodes / HEUR_PERIOD) % 3 {
+            0 => lp_guided_dive(&self.propagator, &node.domains, &lp.values, &self.objective)
+                .map(|values| ("lp-dive", values)),
+            1 => self
+                .feasibility_pump(node, lp, stats)
+                .map(|values| ("pump", values)),
+            _ => incumbent
+                .as_ref()
+                .and_then(|(_, inc)| {
+                    rins_dive(
+                        &self.propagator,
+                        &node.domains,
+                        inc,
+                        &lp.values,
+                        &self.objective,
+                    )
+                })
+                .map(|values| ("rins", values)),
+        };
+        let Some((source, values)) = found else {
+            return;
+        };
+        if !self.model.is_feasible(&values, 1e-6) {
+            return;
+        }
+        let obj = self.internal_objective(&values);
+        let current = incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
+        if obj < current - EPS {
+            *incumbent = Some((obj, values));
+            self.record_improvement(stats, start, obj, source);
+        }
+    }
+
+    /// One bounded feasibility-pump run from the node relaxation: alternate
+    /// rounding the current LP point to the nearest integral box point with
+    /// an LP minimising the (binary-variable) L1 distance back to it. The
+    /// pump succeeds when a distance LP lands integral — an LP-feasible
+    /// integral point is a feasible assignment — and gives up on a cycle
+    /// (repeated rounding target; deterministic runs stop rather than
+    /// perturb) or after a fixed number of iterations.
+    fn feasibility_pump(
+        &mut self,
+        node: &Node,
+        lp: &NodeLp,
+        stats: &mut SolveStats,
+    ) -> Option<Vec<f64>> {
+        const PUMP_ITERS: usize = 8;
+        let n = node.domains.len();
+        let mut point = lp.values.clone();
+        let mut last_target: Option<Vec<f64>> = None;
+        for _ in 0..PUMP_ITERS {
+            let target = pump_target(&node.domains, &point);
+            if last_target.as_ref() == Some(&target) {
+                return None;
+            }
+            let mut distance = vec![0.0; n];
+            for (j, coeff) in distance.iter_mut().enumerate() {
+                if self.binary_mask[j] {
+                    *coeff = if target[j] > 0.5 { -1.0 } else { 1.0 };
+                }
+            }
+            let dist_lp = solve_lp_priced(
+                self.propagator.matrix(),
+                &distance,
+                0.0,
+                &node.domains,
+                self.config.max_lp_pivots,
+                self.config.pricing,
+            );
+            stats.lp_solves += 1;
+            tally_lp(stats, &dist_lp);
+            if dist_lp.status != LpStatus::Optimal {
+                return None;
+            }
+            point = dist_lp.values;
+            let integral = (0..n).all(|j| {
+                !node.domains.is_integral(j) || (point[j] - point[j].round()).abs() <= INT_EPS
+            });
+            if integral {
+                let mut values = point;
+                for (j, v) in values.iter_mut().enumerate() {
+                    if node.domains.is_integral(j) {
+                        *v = v.round();
+                    }
+                }
+                return Some(values);
+            }
+            last_target = Some(target);
+        }
+        None
     }
 
     fn internal_objective(&self, values: &[f64]) -> f64 {
@@ -1651,6 +2140,18 @@ impl<'a> BranchAndBound<'a> {
         bound
     }
 
+    /// Rounds a dual bound up to the next integer when the objective is
+    /// provably integer-valued ([`Self::integral_objective`]); the small
+    /// slack absorbs LP round-off so a bound sitting *on* an integer is
+    /// never pushed past it.
+    fn strengthen_bound(&self, value: f64) -> f64 {
+        if self.integral_objective && value.is_finite() {
+            (value - 1e-6).ceil()
+        } else {
+            value
+        }
+    }
+
     fn use_lp_at(&self, depth: usize) -> bool {
         match self.config.bound_mode {
             BoundMode::Propagation => false,
@@ -1667,7 +2168,16 @@ impl<'a> BranchAndBound<'a> {
         incumbent: &mut Option<(f64, Vec<f64>)>,
         start: Instant,
     ) -> NodeBound {
-        let prop_bound = self.propagation_bound(&node.domains);
+        // Eager (chained, roomy-budget) solves carry the integral ceiling on
+        // the node bound itself: the staircase values prove optimality
+        // faster but pollute pseudo-cost degradation learning, so
+        // exploratory solves keep the smooth LP value and only strengthen at
+        // prune points.
+        let prop_bound = if self.eager_separation {
+            self.strengthen_bound(self.propagation_bound(&node.domains))
+        } else {
+            self.propagation_bound(&node.domains)
+        };
         if !self.use_lp_at(node.depth) {
             return NodeBound::Bound {
                 value: prop_bound,
@@ -1724,7 +2234,7 @@ impl<'a> BranchAndBound<'a> {
                 let obj = self.internal_objective(&values);
                 if obj < incumbent_obj {
                     *incumbent = Some((obj, values));
-                    self.record_improvement(stats, start, obj);
+                    self.record_improvement(stats, start, obj, "node-lp");
                 }
             }
         } else if node.depth <= 2 {
@@ -1738,13 +2248,18 @@ impl<'a> BranchAndBound<'a> {
                     let current = incumbent.as_ref().map(|(b, _)| *b).unwrap_or(f64::INFINITY);
                     if obj < current {
                         *incumbent = Some((obj, values));
-                        self.record_improvement(stats, start, obj);
+                        self.record_improvement(stats, start, obj, "rounding");
                     }
                 }
             }
         }
+        let value = if self.eager_separation {
+            self.strengthen_bound(lp_objective).max(prop_bound)
+        } else {
+            lp_objective.max(prop_bound)
+        };
         NodeBound::Bound {
-            value: lp_objective.max(prop_bound),
+            value,
             lp: Some(NodeLp {
                 objective: lp_objective,
                 values: lp_values,
@@ -1768,13 +2283,14 @@ impl<'a> BranchAndBound<'a> {
         if self.config.lp_warm_start {
             if let Some(basis) = node.parent_basis.and_then(|key| self.cached_basis(key)) {
                 if basis.age() < BASIS_MAX_AGE {
-                    if let Some((lp, next)) = resolve_with_basis(
+                    if let Some((lp, next)) = resolve_with_basis_priced(
                         self.propagator.matrix(),
                         &self.objective,
                         self.objective_constant,
                         &basis,
                         &node.domains,
                         warm_budget,
+                        self.config.pricing,
                     ) {
                         tally_lp(stats, &lp);
                         stats.warm_lp_pivots += lp.pivots;
@@ -1802,12 +2318,13 @@ impl<'a> BranchAndBound<'a> {
                     }
                 }
             }
-            let (lp, new_basis) = solve_lp_basis(
+            let (lp, new_basis) = solve_lp_basis_priced(
                 self.propagator.matrix(),
                 &self.objective,
                 self.objective_constant,
                 &node.domains,
                 max_pivots,
+                self.config.pricing,
             );
             stats.lp_solves += 1;
             tally_lp(stats, &lp);
@@ -1827,12 +2344,13 @@ impl<'a> BranchAndBound<'a> {
                 LpStatus::Unbounded | LpStatus::IterationLimit => SolvedNodeLp::NoBound,
             }
         } else {
-            let lp = solve_lp(
+            let lp = solve_lp_priced(
                 self.propagator.matrix(),
                 &self.objective,
                 self.objective_constant,
                 &node.domains,
                 max_pivots,
+                self.config.pricing,
             );
             stats.lp_solves += 1;
             tally_lp(stats, &lp);
@@ -1858,12 +2376,13 @@ impl<'a> BranchAndBound<'a> {
         }
         // Optimise the remaining continuous variables with the integral part
         // fixed.
-        let lp = solve_lp(
+        let lp = solve_lp_priced(
             self.propagator.matrix(),
             &self.objective,
             self.objective_constant,
             domains,
             self.config.max_lp_pivots,
+            self.config.pricing,
         );
         stats.lp_solves += 1;
         tally_lp(stats, &lp);
@@ -1987,13 +2506,14 @@ impl<'a> BranchAndBound<'a> {
             if !tightened || child.is_infeasible() {
                 continue;
             }
-            let Some((child_lp, _)) = resolve_with_basis(
+            let Some((child_lp, _)) = resolve_with_basis_priced(
                 self.propagator.matrix(),
                 &self.objective,
                 self.objective_constant,
                 basis,
                 &child,
                 STRONG_PIVOTS,
+                self.config.pricing,
             ) else {
                 continue;
             };
@@ -2060,6 +2580,10 @@ impl<'a> BranchAndBound<'a> {
                         parent_bound_is_lp,
                         branch_up,
                         branch_step,
+                        // Fixing a binary keeps the path describable as a
+                        // set of 0/1 decisions, so no-good learning stays
+                        // sound below this child.
+                        nogood_ok: node.nogood_ok && self.binary_mask[j],
                     });
                 }
             }
@@ -2091,6 +2615,9 @@ impl<'a> BranchAndBound<'a> {
                         parent_bound_is_lp,
                         branch_up,
                         branch_step,
+                        // An interval split is not a 0/1 decision; a no-good
+                        // over fixed binaries would not cover it.
+                        nogood_ok: false,
                     });
                 }
             }

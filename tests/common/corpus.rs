@@ -75,7 +75,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 1,
         golden_area: 1616,
-        golden_pivots: 1024,
+        golden_pivots: 1329,
     },
     CorpusCase {
         name: "r11k2",
@@ -85,7 +85,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 2,
         golden_area: 1520,
-        golden_pivots: 4956,
+        golden_pivots: 4259,
     },
     CorpusCase {
         name: "r23k1",
@@ -95,7 +95,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 1,
         golden_area: 1376,
-        golden_pivots: 385,
+        golden_pivots: 379,
     },
     CorpusCase {
         name: "r23k2",
@@ -105,7 +105,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 2,
         golden_area: 1312,
-        golden_pivots: 1065,
+        golden_pivots: 1000,
     },
     CorpusCase {
         name: "r37k1",
@@ -115,7 +115,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 1,
         golden_area: 1876,
-        golden_pivots: 667,
+        golden_pivots: 1280,
     },
     CorpusCase {
         name: "r37k2",
@@ -125,7 +125,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 2,
         golden_area: 1616,
-        golden_pivots: 998,
+        golden_pivots: 4276,
     },
     CorpusCase {
         name: "r58k1",
@@ -135,7 +135,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 1,
         golden_area: 1440,
-        golden_pivots: 2107,
+        golden_pivots: 1827,
     },
     CorpusCase {
         name: "r58k2",
@@ -145,7 +145,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 2,
         golden_area: 1424,
-        golden_pivots: 6942,
+        golden_pivots: 7685,
     },
     CorpusCase {
         name: "r71k1",
@@ -155,7 +155,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 2,
         sessions: 1,
         golden_area: 1892,
-        golden_pivots: 1226,
+        golden_pivots: 2089,
     },
     CorpusCase {
         name: "r71k2",
@@ -165,7 +165,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 2,
         sessions: 2,
         golden_area: 1552,
-        golden_pivots: 1598,
+        golden_pivots: 2305,
     },
     CorpusCase {
         name: "r92k1",
@@ -175,7 +175,7 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 1,
         golden_area: 1920,
-        golden_pivots: 105,
+        golden_pivots: 111,
     },
     CorpusCase {
         name: "r92k2",
@@ -185,6 +185,6 @@ pub const CORPUS: &[CorpusCase] = &[
         multipliers: 1,
         sessions: 2,
         golden_area: 1920,
-        golden_pivots: 904,
+        golden_pivots: 2331,
     },
 ];

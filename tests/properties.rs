@@ -354,6 +354,114 @@ fn revised_kernel_agrees_with_legacy_dense_tableau_on_reduced_models() {
     );
 }
 
+/// Pricing is a performance knob, never a correctness one: over the same
+/// PRNG corpus of reduced models as the legacy-oracle differential, devex
+/// and Dantzig pricing must agree on status and objective — cold at the
+/// root *and* along warm dual-simplex descents re-solved from each rule's
+/// own basis chain.
+#[test]
+fn devex_and_dantzig_agree_on_reduced_models() {
+    use advbist::ilp::simplex::{resolve_with_basis_priced, solve_lp_basis_priced, Pricing};
+    let mut rng = Rng::new(0xdeef);
+    let mut corpus = 0usize;
+    let mut warm_pairs = 0usize;
+    let mut seed = 0u64;
+    while corpus < 220 {
+        seed += 1;
+        let model = random_binary_model(seed.wrapping_mul(9176) + 5, 8, 6);
+        let reduced = reduce(&model, &ReduceOptions::full());
+        if reduced.report.infeasible || reduced.model.num_vars() == 0 {
+            continue;
+        }
+        corpus += 1;
+        let (matrix, objective, constant, root) = relaxation(&reduced.model);
+        let (devex, devex_basis) =
+            solve_lp_basis_priced(&matrix, &objective, constant, &root, 50_000, Pricing::Devex);
+        let (dantzig, dantzig_basis) = solve_lp_basis_priced(
+            &matrix,
+            &objective,
+            constant,
+            &root,
+            50_000,
+            Pricing::Dantzig,
+        );
+        assert_eq!(devex.status, dantzig.status, "seed {seed} (root)");
+        if devex.status != LpStatus::Optimal {
+            continue;
+        }
+        assert!(
+            (devex.objective - dantzig.objective).abs() < 1e-6,
+            "seed {seed} (root): devex {} vs dantzig {}",
+            devex.objective,
+            dantzig.objective
+        );
+        assert!(
+            lp_feasible(&matrix, &root, &devex.values),
+            "seed {seed} (root): devex point infeasible"
+        );
+        let mut bases = (
+            devex_basis.expect("devex basis"),
+            dantzig_basis.expect("dantzig basis"),
+        );
+        let mut domains = root;
+        // Descend by random fixings, each pricing rule warm-resolving from
+        // its own basis chain; the objectives must stay in lockstep.
+        for step in 0..4 {
+            let free: Vec<usize> = (0..domains.len())
+                .filter(|&j| !domains.is_fixed(j))
+                .collect();
+            if free.is_empty() {
+                break;
+            }
+            let j = free[rng.range(0, free.len() as u64) as usize];
+            let value = f64::from(u8::from(rng.next_u64().is_multiple_of(2)));
+            assert!(domains.fix(j, value), "seed {seed} step {step}");
+            let devex_warm = resolve_with_basis_priced(
+                &matrix,
+                &objective,
+                constant,
+                &bases.0,
+                &domains,
+                50_000,
+                Pricing::Devex,
+            );
+            let dantzig_warm = resolve_with_basis_priced(
+                &matrix,
+                &objective,
+                constant,
+                &bases.1,
+                &domains,
+                50_000,
+                Pricing::Dantzig,
+            );
+            let (Some((devex, next_devex)), Some((dantzig, next_dantzig))) =
+                (devex_warm, dantzig_warm)
+            else {
+                panic!("seed {seed} step {step}: basis incompatible");
+            };
+            warm_pairs += 1;
+            assert_eq!(devex.status, dantzig.status, "seed {seed} step {step}");
+            if devex.status != LpStatus::Optimal {
+                break;
+            }
+            assert!(
+                (devex.objective - dantzig.objective).abs() < 1e-6,
+                "seed {seed} step {step}: devex {} vs dantzig {}",
+                devex.objective,
+                dantzig.objective
+            );
+            bases = (
+                next_devex.expect("optimal devex re-solve returns a basis"),
+                next_dantzig.expect("optimal dantzig re-solve returns a basis"),
+            );
+        }
+    }
+    assert!(
+        warm_pairs >= 200,
+        "only {warm_pairs} warm pricing pairs exercised"
+    );
+}
+
 /// Every branching rule is an exact oracle: on random small 0-1 models all
 /// `BranchRule` variants reach the brute-force optimum under **all three**
 /// dual-bound modes (pseudo-cost branching falls back gracefully where no

@@ -184,6 +184,74 @@ fn fresh_session_resumes_a_file_round_tripped_snapshot() {
     }
 }
 
+/// Rewrites a v2 snapshot document into the v1 wire shape: version field
+/// back to 1, the `pending_cuts` batch and `eager_separation` flag dropped,
+/// and the per-node `"ng"` (no-good learning allowed) flag stripped. This
+/// is exactly what a snapshot written by the previous release looks like.
+fn downgrade_to_v1(value: &mut advbist::ilp::json::Value) {
+    use advbist::ilp::json::Value;
+    let Value::Object(fields) = value else {
+        panic!("snapshot document must be an object");
+    };
+    fields.retain(|(key, _)| key != "pending_cuts" && key != "eager_separation");
+    for (key, field) in fields.iter_mut() {
+        match (key.as_str(), &mut *field) {
+            ("version", v) => *v = Value::Int(1),
+            ("frontier", Value::Array(nodes)) => {
+                for node in nodes {
+                    if let Value::Object(node_fields) = node {
+                        node_fields.retain(|(k, _)| k != "ng");
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[test]
+fn v1_snapshots_still_load_and_resume() {
+    // Forward compatibility: the current engine must accept the previous
+    // wire version (`MIN_FORMAT_VERSION`), defaulting the fields that did
+    // not exist yet, and still finish the tree exactly.
+    let model = knapsack_model();
+    let cold = SolveSession::new(&model).solve().expect("cold solve");
+    assert!(cold.is_optimal());
+
+    let partial = SolveSession::new(&model)
+        .budget(Budget::nodes(3).with_snapshot(true))
+        .solve()
+        .expect("interrupted solve");
+    let snapshot = partial.snapshot().expect("snapshot captured");
+    let text = snapshot.to_json().expect("snapshot serializes");
+    assert!(text.contains("\"version\":2"), "current wire version is 2");
+
+    let mut doc = advbist::ilp::json::Value::parse(&text).expect("valid json");
+    downgrade_to_v1(&mut doc);
+    let v1_text = doc.write();
+    assert!(v1_text.contains("\"version\":1"));
+    assert!(!v1_text.contains("pending_cuts"));
+    assert!(!v1_text.contains("eager_separation"));
+    assert!(!v1_text.contains("\"ng\""));
+
+    let reloaded = SolveSnapshot::from_json(&v1_text).expect("v1 snapshot loads");
+    let resumed = SolveSession::new(&model)
+        .resume(Arc::new(reloaded))
+        .solve()
+        .expect("resumed solve");
+    // The missing `ng` flags default to *false* (conservative: never learn
+    // a no-good from a restored node), so the resumed tree may prune
+    // slightly differently — but it must still prove the same optimum.
+    assert!(resumed.is_optimal());
+    assert!(resumed.stats().resumed);
+    assert!(
+        (resumed.objective() - cold.objective()).abs() < 1e-9,
+        "v1 resume optimum {} != cold optimum {}",
+        resumed.objective(),
+        cold.objective()
+    );
+}
+
 #[test]
 fn resume_rejects_a_snapshot_of_a_different_instance() {
     let model = knapsack_model();
