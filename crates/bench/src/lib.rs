@@ -13,6 +13,7 @@
 //! | Ablations (ours) | [`ablation`] | — | `ablation_solver`, `ilp_solver` |
 //! | k-sweep engine vs rebuild (ours, `BENCH_sweep.json`) | [`sweep`] | `repro_all` | — |
 //! | Service cache + resume (ours, `BENCH_service.json`) | [`service`] | `repro_service` | — |
+//! | RTL netlists + simulated BIST coverage (ours, `BENCH_rtl.json`, `goldens/rtl/`) | [`rtl`] | `repro_rtl` | — |
 //!
 //! Every `repro_*` binary reads its solve budget through one
 //! [`bist_ilp::Budget::from_env`] call ([`workload::budget_from_env`]):
@@ -30,6 +31,7 @@ pub mod ablation;
 pub mod figures;
 pub mod presolve;
 pub mod report;
+pub mod rtl;
 pub mod search;
 pub mod service;
 pub mod sweep;

@@ -38,6 +38,14 @@ pub struct SynthesisConfig {
     /// warm-start the full concurrent model. Guarantees a feasible design
     /// even when the time limit is too small to explore the joint space.
     pub warm_start: bool,
+    /// Run the RTL back-end's simulated validation
+    /// ([`bist_rtl::validate_simulated`]) on every extracted design: emit
+    /// the netlist, simulate each sub-test session cycle by cycle and fail
+    /// unless every module under test is provably exercised and observed.
+    /// Purely observational — it runs after extraction and never perturbs
+    /// the ILP search. Off by default (it costs a few simulation passes per
+    /// design).
+    pub rtl_validation: bool,
     /// Branch-and-bound configuration for the underlying solver.
     pub solver: SolverConfig,
 }
@@ -52,6 +60,7 @@ impl Default for SynthesisConfig {
             commutative_swapping: false,
             binding_mode: ModuleBindingMode::Fixed,
             warm_start: true,
+            rtl_validation: false,
             solver: SolverConfig {
                 budget: Budget::time(Duration::from_secs(30)),
                 bound_mode: BoundMode::Hybrid { lp_depth: 2 },
@@ -120,6 +129,12 @@ impl SynthesisConfig {
     /// Builder-style setter for the solver configuration.
     pub fn with_solver(mut self, solver: SolverConfig) -> Self {
         self.solver = solver;
+        self
+    }
+
+    /// Builder-style toggle for the simulated RTL validation pass.
+    pub fn with_rtl_validation(mut self, enabled: bool) -> Self {
+        self.rtl_validation = enabled;
         self
     }
 }

@@ -17,6 +17,11 @@ pub enum CoreError {
     /// indicates a bug in the formulation and should never happen for a
     /// solution the solver reports as feasible.
     Validation(DatapathError),
+    /// The extracted design failed the simulated RTL validation
+    /// ([`bist_rtl::validate_simulated`], enabled via
+    /// [`crate::SynthesisConfig::rtl_validation`]): the emitted netlist did
+    /// not demonstrably test every module of the plan.
+    RtlValidation(bist_rtl::RtlError),
     /// The ILP is infeasible: no BIST design exists for the requested number
     /// of registers and sub-test sessions.
     Infeasible {
@@ -52,6 +57,9 @@ impl fmt::Display for CoreError {
             CoreError::Dfg(e) => write!(f, "invalid synthesis input: {e}"),
             CoreError::Ilp(e) => write!(f, "ilp failure: {e}"),
             CoreError::Validation(e) => write!(f, "extracted design failed validation: {e}"),
+            CoreError::RtlValidation(e) => {
+                write!(f, "extracted design failed simulated RTL validation: {e}")
+            }
             CoreError::Infeasible { sessions } => {
                 write!(f, "no feasible BIST design for a {sessions}-test session")
             }
@@ -93,6 +101,12 @@ impl From<IlpError> for CoreError {
 impl From<DatapathError> for CoreError {
     fn from(e: DatapathError) -> Self {
         CoreError::Validation(e)
+    }
+}
+
+impl From<bist_rtl::RtlError> for CoreError {
+    fn from(e: bist_rtl::RtlError) -> Self {
+        CoreError::RtlValidation(e)
     }
 }
 

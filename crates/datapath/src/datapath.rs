@@ -202,6 +202,31 @@ impl Datapath {
         self.modules.iter().map(|m| m.num_inputs).collect()
     }
 
+    /// Iterates over every wire of the interconnect as a typed
+    /// [`Connection`](crate::interconnect::Connection), in deterministic
+    /// order. Back-ends (netlist emitters, graph writers) should walk this
+    /// instead of poking the interconnect's individual query methods.
+    pub fn iter_connections(&self) -> impl Iterator<Item = crate::interconnect::Connection> + '_ {
+        self.interconnect.iter()
+    }
+
+    /// All multiplexer fan-ins of the data path, derived from this data
+    /// path's own register count and [`Datapath::module_port_counts`] — the
+    /// single place the mux structure comes from, shared by the area model
+    /// and the RTL netlist emitter.
+    pub fn mux_fanins(&self) -> Vec<usize> {
+        self.interconnect
+            .mux_fanins(self.num_registers(), &self.module_port_counts())
+    }
+
+    /// Module input ports with zero drivers. A valid data path has none
+    /// (every DFG input edge creates a wire); back-ends turn a non-empty
+    /// result into [`crate::DatapathError::UndrivenPort`] instead of
+    /// panicking mid-emission.
+    pub fn undriven_ports(&self) -> Vec<ModulePort> {
+        self.interconnect.undriven_ports(&self.module_port_counts())
+    }
+
     /// Computes the area breakdown (registers + multiplexers) under a cost
     /// model, the quantity minimised by the paper's objective function.
     pub fn area(&self, cost: &CostModel) -> AreaBreakdown {
@@ -217,9 +242,7 @@ impl Datapath {
             breakdown.register_counts[idx] += 1;
             breakdown.register_area += cost.register_cost(reg.kind);
         }
-        let fanins = self
-            .interconnect
-            .mux_fanins(self.num_registers(), &self.module_port_counts());
+        let fanins = self.mux_fanins();
         for &fanin in &fanins {
             breakdown.mux_inputs += fanin;
             breakdown.mux_area += cost.mux_cost(fanin);
@@ -271,6 +294,48 @@ mod tests {
             let m = input.module_of(o).index();
             assert!(dp.interconnect().has_module_to_register(m, r));
         }
+    }
+
+    #[test]
+    fn typed_connection_iteration_matches_the_queries() {
+        use crate::interconnect::Connection;
+        let (_, dp) = figure1_datapath();
+        let connections: Vec<Connection> = dp.iter_connections().collect();
+        assert_eq!(
+            connections.len(),
+            dp.interconnect().num_register_port_wires()
+                + dp.interconnect().num_module_register_wires()
+        );
+        for c in &connections {
+            match *c {
+                Connection::RegisterToPort { register, port } => {
+                    assert!(dp.interconnect().has_register_to_port(register, port));
+                }
+                Connection::ModuleToRegister { module, register } => {
+                    assert!(dp.interconnect().has_module_to_register(module, register));
+                }
+                Connection::ConstantToPort { value, port } => {
+                    assert!(dp
+                        .interconnect()
+                        .constants_driving_port(port)
+                        .contains(&value));
+                }
+            }
+        }
+        assert!(!dp.interconnect().is_empty());
+    }
+
+    #[test]
+    fn mux_fanins_and_undriven_ports_come_from_one_place() {
+        let (_, dp) = figure1_datapath();
+        // The centralised accessor agrees with the raw interconnect call.
+        assert_eq!(
+            dp.mux_fanins(),
+            dp.interconnect()
+                .mux_fanins(dp.num_registers(), &dp.module_port_counts())
+        );
+        // A valid data path has no undriven ports.
+        assert!(dp.undriven_ports().is_empty());
     }
 
     #[test]

@@ -60,6 +60,16 @@ pub enum DatapathError {
         /// Module index.
         module: usize,
     },
+    /// A module input port has no driver at all (no register and no
+    /// constant wired to it) — a corrupted structure no valid data path
+    /// produces. Raised as a typed error by back-ends (e.g. the RTL netlist
+    /// emitter) instead of panicking mid-lowering.
+    UndrivenPort {
+        /// Module index.
+        module: usize,
+        /// Input port number.
+        port: usize,
+    },
     /// An index was out of range.
     IndexOutOfRange {
         /// What kind of entity the index referred to.
@@ -102,6 +112,9 @@ impl fmt::Display for DatapathError {
                 f,
                 "test resources of module {module} are not active in a single sub-session"
             ),
+            DatapathError::UndrivenPort { module, port } => {
+                write!(f, "module {module} input port {port} has no driver")
+            }
             DatapathError::IndexOutOfRange { what, index } => {
                 write!(f, "{what} index {index} out of range")
             }

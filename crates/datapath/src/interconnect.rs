@@ -12,6 +12,36 @@ pub struct ModulePort {
     pub port: usize,
 }
 
+/// One wire of the interconnect, as yielded by [`Interconnect::iter`].
+///
+/// Back-ends (the RTL netlist emitter, the DOT writer, future exporters)
+/// walk this typed view instead of poking the individual query methods, so
+/// the three internal wire sets can evolve without breaking them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Connection {
+    /// A register output drives a module input port.
+    RegisterToPort {
+        /// Register index.
+        register: usize,
+        /// The driven port.
+        port: ModulePort,
+    },
+    /// A module output drives a register input.
+    ModuleToRegister {
+        /// Module index.
+        module: usize,
+        /// Register index.
+        register: usize,
+    },
+    /// A hard-wired constant drives a module input port.
+    ConstantToPort {
+        /// The constant value.
+        value: i64,
+        /// The driven port.
+        port: ModulePort,
+    },
+}
+
 /// The wiring of a data path: which registers drive which module ports,
 /// which module outputs drive which registers, and which ports are fed by
 /// hard-wired constants.
@@ -32,6 +62,56 @@ impl Interconnect {
     /// Creates an empty interconnect.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Whether the interconnect carries no wires at all.
+    pub fn is_empty(&self) -> bool {
+        self.reg_to_port.is_empty()
+            && self.module_to_reg.is_empty()
+            && self.constant_to_port.is_empty()
+    }
+
+    /// Iterates over every wire as a typed [`Connection`], in a
+    /// deterministic order (register→port wires first, then module→register,
+    /// then constant→port, each in its set's sorted order).
+    pub fn iter(&self) -> impl Iterator<Item = Connection> + '_ {
+        let regs =
+            self.reg_to_port
+                .iter()
+                .map(|&(register, module, port)| Connection::RegisterToPort {
+                    register,
+                    port: ModulePort { module, port },
+                });
+        let mods = self
+            .module_to_reg
+            .iter()
+            .map(|&(module, register)| Connection::ModuleToRegister { module, register });
+        let consts =
+            self.constant_to_port
+                .iter()
+                .map(|&(value, module, port)| Connection::ConstantToPort {
+                    value,
+                    port: ModulePort { module, port },
+                });
+        regs.chain(mods).chain(consts)
+    }
+
+    /// Module input ports with *zero* drivers (no register and no constant
+    /// wired to them), given the per-module input-port counts. A valid data
+    /// path never has one — every DFG input edge creates a wire — so a
+    /// non-empty result marks a corrupted structure that back-ends must
+    /// reject with a typed error instead of panicking.
+    pub fn undriven_ports(&self, module_ports: &[usize]) -> Vec<ModulePort> {
+        let mut undriven = Vec::new();
+        for (module, &ports) in module_ports.iter().enumerate() {
+            for port in 0..ports {
+                let p = ModulePort { module, port };
+                if self.port_fanin(p) == 0 {
+                    undriven.push(p);
+                }
+            }
+        }
+        undriven
     }
 
     /// Adds a wire from register `register` to input `port`.
@@ -205,6 +285,57 @@ mod tests {
         let fanins = ic.mux_fanins(2, &[2, 2]);
         assert_eq!(fanins, vec![2, 2]);
         assert_eq!(ic.total_mux_inputs(2, &[2, 2]), 4);
+    }
+
+    #[test]
+    fn iter_yields_every_wire_exactly_once_in_order() {
+        let ic = sample();
+        let connections: Vec<Connection> = ic.iter().collect();
+        assert_eq!(
+            connections.len(),
+            ic.num_register_port_wires() + ic.num_module_register_wires() + 1
+        );
+        // Deterministic order: register wires, module wires, constants.
+        assert!(matches!(
+            connections.first(),
+            Some(Connection::RegisterToPort { register: 0, .. })
+        ));
+        assert!(matches!(
+            connections.last(),
+            Some(Connection::ConstantToPort { value: 5, .. })
+        ));
+        assert!(connections.contains(&Connection::ModuleToRegister {
+            module: 1,
+            register: 1
+        }));
+        // Two iterations agree (the order is stable).
+        let again: Vec<Connection> = ic.iter().collect();
+        assert_eq!(connections, again);
+    }
+
+    #[test]
+    fn empty_and_undriven_queries() {
+        let empty = Interconnect::new();
+        assert!(empty.is_empty());
+        assert_eq!(empty.iter().count(), 0);
+        // Both ports of a 1-module datapath are undriven in an empty
+        // interconnect.
+        assert_eq!(
+            empty.undriven_ports(&[2]),
+            vec![
+                ModulePort { module: 0, port: 0 },
+                ModulePort { module: 0, port: 1 }
+            ]
+        );
+        let ic = sample();
+        assert!(!ic.is_empty());
+        // Every port of the sample is driven.
+        assert!(ic.undriven_ports(&[2, 2]).is_empty());
+        // A third module with one port would be undriven.
+        assert_eq!(
+            ic.undriven_ports(&[2, 2, 1]),
+            vec![ModulePort { module: 2, port: 0 }]
+        );
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub mod validate;
 pub use cost::{AreaBreakdown, CostModel};
 pub use datapath::{Datapath, DatapathModule, DatapathRegister};
 pub use error::DatapathError;
-pub use interconnect::{Interconnect, ModulePort};
+pub use interconnect::{Connection, Interconnect, ModulePort};
 pub use report::DesignReport;
 pub use test_plan::{TestPlan, TestSession, TpgSource};
 pub use test_register::TestRegisterKind;

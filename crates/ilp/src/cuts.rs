@@ -151,7 +151,7 @@ impl CutGenerator {
     /// Re-registers previously emitted cuts in the dedup set, so a
     /// snapshot-resumed search (which reinstalls the serialized cut pool
     /// into the row set) never separates a duplicate of a cut it already
-    /// carries. The keys are rebuilt by the same [`cut_key`] every emission
+    /// carries. The keys are rebuilt by the same `cut_key` every emission
     /// path uses: sorted support plus a coefficient/rhs bit signature.
     pub fn restore_emitted(&mut self, cuts: &[CutRow]) {
         for cut in cuts {

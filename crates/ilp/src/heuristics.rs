@@ -98,7 +98,7 @@ pub fn greedy_dive(
 /// Dives along an LP relaxation: unfixed integral variables are fixed to
 /// their rounded relaxation value, least-fractional first, propagating after
 /// every decision. A failed first choice backtracks that single decision to
-/// the opposite bound; after [`DIVE_MAX_BACKTRACKS`] such repairs (or one
+/// the opposite bound; after `DIVE_MAX_BACKTRACKS` such repairs (or one
 /// two-sided failure) the dive aborts. Continuous variables are completed at
 /// their objective-cheapest bound, exactly as in [`greedy_dive`].
 pub fn lp_guided_dive(

@@ -1,0 +1,414 @@
+//! Lowering a synthesised data path (plus its test plan) to a [`Netlist`].
+//!
+//! The emitter walks the data path's typed connection view
+//! ([`bist_datapath::Datapath::iter_connections`]) and builds one cell per
+//! register, module, distinct constant and multiplexer. Mux fan-ins are
+//! cross-checked against [`bist_datapath::Datapath::mux_fanins`] — the same
+//! single source the area model uses — so the netlist can never drift from
+//! the transistor counts the ILP optimised.
+//!
+//! With a test plan, the emitter additionally derives one
+//! [`SessionControl`] per sub-test session: register modes from the plan's
+//! TPG/SR roles, mux selects routing each TPG register to its port and each
+//! module under test to its signature register, and dedicated generator
+//! cells for constant-only ports. Any role the structure cannot route is a
+//! typed [`RtlError::TestPathNotRoutable`] — the "prove the session actually
+//! tests it" contract starts here.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use bist_datapath::{
+    Datapath, DatapathError, ModulePort, TestPlan, TestRegisterKind, TestSession, TpgSource,
+};
+
+use crate::error::RtlError;
+use crate::netlist::{
+    ConstantCell, Driver, GeneratorCell, ModuleCell, MuxCell, MuxSite, NetRef, Netlist,
+    RegisterCell, RegisterMode, SessionControl,
+};
+
+/// Emits the mission-mode structural netlist of a data path (no sessions).
+///
+/// # Errors
+///
+/// [`RtlError::Datapath`] wrapping [`DatapathError::UndrivenPort`] if a
+/// module input port has no driver at all.
+pub fn emit_netlist(datapath: &Datapath) -> Result<Netlist, RtlError> {
+    emit(datapath, None)
+}
+
+/// Emits the structural netlist plus one [`SessionControl`] per sub-test
+/// session of the plan.
+///
+/// # Errors
+///
+/// [`RtlError::Datapath`] for structural defects of the data path itself and
+/// [`RtlError::TestPathNotRoutable`] when a test-plan role (TPG at a port,
+/// signature register at a module output) has no route through the emitted
+/// structure — on a design that passed `bist_datapath::validate` this
+/// indicates an emitter or validator bug, and the error message says which
+/// route is missing.
+pub fn emit_bist_netlist(datapath: &Datapath, plan: &TestPlan) -> Result<Netlist, RtlError> {
+    emit(datapath, Some(plan))
+}
+
+fn emit(dp: &Datapath, plan: Option<&TestPlan>) -> Result<Netlist, RtlError> {
+    if let Some(p) = dp.undriven_ports().first() {
+        return Err(DatapathError::UndrivenPort {
+            module: p.module,
+            port: p.port,
+        }
+        .into());
+    }
+
+    let ic = dp.interconnect();
+
+    // One constant cell per distinct value, in ascending value order.
+    let values: BTreeSet<i64> = dp
+        .iter_connections()
+        .filter_map(|c| match c {
+            bist_datapath::Connection::ConstantToPort { value, .. } => Some(value),
+            _ => None,
+        })
+        .collect();
+    let constants: Vec<ConstantCell> = values.iter().map(|&value| ConstantCell { value }).collect();
+    let constant_index: BTreeMap<i64, usize> =
+        values.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+
+    // Register cells first, then module cells, creating muxes in the same
+    // order the area model enumerates fan-ins (registers, then ports).
+    let mut muxes: Vec<MuxCell> = Vec::new();
+    let registers: Vec<RegisterCell> = dp
+        .registers()
+        .iter()
+        .enumerate()
+        .map(|(r, reg)| {
+            let drivers = ic.modules_driving_register(r);
+            let input = match drivers.len() {
+                0 => None,
+                1 => Some(Driver::Net(NetRef::Module(drivers[0]))),
+                _ => {
+                    let idx = muxes.len();
+                    muxes.push(MuxCell {
+                        site: MuxSite::RegisterInput(r),
+                        inputs: drivers.into_iter().map(NetRef::Module).collect(),
+                    });
+                    Some(Driver::Mux(idx))
+                }
+            };
+            RegisterCell {
+                name: reg.name.clone(),
+                kind: reg.kind,
+                input,
+            }
+        })
+        .collect();
+
+    let mut modules: Vec<ModuleCell> = Vec::with_capacity(dp.num_modules());
+    for (m, module) in dp.modules().iter().enumerate() {
+        let mut ports = Vec::with_capacity(module.num_inputs);
+        for port in 0..module.num_inputs {
+            let p = ModulePort { module: m, port };
+            let mut inputs: Vec<NetRef> = ic
+                .registers_driving_port(p)
+                .into_iter()
+                .map(NetRef::Register)
+                .collect();
+            inputs.extend(
+                ic.constants_driving_port(p)
+                    .into_iter()
+                    .map(|v| NetRef::Constant(constant_index[&v])),
+            );
+            let driver = match inputs.len() {
+                0 => return Err(DatapathError::UndrivenPort { module: m, port }.into()),
+                1 => Driver::Net(inputs[0]),
+                _ => {
+                    let idx = muxes.len();
+                    muxes.push(MuxCell {
+                        site: MuxSite::ModulePort(p),
+                        inputs,
+                    });
+                    Driver::Mux(idx)
+                }
+            };
+            ports.push(driver);
+        }
+        modules.push(ModuleCell {
+            name: module.name.clone(),
+            class: module.class,
+            ports,
+        });
+    }
+
+    // The single-source cross-check: the emitted mux cells must reproduce
+    // exactly the fan-in list the area model prices.
+    let emitted_fanins: Vec<usize> = muxes.iter().map(|mx| mx.inputs.len()).collect();
+    assert_eq!(
+        emitted_fanins,
+        dp.mux_fanins(),
+        "emitted mux fan-ins must match Datapath::mux_fanins"
+    );
+
+    let mut generators: Vec<GeneratorCell> = Vec::new();
+    let mut sessions: Vec<SessionControl> = Vec::new();
+    if let Some(plan) = plan {
+        for (s, session) in plan.sessions.iter().enumerate() {
+            sessions.push(lower_session(
+                s,
+                session,
+                &registers,
+                &modules,
+                &muxes,
+                &mut generators,
+            )?);
+        }
+    }
+
+    Ok(Netlist {
+        name: dp.name().to_string(),
+        width: dp.width(),
+        registers,
+        modules,
+        constants,
+        generators,
+        muxes,
+        sessions,
+    })
+}
+
+/// Derives the control word of one sub-test session.
+fn lower_session(
+    s: usize,
+    session: &TestSession,
+    registers: &[RegisterCell],
+    modules: &[ModuleCell],
+    muxes: &[MuxCell],
+    generators: &mut Vec<GeneratorCell>,
+) -> Result<SessionControl, RtlError> {
+    let mut modes = vec![RegisterMode::Hold; registers.len()];
+    for r in session.tpg_registers() {
+        modes[r] = RegisterMode::Generate;
+    }
+    for r in session.sr_registers() {
+        modes[r] = if modes[r] == RegisterMode::Generate {
+            RegisterMode::GenerateCompact
+        } else {
+            RegisterMode::Compact
+        };
+    }
+    for (r, mode) in modes.iter().enumerate() {
+        let kind = registers[r].kind;
+        let supported = match mode {
+            RegisterMode::Hold => true,
+            RegisterMode::Generate => matches!(
+                kind,
+                TestRegisterKind::Tpg | TestRegisterKind::Bilbo | TestRegisterKind::Cbilbo
+            ),
+            RegisterMode::Compact => matches!(
+                kind,
+                TestRegisterKind::Sr | TestRegisterKind::Bilbo | TestRegisterKind::Cbilbo
+            ),
+            RegisterMode::GenerateCompact => kind == TestRegisterKind::Cbilbo,
+        };
+        if !supported {
+            return Err(RtlError::TestPathNotRoutable {
+                description: format!(
+                    "register R{r} (kind {}) cannot run in {:?} mode in sub-session {s}",
+                    crate::netlist::kind_name(kind),
+                    mode
+                ),
+            });
+        }
+    }
+
+    let mut mux_selects: BTreeMap<usize, usize> = BTreeMap::new();
+    let mut port_overrides: BTreeMap<ModulePort, usize> = BTreeMap::new();
+    let mut signature_registers: BTreeMap<usize, usize> = BTreeMap::new();
+
+    let mut select = |mux: usize, input: usize, what: &str| -> Result<(), RtlError> {
+        match mux_selects.get(&mux) {
+            Some(&prev) if prev != input => Err(RtlError::TestPathNotRoutable {
+                description: format!(
+                    "mux {mux} needs two different selects in sub-session {s} ({what})"
+                ),
+            }),
+            _ => {
+                mux_selects.insert(mux, input);
+                Ok(())
+            }
+        }
+    };
+
+    for &m in &session.modules {
+        // Route a pattern source onto every input port of the module.
+        for port in 0..modules[m].ports.len() {
+            let key = ModulePort { module: m, port };
+            let source =
+                session
+                    .tpg
+                    .get(&(m, port))
+                    .ok_or_else(|| RtlError::TestPathNotRoutable {
+                        description: format!(
+                            "no TPG assigned to port {m}.{port} in sub-session {s}"
+                        ),
+                    })?;
+            match *source {
+                TpgSource::Register(r) => {
+                    let wanted = NetRef::Register(r);
+                    match modules[m].ports[port] {
+                        Driver::Net(n) if n == wanted => {}
+                        Driver::Net(_) => {
+                            return Err(RtlError::TestPathNotRoutable {
+                                description: format!(
+                                    "TPG R{r} is not wired to port {m}.{port} \
+                                     (sub-session {s})"
+                                ),
+                            })
+                        }
+                        Driver::Mux(idx) => {
+                            let pos = muxes[idx]
+                                .inputs
+                                .iter()
+                                .position(|&n| n == wanted)
+                                .ok_or_else(|| RtlError::TestPathNotRoutable {
+                                    description: format!(
+                                        "TPG R{r} is not a mux input of port {m}.{port} \
+                                         (sub-session {s})"
+                                    ),
+                                })?;
+                            select(idx, pos, "TPG routing")?;
+                        }
+                    }
+                }
+                TpgSource::ConstantGenerator => {
+                    let g = generators.len();
+                    generators.push(GeneratorCell {
+                        session: s,
+                        port: key,
+                    });
+                    port_overrides.insert(key, g);
+                }
+            }
+        }
+
+        // Route the module output into its signature register.
+        let &r = session
+            .sr
+            .get(&m)
+            .ok_or_else(|| RtlError::TestPathNotRoutable {
+                description: format!("no signature register for module {m} in sub-session {s}"),
+            })?;
+        let wanted = NetRef::Module(m);
+        match registers[r].input {
+            Some(Driver::Net(n)) if n == wanted => {}
+            Some(Driver::Mux(idx)) => {
+                let pos = muxes[idx]
+                    .inputs
+                    .iter()
+                    .position(|&n| n == wanted)
+                    .ok_or_else(|| RtlError::TestPathNotRoutable {
+                        description: format!(
+                            "module {m} is not a mux input of register R{r} \
+                             (sub-session {s})"
+                        ),
+                    })?;
+                select(idx, pos, "signature routing")?;
+            }
+            _ => {
+                return Err(RtlError::TestPathNotRoutable {
+                    description: format!(
+                        "module {m} output does not reach signature register R{r} \
+                         (sub-session {s})"
+                    ),
+                })
+            }
+        }
+        signature_registers.insert(m, r);
+    }
+
+    Ok(SessionControl {
+        modules: session.modules.clone(),
+        modes,
+        mux_selects,
+        port_overrides,
+        signature_registers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bist_dfg::allocate::left_edge;
+    use bist_dfg::benchmarks;
+    use bist_dfg::lifetime::LifetimeTable;
+
+    fn figure1() -> Datapath {
+        let input = benchmarks::figure1();
+        let table = LifetimeTable::new(&input).unwrap();
+        let assignment = left_edge(&table);
+        Datapath::from_register_assignment(&input, &assignment, 8).unwrap()
+    }
+
+    #[test]
+    fn mission_netlist_mirrors_the_datapath() {
+        let dp = figure1();
+        let n = emit_netlist(&dp).unwrap();
+        assert_eq!(n.name(), dp.name());
+        assert_eq!(n.width(), 8);
+        assert_eq!(n.registers().len(), dp.num_registers());
+        assert_eq!(n.modules().len(), dp.num_modules());
+        assert!(n.sessions().is_empty());
+        // The single-source invariant: one mux cell per priced fan-in.
+        let fanins: Vec<usize> = n.muxes().iter().map(|m| m.inputs.len()).collect();
+        assert_eq!(fanins, dp.mux_fanins());
+        // Ports match the datapath's port counts.
+        for (m, cell) in n.modules().iter().enumerate() {
+            assert_eq!(cell.ports.len(), dp.modules()[m].num_inputs);
+        }
+    }
+
+    #[test]
+    fn emission_is_deterministic() {
+        let dp = figure1();
+        let a = emit_netlist(&dp).unwrap();
+        let b = emit_netlist(&dp).unwrap();
+        assert_eq!(a.to_text(), b.to_text());
+        assert_eq!(a.fingerprint(), b.fingerprint());
+    }
+
+    #[test]
+    fn missing_tpg_assignment_is_a_typed_error() {
+        let mut dp = figure1();
+        let mut plan = TestPlan::with_sessions(1);
+        plan.sessions[0].modules.push(0);
+        // No TPG entries at all.
+        plan.sessions[0].sr.insert(0, 0);
+        plan.apply_register_kinds(&mut dp);
+        let err = emit_bist_netlist(&dp, &plan).unwrap_err();
+        assert!(matches!(err, RtlError::TestPathNotRoutable { .. }), "{err}");
+        assert!(err.to_string().contains("no TPG"));
+    }
+
+    #[test]
+    fn unroutable_tpg_is_a_typed_error() {
+        let mut dp = figure1();
+        // Claim a register that exists but is not wired to module 0's port 0.
+        let p = ModulePort { module: 0, port: 0 };
+        let wired = dp.interconnect().registers_driving_port(p);
+        let unwired = (0..dp.num_registers())
+            .find(|r| !wired.contains(r))
+            .expect("figure1 has a register not wired to port 0.0");
+        let mut plan = TestPlan::with_sessions(1);
+        plan.sessions[0].modules.push(0);
+        for port in 0..dp.modules()[0].num_inputs {
+            plan.sessions[0]
+                .tpg
+                .insert((0, port), TpgSource::Register(unwired));
+        }
+        let sr = dp.interconnect().registers_driven_by_module(0)[0];
+        plan.sessions[0].sr.insert(0, sr);
+        plan.apply_register_kinds(&mut dp);
+        let err = emit_bist_netlist(&dp, &plan).unwrap_err();
+        assert!(matches!(err, RtlError::TestPathNotRoutable { .. }), "{err}");
+    }
+}

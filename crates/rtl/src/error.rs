@@ -1,0 +1,161 @@
+//! Error type of the RTL back-end.
+
+use std::fmt;
+
+use bist_datapath::DatapathError;
+
+/// Errors raised while lowering a data path to a netlist or while simulating
+/// a BIST test plan on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtlError {
+    /// The data path itself is structurally unsound (for example an input
+    /// port with zero drivers, [`DatapathError::UndrivenPort`]).
+    Datapath(DatapathError),
+    /// A test-plan resource needs a routing path the emitted netlist does
+    /// not have (a TPG register that reaches no mux input of its port, or a
+    /// signature register not fed by its module). With a validated design
+    /// this indicates an emitter bug.
+    TestPathNotRoutable {
+        /// Description of the missing route.
+        description: String,
+    },
+    /// No maximal-length feedback polynomial is on record for this register
+    /// width.
+    UnsupportedWidth {
+        /// The requested LFSR/MISR width in bits.
+        width: u32,
+    },
+    /// A custom feedback polynomial is unusable: the tap mask is zero, or it
+    /// taps bits at or above the register width.
+    InvalidPolynomial {
+        /// Register width in bits.
+        width: u32,
+        /// The offending tap mask.
+        taps: u64,
+    },
+    /// A module under test was not genuinely exercised in its scheduled
+    /// sub-test session: too few cycles ran, or the applied input patterns
+    /// barely varied (a stuck or short-cycled pattern generator).
+    ModuleNotExercised {
+        /// Module index.
+        module: usize,
+        /// Sub-test session the plan schedules it in.
+        session: usize,
+        /// Cycles the module's output was compacted.
+        cycles: u64,
+        /// Distinct input patterns applied over those cycles.
+        distinct_patterns: u64,
+    },
+    /// A single-bit fault injected at a module's output did not change its
+    /// signature register's final signature — the session does not actually
+    /// observe the module.
+    FaultNotObserved {
+        /// Module index.
+        module: usize,
+        /// Sub-test session index.
+        session: usize,
+        /// The signature register that failed to observe the fault.
+        register: usize,
+    },
+    /// Two identical simulation runs disagreed on a final signature — the
+    /// simulation is not deterministic (never expected).
+    UnstableSignature {
+        /// Register index.
+        register: usize,
+        /// Sub-test session index.
+        session: usize,
+        /// Signature of the first run.
+        first: u64,
+        /// Signature of the second run.
+        second: u64,
+    },
+}
+
+impl fmt::Display for RtlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RtlError::Datapath(e) => write!(f, "unsound data path: {e}"),
+            RtlError::TestPathNotRoutable { description } => {
+                write!(f, "test path not routable in the netlist: {description}")
+            }
+            RtlError::UnsupportedWidth { width } => {
+                write!(
+                    f,
+                    "no maximal-length LFSR polynomial on record for width {width}"
+                )
+            }
+            RtlError::InvalidPolynomial { width, taps } => {
+                write!(f, "invalid feedback polynomial {taps:#x} for width {width}")
+            }
+            RtlError::ModuleNotExercised {
+                module,
+                session,
+                cycles,
+                distinct_patterns,
+            } => write!(
+                f,
+                "module {module} not exercised in sub-session {session}: \
+                 {distinct_patterns} distinct patterns over {cycles} cycles"
+            ),
+            RtlError::FaultNotObserved {
+                module,
+                session,
+                register,
+            } => write!(
+                f,
+                "a fault at module {module}'s output left register R{register}'s \
+                 signature unchanged in sub-session {session}"
+            ),
+            RtlError::UnstableSignature {
+                register,
+                session,
+                first,
+                second,
+            } => write!(
+                f,
+                "register R{register} signature unstable across identical runs of \
+                 sub-session {session}: {first:#x} vs {second:#x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RtlError {}
+
+impl From<DatapathError> for RtlError {
+    fn from(e: DatapathError) -> Self {
+        RtlError::Datapath(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_specific() {
+        let e = RtlError::ModuleNotExercised {
+            module: 1,
+            session: 0,
+            cycles: 64,
+            distinct_patterns: 1,
+        };
+        assert!(e.to_string().contains("module 1"));
+        assert!(e.to_string().contains("1 distinct patterns"));
+        let e = RtlError::Datapath(DatapathError::UndrivenPort { module: 2, port: 1 });
+        assert!(e.to_string().contains("port 1"));
+        let e = RtlError::UnstableSignature {
+            register: 3,
+            session: 1,
+            first: 0xab,
+            second: 0xcd,
+        };
+        assert!(e.to_string().contains("0xab"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<RtlError>();
+    }
+}

@@ -1,0 +1,85 @@
+//! # bist-rtl — RTL back-end and cycle-level BIST simulator
+//!
+//! The ILP synthesis flow (`bist-core`) ends with a [`bist_datapath::Datapath`]
+//! and a [`bist_datapath::TestPlan`]: a register-transfer structure whose
+//! registers carry TPG/SR/BILBO/CBILBO reconfiguration kinds, and a k-session
+//! schedule saying which module is tested when, with which pattern generators
+//! and which signature register. This crate closes the loop from that
+//! solution back to hardware:
+//!
+//! 1. **Netlist emission** ([`emit_netlist`] / [`emit_bist_netlist`]) lowers
+//!    the data path into a typed structural [`Netlist`] — register, module,
+//!    constant, generator and multiplexer cells — plus one
+//!    [`SessionControl`] per sub-test session with the register modes and
+//!    mux selects the BIST controller drives. Mux fan-ins are cross-checked
+//!    against the same [`bist_datapath::Datapath::mux_fanins`] accessor the
+//!    area model prices, so the netlist can never drift from the transistor
+//!    counts the ILP optimised. The netlist has a canonical text form
+//!    ([`Netlist::to_text`]) for golden-file diffing and a Verilog writer
+//!    ([`to_verilog`]).
+//!
+//! 2. **Cycle-level simulation** ([`simulate`]) runs each sub-test session
+//!    bit-true: registers in generate mode step maximal-length LFSRs
+//!    ([`Lfsr`]), modules evaluate their class function, signature registers
+//!    fold responses into MISRs ([`Misr`]). The [`SimReport`] records
+//!    per-module activation counts, distinct-pattern counts and final
+//!    signatures.
+//!
+//! 3. **Simulated validation** ([`validate_simulated`]) proves the plan's
+//!    claims hold in the emitted hardware: every scheduled module is
+//!    compacted every cycle under a varying pattern stream, an injected
+//!    fault at its output provably changes its signature, and signatures are
+//!    bit-stable across runs.
+//!
+//! ```
+//! use bist_datapath::{Datapath, ModulePort, TestPlan, TpgSource};
+//! use bist_dfg::allocate::left_edge;
+//! use bist_dfg::lifetime::LifetimeTable;
+//! use bist_rtl::{validate_simulated, SimConfig};
+//!
+//! let input = bist_dfg::benchmarks::figure1();
+//! let table = LifetimeTable::new(&input).unwrap();
+//! let mut dp =
+//!     Datapath::from_register_assignment(&input, &left_edge(&table), 8).unwrap();
+//! // Test each module in its own sub-session with wired resources.
+//! let mut plan = TestPlan::with_sessions(dp.num_modules());
+//! for m in 0..dp.num_modules() {
+//!     plan.sessions[m].modules.push(m);
+//!     for port in 0..dp.modules()[m].num_inputs {
+//!         let p = ModulePort { module: m, port };
+//!         let source = match dp.interconnect().registers_driving_port(p).first() {
+//!             Some(&r) => TpgSource::Register(r),
+//!             None => TpgSource::ConstantGenerator,
+//!         };
+//!         plan.sessions[m].tpg.insert((m, port), source);
+//!     }
+//!     let sr = dp.interconnect().registers_driven_by_module(m)[0];
+//!     plan.sessions[m].sr.insert(m, sr);
+//! }
+//! plan.apply_register_kinds(&mut dp);
+//! let report = validate_simulated(&dp, &plan, &SimConfig::default()).unwrap();
+//! assert_eq!(report.sessions.len(), dp.num_modules());
+//! ```
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod emit;
+pub mod error;
+pub mod lfsr;
+pub mod netlist;
+pub mod sim;
+pub mod validate;
+pub mod verilog;
+
+pub use emit::{emit_bist_netlist, emit_netlist};
+pub use error::RtlError;
+pub use lfsr::{Lfsr, LfsrSpec, Misr};
+pub use netlist::{
+    ConstantCell, Driver, GeneratorCell, ModuleCell, MuxCell, MuxSite, NetRef, Netlist,
+    RegisterCell, RegisterMode, SessionControl,
+};
+pub use sim::{
+    simulate, simulate_session_with_fault, ModuleCoverage, SessionReport, SimConfig, SimReport,
+};
+pub use validate::validate_simulated;
+pub use verilog::to_verilog;

@@ -1,0 +1,393 @@
+//! The structural netlist IR emitted from a synthesised data path.
+//!
+//! A [`Netlist`] is a flat list of cells — registers, functional modules,
+//! hard-wired constants, dedicated test-pattern generators and multiplexers —
+//! plus one [`SessionControl`] per sub-test session of the BIST plan. The
+//! session control captures everything the test controller would drive:
+//! per-register reconfiguration modes, multiplexer selects routing test
+//! patterns and responses, and port overrides for dedicated generators.
+//!
+//! The IR has a canonical text form ([`Netlist::to_text`]) for golden-file
+//! diffing and a 64-bit FNV fingerprint ([`Netlist::fingerprint`]) for cheap
+//! equality in benchmark artifacts.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use bist_datapath::{ModulePort, TestRegisterKind};
+use bist_dfg::ModuleClass;
+
+/// A value-carrying net: the output of one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NetRef {
+    /// Output of register `r`.
+    Register(usize),
+    /// Output of functional module `m`.
+    Module(usize),
+    /// Output of constant cell `c`.
+    Constant(usize),
+    /// Output of dedicated test-pattern generator cell `g`.
+    Generator(usize),
+}
+
+impl NetRef {
+    fn label(&self) -> String {
+        match self {
+            NetRef::Register(r) => format!("R{r}"),
+            NetRef::Module(m) => format!("M{m}"),
+            NetRef::Constant(c) => format!("C{c}"),
+            NetRef::Generator(g) => format!("G{g}"),
+        }
+    }
+}
+
+/// What drives a cell input: a net directly, or a multiplexer output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Driver {
+    /// Driven directly by one net (fan-in 1, no mux needed).
+    Net(NetRef),
+    /// Driven by multiplexer `muxes[i]`.
+    Mux(usize),
+}
+
+/// The input position a multiplexer feeds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MuxSite {
+    /// The data input of register `r`.
+    RegisterInput(usize),
+    /// An input port of a functional module.
+    ModulePort(ModulePort),
+}
+
+/// A multiplexer cell. Input order is deterministic (ascending net order as
+/// produced by the emitter), so input indices double as select values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MuxCell {
+    /// Where the mux output goes.
+    pub site: MuxSite,
+    /// The selectable input nets.
+    pub inputs: Vec<NetRef>,
+}
+
+/// A data path register cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegisterCell {
+    /// Report name (`R0`, `R1`, ...).
+    pub name: String,
+    /// BIST reconfiguration kind.
+    pub kind: TestRegisterKind,
+    /// The data input driver; `None` for primary-input registers never
+    /// written by a module.
+    pub input: Option<Driver>,
+}
+
+/// A functional module cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModuleCell {
+    /// Report name (`adder0`, ...).
+    pub name: String,
+    /// Functional class, fixing the bit-true evaluation rule.
+    pub class: ModuleClass,
+    /// Driver of each input port, in port order.
+    pub ports: Vec<Driver>,
+}
+
+/// A hard-wired constant cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConstantCell {
+    /// The constant value (masked to the data path width when evaluated).
+    pub value: i64,
+}
+
+/// A dedicated test-pattern generator added for a constant-only module port
+/// (Section 3.3.4 of the paper — a test-plan resource, not data path
+/// structure, so it exists per sub-session).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GeneratorCell {
+    /// The sub-test session this generator is active in.
+    pub session: usize,
+    /// The port it feeds during that session.
+    pub port: ModulePort,
+}
+
+/// The per-session reconfiguration mode of one register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RegisterMode {
+    /// Keep the stored value; input load disabled.
+    Hold,
+    /// Act as an LFSR pattern generator (TPG / BILBO generate mode).
+    Generate,
+    /// Act as a MISR compacting the register input (SR / BILBO compact mode).
+    Compact,
+    /// Generate and compact concurrently (CBILBO: two flip-flop banks).
+    GenerateCompact,
+}
+
+impl RegisterMode {
+    fn label(&self) -> &'static str {
+        match self {
+            RegisterMode::Hold => "hold",
+            RegisterMode::Generate => "generate",
+            RegisterMode::Compact => "compact",
+            RegisterMode::GenerateCompact => "generate+compact",
+        }
+    }
+}
+
+/// Everything the BIST controller drives during one sub-test session.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SessionControl {
+    /// Modules under test, in plan order.
+    pub modules: Vec<usize>,
+    /// Reconfiguration mode of every register, indexed by register.
+    pub modes: Vec<RegisterMode>,
+    /// Select value per multiplexer index; muxes not listed are don't-care
+    /// for this session (their select defaults to 0 in simulation).
+    pub mux_selects: BTreeMap<usize, usize>,
+    /// Ports whose mission driver is overridden by a dedicated generator
+    /// cell (port → generator index) during this session.
+    pub port_overrides: BTreeMap<ModulePort, usize>,
+    /// Signature register of every module under test (module → register).
+    pub signature_registers: BTreeMap<usize, usize>,
+}
+
+/// A complete structural netlist plus per-session BIST control.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Netlist {
+    pub(crate) name: String,
+    pub(crate) width: u32,
+    pub(crate) registers: Vec<RegisterCell>,
+    pub(crate) modules: Vec<ModuleCell>,
+    pub(crate) constants: Vec<ConstantCell>,
+    pub(crate) generators: Vec<GeneratorCell>,
+    pub(crate) muxes: Vec<MuxCell>,
+    pub(crate) sessions: Vec<SessionControl>,
+}
+
+/// The lowercase report name of a module class.
+pub fn class_name(class: ModuleClass) -> &'static str {
+    match class {
+        ModuleClass::Adder => "adder",
+        ModuleClass::Subtractor => "subtractor",
+        ModuleClass::Alu => "alu",
+        ModuleClass::Multiplier => "multiplier",
+        ModuleClass::Divider => "divider",
+        ModuleClass::Comparator => "comparator",
+        ModuleClass::Logic => "logic",
+        ModuleClass::Shifter => "shifter",
+    }
+}
+
+/// The lowercase report name of a test register kind.
+pub fn kind_name(kind: TestRegisterKind) -> &'static str {
+    match kind {
+        TestRegisterKind::Plain => "plain",
+        TestRegisterKind::Tpg => "tpg",
+        TestRegisterKind::Sr => "sr",
+        TestRegisterKind::Bilbo => "bilbo",
+        TestRegisterKind::Cbilbo => "cbilbo",
+    }
+}
+
+fn driver_label(driver: &Option<Driver>) -> String {
+    match driver {
+        None => "none".to_string(),
+        Some(Driver::Net(n)) => format!("net {}", n.label()),
+        Some(Driver::Mux(i)) => format!("mux {i}"),
+    }
+}
+
+impl Netlist {
+    /// The circuit name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Data path bit width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// The register cells.
+    pub fn registers(&self) -> &[RegisterCell] {
+        &self.registers
+    }
+
+    /// The functional module cells.
+    pub fn modules(&self) -> &[ModuleCell] {
+        &self.modules
+    }
+
+    /// The constant cells.
+    pub fn constants(&self) -> &[ConstantCell] {
+        &self.constants
+    }
+
+    /// The dedicated generator cells.
+    pub fn generators(&self) -> &[GeneratorCell] {
+        &self.generators
+    }
+
+    /// The multiplexer cells.
+    pub fn muxes(&self) -> &[MuxCell] {
+        &self.muxes
+    }
+
+    /// The per-sub-session control words (empty for a mission-only netlist).
+    pub fn sessions(&self) -> &[SessionControl] {
+        &self.sessions
+    }
+
+    /// The canonical, line-oriented text form used for golden-file diffing.
+    /// Byte-identical for equal netlists; every field of every cell appears.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "netlist {} width {}", self.name, self.width);
+        let _ = writeln!(out, "registers {}", self.registers.len());
+        for (r, reg) in self.registers.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "register {r} {} {} input {}",
+                reg.name,
+                kind_name(reg.kind),
+                driver_label(&reg.input)
+            );
+        }
+        let _ = writeln!(out, "modules {}", self.modules.len());
+        for (m, module) in self.modules.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "module {m} {} {} ports {}",
+                module.name,
+                class_name(module.class),
+                module.ports.len()
+            );
+            for (l, port) in module.ports.iter().enumerate() {
+                let _ = writeln!(out, "  port {l} {}", driver_label(&Some(*port)));
+            }
+        }
+        let _ = writeln!(out, "constants {}", self.constants.len());
+        for (c, constant) in self.constants.iter().enumerate() {
+            let _ = writeln!(out, "constant {c} value {}", constant.value);
+        }
+        let _ = writeln!(out, "generators {}", self.generators.len());
+        for (g, generator) in self.generators.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "generator {g} session {} port {}.{}",
+                generator.session, generator.port.module, generator.port.port
+            );
+        }
+        let _ = writeln!(out, "muxes {}", self.muxes.len());
+        for (i, mux) in self.muxes.iter().enumerate() {
+            let site = match mux.site {
+                MuxSite::RegisterInput(r) => format!("register {r}"),
+                MuxSite::ModulePort(p) => format!("port {}.{}", p.module, p.port),
+            };
+            let inputs: Vec<String> = mux.inputs.iter().map(NetRef::label).collect();
+            let _ = writeln!(out, "mux {i} at {site} inputs {}", inputs.join(" "));
+        }
+        let _ = writeln!(out, "sessions {}", self.sessions.len());
+        for (s, session) in self.sessions.iter().enumerate() {
+            let modules: Vec<String> = session.modules.iter().map(|m| m.to_string()).collect();
+            let _ = writeln!(out, "session {s} modules {}", modules.join(" "));
+            for (r, mode) in session.modes.iter().enumerate() {
+                let _ = writeln!(out, "  mode {r} {}", mode.label());
+            }
+            for (mux, select) in &session.mux_selects {
+                let _ = writeln!(out, "  select mux {mux} input {select}");
+            }
+            for (port, generator) in &session.port_overrides {
+                let _ = writeln!(
+                    out,
+                    "  override port {}.{} generator {generator}",
+                    port.module, port.port
+                );
+            }
+            for (module, register) in &session.signature_registers {
+                let _ = writeln!(out, "  signature module {module} register {register}");
+            }
+        }
+        out.push_str("end\n");
+        out
+    }
+
+    /// 64-bit FNV-1a fingerprint of [`Netlist::to_text`]. Two netlists with
+    /// equal structure and session control always fingerprint equal.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in self.to_text().bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        hash
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Netlist {
+        Netlist {
+            name: "tiny".to_string(),
+            width: 8,
+            registers: vec![
+                RegisterCell {
+                    name: "R0".to_string(),
+                    kind: TestRegisterKind::Tpg,
+                    input: None,
+                },
+                RegisterCell {
+                    name: "R1".to_string(),
+                    kind: TestRegisterKind::Sr,
+                    input: Some(Driver::Net(NetRef::Module(0))),
+                },
+            ],
+            modules: vec![ModuleCell {
+                name: "adder0".to_string(),
+                class: ModuleClass::Adder,
+                ports: vec![Driver::Net(NetRef::Register(0)), Driver::Mux(0)],
+            }],
+            constants: vec![ConstantCell { value: 5 }],
+            generators: vec![],
+            muxes: vec![MuxCell {
+                site: MuxSite::ModulePort(ModulePort { module: 0, port: 1 }),
+                inputs: vec![NetRef::Register(0), NetRef::Constant(0)],
+            }],
+            sessions: vec![SessionControl {
+                modules: vec![0],
+                modes: vec![RegisterMode::Generate, RegisterMode::Compact],
+                mux_selects: [(0usize, 0usize)].into_iter().collect(),
+                port_overrides: BTreeMap::new(),
+                signature_registers: [(0usize, 1usize)].into_iter().collect(),
+            }],
+        }
+    }
+
+    #[test]
+    fn text_form_is_deterministic_and_complete() {
+        let n = tiny();
+        let text = n.to_text();
+        assert_eq!(text, n.to_text());
+        assert!(text.starts_with("netlist tiny width 8\n"));
+        assert!(text.contains("register 0 R0 tpg input none"));
+        assert!(text.contains("register 1 R1 sr input net M0"));
+        assert!(text.contains("module 0 adder0 adder ports 2"));
+        assert!(text.contains("  port 1 mux 0"));
+        assert!(text.contains("mux 0 at port 0.1 inputs R0 C0"));
+        assert!(text.contains("session 0 modules 0"));
+        assert!(text.contains("  mode 0 generate"));
+        assert!(text.contains("  signature module 0 register 1"));
+        assert!(text.ends_with("end\n"));
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure() {
+        let n = tiny();
+        let mut changed = n.clone();
+        assert_eq!(n.fingerprint(), changed.fingerprint());
+        changed.registers[0].kind = TestRegisterKind::Bilbo;
+        assert_ne!(n.fingerprint(), changed.fingerprint());
+    }
+}

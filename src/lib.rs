@@ -11,6 +11,7 @@
 //! | [`ilp`] | pure-Rust branch-and-bound MILP solver (the CPLEX substitute) |
 //! | [`dfg`] | scheduled data-flow graphs, lifetimes, the benchmark suite |
 //! | [`datapath`] | RTL/BIST structure model, Table 1 cost model, validator |
+//! | [`rtl`] | netlist emitter, Verilog writer, cycle-level BIST simulator |
 //! | [`core`] | the ADVBIST ILP formulations and the reference-design ILP |
 //! | [`baselines`] | the ADVAN / RALLOC / BITS comparison heuristics |
 //! | [`service`] | the concurrent job-queue front door (batched synthesis with budgets, cancellation, deadlines) |
@@ -56,6 +57,7 @@ pub use bist_core as core;
 pub use bist_datapath as datapath;
 pub use bist_dfg as dfg;
 pub use bist_ilp as ilp;
+pub use bist_rtl as rtl;
 
 pub use bist_ilp::{
     model_fingerprint, Budget, BudgetError, CancelToken, SnapshotError, SolveEvent, SolveSession,
